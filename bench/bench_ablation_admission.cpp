@@ -1,0 +1,71 @@
+// Ablation: the generous admission control of the backfilling policies.
+// Paper §5.2: "we find that these policies without job admission control
+// perform much worse, especially when deadlines of jobs are short."
+// This bench runs FCFS/SJF/EDF-BF with and without admission control on
+// relaxed (low-value mean 4) and tight (low-value mean 1) deadlines.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "policy/queue_policy.hpp"
+#include "service/computing_service.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace utilrisk;
+  const bench::BenchEnv env = bench::read_env();
+
+  workload::SyntheticSdscConfig trace;
+  trace.job_count = std::min<std::uint32_t>(env.jobs, 2000);
+  const workload::WorkloadBuilder builder(trace);
+
+  const struct {
+    const char* label;
+    double deadline_low_mean;
+  } deadline_cases[] = {{"relaxed deadlines (low mean 4)", 4.0},
+                        {"tight deadlines (low mean 1)", 1.0}};
+
+  for (const auto& deadline_case : deadline_cases) {
+    workload::QosConfig qos;
+    qos.deadline.low_value_mean = deadline_case.deadline_low_mean;
+    const auto jobs = builder.build(qos, 0.25, /*inaccuracy=*/100.0);
+
+    std::cout << "\nAdmission-control ablation, " << deadline_case.label
+              << " (bid model, " << trace.job_count << " jobs):\n";
+    std::cout << std::left << std::setw(10) << "policy" << std::setw(11)
+              << "admission" << std::right << std::setw(8) << "SLA%"
+              << std::setw(10) << "Rel%" << std::setw(12) << "Prof%"
+              << std::setw(12) << "Wait(s)\n";
+
+    for (policy::QueueOrder order :
+         {policy::QueueOrder::ArrivalTime,
+          policy::QueueOrder::ShortestEstimate,
+          policy::QueueOrder::EarliestDeadline}) {
+      for (policy::AdmissionControl admission :
+           {policy::AdmissionControl::Generous,
+            policy::AdmissionControl::None}) {
+        const auto report = service::simulate(
+            jobs,
+            [order, admission](const policy::PolicyContext& context,
+                               policy::PolicyHost& host) {
+              return std::make_unique<policy::QueueBackfillPolicy>(
+                  context, host, order, admission);
+            },
+            economy::EconomicModel::BidBased);
+        std::cout << std::left << std::setw(10)
+                  << policy::to_string(order) << std::setw(11)
+                  << policy::to_string(admission) << std::right << std::fixed
+                  << std::setprecision(2) << std::setw(8)
+                  << report.objectives.sla << std::setw(10)
+                  << report.objectives.reliability << std::setw(12)
+                  << report.objectives.profitability << std::setw(12)
+                  << report.objectives.wait << '\n';
+      }
+    }
+  }
+  std::cout << "\nWithout admission control every queued job eventually\n"
+               "runs: reliability and (bid-model) profitability collapse as\n"
+               "hopeless jobs accrue unbounded penalties — most sharply\n"
+               "under tight deadlines, as the paper observes.\n";
+  return 0;
+}

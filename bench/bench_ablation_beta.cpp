@@ -1,0 +1,41 @@
+// Ablation: Libra+$'s beta (weight of the dynamic utilisation price).
+// The paper fixes beta = 0.3; this sweep shows the acceptance/revenue
+// trade-off the knob controls: beta = 0 degenerates to flat alpha-pricing,
+// large beta prices out most jobs.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "service/computing_service.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace utilrisk;
+  const bench::BenchEnv env = bench::read_env();
+
+  workload::SyntheticSdscConfig trace;
+  trace.job_count = std::min<std::uint32_t>(env.jobs, 2000);
+  const workload::WorkloadBuilder builder(trace);
+
+  for (double inaccuracy : {0.0, 100.0}) {
+    const auto jobs = builder.build(workload::QosConfig{}, 0.25, inaccuracy);
+    std::cout << "\nLibra+$ beta sweep (commodity model, inaccuracy "
+              << inaccuracy << "%, " << trace.job_count << " jobs):\n";
+    std::cout << std::left << std::setw(8) << "beta" << std::right
+              << std::setw(8) << "SLA%" << std::setw(10) << "Rel%"
+              << std::setw(10) << "Prof%\n";
+    for (double beta : {0.0, 0.1, 0.3, 0.6, 1.0, 2.0}) {
+      economy::PricingParams pricing;
+      pricing.libra_dollar_beta = beta;
+      const auto report = service::simulate(
+          jobs, policy::PolicyKind::LibraDollar,
+          economy::EconomicModel::CommodityMarket, {}, pricing);
+      std::cout << std::left << std::setw(8) << beta << std::right
+                << std::fixed << std::setprecision(2) << std::setw(8)
+                << report.objectives.sla << std::setw(10)
+                << report.objectives.reliability << std::setw(10)
+                << report.objectives.profitability << '\n';
+    }
+  }
+  return 0;
+}

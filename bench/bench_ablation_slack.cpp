@@ -1,0 +1,45 @@
+// Ablation: FirstReward's slack threshold. The paper notes "setting the
+// correct slack threshold is not trivial as the ideal slack threshold
+// changes depending on the workload" and settles on 25 after testing.
+// This bench sweeps the threshold on the default Set B bid workload and
+// on a lighter workload to show the optimum moving.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "service/computing_service.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace utilrisk;
+  const bench::BenchEnv env = bench::read_env();
+
+  workload::SyntheticSdscConfig trace;
+  trace.job_count = std::min<std::uint32_t>(env.jobs, 2000);
+  const workload::WorkloadBuilder builder(trace);
+
+  const double thresholds[] = {0.0, 25.0, 100.0, 500.0, 2000.0, 10000.0};
+  for (double delay_factor : {0.25, 1.0}) {
+    const auto jobs = builder.build(workload::QosConfig{}, delay_factor,
+                                    /*inaccuracy=*/100.0);
+    std::cout << "\nFirstReward slack-threshold sweep (arrival delay factor "
+              << delay_factor << ", " << trace.job_count << " jobs):\n";
+    std::cout << std::left << std::setw(12) << "threshold" << std::right
+              << std::setw(8) << "SLA%" << std::setw(10) << "Rel%"
+              << std::setw(10) << "Prof%" << std::setw(12) << "Wait(s)\n";
+    for (double threshold : thresholds) {
+      policy::FirstRewardParams params;
+      params.slack_threshold = threshold;
+      const auto report =
+          service::simulate(jobs, policy::PolicyKind::FirstReward,
+                            economy::EconomicModel::BidBased, {}, {}, params);
+      std::cout << std::left << std::setw(12) << threshold << std::right
+                << std::fixed << std::setprecision(2) << std::setw(8)
+                << report.objectives.sla << std::setw(10)
+                << report.objectives.reliability << std::setw(10)
+                << report.objectives.profitability << std::setw(12)
+                << report.objectives.wait << '\n';
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared plumbing for the figure-regeneration benches.
+//
+// Environment knobs:
+//   REPRO_JOBS   job count of the synthetic trace (default 5000)
+//   REPRO_FRESH  set to 1 to bypass the on-disk result cache
+//   REPRO_OUT    output directory for .csv/.dat artefacts
+//                (default ./bench_out)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "exp/experiment.hpp"
+#include "exp/figures.hpp"
+
+namespace utilrisk::bench {
+
+struct BenchEnv {
+  std::uint32_t jobs = 5000;
+  bool fresh = false;
+  std::string out_dir = "bench_out";
+};
+
+/// Reads the environment knobs (creating the output directory).
+[[nodiscard]] BenchEnv read_env();
+
+/// Experiment configuration shared by every figure bench: the defaults of
+/// DESIGN.md §3 with the requested model/set.
+[[nodiscard]] exp::ExperimentConfig make_config(const BenchEnv& env,
+                                                economy::EconomicModel model,
+                                                exp::ExperimentSet set);
+
+/// Shared on-disk result store ("<out_dir>/results_cache.csv"), or an
+/// in-memory store when `fresh` is set.
+[[nodiscard]] exp::ResultStore make_store(const BenchEnv& env);
+
+/// Prints the plot (ASCII scatter + ranking tables) to stdout and writes
+/// <out_dir>/<slug>.csv and <slug>.dat.
+void emit_plot(const BenchEnv& env, const core::RiskPlot& plot,
+               const std::string& slug);
+
+/// Lowercase, filesystem-safe slug of a title.
+[[nodiscard]] std::string slugify(const std::string& title);
+
+/// Runs (or loads from cache) the full Table VI sweep for one model/set.
+[[nodiscard]] exp::SweepResult run_sweep(const BenchEnv& env,
+                                         economy::EconomicModel model,
+                                         exp::ExperimentSet set,
+                                         exp::ResultStore& store);
+
+/// Emits the separate-risk figure (paper Figs 3 / 6): one panel per
+/// objective per experiment set.
+void emit_separate_figure(const BenchEnv& env, economy::EconomicModel model,
+                          const std::string& figure_name);
+
+/// Emits the integrated three-objective figure (Figs 4 / 7): four
+/// leave-one-out panels per experiment set.
+void emit_integrated3_figure(const BenchEnv& env,
+                             economy::EconomicModel model,
+                             const std::string& figure_name);
+
+/// Emits the integrated four-objective figure (Figs 5 / 8).
+void emit_integrated4_figure(const BenchEnv& env,
+                             economy::EconomicModel model,
+                             const std::string& figure_name);
+
+}  // namespace utilrisk::bench

@@ -1,0 +1,45 @@
+// Regenerates Fig. 1 and Tables I-IV: the sample risk analysis plot, the
+// per-policy aggregates, and the two ranking procedures.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/objectives.hpp"
+#include "core/sample_plot.hpp"
+
+int main() {
+  using namespace utilrisk;
+  const bench::BenchEnv env = bench::read_env();
+
+  std::cout << "Table I: objectives of a commercial computing service\n";
+  for (core::Objective objective : core::kAllObjectives) {
+    std::cout << "  " << core::to_string(objective) << "  ("
+              << (objective == core::Objective::Profitability
+                      ? "provider-centric"
+                      : "user-centric")
+              << ", "
+              << (core::higher_is_better(objective) ? "higher is better"
+                                                    : "lower is better")
+              << ")\n";
+  }
+
+  const core::RiskPlot plot = core::sample_risk_plot();
+  bench::emit_plot(env, plot, "fig1_sample");
+
+  std::cout << "\nTable II: performance and volatility of policies\n";
+  std::vector<core::PolicyRankStats> stats;
+  for (const auto& series : plot.series) {
+    stats.push_back(core::compute_rank_stats(series));
+  }
+  core::write_stats_table(std::cout, stats);
+
+  std::cout << "\nTable III (ranking by best performance):\n";
+  core::write_ranking_table(
+      std::cout, core::rank_policies(plot.series, core::RankBy::BestPerformance),
+      core::RankBy::BestPerformance);
+
+  std::cout << "\nTable IV (ranking by best volatility):\n";
+  core::write_ranking_table(
+      std::cout, core::rank_policies(plot.series, core::RankBy::BestVolatility),
+      core::RankBy::BestVolatility);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Regenerates Fig. 3: separate risk analysis for the commodity model
+// (Sets A and B). See DESIGN.md's per-experiment index.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace utilrisk;
+  const bench::BenchEnv env = bench::read_env();
+  bench::emit_separate_figure(env, economy::EconomicModel::CommodityMarket, "Fig.3");
+  return 0;
+}

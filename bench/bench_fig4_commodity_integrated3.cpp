@@ -1,0 +1,10 @@
+// Regenerates Fig. 4: integrated3 risk analysis for the commodity model
+// (Sets A and B). See DESIGN.md's per-experiment index.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace utilrisk;
+  const bench::BenchEnv env = bench::read_env();
+  bench::emit_integrated3_figure(env, economy::EconomicModel::CommodityMarket, "Fig.4");
+  return 0;
+}

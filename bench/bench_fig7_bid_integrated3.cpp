@@ -1,0 +1,10 @@
+// Regenerates Fig. 7: integrated3 risk analysis for the bid model
+// (Sets A and B). See DESIGN.md's per-experiment index.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace utilrisk;
+  const bench::BenchEnv env = bench::read_env();
+  bench::emit_integrated3_figure(env, economy::EconomicModel::BidBased, "Fig.7");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Robustness check: do the paper's headline conclusions survive a change
+// of workload model? Runs the bid-model policy set on (a) the
+// SDSC-SP2-matched generator and (b) the Lublin-Feitelson-style generator
+// at matched load, Set B estimates, and compares the conclusions:
+//   - LibraRiskD >= Libra on reliability and profitability,
+//   - FirstReward accepts the fewest jobs,
+//   - Libra family has zero wait.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "service/computing_service.hpp"
+#include "workload/synthetic_lublin.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace utilrisk;
+  const bench::BenchEnv env = bench::read_env();
+  const std::uint32_t jobs_n = std::min<std::uint32_t>(env.jobs, 3000);
+
+  struct NamedWorkload {
+    const char* name;
+    std::vector<workload::Job> jobs;
+  };
+  workload::SyntheticSdscConfig sdsc;
+  sdsc.job_count = jobs_n;
+  workload::SyntheticLublinConfig lublin;
+  lublin.job_count = jobs_n;
+
+  std::vector<NamedWorkload> workloads;
+  workloads.push_back(
+      {"SDSC-SP2-matched",
+       workload::WorkloadBuilder(sdsc).build(workload::QosConfig{}, 0.25,
+                                             100.0)});
+  workloads.push_back(
+      {"Lublin-Feitelson",
+       workload::WorkloadBuilder(generate_synthetic_lublin(lublin))
+           .build(workload::QosConfig{}, 0.25, 100.0)});
+
+  for (const NamedWorkload& named : workloads) {
+    std::cout << "\n== " << named.name << " workload (" << jobs_n
+              << " jobs, bid model, Set B estimates) ==\n";
+    std::cout << std::left << std::setw(14) << "policy" << std::right
+              << std::setw(8) << "SLA%" << std::setw(10) << "Rel%"
+              << std::setw(10) << "Prof%" << std::setw(12) << "Wait(s)"
+              << std::setw(8) << "Util\n";
+    double libra_rel = 0.0, libra_prof = 0.0;
+    double riskd_rel = 0.0, riskd_prof = 0.0;
+    for (policy::PolicyKind kind :
+         policy::policies_for_model(economy::EconomicModel::BidBased)) {
+      const auto report = service::simulate(named.jobs, kind,
+                                            economy::EconomicModel::BidBased);
+      std::cout << std::left << std::setw(14) << policy::to_string(kind)
+                << std::right << std::fixed << std::setprecision(2)
+                << std::setw(8) << report.objectives.sla << std::setw(10)
+                << report.objectives.reliability << std::setw(10)
+                << report.objectives.profitability << std::setw(12)
+                << report.objectives.wait << std::setw(8)
+                << report.utilization << '\n';
+      if (kind == policy::PolicyKind::Libra) {
+        libra_rel = report.objectives.reliability;
+        libra_prof = report.objectives.profitability;
+      }
+      if (kind == policy::PolicyKind::LibraRiskD) {
+        riskd_rel = report.objectives.reliability;
+        riskd_prof = report.objectives.profitability;
+      }
+    }
+    std::cout << "headline check: LibraRiskD vs Libra — reliability "
+              << (riskd_rel >= libra_rel ? "HOLDS" : "FAILS")
+              << ", profitability "
+              << (riskd_prof >= libra_prof ? "HOLDS" : "FAILS") << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Regenerates Table VI: the twelve scenarios and their varying values,
+// with the defaults used everywhere else marked.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exp/scenario.hpp"
+
+int main() {
+  using namespace utilrisk;
+  (void)bench::read_env();
+
+  std::cout << "Table VI: varying values of twelve scenarios\n";
+  std::cout << "(defaults: 20% high urgency, arrival delay factor 0.25,\n"
+            << " inaccuracy 0% in Set A / 100% in Set B, bias 2,\n"
+            << " high:low ratio 4, low-value mean 4 for deadline, budget\n"
+            << " and penalty; see DESIGN.md section 3)\n\n";
+
+  std::cout << std::left << std::setw(22) << "Scenario" << "Values\n";
+  for (const exp::Scenario& scenario : exp::all_scenarios()) {
+    std::cout << std::left << std::setw(22) << scenario.name;
+    for (double value : scenario.values) std::cout << value << ' ';
+    std::cout << '\n';
+  }
+
+  // Show that each scenario really only perturbs its own knob.
+  const exp::ExperimentConfig config;
+  const exp::RunSettings defaults = config.default_settings();
+  std::cout << "\ndefault run key fragment:\n  " << defaults.key_fragment()
+            << '\n';
+  for (const exp::Scenario& scenario : exp::all_scenarios()) {
+    const exp::RunSettings v0 = scenario.settings_for(defaults, 0);
+    std::cout << scenario.name << " @ " << scenario.values[0] << ":\n  "
+              << v0.key_fragment() << '\n';
+  }
+  return 0;
+}

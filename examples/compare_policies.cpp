@@ -1,0 +1,61 @@
+// Compare all Table V policies under one economic model with the paper's
+// separate and integrated risk analysis, on a reduced sweep.
+//
+//   $ ./compare_policies [commodity|bid] [jobs]
+//
+// Runs the full twelve-scenario sweep (Set B: the trace's own estimates),
+// prints each objective's risk plot and the integrated four-objective
+// ranking — the condensed version of what the per-figure benches emit.
+#include <iostream>
+#include <string>
+
+#include "core/report.hpp"
+#include "exp/experiment.hpp"
+#include "exp/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace utilrisk;
+
+  const std::string model_name = argc > 1 ? argv[1] : "bid";
+  const economy::EconomicModel model =
+      model_name == "commodity" ? economy::EconomicModel::CommodityMarket
+                                : economy::EconomicModel::BidBased;
+
+  exp::ExperimentConfig config;
+  config.model = model;
+  config.set = exp::ExperimentSet::B;
+  config.trace.job_count =
+      argc > 2 ? static_cast<std::uint32_t>(std::stoul(argv[2])) : 1000;
+
+  std::cout << "Sweeping 12 scenarios x 6 values x "
+            << policy::policies_for_model(model).size() << " policies on "
+            << config.trace.job_count << "-job workloads ("
+            << economy::to_string(model) << " model, Set B)...\n";
+
+  exp::ExperimentRunner runner(config);
+  const exp::SweepResult sweep = runner.run_sweep();
+  std::cout << runner.simulations_run() << " simulations executed.\n";
+
+  for (core::Objective objective : core::kAllObjectives) {
+    const core::RiskPlot plot = exp::separate_plot(
+        sweep, objective,
+        "separate risk: " + std::string(core::to_string(objective)));
+    core::write_ascii_scatter(std::cout, plot);
+    std::cout << '\n';
+  }
+
+  const std::vector<core::Objective> all(core::kAllObjectives.begin(),
+                                         core::kAllObjectives.end());
+  const core::RiskPlot integrated =
+      exp::integrated_plot(sweep, all, "integrated risk: all objectives");
+  core::write_ascii_scatter(std::cout, integrated);
+  core::write_ranking_table(
+      std::cout,
+      core::rank_policies(integrated.series, core::RankBy::BestPerformance),
+      core::RankBy::BestPerformance);
+  core::write_ranking_table(
+      std::cout,
+      core::rank_policies(integrated.series, core::RankBy::BestVolatility),
+      core::RankBy::BestVolatility);
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Extending the library with a custom resource-management policy.
+//
+// "ValueDensity" is a bid-model policy that admits jobs by expected value
+// density (bid per processor-second) with a simple utilisation guard, runs
+// space-shared, and orders its queue by value density. The example plugs
+// it into the same service/metrics pipeline as the built-in policies and
+// scores it against FCFS-BF and FirstReward on the four objectives —
+// demonstrating exactly what a provider would do before deploying a new
+// policy: an a-priori risk analysis against the incumbents.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "cluster/space_shared.hpp"
+#include "economy/penalty.hpp"
+#include "policy/policy.hpp"
+#include "service/computing_service.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace utilrisk;
+
+class ValueDensityPolicy final : public policy::Policy {
+ public:
+  ValueDensityPolicy(const policy::PolicyContext& context,
+                     policy::PolicyHost& host)
+      : Policy(context, host),
+        cluster_(std::make_unique<cluster::SpaceSharedCluster>(
+            *context.simulator, context.machine)) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "ValueDensity";
+  }
+
+  void on_submit(const workload::Job& job) override {
+    if (job.procs > cluster_->total_procs()) {
+      host().notify_rejected(job);
+      return;
+    }
+    // Admission: value density must beat the base price, and the backlog
+    // (queued estimated work) must stay under one deadline's worth of
+    // machine time — a crude but transparent overload guard.
+    const double density =
+        job.budget / (job.estimated_runtime * job.procs);
+    const double backlog_limit =
+        static_cast<double>(cluster_->total_procs()) * job.deadline_duration;
+    if (density < pricing().base_price || backlog_work() > backlog_limit) {
+      host().notify_rejected(job);
+      return;
+    }
+    host().notify_accepted(job, job.budget);
+    queue_.push_back(job);
+    dispatch();
+  }
+
+ private:
+  [[nodiscard]] double backlog_work() const {
+    double work = 0.0;
+    for (const workload::Job& job : queue_) {
+      work += job.estimated_runtime * job.procs;
+    }
+    return work;
+  }
+
+  void dispatch() {
+    std::sort(queue_.begin(), queue_.end(),
+              [](const workload::Job& a, const workload::Job& b) {
+                const double da = a.budget / (a.estimated_runtime * a.procs);
+                const double db = b.budget / (b.estimated_runtime * b.procs);
+                if (da != db) return da > db;
+                return a.id < b.id;
+              });
+    for (std::size_t i = 0; i < queue_.size();) {
+      if (cluster_->can_start(queue_[i].procs)) {
+        const workload::Job job = queue_[i];
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        host().notify_started(job);
+        cluster_->start(job,
+                        [this, job](workload::JobId, sim::SimTime finish) {
+                          host().notify_finished(job, finish);
+                          dispatch();
+                        });
+      } else {
+        ++i;  // keep scanning: value density backfills implicitly
+      }
+    }
+  }
+
+  std::unique_ptr<cluster::SpaceSharedCluster> cluster_;
+  std::vector<workload::Job> queue_;
+};
+
+/// Runs one policy (built-in via simulate(), or the custom one through a
+/// hand-built service loop) and prints the objectives.
+core::ObjectiveValues run_custom(const std::vector<workload::Job>& jobs) {
+  sim::Simulator simk;
+  policy::PolicyContext context;
+  context.simulator = &simk;
+  context.model = economy::EconomicModel::BidBased;
+
+  // Minimal host: reuse the service's metrics collector semantics.
+  class Host final : public policy::PolicyHost {
+   public:
+    explicit Host(sim::Simulator& simk) : simk_(&simk) {}
+    service::MetricsCollector metrics;
+    void notify_accepted(const workload::Job& job,
+                         economy::Money quoted) override {
+      metrics.record_accepted(job.id, simk_->now(), quoted);
+    }
+    void notify_rejected(const workload::Job& job) override {
+      metrics.record_rejected(job.id, simk_->now());
+    }
+    void notify_started(const workload::Job& job) override {
+      metrics.record_started(job.id, simk_->now());
+    }
+    void notify_finished(const workload::Job& job,
+                         sim::SimTime finish) override {
+      metrics.record_finished(job.id, finish,
+                              economy::bid_utility(job, finish));
+    }
+
+   private:
+    sim::Simulator* simk_;
+  } host(simk);
+
+  ValueDensityPolicy policy(context, host);
+  for (const workload::Job& job : jobs) {
+    simk.schedule_at(job.submit_time, [&host, &policy, job] {
+      host.metrics.record_submitted(job, job.submit_time);
+      policy.on_submit(job);
+    });
+  }
+  simk.run();
+  return core::compute_objectives(host.metrics.objective_inputs());
+}
+
+}  // namespace
+
+int main() {
+  workload::SyntheticSdscConfig trace;
+  trace.job_count = 1500;
+  const workload::WorkloadBuilder builder(trace);
+  const auto jobs = builder.build(workload::QosConfig{}, 0.25, 100.0);
+
+  std::cout << "Custom policy vs incumbents (bid model, Set B estimates):\n";
+  std::cout << "ValueDensity:  " << run_custom(jobs) << '\n';
+  for (auto kind : {policy::PolicyKind::FcfsBf,
+                    policy::PolicyKind::FirstReward,
+                    policy::PolicyKind::LibraRiskD}) {
+    const auto report =
+        service::simulate(jobs, kind, economy::EconomicModel::BidBased);
+    std::cout << policy::to_string(kind) << ":  " << report.objectives
+              << '\n';
+  }
+  std::cout << "\n(Each row: eqns 1-4 of the paper — lower wait, higher\n"
+               "SLA/reliability/profitability is better.)\n";
+  return 0;
+}

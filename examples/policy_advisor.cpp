@@ -1,0 +1,81 @@
+// A-priori risk analysis (the paper's proposed follow-on): measure once,
+// then recommend policies for *future* operating points — different
+// objective priorities and risk appetites — without re-simulating.
+//
+//   $ ./policy_advisor [commodity|bid] [jobs]
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "core/advisor.hpp"
+#include "exp/experiment.hpp"
+#include "exp/figures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace utilrisk;
+
+  const std::string model_name = argc > 1 ? argv[1] : "bid";
+  const economy::EconomicModel model =
+      model_name == "commodity" ? economy::EconomicModel::CommodityMarket
+                                : economy::EconomicModel::BidBased;
+
+  exp::ExperimentConfig config;
+  config.model = model;
+  config.set = exp::ExperimentSet::B;  // realistic: inaccurate estimates
+  config.trace.job_count =
+      argc > 2 ? static_cast<std::uint32_t>(std::stoul(argv[2])) : 1000;
+
+  std::cout << "Measuring once (" << economy::to_string(model)
+            << " model, Set B)...\n";
+  exp::ExperimentRunner runner(config);
+  const core::AdvisorInput measured =
+      exp::advisor_input(runner.run_sweep());
+  std::cout << runner.simulations_run() << " simulations executed.\n\n";
+
+  struct Persona {
+    const char* name;
+    core::AdvisorConfig config;
+  };
+  // Weights in (wait, SLA, reliability, profitability) order.
+  const Persona personas[] = {
+      {"balanced provider (paper defaults)",
+       {{0.25, 0.25, 0.25, 0.25}, 0.5}},
+      {"user-centric SLA shop (no profit weight)",
+       {{0.30, 0.35, 0.35, 0.00}, 0.5}},
+      {"profit maximiser, risk-tolerant", {{0.05, 0.15, 0.10, 0.70}, 0.1}},
+      {"ultra-conservative operator", {{0.25, 0.25, 0.25, 0.25}, 2.0}},
+  };
+
+  // Crossover analysis (§4.2's weight flexibility): at which profitability
+  // weight does the recommendation flip away from the user-centric winner?
+  std::cout << "== profitability-weight sensitivity ==\n";
+  const auto sweep = core::weight_sensitivity(
+      measured, core::Objective::Profitability, 11);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    std::cout << "  weight " << std::fixed << std::setprecision(1)
+              << sweep[i].weight << ": " << sweep[i].winner;
+    if (i > 0 && sweep[i].winner != sweep[i - 1].winner) {
+      std::cout << "   <-- crossover";
+    }
+    std::cout << '\n';
+  }
+  std::cout << '\n';
+
+  for (const Persona& persona : personas) {
+    const core::AdvisorReport report =
+        core::advise(measured, persona.config);
+    std::cout << "== " << persona.name << " ==\n"
+              << report.summary << "\n";
+    std::cout << std::left << std::setw(14) << "policy" << std::right
+              << std::setw(10) << "score" << std::setw(10) << "perf"
+              << std::setw(10) << "vol" << '\n';
+    for (const core::PolicyAdvice& advice : report.ranked) {
+      std::cout << std::left << std::setw(14) << advice.policy << std::right
+                << std::fixed << std::setprecision(3) << std::setw(10)
+                << advice.score << std::setw(10) << advice.mean_performance
+                << std::setw(10) << advice.mean_volatility << '\n';
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

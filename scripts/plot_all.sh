@@ -1,0 +1,20 @@
+#!/bin/sh
+# Renders every figure the benches emitted under bench_out/ to PNG.
+# The bench binaries write, per figure, <slug>.dat (gnuplot data blocks)
+# and <slug>.gp (a self-contained script in the paper's plot style).
+# Requires gnuplot on PATH; run from the repository root after
+#   for b in build/bench/*; do $b; done
+set -eu
+out_dir="${1:-bench_out}"
+if ! command -v gnuplot >/dev/null 2>&1; then
+  echo "gnuplot not found; install it to render PNGs" >&2
+  exit 1
+fi
+cd "$out_dir"
+count=0
+for script in *.gp; do
+  [ -e "$script" ] || { echo "no .gp scripts in $out_dir" >&2; exit 1; }
+  gnuplot "$script"
+  count=$((count + 1))
+done
+echo "rendered $count figures into $out_dir/"

@@ -1,0 +1,30 @@
+// Compute-node description shared by the cluster executors.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace utilrisk::cluster {
+
+using NodeId = std::uint32_t;
+
+/// Static description of the simulated machine. Default matches the paper's
+/// testbed: the IBM SP2 at SDSC — 128 single-processor compute nodes with a
+/// SPEC rating of 168. The rating is carried for fidelity/reporting; job
+/// runtimes in the trace are already expressed in seconds on this machine,
+/// so the executors do not rescale by it.
+struct MachineConfig {
+  std::uint32_t node_count = 128;
+  double spec_rating = 168.0;
+
+  void validate() const {
+    if (node_count == 0) {
+      throw std::invalid_argument("MachineConfig: node_count == 0");
+    }
+    if (spec_rating <= 0.0) {
+      throw std::invalid_argument("MachineConfig: spec_rating <= 0");
+    }
+  }
+};
+
+}  // namespace utilrisk::cluster

@@ -1,0 +1,159 @@
+#include "cluster/reservation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace utilrisk::cluster {
+
+namespace {
+constexpr double kShareSlack = 1e-9;
+}
+
+ReservationTimeline::ReservationTimeline() = default;
+
+void ReservationTimeline::book(sim::SimTime start, sim::SimTime end,
+                               double share) {
+  if (!(start < end)) {
+    throw std::invalid_argument("ReservationTimeline::book: start >= end");
+  }
+  if (share <= 0.0 || !std::isfinite(share)) {
+    throw std::invalid_argument(
+        "ReservationTimeline::book: share must be positive and finite");
+  }
+  if (!std::isfinite(start) || !std::isfinite(end)) {
+    throw std::invalid_argument(
+        "ReservationTimeline::book: non-finite interval");
+  }
+  // Ensure breakpoints exist at start and end carrying the current level.
+  auto ensure = [this](sim::SimTime t) {
+    auto it = steps_.lower_bound(t);
+    if (it != steps_.end() && it->first == t) return;
+    const double level = committed_at(t);
+    steps_.emplace(t, level);
+  };
+  ensure(start);
+  ensure(end);
+  for (auto it = steps_.lower_bound(start);
+       it != steps_.end() && it->first < end; ++it) {
+    it->second += share;
+  }
+}
+
+void ReservationTimeline::release(sim::SimTime start, sim::SimTime end,
+                                  double share) {
+  if (!(start < end) || share <= 0.0) {
+    throw std::invalid_argument("ReservationTimeline::release: bad args");
+  }
+  auto ensure = [this](sim::SimTime t) {
+    auto it = steps_.lower_bound(t);
+    if (it != steps_.end() && it->first == t) return;
+    steps_.emplace(t, committed_at(t));
+  };
+  ensure(start);
+  ensure(end);
+  for (auto it = steps_.lower_bound(start);
+       it != steps_.end() && it->first < end; ++it) {
+    it->second -= share;
+    if (it->second < -kShareSlack) {
+      throw std::logic_error(
+          "ReservationTimeline::release: releasing more than booked");
+    }
+    if (it->second < 0.0) it->second = 0.0;
+  }
+}
+
+double ReservationTimeline::committed_at(sim::SimTime t) const {
+  auto it = steps_.upper_bound(t);
+  if (it == steps_.begin()) return 0.0;
+  return std::prev(it)->second;
+}
+
+double ReservationTimeline::max_committed(sim::SimTime start,
+                                          sim::SimTime end) const {
+  if (!(start < end)) {
+    throw std::invalid_argument(
+        "ReservationTimeline::max_committed: start >= end");
+  }
+  double max_level = committed_at(start);
+  for (auto it = steps_.upper_bound(start);
+       it != steps_.end() && it->first < end; ++it) {
+    max_level = std::max(max_level, it->second);
+  }
+  return max_level;
+}
+
+sim::SimTime ReservationTimeline::earliest_fit(sim::SimTime from,
+                                               sim::SimTime latest_start,
+                                               double duration, double share,
+                                               double capacity) const {
+  if (duration <= 0.0 || share <= 0.0) {
+    throw std::invalid_argument("ReservationTimeline::earliest_fit: bad args");
+  }
+  if (from > latest_start) return sim::kTimeNever;
+  // Candidate starts: `from` and every breakpoint in (from, latest_start].
+  auto fits = [&](sim::SimTime start) {
+    return max_committed(start, start + duration) + share <=
+           capacity + kShareSlack;
+  };
+  if (fits(from)) return from;
+  for (auto it = steps_.upper_bound(from);
+       it != steps_.end() && it->first <= latest_start; ++it) {
+    if (fits(it->first)) return it->first;
+  }
+  return sim::kTimeNever;
+}
+
+void ReservationTimeline::discard_before(sim::SimTime t) {
+  // Keep the last breakpoint <= t (it carries the current level).
+  auto it = steps_.upper_bound(t);
+  if (it == steps_.begin()) return;
+  --it;  // last key <= t
+  steps_.erase(steps_.begin(), it);
+}
+
+ReservationBook::ReservationBook(std::uint32_t node_count)
+    : timelines_(node_count) {
+  if (node_count == 0) {
+    throw std::invalid_argument("ReservationBook: node_count == 0");
+  }
+}
+
+ReservationTimeline& ReservationBook::node(NodeId id) {
+  if (id >= timelines_.size()) {
+    throw std::out_of_range("ReservationBook::node: bad id");
+  }
+  return timelines_[id];
+}
+
+const ReservationTimeline& ReservationBook::node(NodeId id) const {
+  if (id >= timelines_.size()) {
+    throw std::out_of_range("ReservationBook::node: bad id");
+  }
+  return timelines_[id];
+}
+
+std::vector<NodeId> ReservationBook::fitting_nodes(sim::SimTime start,
+                                                   sim::SimTime end,
+                                                   double share,
+                                                   double capacity) const {
+  std::vector<std::pair<double, NodeId>> candidates;
+  for (NodeId id = 0; id < timelines_.size(); ++id) {
+    const double max_level = timelines_[id].max_committed(start, end);
+    if (max_level + share <= capacity + kShareSlack) {
+      candidates.emplace_back(max_level, id);
+    }
+  }
+  // Best fit: most committed (least residual) first; id tiebreak.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<NodeId> out;
+  out.reserve(candidates.size());
+  for (const auto& [level, id] : candidates) out.push_back(id);
+  return out;
+}
+
+}  // namespace utilrisk::cluster

@@ -1,0 +1,97 @@
+// Advance-reservation bookkeeping for share capacity over future windows.
+//
+// The Libra+$ pricing function (§5.2) deducts "units of resource committed
+// for other confirmed reservations" over a job's deadline window — i.e. the
+// underlying system tracks share commitments through time, not just
+// instantaneously. This module is that substrate: a per-node piecewise-
+// constant timeline of committed share, supporting interval booking,
+// release, and max-over-window queries. The LibraReserve extension policy
+// (policy/libra_reserve.hpp) builds deferred admission on top of it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "sim/time.hpp"
+
+namespace utilrisk::cluster {
+
+/// Piecewise-constant committed-share timeline for one node.
+///
+/// Invariants: committed share is 0 outside booked intervals; bookings
+/// add, releases subtract the exact booked amount. Queries are O(log n +
+/// segments in range).
+class ReservationTimeline {
+ public:
+  ReservationTimeline();
+
+  /// Adds `share` over [start, end). Throws std::invalid_argument on
+  /// degenerate intervals or non-positive share.
+  void book(sim::SimTime start, sim::SimTime end, double share);
+
+  /// Subtracts `share` over [start, end) (exact inverse of a book call).
+  /// Throws std::logic_error if the release would drive any segment
+  /// negative beyond epsilon.
+  void release(sim::SimTime start, sim::SimTime end, double share);
+
+  /// Committed share at time t.
+  [[nodiscard]] double committed_at(sim::SimTime t) const;
+
+  /// Maximum committed share over [start, end).
+  [[nodiscard]] double max_committed(sim::SimTime start,
+                                     sim::SimTime end) const;
+
+  /// Earliest time >= `from` at which a booking of `share` over a window
+  /// of length `duration` would keep the committed share <= `capacity`
+  /// throughout — or kTimeNever if no such time exists before `deadline`
+  /// (the window must also *end* by `deadline + duration`... callers pass
+  /// the latest admissible start). Scans segment boundaries, so cost is
+  /// linear in the number of future segments.
+  [[nodiscard]] sim::SimTime earliest_fit(sim::SimTime from,
+                                          sim::SimTime latest_start,
+                                          double duration, double share,
+                                          double capacity = 1.0) const;
+
+  /// Drops all segments ending at or before `t` (compaction; the past is
+  /// immutable and never queried).
+  void discard_before(sim::SimTime t);
+
+  /// Number of internal breakpoints (diagnostics/tests).
+  [[nodiscard]] std::size_t breakpoint_count() const {
+    return steps_.size();
+  }
+
+ private:
+  // steps_[t] = committed share from t (inclusive) until the next key.
+  // A sentinel at -infinity is emulated by treating "before first key" as
+  // 0-committed; the map always carries the value *changes* flattened
+  // into absolute levels.
+  std::map<sim::SimTime, double> steps_;
+};
+
+/// One timeline per node, plus convenience queries used by admission.
+class ReservationBook {
+ public:
+  explicit ReservationBook(std::uint32_t node_count);
+
+  [[nodiscard]] ReservationTimeline& node(NodeId id);
+  [[nodiscard]] const ReservationTimeline& node(NodeId id) const;
+  [[nodiscard]] std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(timelines_.size());
+  }
+
+  /// Nodes whose max committed share over [start, end) stays <=
+  /// capacity - share (i.e. the booking fits), best-fit ordered: highest
+  /// max-committed first.
+  [[nodiscard]] std::vector<NodeId> fitting_nodes(sim::SimTime start,
+                                                  sim::SimTime end,
+                                                  double share,
+                                                  double capacity = 1.0) const;
+
+ private:
+  std::vector<ReservationTimeline> timelines_;
+};
+
+}  // namespace utilrisk::cluster

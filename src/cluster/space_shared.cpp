@@ -1,0 +1,116 @@
+#include "cluster/space_shared.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/trace_log.hpp"
+
+namespace utilrisk::cluster {
+
+SpaceSharedCluster::SpaceSharedCluster(sim::Simulator& simulator,
+                                       MachineConfig machine)
+    : Entity(simulator, "space-shared-cluster"), machine_(machine) {
+  machine_.validate();
+  free_procs_ = machine_.node_count;
+}
+
+void SpaceSharedCluster::start(const workload::Job& job,
+                               CompletionCallback on_complete) {
+  if (job.procs == 0) {
+    throw std::logic_error("SpaceSharedCluster::start: job needs 0 procs");
+  }
+  if (job.procs > free_procs_) {
+    throw std::logic_error(
+        "SpaceSharedCluster::start: insufficient free processors");
+  }
+  if (running_.contains(job.id)) {
+    throw std::logic_error("SpaceSharedCluster::start: job already running");
+  }
+  free_procs_ -= job.procs;
+  Running entry;
+  entry.job = job;
+  entry.start_time = now();
+  entry.on_complete = std::move(on_complete);
+  const workload::JobId id = job.id;
+  auto [it, inserted] = running_.emplace(id, std::move(entry));
+  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
+               "start job " << id << " procs=" << job.procs
+                            << " run=" << job.actual_runtime);
+  it->second.completion_event =
+      after(job.actual_runtime, [this, id] { complete(id); });
+}
+
+bool SpaceSharedCluster::cancel(workload::JobId id) {
+  auto it = running_.find(id);
+  if (it == running_.end()) return false;
+  it->second.completion_event.cancel();
+  free_procs_ += it->second.job.procs;
+  delivered_proc_seconds_ +=
+      (now() - it->second.start_time) *
+      static_cast<double>(it->second.job.procs);
+  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "cancel job " << id);
+  running_.erase(it);
+  return true;
+}
+
+void SpaceSharedCluster::complete(workload::JobId id) {
+  auto it = running_.find(id);
+  if (it == running_.end()) {
+    throw std::logic_error("SpaceSharedCluster::complete: unknown job");
+  }
+  Running entry = std::move(it->second);
+  running_.erase(it);
+  free_procs_ += entry.job.procs;
+  delivered_proc_seconds_ +=
+      entry.job.actual_runtime * static_cast<double>(entry.job.procs);
+  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "finish job " << id);
+  if (entry.on_complete) entry.on_complete(id, now());
+}
+
+std::vector<RunningJobInfo> SpaceSharedCluster::running_jobs() const {
+  std::vector<RunningJobInfo> out;
+  out.reserve(running_.size());
+  for (const auto& [id, entry] : running_) {
+    RunningJobInfo info;
+    info.id = id;
+    info.procs = entry.job.procs;
+    info.start_time = entry.start_time;
+    info.estimated_finish = entry.start_time + entry.job.estimated_runtime;
+    info.actual_finish = entry.start_time + entry.job.actual_runtime;
+    out.push_back(info);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RunningJobInfo& a, const RunningJobInfo& b) {
+              if (a.estimated_finish != b.estimated_finish) {
+                return a.estimated_finish < b.estimated_finish;
+              }
+              return a.id < b.id;
+            });
+  return out;
+}
+
+sim::SimTime SpaceSharedCluster::estimated_availability(
+    std::uint32_t procs) const {
+  if (procs > machine_.node_count) return sim::kTimeNever;
+  if (procs <= free_procs_) return now();
+  std::uint32_t available = free_procs_;
+  for (const auto& info : running_jobs()) {  // sorted by estimated finish
+    available += info.procs;
+    if (available >= procs) {
+      // Overrun jobs have estimated_finish < now; they "should" already
+      // have ended, so the scheduler's best guess is "available now".
+      return std::max(info.estimated_finish, now());
+    }
+  }
+  return sim::kTimeNever;  // unreachable: all jobs finish eventually
+}
+
+double SpaceSharedCluster::busy_proc_seconds(sim::SimTime at) const {
+  double total = delivered_proc_seconds_;
+  for (const auto& [id, entry] : running_) {
+    total += (at - entry.start_time) * static_cast<double>(entry.job.procs);
+  }
+  return total;
+}
+
+}  // namespace utilrisk::cluster

@@ -1,0 +1,98 @@
+// Space-shared cluster executor: one task per processor, jobs occupy
+// `procs` dedicated nodes from start to completion (the execution model of
+// the backfilling policies and FirstReward).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "sim/entity.hpp"
+#include "workload/job.hpp"
+
+namespace utilrisk::cluster {
+
+/// Snapshot of one running job, exposed so schedulers can compute EASY
+/// backfilling shadow reservations from *estimated* completions.
+struct RunningJobInfo {
+  workload::JobId id = 0;
+  std::uint32_t procs = 0;
+  sim::SimTime start_time = 0.0;
+  /// start_time + estimated_runtime: what the scheduler believes.
+  sim::SimTime estimated_finish = 0.0;
+  /// start_time + actual_runtime: ground truth (hidden from policies; used
+  /// by tests and metrics only).
+  sim::SimTime actual_finish = 0.0;
+};
+
+/// Dedicated-processor executor.
+///
+/// The executor runs jobs; *deciding* which job runs next is the policy's
+/// concern (policy/queue_policy.hpp). Completion callbacks fire inside the
+/// simulation event that completes the job, before any later event.
+class SpaceSharedCluster : public sim::Entity {
+ public:
+  /// Called when a job completes; receives the job id and completion time.
+  using CompletionCallback =
+      std::function<void(workload::JobId, sim::SimTime)>;
+
+  SpaceSharedCluster(sim::Simulator& simulator, MachineConfig machine);
+
+  /// Free processors right now.
+  [[nodiscard]] std::uint32_t free_procs() const { return free_procs_; }
+
+  [[nodiscard]] std::uint32_t total_procs() const {
+    return machine_.node_count;
+  }
+
+  [[nodiscard]] bool can_start(std::uint32_t procs) const {
+    return procs <= free_procs_;
+  }
+
+  /// Starts `job` now on `job.procs` dedicated processors. Throws
+  /// std::logic_error if insufficient processors are free (callers must
+  /// check can_start). Completion fires at now + job.actual_runtime.
+  void start(const workload::Job& job, CompletionCallback on_complete);
+
+  /// Terminates a running job immediately (deadline enforcement / the
+  /// preemption ablation): frees its processors, suppresses the pending
+  /// completion, and does NOT invoke the completion callback. Returns
+  /// false if the job is not running. Delivered work up to now is still
+  /// accounted.
+  bool cancel(workload::JobId id);
+
+  /// Running jobs sorted by estimated finish time (scheduler view).
+  [[nodiscard]] std::vector<RunningJobInfo> running_jobs() const;
+
+  /// Number of currently running jobs.
+  [[nodiscard]] std::size_t running_count() const { return running_.size(); }
+
+  /// Earliest time at which at least `procs` processors are *estimated* to
+  /// be free, assuming running jobs finish at their estimated completions
+  /// and nothing new starts: the EASY "shadow time". Returns now() when
+  /// already free. Jobs that have overrun their estimate are treated as
+  /// finishing immediately (their estimated finish is in the past).
+  [[nodiscard]] sim::SimTime estimated_availability(std::uint32_t procs) const;
+
+  /// Processor-seconds actually delivered so far (utilisation accounting).
+  [[nodiscard]] double busy_proc_seconds(sim::SimTime now) const;
+
+ private:
+  struct Running {
+    workload::Job job;
+    sim::SimTime start_time = 0.0;
+    CompletionCallback on_complete;
+    sim::EventHandle completion_event;
+  };
+
+  void complete(workload::JobId id);
+
+  MachineConfig machine_;
+  std::uint32_t free_procs_ = 0;
+  std::map<workload::JobId, Running> running_;
+  double delivered_proc_seconds_ = 0.0;
+};
+
+}  // namespace utilrisk::cluster

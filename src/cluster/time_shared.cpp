@@ -1,0 +1,223 @@
+#include "cluster/time_shared.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sim/trace_log.hpp"
+
+namespace utilrisk::cluster {
+
+namespace {
+
+/// Work-completion slack: a task is done when its remaining work drops
+/// below this many processor-seconds (absorbs rate-integration rounding).
+constexpr double kWorkEpsilon = 1e-6;
+
+}  // namespace
+
+TimeSharedCluster::TimeSharedCluster(sim::Simulator& simulator,
+                                     MachineConfig machine)
+    : Entity(simulator, "time-shared-cluster"), machine_(machine) {
+  machine_.validate();
+  nodes_.resize(machine_.node_count);
+}
+
+double TimeSharedCluster::committed_share(NodeId node) const {
+  if (node >= nodes_.size()) {
+    throw std::out_of_range("TimeSharedCluster::committed_share: bad node");
+  }
+  return nodes_[node].total_share;
+}
+
+NodeView TimeSharedCluster::node_view(NodeId node) const {
+  if (node >= nodes_.size()) {
+    throw std::out_of_range("TimeSharedCluster::node_view: bad node");
+  }
+  const NodeState& state = nodes_[node];
+  NodeView view;
+  view.node = node;
+  view.committed_share = state.total_share;
+  view.tasks.reserve(state.tasks.size());
+  // Project integration to "now" without mutating (const view).
+  const double elapsed = now() - state.last_integrated;
+  for (const Task& task : state.tasks) {
+    TaskView tv;
+    tv.job = task.job;
+    tv.share = task.share;
+    tv.estimated_work = task.estimated_work;
+    const double rate =
+        state.total_share > 0.0 ? task.share / state.total_share : 0.0;
+    tv.done_work = task.done + rate * elapsed;
+    tv.deadline = task.deadline;
+    view.tasks.push_back(tv);
+  }
+  return view;
+}
+
+void TimeSharedCluster::start(const workload::Job& job,
+                              const std::vector<NodeId>& nodes, double share,
+                              CompletionCallback on_complete) {
+  if (nodes.size() != job.procs) {
+    throw std::logic_error(
+        "TimeSharedCluster::start: node list size != job.procs");
+  }
+  if (share <= 0.0 || share > 1.0 + kShareEpsilon) {
+    throw std::logic_error("TimeSharedCluster::start: share outside (0,1]");
+  }
+  if (jobs_.contains(job.id)) {
+    throw std::logic_error("TimeSharedCluster::start: job already running");
+  }
+  std::unordered_set<NodeId> seen;
+  for (NodeId id : nodes) {
+    if (id >= nodes_.size()) {
+      throw std::logic_error("TimeSharedCluster::start: bad node id");
+    }
+    if (!seen.insert(id).second) {
+      throw std::logic_error("TimeSharedCluster::start: duplicate node");
+    }
+    if (nodes_[id].total_share + share > 1.0 + kShareEpsilon) {
+      throw std::logic_error(
+          "TimeSharedCluster::start: share capacity exceeded on node");
+    }
+  }
+
+  JobState job_state;
+  job_state.remaining_tasks = job.procs;
+  job_state.on_complete = std::move(on_complete);
+  jobs_.emplace(job.id, std::move(job_state));
+
+  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
+               "start job " << job.id << " share=" << share << " on "
+                            << nodes.size() << " nodes");
+
+  for (NodeId id : nodes) {
+    NodeState& node = nodes_[id];
+    integrate(node);
+    Task task;
+    task.job = job.id;
+    task.share = share;
+    task.estimated_work = job.estimated_runtime;
+    task.actual_work = job.actual_runtime;
+    task.deadline = job.absolute_deadline();
+    node.tasks.push_back(task);
+    node.total_share += share;
+    reschedule(node, id);
+  }
+}
+
+void TimeSharedCluster::integrate(NodeState& node) {
+  const sim::SimTime t = now();
+  const double elapsed = t - node.last_integrated;
+  node.last_integrated = t;
+  if (elapsed <= 0.0 || node.tasks.empty() || node.total_share <= 0.0) {
+    return;
+  }
+  for (Task& task : node.tasks) {
+    const double rate = task.share / node.total_share;
+    task.done += rate * elapsed;
+    node.delivered += rate * elapsed;
+  }
+}
+
+void TimeSharedCluster::reschedule(NodeState& node, NodeId id) {
+  node.next_completion.cancel();
+  if (node.tasks.empty()) return;
+  double min_dt = std::numeric_limits<double>::infinity();
+  for (const Task& task : node.tasks) {
+    const double rate = task.share / node.total_share;
+    const double remaining = std::max(0.0, task.actual_work - task.done);
+    min_dt = std::min(min_dt, remaining / rate);
+  }
+  node.next_completion =
+      after(std::max(0.0, min_dt), [this, id] { handle_node_event(id); });
+}
+
+void TimeSharedCluster::handle_node_event(NodeId id) {
+  NodeState& node = nodes_[id];
+  integrate(node);
+  // Complete every task whose work target is met (ties complete together).
+  std::vector<workload::JobId> finished;
+  for (auto it = node.tasks.begin(); it != node.tasks.end();) {
+    if (it->done + kWorkEpsilon >= it->actual_work) {
+      node.total_share -= it->share;
+      finished.push_back(it->job);
+      it = node.tasks.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (node.total_share < kShareEpsilon && node.tasks.empty()) {
+    node.total_share = 0.0;  // clear accumulated float dust
+  }
+  reschedule(node, id);
+  // Notify after the node is consistent: completion callbacks may admit
+  // new jobs onto this node.
+  for (workload::JobId job : finished) task_finished(job);
+}
+
+void TimeSharedCluster::task_finished(workload::JobId job) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    throw std::logic_error("TimeSharedCluster: task for unknown job");
+  }
+  if (--it->second.remaining_tasks == 0) {
+    CompletionCallback callback = std::move(it->second.on_complete);
+    jobs_.erase(it);
+    UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "finish job " << job);
+    if (callback) callback(job, now());
+  }
+}
+
+bool TimeSharedCluster::cancel(workload::JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  jobs_.erase(it);
+  for (NodeId node_id = 0; node_id < nodes_.size(); ++node_id) {
+    NodeState& node = nodes_[node_id];
+    bool touched = false;
+    // Settle progress at the old rates before removing the task.
+    for (const Task& task : node.tasks) {
+      if (task.job == id) {
+        touched = true;
+        break;
+      }
+    }
+    if (!touched) continue;
+    integrate(node);
+    for (auto task = node.tasks.begin(); task != node.tasks.end();) {
+      if (task->job == id) {
+        node.total_share -= task->share;
+        task = node.tasks.erase(task);
+      } else {
+        ++task;
+      }
+    }
+    if (node.total_share < kShareEpsilon && node.tasks.empty()) {
+      node.total_share = 0.0;
+    }
+    reschedule(node, node_id);
+  }
+  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "cancel job " << id);
+  return true;
+}
+
+double TimeSharedCluster::busy_proc_seconds() const {
+  double total = 0.0;
+  const sim::SimTime t = now();
+  for (const NodeState& node : nodes_) {
+    total += node.delivered;
+    // Include un-integrated progress since the node's last event.
+    if (!node.tasks.empty() && node.total_share > 0.0) {
+      const double elapsed = t - node.last_integrated;
+      if (elapsed > 0.0) {
+        // Work-conserving: aggregate rate is 1 while any task runs.
+        total += elapsed;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace utilrisk::cluster

@@ -1,0 +1,130 @@
+// Time-shared proportional-share cluster executor — the execution model of
+// the Libra family (paper §5.2).
+//
+// Each job admitted with share s = estimate / deadline-duration places one
+// task on each of `procs` distinct nodes. A node runs its tasks
+// concurrently; admission keeps the committed share sum <= 1. Execution is
+// work-conserving: leftover capacity is redistributed proportionally, so
+// the instantaneous rate of task i on a node is
+//     rate_i = share_i / sum_j share_j   (>= share_i).
+// A task finishes when its integrated rate reaches the job's *actual*
+// runtime; the job finishes when its last task does. Jobs are
+// non-preemptible: shares stay committed until task completion, which is
+// exactly how under-estimated jobs poison later admissions (Set B).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "sim/entity.hpp"
+#include "workload/job.hpp"
+
+namespace utilrisk::cluster {
+
+/// Read-only view of a task for admission logic (Libra best-fit,
+/// LibraRiskD risk projection) and tests.
+struct TaskView {
+  workload::JobId job = 0;
+  double share = 0.0;
+  /// Scheduler-visible work target (estimated runtime, seconds of
+  /// dedicated-processor time).
+  double estimated_work = 0.0;
+  /// Work integrated so far.
+  double done_work = 0.0;
+  /// Absolute deadline of the owning job.
+  sim::SimTime deadline = 0.0;
+  /// True once done_work exceeds estimated_work while the task still runs:
+  /// the estimate was too small, remaining work is unknowable to the
+  /// scheduler (LibraRiskD's risk signal).
+  [[nodiscard]] bool overran_estimate() const {
+    return done_work > estimated_work + 1e-9;
+  }
+};
+
+/// Read-only per-node view, integrated up to "now".
+struct NodeView {
+  NodeId node = 0;
+  double committed_share = 0.0;
+  std::vector<TaskView> tasks;
+};
+
+/// Proportional-share executor.
+class TimeSharedCluster : public sim::Entity {
+ public:
+  using CompletionCallback =
+      std::function<void(workload::JobId, sim::SimTime)>;
+
+  TimeSharedCluster(sim::Simulator& simulator, MachineConfig machine);
+
+  [[nodiscard]] std::uint32_t node_count() const {
+    return machine_.node_count;
+  }
+
+  /// Committed share on `node` (sum of task shares), without integration —
+  /// shares only change at start/completion events.
+  [[nodiscard]] double committed_share(NodeId node) const;
+
+  /// Integrated view of `node` at the current simulation time.
+  [[nodiscard]] NodeView node_view(NodeId node) const;
+
+  /// Starts `job` with per-node share `share` on the given distinct nodes
+  /// (exactly job.procs of them). Throws std::logic_error on violated
+  /// preconditions (duplicate nodes, share overflow past 1 + epsilon,
+  /// wrong node count). Admission decisions belong to the policy; the
+  /// executor only enforces physical feasibility.
+  void start(const workload::Job& job, const std::vector<NodeId>& nodes,
+             double share, CompletionCallback on_complete);
+
+  /// Terminates a running job (deadline enforcement / preemption
+  /// ablation): removes all its tasks, frees their shares, re-plans the
+  /// affected nodes, and does NOT invoke the completion callback. Returns
+  /// false if the job is not running.
+  bool cancel(workload::JobId id);
+
+  /// Number of jobs with at least one unfinished task.
+  [[nodiscard]] std::size_t running_count() const { return jobs_.size(); }
+
+  /// Processor-seconds delivered so far across all nodes.
+  [[nodiscard]] double busy_proc_seconds() const;
+
+  /// Share-capacity headroom tolerance: admission comparisons use this to
+  /// absorb floating-point accumulation.
+  static constexpr double kShareEpsilon = 1e-9;
+
+ private:
+  struct Task {
+    workload::JobId job = 0;
+    double share = 0.0;
+    double estimated_work = 0.0;
+    double actual_work = 0.0;  ///< ground truth completion target
+    double done = 0.0;
+    sim::SimTime deadline = 0.0;
+  };
+
+  struct NodeState {
+    std::vector<Task> tasks;
+    double total_share = 0.0;
+    sim::SimTime last_integrated = 0.0;
+    sim::EventHandle next_completion;
+    double delivered = 0.0;  ///< proc-seconds completed on this node
+  };
+
+  struct JobState {
+    std::uint32_t remaining_tasks = 0;
+    CompletionCallback on_complete;
+  };
+
+  void integrate(NodeState& node);
+  void reschedule(NodeState& node, NodeId id);
+  void handle_node_event(NodeId id);
+  void task_finished(workload::JobId job);
+
+  MachineConfig machine_;
+  std::vector<NodeState> nodes_;
+  std::map<workload::JobId, JobState> jobs_;
+};
+
+}  // namespace utilrisk::cluster

@@ -1,0 +1,188 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/integrated_risk.hpp"
+
+namespace utilrisk::core {
+
+void AdvisorInput::validate() const {
+  if (policies.empty()) {
+    throw std::invalid_argument("AdvisorInput: no policies");
+  }
+  if (points.size() != policies.size()) {
+    throw std::invalid_argument("AdvisorInput: points/policies mismatch");
+  }
+  const std::size_t scenarios = points.front().size();
+  if (scenarios == 0) {
+    throw std::invalid_argument("AdvisorInput: no scenarios");
+  }
+  for (const auto& per_policy : points) {
+    if (per_policy.size() != scenarios) {
+      throw std::invalid_argument("AdvisorInput: ragged scenario matrix");
+    }
+  }
+}
+
+namespace {
+
+/// Integrated series of one policy under the weights.
+PolicySeries integrate_series(const AdvisorInput& input, std::size_t p,
+                              const std::array<double, 4>& weights) {
+  PolicySeries series;
+  series.policy = input.policies[p];
+  series.points.reserve(input.points[p].size());
+  const std::vector<double> w(weights.begin(), weights.end());
+  for (const auto& per_objective : input.points[p]) {
+    const std::vector<RiskPoint> separate(per_objective.begin(),
+                                          per_objective.end());
+    series.points.push_back(integrated_risk(separate, w));
+  }
+  return series;
+}
+
+/// Single-objective series of one policy.
+PolicySeries objective_series(const AdvisorInput& input, std::size_t p,
+                              Objective objective) {
+  PolicySeries series;
+  series.policy = input.policies[p];
+  for (const auto& per_objective : input.points[p]) {
+    series.points.push_back(
+        per_objective[static_cast<std::size_t>(objective)]);
+  }
+  return series;
+}
+
+}  // namespace
+
+AdvisorReport advise(const AdvisorInput& input, const AdvisorConfig& config) {
+  input.validate();
+  double weight_sum = 0.0;
+  for (double w : config.objective_weights) {
+    if (w < 0.0 || w > 1.0) {
+      throw std::invalid_argument("advise: weight outside [0,1]");
+    }
+    weight_sum += w;
+  }
+  if (std::fabs(weight_sum - 1.0) > 1e-9) {
+    throw std::invalid_argument("advise: weights must sum to 1");
+  }
+  if (config.risk_aversion < 0.0) {
+    throw std::invalid_argument("advise: negative risk aversion");
+  }
+
+  AdvisorReport report;
+  report.ranked.reserve(input.policies.size());
+  for (std::size_t p = 0; p < input.policies.size(); ++p) {
+    const PolicySeries series =
+        integrate_series(input, p, config.objective_weights);
+    PolicyAdvice advice;
+    advice.policy = input.policies[p];
+    double perf = 0.0;
+    double vol = 0.0;
+    for (const RiskPoint& point : series.points) {
+      perf += point.performance;
+      vol += point.volatility;
+    }
+    const double n = static_cast<double>(series.points.size());
+    advice.mean_performance = perf / n;
+    advice.mean_volatility = vol / n;
+    advice.score =
+        advice.mean_performance - config.risk_aversion * advice.mean_volatility;
+    advice.stats = compute_rank_stats(series);
+    report.ranked.push_back(std::move(advice));
+  }
+  std::sort(report.ranked.begin(), report.ranked.end(),
+            [](const PolicyAdvice& a, const PolicyAdvice& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.mean_volatility != b.mean_volatility) {
+                return a.mean_volatility < b.mean_volatility;
+              }
+              return a.policy < b.policy;
+            });
+
+  // Per-objective winners via the paper's best-performance ranking.
+  for (Objective objective : kAllObjectives) {
+    std::vector<PolicySeries> series;
+    series.reserve(input.policies.size());
+    for (std::size_t p = 0; p < input.policies.size(); ++p) {
+      series.push_back(objective_series(input, p, objective));
+    }
+    const auto ranked = rank_policies(series, RankBy::BestPerformance);
+    report.best_per_objective[static_cast<std::size_t>(objective)] =
+        ranked.front().policy;
+  }
+
+  // Most consistent = lowest mean volatility in the weighted combination.
+  report.most_consistent =
+      std::min_element(report.ranked.begin(), report.ranked.end(),
+                       [](const PolicyAdvice& a, const PolicyAdvice& b) {
+                         if (a.mean_volatility != b.mean_volatility) {
+                           return a.mean_volatility < b.mean_volatility;
+                         }
+                         return a.policy < b.policy;
+                       })
+          ->policy;
+
+  std::ostringstream summary;
+  const PolicyAdvice& best = report.ranked.front();
+  summary << "Recommended policy: " << best.policy << " (risk-adjusted score "
+          << best.score << " = performance " << best.mean_performance
+          << " - " << config.risk_aversion << " x volatility "
+          << best.mean_volatility << " across "
+          << input.points.front().size() << " scenarios).";
+  if (report.most_consistent != best.policy) {
+    summary << " Most consistent alternative: " << report.most_consistent
+            << '.';
+  }
+  for (Objective objective : kAllObjectives) {
+    const auto& winner =
+        report.best_per_objective[static_cast<std::size_t>(objective)];
+    if (winner != best.policy) {
+      summary << " If only " << to_string(objective) << " matters: "
+              << winner << '.';
+    }
+  }
+  report.summary = summary.str();
+  return report;
+}
+
+std::vector<WeightSweepPoint> weight_sensitivity(const AdvisorInput& input,
+                                                 Objective focus,
+                                                 std::size_t steps,
+                                                 const AdvisorConfig& config) {
+  if (steps < 2) {
+    throw std::invalid_argument("weight_sensitivity: steps < 2");
+  }
+  const auto focus_index = static_cast<std::size_t>(focus);
+  // Proportions of the non-focus objectives in the base config.
+  double rest_total = 0.0;
+  for (std::size_t o = 0; o < 4; ++o) {
+    if (o != focus_index) rest_total += config.objective_weights[o];
+  }
+
+  std::vector<WeightSweepPoint> points;
+  points.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double w =
+        static_cast<double>(i) / static_cast<double>(steps - 1);
+    AdvisorConfig step_config = config;
+    step_config.objective_weights[focus_index] = w;
+    for (std::size_t o = 0; o < 4; ++o) {
+      if (o == focus_index) continue;
+      const double proportion =
+          rest_total > 0.0 ? config.objective_weights[o] / rest_total
+                           : 1.0 / 3.0;
+      step_config.objective_weights[o] = (1.0 - w) * proportion;
+    }
+    const AdvisorReport report = advise(input, step_config);
+    points.push_back({w, report.ranked.front().policy,
+                      report.ranked.front().score});
+  }
+  return points;
+}
+
+}  // namespace utilrisk::core

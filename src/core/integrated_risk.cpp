@@ -1,0 +1,41 @@
+#include "core/integrated_risk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace utilrisk::core {
+
+RiskPoint integrated_risk(std::span<const RiskPoint> separate,
+                          std::span<const double> weights) {
+  if (separate.empty()) {
+    throw std::invalid_argument("integrated_risk: no objectives");
+  }
+  if (separate.size() != weights.size()) {
+    throw std::invalid_argument(
+        "integrated_risk: weights/objectives size mismatch");
+  }
+  double weight_sum = 0.0;
+  RiskPoint point;
+  for (std::size_t i = 0; i < separate.size(); ++i) {
+    const double w = weights[i];
+    if (w < 0.0 || w > 1.0) {
+      throw std::invalid_argument("integrated_risk: weight outside [0,1]");
+    }
+    weight_sum += w;
+    point.performance += w * separate[i].performance;
+    point.volatility += w * separate[i].volatility;
+  }
+  if (std::fabs(weight_sum - 1.0) > 1e-9) {
+    throw std::invalid_argument("integrated_risk: weights must sum to 1");
+  }
+  return point;
+}
+
+std::vector<double> equal_weights(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("equal_weights: n == 0");
+  }
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+}  // namespace utilrisk::core

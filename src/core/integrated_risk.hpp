@@ -1,0 +1,22 @@
+// Integrated risk analysis (paper §4.2, eqns 7-8): weighted combination of
+// the separate risk of several objectives.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/separate_risk.hpp"
+
+namespace utilrisk::core {
+
+/// mu_int = sum w_i * mu_sep,i ; sigma_int = sum w_i * sigma_sep,i with
+/// 0 <= w_i <= 1 and sum w_i = 1 (within tolerance). Throws
+/// std::invalid_argument on size mismatch or invalid weights.
+[[nodiscard]] RiskPoint integrated_risk(std::span<const RiskPoint> separate,
+                                        std::span<const double> weights);
+
+/// Equal weights 1/n (the experiments weight all objectives equally:
+/// 1/3 for three-objective combinations, 1/4 for all four).
+[[nodiscard]] std::vector<double> equal_weights(std::size_t n);
+
+}  // namespace utilrisk::core

@@ -1,0 +1,85 @@
+#include "core/normalization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace utilrisk::core {
+
+const char* to_string(WaitNormalization strategy) {
+  switch (strategy) {
+    case WaitNormalization::MinMaxAcrossPolicies: return "minmax";
+    case WaitNormalization::Reciprocal: return "reciprocal";
+  }
+  return "?";
+}
+
+double normalize_percentage(double percent) {
+  if (!std::isfinite(percent)) {
+    throw std::invalid_argument("normalize_percentage: non-finite value");
+  }
+  return std::clamp(percent / 100.0, 0.0, 1.0);
+}
+
+std::vector<std::vector<double>> normalize_objective(
+    Objective objective, const std::vector<std::vector<double>>& raw,
+    const NormalizationConfig& config) {
+  if (raw.empty()) return {};
+  const std::size_t values = raw.front().size();
+  for (const auto& row : raw) {
+    if (row.size() != values) {
+      throw std::invalid_argument("normalize_objective: ragged matrix");
+    }
+  }
+
+  std::vector<std::vector<double>> out(raw.size(),
+                                       std::vector<double>(values, 0.0));
+
+  if (higher_is_better(objective)) {
+    for (std::size_t p = 0; p < raw.size(); ++p) {
+      for (std::size_t v = 0; v < values; ++v) {
+        out[p][v] = normalize_percentage(raw[p][v]);
+      }
+    }
+    return out;
+  }
+
+  // Wait objective (lower is better).
+  switch (config.wait) {
+    case WaitNormalization::Reciprocal: {
+      if (config.reciprocal_tau <= 0.0) {
+        throw std::invalid_argument("normalize_objective: tau <= 0");
+      }
+      for (std::size_t p = 0; p < raw.size(); ++p) {
+        for (std::size_t v = 0; v < values; ++v) {
+          if (raw[p][v] < 0.0) {
+            throw std::invalid_argument("normalize_objective: negative wait");
+          }
+          out[p][v] = 1.0 / (1.0 + raw[p][v] / config.reciprocal_tau);
+        }
+      }
+      break;
+    }
+    case WaitNormalization::MinMaxAcrossPolicies: {
+      for (std::size_t v = 0; v < values; ++v) {
+        double lo = raw[0][v];
+        double hi = raw[0][v];
+        for (std::size_t p = 0; p < raw.size(); ++p) {
+          if (raw[p][v] < 0.0) {
+            throw std::invalid_argument("normalize_objective: negative wait");
+          }
+          lo = std::min(lo, raw[p][v]);
+          hi = std::max(hi, raw[p][v]);
+        }
+        const double span = hi - lo;
+        for (std::size_t p = 0; p < raw.size(); ++p) {
+          out[p][v] = span > 0.0 ? (hi - raw[p][v]) / span : 1.0;
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace utilrisk::core

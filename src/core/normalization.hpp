@@ -1,0 +1,50 @@
+// Normalisation of raw objective values onto [0, 1] (paper §4.1):
+// 0 is the worst possible performance, 1 the best.
+//
+// Percentage objectives (SLA, reliability, profitability) map by /100.
+// The wait objective is open-ended (seconds, lower = better); the paper
+// says only to "normalize accordingly", so the strategy is pluggable:
+//
+//  - MinMaxAcrossPolicies (default): within one scenario value, each
+//    policy's wait is min-max normalised against the other policies being
+//    compared: norm = (max - w) / (max - min). Reproduces the paper's
+//    plots where Libra's zero wait is the ideal 1 and the slowest queue
+//    policy is pinned near 0. When all policies wait equally the value is
+//    1 (no policy can do relatively better).
+//  - Reciprocal: norm = 1 / (1 + wait / tau); absolute,
+//    comparison-set-independent (used by the normalisation ablation
+//    bench).
+#pragma once
+
+#include <vector>
+
+#include "core/objectives.hpp"
+
+namespace utilrisk::core {
+
+enum class WaitNormalization {
+  MinMaxAcrossPolicies,
+  Reciprocal,
+};
+
+[[nodiscard]] const char* to_string(WaitNormalization strategy);
+
+struct NormalizationConfig {
+  WaitNormalization wait = WaitNormalization::MinMaxAcrossPolicies;
+  /// Timescale of the reciprocal strategy: a wait of tau normalises to 0.5.
+  double reciprocal_tau = 3600.0;
+};
+
+/// Clamped percentage -> [0, 1]. Negative profitability (bid-model
+/// penalties exceeding earnings) is the worst case: 0.
+[[nodiscard]] double normalize_percentage(double percent);
+
+/// Normalises one objective's raw values across the policies under
+/// comparison. `raw[p][v]` is policy p's raw value at scenario value v
+/// (all rows must have equal length). Returns a matrix of the same shape
+/// with entries in [0, 1], 1 = best.
+[[nodiscard]] std::vector<std::vector<double>> normalize_objective(
+    Objective objective, const std::vector<std::vector<double>>& raw,
+    const NormalizationConfig& config = {});
+
+}  // namespace utilrisk::core

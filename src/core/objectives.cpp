@@ -1,0 +1,70 @@
+#include "core/objectives.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace utilrisk::core {
+
+std::string_view to_string(Objective objective) {
+  switch (objective) {
+    case Objective::Wait: return "wait";
+    case Objective::Sla: return "SLA";
+    case Objective::Reliability: return "reliability";
+    case Objective::Profitability: return "profitability";
+  }
+  return "?";
+}
+
+Objective parse_objective(std::string_view name) {
+  for (Objective objective : kAllObjectives) {
+    if (to_string(objective) == name) return objective;
+  }
+  throw std::invalid_argument("parse_objective: unknown objective '" +
+                              std::string(name) + "'");
+}
+
+bool higher_is_better(Objective objective) {
+  return objective != Objective::Wait;
+}
+
+double ObjectiveValues::get(Objective objective) const {
+  switch (objective) {
+    case Objective::Wait: return wait;
+    case Objective::Sla: return sla;
+    case Objective::Reliability: return reliability;
+    case Objective::Profitability: return profitability;
+  }
+  throw std::invalid_argument("ObjectiveValues::get: unknown objective");
+}
+
+ObjectiveValues compute_objectives(const ObjectiveInputs& in) {
+  if (in.fulfilled > in.accepted || in.accepted > in.submitted) {
+    throw std::invalid_argument(
+        "compute_objectives: require fulfilled <= accepted <= submitted");
+  }
+  ObjectiveValues values;
+  values.wait = in.fulfilled > 0
+                    ? in.wait_sum_fulfilled / static_cast<double>(in.fulfilled)
+                    : 0.0;
+  values.sla = in.submitted > 0 ? static_cast<double>(in.fulfilled) /
+                                      static_cast<double>(in.submitted) * 100.0
+                                : 0.0;
+  values.reliability =
+      in.accepted > 0 ? static_cast<double>(in.fulfilled) /
+                            static_cast<double>(in.accepted) * 100.0
+                      : 0.0;
+  values.profitability =
+      in.total_budget > 0.0 ? in.total_utility / in.total_budget * 100.0
+                            : 0.0;
+  return values;
+}
+
+std::ostream& operator<<(std::ostream& out, const ObjectiveValues& values) {
+  out << "wait=" << values.wait << "s SLA=" << values.sla
+      << "% reliability=" << values.reliability
+      << "% profitability=" << values.profitability << '%';
+  return out;
+}
+
+}  // namespace utilrisk::core

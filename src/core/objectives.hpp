@@ -1,0 +1,67 @@
+// The four essential objectives of a commercial computing service
+// (paper §3, Table I, eqns 1-4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+#include "economy/money.hpp"
+
+namespace utilrisk::core {
+
+/// Table I. Three user-centric objectives plus one provider-centric.
+enum class Objective : std::uint8_t {
+  Wait = 0,           ///< manage wait time for SLA acceptance (eqn 1)
+  Sla = 1,            ///< meet SLA requests (eqn 2)
+  Reliability = 2,    ///< ensure reliability of accepted SLA (eqn 3)
+  Profitability = 3,  ///< attain profitability (eqn 4)
+};
+
+inline constexpr std::array<Objective, 4> kAllObjectives = {
+    Objective::Wait, Objective::Sla, Objective::Reliability,
+    Objective::Profitability};
+
+[[nodiscard]] std::string_view to_string(Objective objective);
+
+/// Parses "wait" / "SLA" / "reliability" / "profitability"; throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] Objective parse_objective(std::string_view name);
+
+/// True if larger raw values are better (SLA, reliability, profitability);
+/// false for wait, where lower is better (§3).
+[[nodiscard]] bool higher_is_better(Objective objective);
+
+/// Tallies produced by one simulation run, sufficient to evaluate all four
+/// objectives. m = submitted, n = accepted, n_SLA = fulfilled.
+struct ObjectiveInputs {
+  std::uint64_t submitted = 0;  ///< m
+  std::uint64_t accepted = 0;   ///< n
+  std::uint64_t fulfilled = 0;  ///< n_SLA
+  /// Sum over fulfilled jobs of (start - submit), seconds.
+  double wait_sum_fulfilled = 0.0;
+  /// Sum of utility over accepted jobs (may be negative in the bid model).
+  economy::Money total_utility = 0.0;
+  /// Sum of budget over all submitted jobs.
+  economy::Money total_budget = 0.0;
+};
+
+/// Raw (un-normalised) objective values.
+struct ObjectiveValues {
+  double wait = 0.0;           ///< eqn 1: average wait of fulfilled jobs, s
+  double sla = 0.0;            ///< eqn 2: n_SLA / m * 100
+  double reliability = 0.0;    ///< eqn 3: n_SLA / n * 100
+  double profitability = 0.0;  ///< eqn 4: sum(u) / sum(b) * 100
+
+  [[nodiscard]] double get(Objective objective) const;
+};
+
+/// Evaluates eqns 1-4. Degenerate denominators (no fulfilled jobs, no
+/// accepted jobs, zero budget) yield the worst value of the objective:
+/// wait 0 (vacuous; no fulfilled job implies SLA = 0 anyway), percentages 0.
+[[nodiscard]] ObjectiveValues compute_objectives(const ObjectiveInputs& in);
+
+std::ostream& operator<<(std::ostream& out, const ObjectiveValues& values);
+
+}  // namespace utilrisk::core

@@ -1,0 +1,102 @@
+#include "core/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace utilrisk::core {
+
+namespace {
+
+/// Three-way compare with tolerance: negative when a is "smaller".
+int fuzzy_compare(double a, double b, double tolerance) {
+  if (std::fabs(a - b) <= tolerance) return 0;
+  return a < b ? -1 : 1;
+}
+
+/// Compares two policies under a criterion; true when `a` ranks strictly
+/// better than `b`.
+bool ranks_better(const PolicyRankStats& a, const PolicyRankStats& b,
+                  RankBy criterion, double tolerance) {
+  struct Key {
+    double value;
+    bool higher_better;
+  };
+  // Paper §4.3 key sequences.
+  std::vector<Key> ka, kb;
+  auto push = [&](double va, double vb, bool higher_better) {
+    ka.push_back({va, higher_better});
+    kb.push_back({vb, higher_better});
+  };
+  if (criterion == RankBy::BestPerformance) {
+    push(a.max_performance, b.max_performance, true);
+    push(a.min_volatility, b.min_volatility, false);
+    push(a.performance_difference(), b.performance_difference(), false);
+    push(a.volatility_difference(), b.volatility_difference(), false);
+  } else {
+    push(a.min_volatility, b.min_volatility, false);
+    push(a.max_performance, b.max_performance, true);
+    push(a.volatility_difference(), b.volatility_difference(), false);
+    push(a.performance_difference(), b.performance_difference(), false);
+  }
+  for (std::size_t i = 0; i < ka.size(); ++i) {
+    const int cmp = fuzzy_compare(ka[i].value, kb[i].value, tolerance);
+    if (cmp != 0) return ka[i].higher_better ? cmp > 0 : cmp < 0;
+  }
+  // (v) gradient preference.
+  if (gradient_rank(a.gradient) != gradient_rank(b.gradient)) {
+    return gradient_rank(a.gradient) < gradient_rank(b.gradient);
+  }
+  // Concentration tie-break (policy C vs D in Table III).
+  const int cmp = fuzzy_compare(a.concentration, b.concentration, tolerance);
+  if (cmp != 0) return cmp > 0;
+  return a.policy < b.policy;  // deterministic final order
+}
+
+}  // namespace
+
+PolicyRankStats compute_rank_stats(const PolicySeries& series) {
+  if (series.points.empty()) {
+    throw std::invalid_argument("compute_rank_stats: series has no points");
+  }
+  PolicyRankStats stats;
+  stats.policy = series.policy;
+  stats.max_performance = stats.min_performance =
+      series.points.front().performance;
+  stats.max_volatility = stats.min_volatility =
+      series.points.front().volatility;
+  for (const RiskPoint& p : series.points) {
+    stats.max_performance = std::max(stats.max_performance, p.performance);
+    stats.min_performance = std::min(stats.min_performance, p.performance);
+    stats.max_volatility = std::max(stats.max_volatility, p.volatility);
+    stats.min_volatility = std::min(stats.min_volatility, p.volatility);
+  }
+  stats.gradient = classify_gradient(fit_trend(series));
+
+  std::size_t near = 0;
+  for (const RiskPoint& p : series.points) {
+    const double dp = p.performance - stats.max_performance;
+    const double dv = p.volatility - stats.min_volatility;
+    if (std::hypot(dp, dv) <= kConcentrationRadius) ++near;
+  }
+  stats.concentration =
+      static_cast<double>(near) / static_cast<double>(series.points.size());
+  return stats;
+}
+
+std::vector<PolicyRankStats> rank_policies(
+    const std::vector<PolicySeries>& series, RankBy criterion,
+    double tolerance) {
+  std::vector<PolicyRankStats> stats;
+  stats.reserve(series.size());
+  for (const PolicySeries& s : series) {
+    stats.push_back(compute_rank_stats(s));
+  }
+  std::sort(stats.begin(), stats.end(),
+            [&](const PolicyRankStats& a, const PolicyRankStats& b) {
+              return ranks_better(a, b, criterion, tolerance);
+            });
+  return stats;
+}
+
+}  // namespace utilrisk::core

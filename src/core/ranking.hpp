@@ -1,0 +1,58 @@
+// Policy ranking from a risk analysis plot (paper §4.3, Tables III-IV).
+//
+// Best-performance order compares, in sequence:
+//   (i) maximum performance (higher better), (ii) minimum volatility
+//   (lower better), (iii) performance difference (lower better),
+//   (iv) volatility difference (lower better), (v) trend-line gradient
+//   (decreasing before increasing before zero).
+// Best-volatility order swaps the roles:
+//   (i) minimum volatility, (ii) maximum performance, (iii) volatility
+//   difference, (iv) performance difference, (v) gradient.
+// A final concentration tie-break implements the paper's "most points near
+// the maximum performance / minimum volatility corner" argument (policy C
+// over policy D in Table III).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/risk_plot.hpp"
+
+namespace utilrisk::core {
+
+/// Per-policy aggregates backing Tables II-IV.
+struct PolicyRankStats {
+  std::string policy;
+  double max_performance = 0.0;
+  double min_performance = 0.0;
+  double max_volatility = 0.0;
+  double min_volatility = 0.0;
+  GradientClass gradient = GradientClass::NotAvailable;
+  /// Fraction of points within `kConcentrationRadius` of the policy's own
+  /// (min volatility, max performance) corner.
+  double concentration = 0.0;
+
+  [[nodiscard]] double performance_difference() const {
+    return max_performance - min_performance;
+  }
+  [[nodiscard]] double volatility_difference() const {
+    return max_volatility - min_volatility;
+  }
+};
+
+inline constexpr double kConcentrationRadius = 0.1;
+
+/// Computes Table II style aggregates for one policy's points.
+[[nodiscard]] PolicyRankStats compute_rank_stats(const PolicySeries& series);
+
+/// Ranking criterion.
+enum class RankBy { BestPerformance, BestVolatility };
+
+/// Ranks all series; returns stats sorted best-first. Value comparisons
+/// use `tolerance` so near-equal aggregates fall through to later keys, as
+/// in the paper's worked example.
+[[nodiscard]] std::vector<PolicyRankStats> rank_policies(
+    const std::vector<PolicySeries>& series, RankBy criterion,
+    double tolerance = 1e-9);
+
+}  // namespace utilrisk::core

@@ -1,0 +1,51 @@
+// Rendering of risk analysis results: CSV, gnuplot data blocks, ASCII
+// ranking tables (Tables II-IV) and a terminal scatter plot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/ranking.hpp"
+#include "core/risk_plot.hpp"
+
+namespace utilrisk::core {
+
+/// CSV: plot,policy,scenario,volatility,performance (one row per point).
+void write_plot_csv(std::ostream& out, const RiskPlot& plot,
+                    bool header = true);
+
+/// Gnuplot-friendly: one indexed data block per policy
+/// ("# policy <name>" then "volatility performance" rows, blank-line
+/// separated) — plot with `plot 'f.dat' index N`.
+void write_plot_gnuplot(std::ostream& out, const RiskPlot& plot);
+
+/// Table II: per-policy max/min/difference of performance and volatility.
+void write_stats_table(std::ostream& out,
+                       const std::vector<PolicyRankStats>& stats);
+
+/// Tables III/IV: ranked policies with the key columns of the paper.
+void write_ranking_table(std::ostream& out,
+                         const std::vector<PolicyRankStats>& ranked,
+                         RankBy criterion);
+
+/// ASCII scatter of the plot: performance (y, 0..1) over volatility
+/// (x, auto-scaled). Each policy is drawn with a distinct letter;
+/// overlapping points show '*'.
+void write_ascii_scatter(std::ostream& out, const RiskPlot& plot,
+                         int width = 64, int height = 20);
+
+/// Fixed-width number formatting used across reports (3 decimals).
+[[nodiscard]] std::string format_value(double value);
+
+/// Emits a self-contained gnuplot script that renders `data_file` (written
+/// by write_plot_gnuplot) in the paper's figure style: performance (y,
+/// 0..1) over volatility (x), one point type per policy, optional
+/// least-squares trend lines. Run with `gnuplot <script>` to produce
+/// <output_png>.
+void write_gnuplot_script(std::ostream& out, const RiskPlot& plot,
+                          const std::string& data_file,
+                          const std::string& output_png,
+                          bool trend_lines = true);
+
+}  // namespace utilrisk::core

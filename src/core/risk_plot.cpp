@@ -1,0 +1,69 @@
+#include "core/risk_plot.hpp"
+
+#include <cmath>
+
+namespace utilrisk::core {
+
+TrendLine fit_trend(const PolicySeries& series) {
+  TrendLine trend;
+  const auto& pts = series.points;
+  if (pts.size() < 2) return trend;
+
+  // Distinct-point check: identical points carry no trend (§4.3).
+  bool any_distinct = false;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (!(pts[i] == pts[0])) {
+      any_distinct = true;
+      break;
+    }
+  }
+  if (!any_distinct) return trend;
+
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  const double n = static_cast<double>(pts.size());
+  for (const RiskPoint& p : pts) {
+    sx += p.volatility;
+    sy += p.performance;
+    sxx += p.volatility * p.volatility;
+    sxy += p.volatility * p.performance;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-15) {
+    // All points share one volatility: vertical spread has no
+    // performance-over-volatility trend.
+    return trend;
+  }
+  trend.valid = true;
+  trend.slope = (n * sxy - sx * sy) / denom;
+  trend.intercept = (sy - trend.slope * sx) / n;
+  return trend;
+}
+
+const char* to_string(GradientClass gradient) {
+  switch (gradient) {
+    case GradientClass::Decreasing: return "decreasing";
+    case GradientClass::Increasing: return "increasing";
+    case GradientClass::Zero: return "zero";
+    case GradientClass::NotAvailable: return "NA";
+  }
+  return "?";
+}
+
+GradientClass classify_gradient(const TrendLine& trend, double tolerance) {
+  if (!trend.valid) return GradientClass::NotAvailable;
+  if (std::fabs(trend.slope) <= tolerance) return GradientClass::Zero;
+  return trend.slope < 0.0 ? GradientClass::Decreasing
+                           : GradientClass::Increasing;
+}
+
+int gradient_rank(GradientClass gradient) {
+  switch (gradient) {
+    case GradientClass::NotAvailable: return 0;  // ideal constant policies
+    case GradientClass::Decreasing: return 1;
+    case GradientClass::Increasing: return 2;
+    case GradientClass::Zero: return 3;
+  }
+  return 4;
+}
+
+}  // namespace utilrisk::core

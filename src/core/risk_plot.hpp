@@ -1,0 +1,58 @@
+// Risk analysis plots (paper §4.3, Fig. 1): per-policy scatter of
+// (volatility, performance) points — one point per scenario — plus trend
+// lines and gradient classification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/separate_risk.hpp"
+
+namespace utilrisk::core {
+
+/// One policy's points across all scenarios.
+struct PolicySeries {
+  std::string policy;
+  /// Parallel to the scenario list of the plot.
+  std::vector<RiskPoint> points;
+};
+
+struct RiskPlot {
+  std::string title;
+  std::vector<std::string> scenarios;  ///< labels, parallel to each series
+  std::vector<PolicySeries> series;
+};
+
+/// Least-squares trend of performance (y) over volatility (x). `valid` is
+/// false when a policy "does not have any or too few different points"
+/// (§4.3) — fewer than two distinct points, or no volatility spread to
+/// regress over.
+struct TrendLine {
+  bool valid = false;
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+
+[[nodiscard]] TrendLine fit_trend(const PolicySeries& series);
+
+/// Paper §4.3 gradient classes. Preference order for ranking:
+/// Decreasing (lower volatility at higher performance) before Increasing
+/// before Zero (volatility changes with no performance change);
+/// NotAvailable marks the no-trend-line case.
+enum class GradientClass {
+  Decreasing,
+  Increasing,
+  Zero,
+  NotAvailable,
+};
+
+[[nodiscard]] const char* to_string(GradientClass gradient);
+
+/// Classifies a trend line; slopes within `tolerance` of 0 are Zero.
+[[nodiscard]] GradientClass classify_gradient(const TrendLine& trend,
+                                              double tolerance = 1e-3);
+
+/// Numeric preference for ranking (lower = preferred).
+[[nodiscard]] int gradient_rank(GradientClass gradient);
+
+}  // namespace utilrisk::core

@@ -1,0 +1,76 @@
+// The sample risk analysis plot of Fig. 1 / Tables II-IV: eight synthetic
+// policies A-H over five scenarios. Point sets are reconstructed from the
+// figure so that every Table II aggregate (max/min/difference of
+// performance and volatility) matches exactly, including the qualitative
+// trend gradients (B zero, C/D/E decreasing, F/G/H increasing) and the
+// point concentration that ranks C over D.
+#pragma once
+
+#include <vector>
+
+#include "core/risk_plot.hpp"
+
+namespace utilrisk::core {
+
+[[nodiscard]] inline core::RiskPlot sample_risk_plot() {
+  using core::PolicySeries;
+  using core::RiskPoint;
+  core::RiskPlot plot;
+  plot.title = "Fig. 1: sample risk analysis plot";
+  plot.scenarios = {"s1", "s2", "s3", "s4", "s5"};
+  auto series = [](const char* name,
+                   std::vector<RiskPoint> points) -> PolicySeries {
+    return {name, std::move(points)};
+  };
+  // (volatility, performance) listed as {performance, volatility} fields.
+  plot.series = {
+      // A: ideal — identical best points, no trend line.
+      series("A", {{1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}}),
+      // B: constant performance 0.9, volatility 0.3..0.6 (zero gradient).
+      series("B", {{0.9, 0.30},
+                   {0.9, 0.375},
+                   {0.9, 0.45},
+                   {0.9, 0.525},
+                   {0.9, 0.60}}),
+      // C: perf 0.2..0.7, vol 0.3..1.0, decreasing gradient, points
+      // concentrated near the (0.3, 0.7) corner.
+      series("C", {{0.70, 0.30},
+                   {0.68, 0.32},
+                   {0.66, 0.35},
+                   {0.62, 0.40},
+                   {0.20, 1.00}}),
+      // D: same envelope as C but evenly spread.
+      series("D", {{0.700, 0.300},
+                   {0.575, 0.475},
+                   {0.450, 0.650},
+                   {0.325, 0.825},
+                   {0.200, 1.000}}),
+      // E: perf 0.5..0.7, vol 0.1..0.3, decreasing gradient.
+      series("E", {{0.70, 0.10},
+                   {0.65, 0.15},
+                   {0.60, 0.20},
+                   {0.55, 0.25},
+                   {0.50, 0.30}}),
+      // F: perf 0.2..0.7, vol 0.3..0.7, increasing gradient.
+      series("F", {{0.200, 0.30},
+                   {0.325, 0.40},
+                   {0.450, 0.50},
+                   {0.575, 0.60},
+                   {0.700, 0.70}}),
+      // G: perf 0.4..0.7, vol 0.3..1.0, increasing gradient.
+      series("G", {{0.400, 0.300},
+                   {0.475, 0.475},
+                   {0.550, 0.650},
+                   {0.625, 0.825},
+                   {0.700, 1.000}}),
+      // H: perf 0.2..0.7, vol 0.3..1.0, increasing gradient.
+      series("H", {{0.200, 0.300},
+                   {0.325, 0.475},
+                   {0.450, 0.650},
+                   {0.575, 0.825},
+                   {0.700, 1.000}}),
+  };
+  return plot;
+}
+
+}  // namespace utilrisk::core

@@ -1,0 +1,33 @@
+#include "core/separate_risk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace utilrisk::core {
+
+RiskPoint separate_risk(std::span<const double> normalized) {
+  if (normalized.empty()) {
+    throw std::invalid_argument("separate_risk: no results");
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : normalized) {
+    if (!(x >= -1e-12 && x <= 1.0 + 1e-12)) {
+      throw std::invalid_argument(
+          "separate_risk: normalised result outside [0,1]");
+    }
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double n = static_cast<double>(normalized.size());
+  RiskPoint point;
+  point.performance = sum / n;
+  // eqn 6: population variance via E[x^2] - mu^2; clamp the tiny negative
+  // values floating-point cancellation can produce.
+  const double variance =
+      sum_sq / n - point.performance * point.performance;
+  point.volatility = std::sqrt(variance > 0.0 ? variance : 0.0);
+  return point;
+}
+
+}  // namespace utilrisk::core

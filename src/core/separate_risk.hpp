@@ -1,0 +1,21 @@
+// Separate risk analysis (paper §4.1, eqns 5-6): performance and
+// volatility of one objective over the values of one scenario.
+#pragma once
+
+#include <span>
+
+namespace utilrisk::core {
+
+/// One point in a risk analysis plot: (volatility, performance).
+struct RiskPoint {
+  double performance = 0.0;  ///< mu: mean of normalised results (eqn 5)
+  double volatility = 0.0;   ///< sigma: population stddev (eqn 6)
+
+  friend bool operator==(const RiskPoint&, const RiskPoint&) = default;
+};
+
+/// Computes eqns 5-6 over normalised results (each in [0, 1]). Throws
+/// std::invalid_argument on an empty span or out-of-range entries.
+[[nodiscard]] RiskPoint separate_risk(std::span<const double> normalized);
+
+}  // namespace utilrisk::core

@@ -1,0 +1,56 @@
+// Revenue ledger of the commercial computing service.
+//
+// Tracks the sums behind the profitability objective (eqn 4):
+//   profitability = sum(utility over accepted jobs)
+//                 / sum(budget over submitted jobs) * 100.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "economy/money.hpp"
+#include "workload/job.hpp"
+
+namespace utilrisk::economy {
+
+/// One settled charge.
+struct LedgerEntry {
+  workload::JobId job = 0;
+  Money utility = 0.0;
+};
+
+class Ledger {
+ public:
+  /// Every submitted job contributes its budget to the denominator.
+  void record_submitted(const workload::Job& job) {
+    total_budget_ += job.budget;
+    ++submitted_;
+  }
+
+  /// Utility realised for an accepted job (quoted cost in the commodity
+  /// model; bid minus penalty in the bid-based model — may be negative).
+  void record_utility(workload::JobId job, Money utility) {
+    total_utility_ += utility;
+    entries_.push_back({job, utility});
+  }
+
+  [[nodiscard]] Money total_utility() const { return total_utility_; }
+  [[nodiscard]] Money total_budget() const { return total_budget_; }
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+  [[nodiscard]] const std::vector<LedgerEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Profitability percentage (eqn 4); 0 when nothing was submitted.
+  [[nodiscard]] double profitability_percent() const {
+    return total_budget_ > 0.0 ? total_utility_ / total_budget_ * 100.0 : 0.0;
+  }
+
+ private:
+  Money total_utility_ = 0.0;
+  Money total_budget_ = 0.0;
+  std::uint64_t submitted_ = 0;
+  std::vector<LedgerEntry> entries_;
+};
+
+}  // namespace utilrisk::economy

@@ -1,0 +1,30 @@
+// Monetary quantities.
+//
+// Utilities can be negative (unbounded penalties in the bid-based model,
+// Fig. 2), so Money is a signed double of dollars.
+#pragma once
+
+#include <limits>
+
+namespace utilrisk::economy {
+
+using Money = double;
+
+inline constexpr Money kUnaffordable = std::numeric_limits<Money>::infinity();
+
+/// The paper's two economic models (§5.1).
+enum class EconomicModel {
+  /// The provider sets the price (flat/variable); no deadline penalty —
+  /// late jobs are still charged normally. Jobs whose expected cost
+  /// exceeds their budget are rejected.
+  CommodityMarket,
+  /// The user bids a price for on-time completion; the provider pays a
+  /// linear, unbounded penalty for finishing past the deadline.
+  BidBased,
+};
+
+[[nodiscard]] inline const char* to_string(EconomicModel model) {
+  return model == EconomicModel::CommodityMarket ? "commodity" : "bid";
+}
+
+}  // namespace utilrisk::economy

@@ -1,0 +1,25 @@
+#include "economy/penalty.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace utilrisk::economy {
+
+double deadline_delay(const workload::Job& job, sim::SimTime finish_time) {
+  const double delay =
+      (finish_time - job.submit_time) - job.deadline_duration;
+  return std::max(0.0, delay);
+}
+
+Money bid_utility(const workload::Job& job, sim::SimTime finish_time) {
+  return job.budget - deadline_delay(job, finish_time) * job.penalty_rate;
+}
+
+double breakeven_delay(const workload::Job& job) {
+  if (job.penalty_rate <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return job.deadline_duration + job.budget / job.penalty_rate;
+}
+
+}  // namespace utilrisk::economy

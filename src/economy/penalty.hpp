@@ -1,0 +1,26 @@
+// Bid-based model utility with the linear, unbounded penalty of Fig. 2
+// (eqns 9-10).
+#pragma once
+
+#include "economy/money.hpp"
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace utilrisk::economy {
+
+/// Delay dy_i = (tf - tsu) - d (eqn 10), clamped at 0 for on-time jobs.
+[[nodiscard]] double deadline_delay(const workload::Job& job,
+                                    sim::SimTime finish_time);
+
+/// Utility u_i = b_i - dy_i * pr_i (eqn 9). Full budget when on time;
+/// decreases linearly past the deadline and goes negative without bound —
+/// the provider can owe more than the job was ever worth.
+[[nodiscard]] Money bid_utility(const workload::Job& job,
+                                sim::SimTime finish_time);
+
+/// Time past submission at which the utility crosses zero (budget fully
+/// eroded): d + b/pr. Infinite for zero penalty rates. Used by risk-aware
+/// admission heuristics and the Fig. 2 bench.
+[[nodiscard]] double breakeven_delay(const workload::Job& job);
+
+}  // namespace utilrisk::economy

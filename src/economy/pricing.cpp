@@ -1,0 +1,67 @@
+#include "economy/pricing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace utilrisk::economy {
+
+Money flat_quote(const workload::Job& job, const PricingParams& params) {
+  if (params.base_price < 0.0) {
+    throw std::invalid_argument("flat_quote: negative base price");
+  }
+  return job.estimated_runtime * params.base_price;
+}
+
+double price_multiplier_at(double when, const PricingParams& params) {
+  const VariablePricing& variable = params.variable;
+  if (!variable.enabled) return 1.0;
+  if (variable.peak_multiplier <= 0.0) {
+    throw std::invalid_argument(
+        "price_multiplier_at: non-positive peak multiplier");
+  }
+  if (variable.peak_start_hour < 0 || variable.peak_start_hour > 23 ||
+      variable.peak_end_hour < 0 || variable.peak_end_hour > 24 ||
+      variable.peak_start_hour >= variable.peak_end_hour) {
+    throw std::invalid_argument(
+        "price_multiplier_at: peak window must satisfy 0 <= start < end <= 24");
+  }
+  const double seconds_into_day = std::fmod(when, 86400.0);
+  const int hour =
+      static_cast<int>(seconds_into_day >= 0.0 ? seconds_into_day / 3600.0
+                                               : 0.0);
+  const bool peak = hour >= variable.peak_start_hour &&
+                    hour < variable.peak_end_hour;
+  return peak ? variable.peak_multiplier : 1.0;
+}
+
+Money flat_quote_at(const workload::Job& job, double when,
+                    const PricingParams& params) {
+  return flat_quote(job, params) * price_multiplier_at(when, params);
+}
+
+Money libra_quote(const workload::Job& job, const PricingParams& params) {
+  if (job.deadline_duration <= 0.0) {
+    throw std::invalid_argument("libra_quote: non-positive deadline");
+  }
+  const double tr = job.estimated_runtime;
+  return params.libra_gamma * tr +
+         params.libra_delta * tr / job.deadline_duration;
+}
+
+Money libra_dollar_node_price(double res_max, double res_free,
+                              const PricingParams& params) {
+  if (res_max <= 0.0) {
+    throw std::invalid_argument("libra_dollar_node_price: res_max <= 0");
+  }
+  constexpr double kMinFree = 1e-9;
+  if (res_free <= kMinFree) return kUnaffordable;
+  const Money util_price = res_max / res_free * params.base_price;
+  return params.libra_dollar_alpha * params.base_price +
+         params.libra_dollar_beta * util_price;
+}
+
+Money libra_dollar_quote(const workload::Job& job, Money max_node_price) {
+  return job.estimated_runtime * max_node_price;
+}
+
+}  // namespace utilrisk::economy

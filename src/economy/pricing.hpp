@@ -1,0 +1,75 @@
+// Pricing functions for the commodity market model (§5.2).
+//
+// All quotes are computed from the scheduler-visible *estimated* runtime —
+// the paper notes that over-estimation inflates commodity charges ("the
+// prices charged are computed using the over-estimated runtime
+// estimates").
+#pragma once
+
+#include "economy/money.hpp"
+#include "workload/job.hpp"
+
+namespace utilrisk::economy {
+
+/// Variable (time-of-day) pricing, the alternative §5.1 allows to flat
+/// prices: submissions during the peak window pay base_price *
+/// peak_multiplier. Disabled (flat) by default — the paper's experiments
+/// use flat prices; bench_ablation_variable_pricing explores this knob.
+struct VariablePricing {
+  bool enabled = false;
+  double peak_multiplier = 1.5;
+  int peak_start_hour = 9;   ///< inclusive, hours since simulation epoch % 24
+  int peak_end_hour = 17;    ///< exclusive
+};
+
+/// Knobs for every pricing function, with the paper's experiment values.
+struct PricingParams {
+  /// Static base price PBase_j, identical on all nodes ($1 per second of
+  /// processing time in the experiments).
+  Money base_price = 1.0;
+  /// Libra static pricing: cost = gamma * tr + delta * tr / d.
+  double libra_gamma = 1.0;
+  double libra_delta = 1.0;
+  /// Libra+$: P_ij = alpha * PBase_j + beta * PUtil_ij.
+  double libra_dollar_alpha = 1.0;
+  double libra_dollar_beta = 0.3;
+  VariablePricing variable;
+};
+
+/// Flat pricing used by FCFS-BF / SJF-BF / EDF-BF: cost = estimate * PBase.
+[[nodiscard]] Money flat_quote(const workload::Job& job,
+                               const PricingParams& params);
+
+/// Time-of-day multiplier at simulated time `when` (1.0 when variable
+/// pricing is disabled or off-peak).
+[[nodiscard]] double price_multiplier_at(double when,
+                                         const PricingParams& params);
+
+/// Flat quote under the tariff in force at `when` (the submission time in
+/// the queue policies: the quote is fixed when the SLA is negotiated).
+[[nodiscard]] Money flat_quote_at(const workload::Job& job, double when,
+                                  const PricingParams& params);
+
+/// Libra's static incentive pricing: gamma * tr + delta * tr / d, where tr
+/// is the estimate and d the deadline duration — relaxed deadlines cost
+/// less.
+[[nodiscard]] Money libra_quote(const workload::Job& job,
+                                const PricingParams& params);
+
+/// Libra+$ per-node price:
+///   PUtil = RESMax / RESFree * PBase,
+///   P     = alpha * PBase + beta * PUtil,
+/// where RESMax is the node's total processor-seconds over the new job's
+/// deadline window and RESFree the part not committed to existing
+/// reservations (each expiring at its own deadline) nor to the new job
+/// itself. Saturated nodes (res_free <= 0) price at kUnaffordable, which
+/// admission interprets as "reject".
+[[nodiscard]] Money libra_dollar_node_price(double res_max, double res_free,
+                                            const PricingParams& params);
+
+/// Libra+$ job quote given the highest node price among allocated nodes
+/// (the paper maximises revenue by charging the max P_ij).
+[[nodiscard]] Money libra_dollar_quote(const workload::Job& job,
+                                       Money max_node_price);
+
+}  // namespace utilrisk::economy

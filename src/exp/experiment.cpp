@@ -1,0 +1,131 @@
+#include "exp/experiment.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "service/computing_service.hpp"
+
+namespace utilrisk::exp {
+
+const char* to_string(ExperimentSet set) {
+  return set == ExperimentSet::A ? "A" : "B";
+}
+
+RunSettings ExperimentConfig::default_settings() const {
+  RunSettings settings;
+  settings.inaccuracy_percent = set == ExperimentSet::A ? 0.0 : 100.0;
+  return settings;
+}
+
+std::string ExperimentConfig::run_key(policy::PolicyKind policy,
+                                      const RunSettings& settings) const {
+  std::ostringstream oss;
+  oss << "model=" << economy::to_string(model)
+      << ";policy=" << policy::to_string(policy)
+      << ";jobs=" << trace.job_count << ";tseed=" << trace.seed
+      << ";qseed=" << qos_seed << ";nodes=" << machine.node_count
+      << ";price=" << pricing.base_price << ',' << pricing.libra_gamma << ','
+      << pricing.libra_delta << ',' << pricing.libra_dollar_alpha << ','
+      << pricing.libra_dollar_beta << ";fr=" << first_reward.alpha << ','
+      << first_reward.discount_rate_per_hour << ','
+      << first_reward.slack_threshold << ';' << settings.key_fragment();
+  return oss.str();
+}
+
+void write_sweep_csv(std::ostream& out, const SweepResult& sweep) {
+  out << "scenario,value_index,policy,objective,raw_value\n";
+  for (std::size_t s = 0; s < sweep.scenario_count(); ++s) {
+    for (core::Objective objective : core::kAllObjectives) {
+      const auto o = static_cast<std::size_t>(objective);
+      for (std::size_t p = 0; p < sweep.policy_count(); ++p) {
+        for (std::size_t v = 0; v < sweep.raw[s][o][p].size(); ++v) {
+          out << sweep.scenario_names[s] << ',' << v << ','
+              << policy::to_string(sweep.policies[p]) << ','
+              << core::to_string(objective) << ',' << sweep.raw[s][o][p][v]
+              << '\n';
+        }
+      }
+    }
+  }
+}
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config, ResultStore* store)
+    : config_(std::move(config)),
+      builder_(config_.trace),
+      store_(store != nullptr ? store : &local_store_) {}
+
+core::ObjectiveValues ExperimentRunner::run_one(policy::PolicyKind policy,
+                                                const RunSettings& settings) {
+  const std::string key = config_.run_key(policy, settings);
+  if (auto cached = store_->lookup(key)) return *cached;
+
+  workload::QosConfig qos;
+  qos.high_urgency_percent = settings.high_urgency_percent;
+  qos.deadline = settings.deadline;
+  qos.budget = settings.budget;
+  qos.penalty = settings.penalty;
+  qos.base_price = config_.pricing.base_price;
+  qos.seed = config_.qos_seed;
+
+  const std::vector<workload::Job> jobs = builder_.build(
+      qos, settings.arrival_delay_factor, settings.inaccuracy_percent);
+
+  const service::SimulationReport report =
+      service::simulate(jobs, policy, config_.model, config_.machine,
+                        config_.pricing, config_.first_reward);
+  ++simulations_run_;
+  store_->insert(key, report.objectives);
+  return report.objectives;
+}
+
+SweepResult ExperimentRunner::run_sweep() {
+  return run_sweep(policy::policies_for_model(config_.model));
+}
+
+SweepResult ExperimentRunner::run_sweep(
+    const std::vector<policy::PolicyKind>& policies) {
+  const std::vector<Scenario>& scenarios = all_scenarios();
+  const RunSettings defaults = config_.default_settings();
+
+  SweepResult result;
+  result.policies = policies;
+  result.scenario_names.reserve(scenarios.size());
+  result.raw.resize(scenarios.size());
+  result.separate.resize(scenarios.size());
+
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const Scenario& scenario = scenarios[s];
+    result.scenario_names.push_back(scenario.name);
+
+    // Collect raw values: raw[o][p][v].
+    for (auto& per_objective : result.raw[s]) {
+      per_objective.assign(policies.size(),
+                           std::vector<double>(scenario.values.size(), 0.0));
+    }
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      for (std::size_t v = 0; v < scenario.values.size(); ++v) {
+        const RunSettings settings = scenario.settings_for(defaults, v);
+        const core::ObjectiveValues values = run_one(policies[p], settings);
+        for (core::Objective objective : core::kAllObjectives) {
+          result.raw[s][static_cast<std::size_t>(objective)][p][v] =
+              values.get(objective);
+        }
+      }
+    }
+
+    // Normalise per objective across policies, then reduce to separate
+    // risk (eqns 5-6) per policy.
+    result.separate[s].resize(policies.size());
+    for (core::Objective objective : core::kAllObjectives) {
+      const auto o = static_cast<std::size_t>(objective);
+      const auto normalized = core::normalize_objective(
+          objective, result.raw[s][o], config_.normalization);
+      for (std::size_t p = 0; p < policies.size(); ++p) {
+        result.separate[s][p][o] = core::separate_risk(normalized[p]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace utilrisk::exp

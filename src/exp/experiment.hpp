@@ -1,0 +1,108 @@
+// The experiment runner: executes the Table VI sweep for one economic
+// model and one experiment set (A or B) and reduces it to the separate
+// risk analysis per (scenario, policy, objective) from which every figure
+// of §6 is assembled.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "core/normalization.hpp"
+#include "core/objectives.hpp"
+#include "core/separate_risk.hpp"
+#include "economy/money.hpp"
+#include "exp/result_store.hpp"
+#include "exp/scenario.hpp"
+#include "policy/factory.hpp"
+#include "workload/workload.hpp"
+
+namespace utilrisk::exp {
+
+/// The two experiment sets (§5.4): identical except for the default
+/// runtime-estimate inaccuracy.
+enum class ExperimentSet {
+  A,  ///< 0 % inaccuracy: accurate estimates
+  B,  ///< 100 % inaccuracy: the trace's own (mostly over-) estimates
+};
+
+[[nodiscard]] const char* to_string(ExperimentSet set);
+
+/// Full configuration of one sweep.
+struct ExperimentConfig {
+  economy::EconomicModel model = economy::EconomicModel::CommodityMarket;
+  ExperimentSet set = ExperimentSet::A;
+  workload::SyntheticSdscConfig trace;  ///< base trace (seeded)
+  cluster::MachineConfig machine;
+  economy::PricingParams pricing;
+  policy::FirstRewardParams first_reward;
+  core::NormalizationConfig normalization;
+  std::uint64_t qos_seed = 4242;
+
+  /// Defaults with the set's inaccuracy applied.
+  [[nodiscard]] RunSettings default_settings() const;
+
+  /// Canonical cache key of one run under this config.
+  [[nodiscard]] std::string run_key(policy::PolicyKind policy,
+                                    const RunSettings& settings) const;
+};
+
+/// All separate-risk results of a sweep. Indices: [scenario][policy].
+struct SweepResult {
+  std::vector<std::string> scenario_names;
+  std::vector<policy::PolicyKind> policies;
+  /// Raw objective values: raw[s][o][p][v] with o indexed by Objective.
+  std::vector<std::array<std::vector<std::vector<double>>, 4>> raw;
+  /// Separate risk per scenario/policy/objective (eqns 5-6 over the six
+  /// normalised values).
+  std::vector<std::vector<std::array<core::RiskPoint, 4>>> separate;
+
+  [[nodiscard]] std::size_t scenario_count() const {
+    return scenario_names.size();
+  }
+  [[nodiscard]] std::size_t policy_count() const { return policies.size(); }
+};
+
+/// Dumps every raw objective value of a sweep as CSV
+/// (scenario,value_index,policy,objective,raw_value) for external
+/// analysis.
+void write_sweep_csv(std::ostream& out, const SweepResult& sweep);
+
+class ExperimentRunner {
+ public:
+  /// `store` (optional) memoises runs across runners and processes.
+  explicit ExperimentRunner(ExperimentConfig config,
+                            ResultStore* store = nullptr);
+
+  /// Raw objective values of a single run (cached).
+  [[nodiscard]] core::ObjectiveValues run_one(policy::PolicyKind policy,
+                                              const RunSettings& settings);
+
+  /// Full Table VI sweep over `policies` (default: the Table V set for the
+  /// configured economic model).
+  [[nodiscard]] SweepResult run_sweep();
+  [[nodiscard]] SweepResult run_sweep(
+      const std::vector<policy::PolicyKind>& policies);
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] const workload::WorkloadBuilder& workloads() const {
+    return builder_;
+  }
+
+  /// Total simulations actually executed (cache misses).
+  [[nodiscard]] std::size_t simulations_run() const {
+    return simulations_run_;
+  }
+
+ private:
+  ExperimentConfig config_;
+  workload::WorkloadBuilder builder_;
+  ResultStore* store_;
+  ResultStore local_store_;  ///< used when no shared store is given
+  std::size_t simulations_run_ = 0;
+};
+
+}  // namespace utilrisk::exp

@@ -1,0 +1,92 @@
+#include "exp/figures.hpp"
+
+#include <stdexcept>
+
+#include "policy/factory.hpp"
+
+namespace utilrisk::exp {
+
+core::RiskPlot separate_plot(const SweepResult& sweep,
+                             core::Objective objective,
+                             const std::string& title) {
+  core::RiskPlot plot;
+  plot.title = title;
+  plot.scenarios = sweep.scenario_names;
+  plot.series.resize(sweep.policy_count());
+  for (std::size_t p = 0; p < sweep.policy_count(); ++p) {
+    plot.series[p].policy = std::string(policy::to_string(sweep.policies[p]));
+    plot.series[p].points.reserve(sweep.scenario_count());
+    for (std::size_t s = 0; s < sweep.scenario_count(); ++s) {
+      plot.series[p].points.push_back(
+          sweep.separate[s][p][static_cast<std::size_t>(objective)]);
+    }
+  }
+  return plot;
+}
+
+core::RiskPlot integrated_plot(const SweepResult& sweep,
+                               const std::vector<core::Objective>& objectives,
+                               const std::string& title,
+                               const std::vector<double>& weights) {
+  if (objectives.empty()) {
+    throw std::invalid_argument("integrated_plot: no objectives");
+  }
+  const std::vector<double> w =
+      weights.empty() ? core::equal_weights(objectives.size()) : weights;
+
+  core::RiskPlot plot;
+  plot.title = title;
+  plot.scenarios = sweep.scenario_names;
+  plot.series.resize(sweep.policy_count());
+  for (std::size_t p = 0; p < sweep.policy_count(); ++p) {
+    plot.series[p].policy = std::string(policy::to_string(sweep.policies[p]));
+    plot.series[p].points.reserve(sweep.scenario_count());
+    for (std::size_t s = 0; s < sweep.scenario_count(); ++s) {
+      std::vector<core::RiskPoint> separate;
+      separate.reserve(objectives.size());
+      for (core::Objective objective : objectives) {
+        separate.push_back(
+            sweep.separate[s][p][static_cast<std::size_t>(objective)]);
+      }
+      plot.series[p].points.push_back(core::integrated_risk(separate, w));
+    }
+  }
+  return plot;
+}
+
+std::vector<std::vector<core::Objective>> three_objective_combinations() {
+  using core::Objective;
+  return {
+      {Objective::Sla, Objective::Reliability, Objective::Profitability},
+      {Objective::Wait, Objective::Reliability, Objective::Profitability},
+      {Objective::Wait, Objective::Sla, Objective::Profitability},
+      {Objective::Wait, Objective::Sla, Objective::Reliability},
+  };
+}
+
+core::AdvisorInput advisor_input(const SweepResult& sweep) {
+  core::AdvisorInput input;
+  input.policies.reserve(sweep.policy_count());
+  for (policy::PolicyKind kind : sweep.policies) {
+    input.policies.emplace_back(policy::to_string(kind));
+  }
+  input.points.resize(sweep.policy_count());
+  for (std::size_t p = 0; p < sweep.policy_count(); ++p) {
+    input.points[p].reserve(sweep.scenario_count());
+    for (std::size_t s = 0; s < sweep.scenario_count(); ++s) {
+      input.points[p].push_back(sweep.separate[s][p]);
+    }
+  }
+  return input;
+}
+
+std::string combination_label(const std::vector<core::Objective>& objectives) {
+  std::string label;
+  for (core::Objective objective : objectives) {
+    if (!label.empty()) label += "+";
+    label += std::string(core::to_string(objective));
+  }
+  return label;
+}
+
+}  // namespace utilrisk::exp

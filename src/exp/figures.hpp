@@ -1,0 +1,45 @@
+// Assembly of the paper's figures from a sweep: separate risk plots
+// (Figs 3, 6), integrated three-objective plots (Figs 4, 7) and the
+// all-four-objective plots (Figs 5, 8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/integrated_risk.hpp"
+#include "core/risk_plot.hpp"
+#include "exp/experiment.hpp"
+
+namespace utilrisk::exp {
+
+/// Separate risk analysis plot of one objective: one series per policy,
+/// one point per scenario (paper Figs 3a-h / 6a-h panels).
+[[nodiscard]] core::RiskPlot separate_plot(const SweepResult& sweep,
+                                           core::Objective objective,
+                                           const std::string& title);
+
+/// Integrated risk analysis plot over `objectives` with `weights`
+/// (equal weights when empty). Figs 4/7 use the four three-objective
+/// combinations; Figs 5/8 use all four objectives.
+[[nodiscard]] core::RiskPlot integrated_plot(
+    const SweepResult& sweep, const std::vector<core::Objective>& objectives,
+    const std::string& title, const std::vector<double>& weights = {});
+
+/// The four leave-one-out combinations in the paper's panel order:
+/// {SLA, reliability, profitability} (no wait), {wait, reliability,
+/// profitability} (no SLA), {wait, SLA, profitability} (no reliability),
+/// {wait, SLA, reliability} (no profitability).
+[[nodiscard]] std::vector<std::vector<core::Objective>>
+three_objective_combinations();
+
+/// Short "a+b+c" label for a combination.
+[[nodiscard]] std::string combination_label(
+    const std::vector<core::Objective>& objectives);
+
+/// Repackages a sweep as advisor input (core/advisor.hpp) for the a-priori
+/// risk analysis: score policies for future operating points without
+/// re-simulating.
+[[nodiscard]] core::AdvisorInput advisor_input(const SweepResult& sweep);
+
+}  // namespace utilrisk::exp

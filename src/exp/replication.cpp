@@ -1,0 +1,69 @@
+#include "exp/replication.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "service/computing_service.hpp"
+#include "workload/workload.hpp"
+
+namespace utilrisk::exp {
+
+ReplicationSummary summarize_replicates(
+    std::vector<core::ObjectiveValues> replicates) {
+  if (replicates.size() < 2) {
+    throw std::invalid_argument(
+        "summarize_replicates: need at least 2 replicates");
+  }
+  ReplicationSummary summary;
+  const double n = static_cast<double>(replicates.size());
+  for (core::Objective objective : core::kAllObjectives) {
+    const auto o = static_cast<std::size_t>(objective);
+    double sum = 0.0;
+    for (const core::ObjectiveValues& values : replicates) {
+      sum += values.get(objective);
+    }
+    const double mean = sum / n;
+    double sq = 0.0;
+    for (const core::ObjectiveValues& values : replicates) {
+      const double d = values.get(objective) - mean;
+      sq += d * d;
+    }
+    ObjectiveEstimate& estimate = summary.objectives[o];
+    estimate.mean = mean;
+    estimate.stddev = std::sqrt(sq / (n - 1.0));
+    // Normal approximation; fine for the coarse "do intervals overlap"
+    // comparisons we make (replicate counts are small, so this slightly
+    // understates the width — callers wanting rigour can use the raw
+    // replicates).
+    estimate.ci95_half = 1.96 * estimate.stddev / std::sqrt(n);
+  }
+  summary.replicates = std::move(replicates);
+  return summary;
+}
+
+ReplicationSummary replicate(const ReplicationConfig& config) {
+  if (config.seeds.size() < 2) {
+    throw std::invalid_argument("replicate: need at least 2 seeds");
+  }
+  std::vector<core::ObjectiveValues> replicates;
+  replicates.reserve(config.seeds.size());
+  for (std::uint64_t seed : config.seeds) {
+    workload::SyntheticSdscConfig trace = config.trace;
+    trace.seed = seed;
+    workload::QosConfig qos;
+    qos.high_urgency_percent = config.settings.high_urgency_percent;
+    qos.deadline = config.settings.deadline;
+    qos.budget = config.settings.budget;
+    qos.penalty = config.settings.penalty;
+    qos.seed = seed * 31 + 7;
+    const workload::WorkloadBuilder builder(trace);
+    const auto jobs =
+        builder.build(qos, config.settings.arrival_delay_factor,
+                      config.settings.inaccuracy_percent);
+    const auto report = service::simulate(jobs, config.policy, config.model);
+    replicates.push_back(report.objectives);
+  }
+  return summarize_replicates(std::move(replicates));
+}
+
+}  // namespace utilrisk::exp

@@ -1,0 +1,64 @@
+#include "exp/result_store.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace utilrisk::exp {
+
+namespace {
+
+// Cache lines are '<key>\t<wait> <sla> <reliability> <profitability>'.
+// Keys are printable and contain no tabs by construction (run_key).
+constexpr char kSeparator = '\t';
+
+}  // namespace
+
+ResultStore::ResultStore(std::string path) : path_(std::move(path)) { load(); }
+
+void ResultStore::load() {
+  std::ifstream in(path_);
+  if (!in) return;  // first use: no cache yet
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto tab = line.find(kSeparator);
+    if (tab == std::string::npos) continue;
+    std::istringstream values(line.substr(tab + 1));
+    core::ObjectiveValues v;
+    if (values >> v.wait >> v.sla >> v.reliability >> v.profitability) {
+      entries_[line.substr(0, tab)] = v;
+    }
+  }
+}
+
+std::optional<core::ObjectiveValues> ResultStore::lookup(
+    const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ResultStore::insert(const std::string& key,
+                         const core::ObjectiveValues& values) {
+  if (key.find(kSeparator) != std::string::npos ||
+      key.find('\n') != std::string::npos) {
+    throw std::invalid_argument("ResultStore::insert: key contains separator");
+  }
+  const auto [it, inserted] = entries_.emplace(key, values);
+  if (!inserted) return;  // idempotent
+  if (path_.empty()) return;
+  std::ofstream out(path_, std::ios::app);
+  if (!out) {
+    throw std::runtime_error("ResultStore: cannot append to " + path_);
+  }
+  out.precision(17);
+  out << key << kSeparator << values.wait << ' ' << values.sla << ' '
+      << values.reliability << ' ' << values.profitability << '\n';
+}
+
+}  // namespace utilrisk::exp

@@ -1,0 +1,45 @@
+// Memoisation of simulation runs.
+//
+// Figures 3-5 (and 6-8) share one policies x scenarios x values sweep, and
+// within a sweep the all-defaults run recurs in most scenarios. The store
+// caches raw objective values keyed by the complete run configuration and
+// optionally persists them to a CSV file so the per-figure bench binaries
+// reuse each other's simulations.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/objectives.hpp"
+
+namespace utilrisk::exp {
+
+class ResultStore {
+ public:
+  /// In-memory only.
+  ResultStore() = default;
+
+  /// Backed by `path`: existing entries are loaded eagerly (ignored if the
+  /// file does not exist); every insert appends to the file.
+  explicit ResultStore(std::string path);
+
+  [[nodiscard]] std::optional<core::ObjectiveValues> lookup(
+      const std::string& key) const;
+
+  void insert(const std::string& key, const core::ObjectiveValues& values);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+
+ private:
+  void load();
+
+  std::string path_;  ///< empty = memory-only
+  std::map<std::string, core::ObjectiveValues> entries_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace utilrisk::exp

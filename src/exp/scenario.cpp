@@ -1,0 +1,113 @@
+#include "exp/scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace utilrisk::exp {
+
+namespace {
+
+std::vector<double> percent_values() { return {0, 20, 40, 60, 80, 100}; }
+std::vector<double> delay_values() {
+  return {0.02, 0.10, 0.25, 0.50, 0.75, 1.00};
+}
+std::vector<double> factor_values() { return {1, 2, 4, 6, 8, 10}; }
+
+void qos_fragment(std::ostream& out, const workload::QosParameterConfig& p) {
+  out << p.low_value_mean << ',' << p.high_low_ratio << ',' << p.bias << ','
+      << p.sigma_fraction;
+}
+
+}  // namespace
+
+std::string RunSettings::key_fragment() const {
+  std::ostringstream oss;
+  oss << "hu=" << high_urgency_percent << ";adf=" << arrival_delay_factor
+      << ";inacc=" << inaccuracy_percent << ";d=";
+  qos_fragment(oss, deadline);
+  oss << ";b=";
+  qos_fragment(oss, budget);
+  oss << ";p=";
+  qos_fragment(oss, penalty);
+  return oss.str();
+}
+
+RunSettings Scenario::settings_for(const RunSettings& defaults,
+                                   std::size_t index) const {
+  if (index >= values.size()) {
+    throw std::out_of_range("Scenario::settings_for: bad value index");
+  }
+  RunSettings settings = defaults;
+  apply(settings, values[index]);
+  return settings;
+}
+
+const std::vector<Scenario>& all_scenarios() {
+  static const std::vector<Scenario> scenarios = [] {
+    std::vector<Scenario> list;
+
+    list.push_back({"job mix", percent_values(),
+                    [](RunSettings& s, double v) {
+                      s.high_urgency_percent = v;
+                    }});
+    list.push_back({"workload", delay_values(),
+                    [](RunSettings& s, double v) {
+                      s.arrival_delay_factor = v;
+                    }});
+    list.push_back({"inaccuracy", percent_values(),
+                    [](RunSettings& s, double v) {
+                      s.inaccuracy_percent = v;
+                    }});
+
+    list.push_back({"deadline bias", factor_values(),
+                    [](RunSettings& s, double v) { s.deadline.bias = v; }});
+    list.push_back({"budget bias", factor_values(),
+                    [](RunSettings& s, double v) { s.budget.bias = v; }});
+    list.push_back({"penalty bias", factor_values(),
+                    [](RunSettings& s, double v) { s.penalty.bias = v; }});
+
+    list.push_back({"deadline ratio", factor_values(),
+                    [](RunSettings& s, double v) {
+                      s.deadline.high_low_ratio = v;
+                    }});
+    list.push_back({"budget ratio", factor_values(),
+                    [](RunSettings& s, double v) {
+                      s.budget.high_low_ratio = v;
+                    }});
+    list.push_back({"penalty ratio", factor_values(),
+                    [](RunSettings& s, double v) {
+                      s.penalty.high_low_ratio = v;
+                    }});
+
+    list.push_back({"deadline low mean", factor_values(),
+                    [](RunSettings& s, double v) {
+                      s.deadline.low_value_mean = v;
+                    }});
+    list.push_back({"budget low mean", factor_values(),
+                    [](RunSettings& s, double v) {
+                      s.budget.low_value_mean = v;
+                    }});
+    list.push_back({"penalty low mean", factor_values(),
+                    [](RunSettings& s, double v) {
+                      s.penalty.low_value_mean = v;
+                    }});
+
+    for (const Scenario& scenario : list) {
+      if (scenario.values.size() != kValuesPerScenario) {
+        throw std::logic_error("all_scenarios: scenario without 6 values");
+      }
+    }
+    return list;
+  }();
+  return scenarios;
+}
+
+const Scenario& scenario_by_name(const std::string& name) {
+  for (const Scenario& scenario : all_scenarios()) {
+    if (scenario.name == name) return scenario;
+  }
+  throw std::invalid_argument("scenario_by_name: unknown scenario '" + name +
+                              "'");
+}
+
+}  // namespace utilrisk::exp

@@ -1,0 +1,53 @@
+// The twelve evaluation scenarios of Table VI.
+//
+// A scenario varies exactly one knob over six values while every other
+// knob stays at its default (underlined in the paper's Table VI; our
+// defaults are documented in DESIGN.md §3). Six values per scenario feed
+// six normalised results into each separate risk analysis.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workload/qos.hpp"
+
+namespace utilrisk::exp {
+
+/// Concrete knob values for one simulation run.
+struct RunSettings {
+  double high_urgency_percent = 20.0;
+  double arrival_delay_factor = 0.25;
+  double inaccuracy_percent = 0.0;  ///< 0 in Set A, 100 in Set B
+  workload::QosParameterConfig deadline{};  // low_mean 4, ratio 4, bias 2
+  workload::QosParameterConfig budget{};
+  workload::QosParameterConfig penalty{};
+
+  /// Canonical key fragment for the result cache.
+  [[nodiscard]] std::string key_fragment() const;
+};
+
+/// One Table VI scenario: a label, six values, and the mutation each value
+/// applies on top of the defaults.
+struct Scenario {
+  std::string name;
+  std::vector<double> values;
+  std::function<void(RunSettings&, double)> apply;
+
+  /// Settings for value index i, starting from `defaults`.
+  [[nodiscard]] RunSettings settings_for(const RunSettings& defaults,
+                                         std::size_t index) const;
+};
+
+/// Number of values per scenario (Table VI).
+inline constexpr std::size_t kValuesPerScenario = 6;
+
+/// The twelve scenarios, in Table VI column order: job mix, workload
+/// (arrival delay factor), estimate inaccuracy, then {bias, high:low
+/// ratio, low-value mean} x {deadline, budget, penalty}.
+[[nodiscard]] const std::vector<Scenario>& all_scenarios();
+
+/// Looks a scenario up by name; throws std::invalid_argument when unknown.
+[[nodiscard]] const Scenario& scenario_by_name(const std::string& name);
+
+}  // namespace utilrisk::exp

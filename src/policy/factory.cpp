@@ -1,0 +1,81 @@
+#include "policy/factory.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "policy/first_reward.hpp"
+#include "policy/libra.hpp"
+#include "policy/libra_dollar.hpp"
+#include "policy/libra_reserve.hpp"
+#include "policy/libra_riskd.hpp"
+#include "policy/queue_policy.hpp"
+
+namespace utilrisk::policy {
+
+std::string_view to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::FcfsBf: return "FCFS-BF";
+    case PolicyKind::SjfBf: return "SJF-BF";
+    case PolicyKind::EdfBf: return "EDF-BF";
+    case PolicyKind::Libra: return "Libra";
+    case PolicyKind::LibraDollar: return "Libra+$";
+    case PolicyKind::LibraRiskD: return "LibraRiskD";
+    case PolicyKind::FirstReward: return "FirstReward";
+    case PolicyKind::LibraReserve: return "LibraReserve";
+  }
+  return "?";
+}
+
+PolicyKind parse_policy_kind(std::string_view name) {
+  for (PolicyKind kind : all_policy_kinds()) {
+    if (to_string(kind) == name) return kind;
+  }
+  throw std::invalid_argument("parse_policy_kind: unknown policy '" +
+                              std::string(name) + "'");
+}
+
+const std::vector<PolicyKind>& all_policy_kinds() {
+  static const std::vector<PolicyKind> kinds = {
+      PolicyKind::FcfsBf,     PolicyKind::SjfBf,       PolicyKind::EdfBf,
+      PolicyKind::Libra,      PolicyKind::LibraDollar, PolicyKind::LibraRiskD,
+      PolicyKind::FirstReward, PolicyKind::LibraReserve};
+  return kinds;
+}
+
+std::vector<PolicyKind> policies_for_model(economy::EconomicModel model) {
+  if (model == economy::EconomicModel::CommodityMarket) {
+    return {PolicyKind::FcfsBf, PolicyKind::EdfBf, PolicyKind::SjfBf,
+            PolicyKind::Libra, PolicyKind::LibraDollar};
+  }
+  return {PolicyKind::FcfsBf, PolicyKind::EdfBf, PolicyKind::FirstReward,
+          PolicyKind::Libra, PolicyKind::LibraRiskD};
+}
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind,
+                                    const PolicyContext& context,
+                                    PolicyHost& host) {
+  switch (kind) {
+    case PolicyKind::FcfsBf:
+      return std::make_unique<QueueBackfillPolicy>(context, host,
+                                                   QueueOrder::ArrivalTime);
+    case PolicyKind::SjfBf:
+      return std::make_unique<QueueBackfillPolicy>(
+          context, host, QueueOrder::ShortestEstimate);
+    case PolicyKind::EdfBf:
+      return std::make_unique<QueueBackfillPolicy>(
+          context, host, QueueOrder::EarliestDeadline);
+    case PolicyKind::Libra:
+      return std::make_unique<LibraPolicy>(context, host);
+    case PolicyKind::LibraDollar:
+      return std::make_unique<LibraDollarPolicy>(context, host);
+    case PolicyKind::LibraRiskD:
+      return std::make_unique<LibraRiskDPolicy>(context, host);
+    case PolicyKind::FirstReward:
+      return std::make_unique<FirstRewardPolicy>(context, host);
+    case PolicyKind::LibraReserve:
+      return std::make_unique<LibraReservePolicy>(context, host);
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+}  // namespace utilrisk::policy

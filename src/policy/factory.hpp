@@ -1,0 +1,46 @@
+// Policy registry: the seven policies of Table V plus name round-trips.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "economy/money.hpp"
+#include "policy/policy.hpp"
+
+namespace utilrisk::policy {
+
+enum class PolicyKind {
+  FcfsBf,
+  SjfBf,
+  EdfBf,
+  Libra,
+  LibraDollar,
+  LibraRiskD,
+  FirstReward,
+  /// Extension (not part of the paper's Table V): deferred admission on
+  /// the advance-reservation substrate; see policy/libra_reserve.hpp.
+  LibraReserve,
+};
+
+/// Canonical display name ("FCFS-BF", "Libra+$", ...).
+[[nodiscard]] std::string_view to_string(PolicyKind kind);
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] PolicyKind parse_policy_kind(std::string_view name);
+
+/// All kinds: the seven of Table V in order, then extensions.
+[[nodiscard]] const std::vector<PolicyKind>& all_policy_kinds();
+
+/// The policy set the paper evaluates per economic model (Table V):
+/// commodity = {FCFS-BF, SJF-BF, EDF-BF, Libra, Libra+$},
+/// bid       = {FCFS-BF, EDF-BF, FirstReward, Libra, LibraRiskD}.
+[[nodiscard]] std::vector<PolicyKind> policies_for_model(
+    economy::EconomicModel model);
+
+/// Instantiates a policy (and its executor) bound to `host`.
+[[nodiscard]] std::unique_ptr<Policy> make_policy(PolicyKind kind,
+                                                  const PolicyContext& context,
+                                                  PolicyHost& host);
+
+}  // namespace utilrisk::policy

@@ -1,0 +1,109 @@
+#include "policy/first_reward.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace utilrisk::policy {
+
+FirstRewardPolicy::FirstRewardPolicy(const PolicyContext& context,
+                                     PolicyHost& host)
+    : Policy(context, host),
+      cluster_(std::make_unique<cluster::SpaceSharedCluster>(
+          *context.simulator, context.machine)) {}
+
+economy::Money FirstRewardPolicy::present_value(
+    const workload::Job& job) const {
+  const double rpt_hours = job.estimated_runtime / 3600.0;
+  return job.budget /
+         (1.0 + context().first_reward.discount_rate_per_hour * rpt_hours);
+}
+
+economy::Money FirstRewardPolicy::opportunity_cost(
+    const workload::Job& job) const {
+  // cost_i = sum_{j != i, j accepted} pr_j * RPT_i. At admission the job is
+  // not yet in the accepted set, so the full sum applies.
+  return accepted_penalty_rate_sum_ * job.estimated_runtime;
+}
+
+double FirstRewardPolicy::slack(const workload::Job& job) const {
+  if (job.penalty_rate <= 0.0) {
+    // A penalty-free job can never cost anything: infinite slack.
+    return std::numeric_limits<double>::infinity();
+  }
+  return (present_value(job) - opportunity_cost(job)) / job.penalty_rate;
+}
+
+double FirstRewardPolicy::reward(const workload::Job& job) const {
+  const double alpha = context().first_reward.alpha;
+  const double rpt = std::max(job.estimated_runtime, 1.0);
+  return (alpha * present_value(job) -
+          (1.0 - alpha) * opportunity_cost(job)) /
+         rpt;
+}
+
+void FirstRewardPolicy::on_submit(const workload::Job& job) {
+  if (job.procs > cluster_->total_procs()) {
+    host().notify_rejected(job);
+    return;
+  }
+  if (slack(job) < context().first_reward.slack_threshold) {
+    host().notify_rejected(job);
+    return;
+  }
+  // Accepted at submission; the bid (budget) is the maximum utility, the
+  // realised utility is settled by the service from the finish time.
+  host().notify_accepted(job, job.budget);
+  accepted_penalty_rate_sum_ += job.penalty_rate;
+  queue_.push_back(job);
+  dispatch();
+}
+
+bool FirstRewardPolicy::terminate(workload::JobId id) {
+  if (cluster_->cancel(id)) {
+    // The completion callback (which normally settles the penalty-rate
+    // sum) is suppressed by the cancel; settle here.
+    auto it = running_penalty_.find(id);
+    if (it != running_penalty_.end()) {
+      accepted_penalty_rate_sum_ -= it->second;
+      running_penalty_.erase(it);
+    }
+    dispatch();  // freed processors can start queued jobs
+    return true;
+  }
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id == id) {
+      accepted_penalty_rate_sum_ -= it->penalty_rate;
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FirstRewardPolicy::dispatch() {
+  // Keep the wait queue ordered by reward (descending): FirstReward delays
+  // previously accepted jobs whenever a newcomer outranks them.
+  std::sort(queue_.begin(), queue_.end(),
+            [this](const workload::Job& a, const workload::Job& b) {
+              const double ra = reward(a);
+              const double rb = reward(b);
+              if (ra != rb) return ra > rb;
+              return a.id < b.id;
+            });
+  // No backfilling: the head blocks until its processors are free.
+  while (!queue_.empty() && cluster_->can_start(queue_.front().procs)) {
+    const workload::Job job = queue_.front();
+    queue_.erase(queue_.begin());
+    host().notify_started(job);
+    running_penalty_[job.id] = job.penalty_rate;
+    cluster_->start(job,
+                    [this, job](workload::JobId, sim::SimTime finish) {
+                      accepted_penalty_rate_sum_ -= job.penalty_rate;
+                      running_penalty_.erase(job.id);
+                      host().notify_finished(job, finish);
+                      dispatch();
+                    });
+  }
+}
+
+}  // namespace utilrisk::policy

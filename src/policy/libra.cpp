@@ -1,0 +1,89 @@
+#include "policy/libra.hpp"
+
+#include <algorithm>
+
+#include "sim/trace_log.hpp"
+
+namespace utilrisk::policy {
+
+LibraPolicy::LibraPolicy(const PolicyContext& context, PolicyHost& host)
+    : Policy(context, host),
+      cluster_(std::make_unique<cluster::TimeSharedCluster>(
+          *context.simulator, context.machine)) {}
+
+std::optional<double> LibraPolicy::required_share(
+    const workload::Job& job) const {
+  if (job.deadline_duration <= 0.0 || job.estimated_runtime <= 0.0) {
+    return std::nullopt;
+  }
+  const double share = job.estimated_runtime / job.deadline_duration;
+  if (share > 1.0) return std::nullopt;  // infeasible even on a free node
+  return share;
+}
+
+bool LibraPolicy::node_eligible(cluster::NodeId node,
+                                const workload::Job& /*job*/,
+                                double share) const {
+  return cluster_->committed_share(node) + share <=
+         1.0 + cluster::TimeSharedCluster::kShareEpsilon;
+}
+
+economy::Money LibraPolicy::quote(const workload::Job& job,
+                                  const std::vector<cluster::NodeId>& /*nodes*/,
+                                  double /*share*/) const {
+  return economy::libra_quote(job, pricing());
+}
+
+std::vector<cluster::NodeId> LibraPolicy::select_nodes(
+    const workload::Job& job, double share) const {
+  std::vector<cluster::NodeId> eligible;
+  eligible.reserve(cluster_->node_count());
+  for (cluster::NodeId node = 0; node < cluster_->node_count(); ++node) {
+    if (node_eligible(node, job, share)) eligible.push_back(node);
+  }
+  if (eligible.size() < job.procs) return {};
+  // Best fit: least residual share after placement == highest committed
+  // share first.
+  std::sort(eligible.begin(), eligible.end(),
+            [this](cluster::NodeId a, cluster::NodeId b) {
+              const double ca = cluster_->committed_share(a);
+              const double cb = cluster_->committed_share(b);
+              if (ca != cb) return ca > cb;
+              return a < b;
+            });
+  eligible.resize(job.procs);
+  return eligible;
+}
+
+void LibraPolicy::on_submit(const workload::Job& job) {
+  if (job.procs > cluster_->node_count()) {
+    host().notify_rejected(job);
+    return;
+  }
+  const std::optional<double> share = required_share(job);
+  if (!share) {
+    host().notify_rejected(job);
+    return;
+  }
+  const std::vector<cluster::NodeId> nodes = select_nodes(job, *share);
+  if (nodes.empty()) {
+    host().notify_rejected(job);
+    return;
+  }
+  economy::Money quoted = job.budget;
+  if (model() == economy::EconomicModel::CommodityMarket) {
+    quoted = quote(job, nodes, *share);
+    if (quoted > job.budget) {  // cost above budget: reject (§5.1)
+      host().notify_rejected(job);
+      return;
+    }
+  }
+  host().notify_accepted(job, quoted);
+  host().notify_started(job);  // time-shared execution starts immediately
+  cluster_->start(job, nodes, *share,
+                  [this, job](workload::JobId, sim::SimTime finish) {
+                    host().notify_finished(job, finish);
+                  });
+}
+
+}  // namespace utilrisk::policy

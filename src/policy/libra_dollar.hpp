@@ -1,0 +1,31 @@
+// Libra+$ (Yeo & Buyya [35]): Libra allocation with an enhanced pricing
+// function that is flexible, fair, dynamic and adaptive.
+//
+// Per-node price for job i on node j:
+//   P_ij = alpha * PBase_j + beta * PUtil_ij
+//   PUtil_ij = RESMax_j / RESFree_ij * PBase_j
+// where RESFree_ij is the node's remaining share capacity over the job's
+// deadline window *after* deducting the job's own reservation. The job is
+// charged the maximum P_ij across its allocated nodes (revenue
+// maximisation, §5.2); as nodes saturate, prices rise above user budgets
+// and admission rejects the marginal job — the adaptive overload control
+// the paper credits for Libra+$'s profitability lead.
+#pragma once
+
+#include "policy/libra.hpp"
+
+namespace utilrisk::policy {
+
+class LibraDollarPolicy : public LibraPolicy {
+ public:
+  using LibraPolicy::LibraPolicy;
+
+  [[nodiscard]] std::string_view name() const override { return "Libra+$"; }
+
+ protected:
+  [[nodiscard]] economy::Money quote(
+      const workload::Job& job, const std::vector<cluster::NodeId>& nodes,
+      double share) const override;
+};
+
+}  // namespace utilrisk::policy

@@ -1,0 +1,230 @@
+#include "policy/libra_reserve.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+namespace utilrisk::policy {
+
+namespace {
+/// Smallest share a degraded (conflicted) start will run at; below this
+/// the job would take absurdly long and penalties explode, so we retry
+/// shortly instead.
+constexpr double kMinDegradedShare = 0.02;
+/// Retry delay when a deferred job finds its nodes saturated by overrun
+/// predecessors.
+constexpr double kRetryDelay = 300.0;
+}  // namespace
+
+LibraReservePolicy::LibraReservePolicy(const PolicyContext& context,
+                                       PolicyHost& host)
+    : Policy(context, host),
+      cluster_(std::make_unique<cluster::TimeSharedCluster>(
+          *context.simulator, context.machine)),
+      book_(context.machine.node_count) {}
+
+std::optional<LibraReservePolicy::Booking> LibraReservePolicy::plan(
+    const workload::Job& job) const {
+  if (job.procs > cluster_->node_count() || job.estimated_runtime <= 0.0 ||
+      job.deadline_duration <= 0.0) {
+    return std::nullopt;
+  }
+  const sim::SimTime now = simulator().now();
+  const sim::SimTime deadline = job.absolute_deadline();
+  const sim::SimTime latest_start = deadline - job.estimated_runtime;
+  if (latest_start < now - sim::kTimeEpsilon) return std::nullopt;
+
+  // Candidate starts: "now" plus the earliest per-node fits at two probe
+  // share levels. Deferring the start only *increases* the required share
+  // (the window shrinks), so the earliest feasible candidate in this
+  // ladder is a sound — if slightly conservative — choice; exact
+  // procs-wide earliest-start search would need a sweep over the joint
+  // breakpoint set and buys little on these workloads.
+  std::set<sim::SimTime> candidates;
+  candidates.insert(now);
+  const double min_share = job.estimated_runtime / (deadline - now);
+  if (min_share <= 1.0 + cluster::TimeSharedCluster::kShareEpsilon) {
+    for (cluster::NodeId id = 0; id < book_.node_count(); ++id) {
+      for (double probe : {min_share, std::min(1.0, min_share * 2.0)}) {
+        const sim::SimTime t = book_.node(id).earliest_fit(
+            now, latest_start, job.estimated_runtime, probe);
+        if (t != sim::kTimeNever) candidates.insert(t);
+      }
+    }
+  }
+
+  for (sim::SimTime start : candidates) {
+    if (start > latest_start + sim::kTimeEpsilon) continue;
+    const double share = job.estimated_runtime / (deadline - start);
+    if (share > 1.0 + cluster::TimeSharedCluster::kShareEpsilon) continue;
+    const auto fitting = book_.fitting_nodes(start, deadline, share);
+    if (fitting.size() < job.procs) continue;
+    Booking booking;
+    booking.job = job;
+    booking.nodes.assign(fitting.begin(),
+                         fitting.begin() + job.procs);
+    booking.share = std::min(share, 1.0);
+    booking.start = std::max(start, now);
+    booking.window_end = deadline;
+    return booking;
+  }
+  return std::nullopt;
+}
+
+void LibraReservePolicy::on_submit(const workload::Job& job) {
+  std::optional<Booking> booking = plan(job);
+  if (!booking) {
+    host().notify_rejected(job);
+    return;
+  }
+  economy::Money quoted = job.budget;
+  if (model() == economy::EconomicModel::CommodityMarket) {
+    quoted = economy::libra_quote(job, pricing());
+    if (quoted > job.budget) {
+      host().notify_rejected(job);
+      return;
+    }
+  }
+  for (cluster::NodeId node : booking->nodes) {
+    book_.node(node).book(booking->start, booking->window_end,
+                          booking->share);
+  }
+  host().notify_accepted(job, quoted);
+  const workload::JobId id = job.id;
+  const sim::SimTime start = booking->start;
+  deferred_.emplace(id, std::move(*booking));
+  simulator().schedule_at(start, [this, id] { start_booked(id); });
+}
+
+void LibraReservePolicy::start_booked(workload::JobId id) {
+  auto it = deferred_.find(id);
+  if (it == deferred_.end()) return;  // defensive: already started
+  Booking booking = it->second;
+  const sim::SimTime now = simulator().now();
+
+  // The booked window starts now; release the book (execution occupancy is
+  // tracked by the live cluster from here on).
+  for (cluster::NodeId node : booking.nodes) {
+    book_.node(node).release(booking.start, booking.window_end,
+                             booking.share);
+  }
+
+  // Honour the planned placement when the live cluster allows it (always,
+  // when estimates are accurate: every execution stays inside its
+  // booking). Only overrun predecessors can invalidate it.
+  std::vector<cluster::NodeId> nodes;
+  double degraded_share = booking.share;
+  bool booked_nodes_ok = true;
+  for (cluster::NodeId node : booking.nodes) {
+    if (cluster_->committed_share(node) + booking.share >
+        1.0 + cluster::TimeSharedCluster::kShareEpsilon) {
+      booked_nodes_ok = false;
+      break;
+    }
+  }
+  if (booked_nodes_ok) {
+    nodes = booking.nodes;
+  } else {
+    // Overrun fallback: pick nodes that are feasible both live and in the
+    // book over the remaining window (avoid stealing pending slots).
+    for (cluster::NodeId node = 0;
+         node < cluster_->node_count() && nodes.size() < booking.job.procs;
+         ++node) {
+      const bool live_ok =
+          cluster_->committed_share(node) + booking.share <=
+          1.0 + cluster::TimeSharedCluster::kShareEpsilon;
+      const bool book_ok =
+          now >= booking.window_end ||
+          book_.node(node).max_committed(now, booking.window_end) +
+                  booking.share <=
+              1.0 + cluster::TimeSharedCluster::kShareEpsilon;
+      if (live_ok && book_ok) nodes.push_back(node);
+    }
+  }
+  if (nodes.size() < booking.job.procs) {
+    // Degraded path: take the least-committed nodes and shrink the share.
+    std::vector<std::pair<double, cluster::NodeId>> by_load;
+    for (cluster::NodeId node = 0; node < cluster_->node_count(); ++node) {
+      by_load.emplace_back(cluster_->committed_share(node), node);
+    }
+    std::sort(by_load.begin(), by_load.end());
+    nodes.clear();
+    double available = 1.0;
+    for (std::size_t i = 0; i < booking.job.procs && i < by_load.size();
+         ++i) {
+      nodes.push_back(by_load[i].second);
+      available = std::min(available, 1.0 - by_load[i].first);
+    }
+    degraded_share = std::min(booking.share, available);
+    if (nodes.size() < booking.job.procs ||
+        degraded_share < kMinDegradedShare) {
+      // Saturated: re-book the remaining window and retry shortly.
+      for (cluster::NodeId node : booking.nodes) {
+        book_.node(node).book(now + kRetryDelay, booking.window_end + kRetryDelay,
+                              booking.share);
+      }
+      it->second.start = now + kRetryDelay;
+      it->second.window_end = booking.window_end + kRetryDelay;
+      simulator().schedule_in(kRetryDelay, [this, id] { start_booked(id); });
+      return;
+    }
+  }
+
+  deferred_.erase(it);
+
+  // Track the execution in the book on the nodes actually used, so later
+  // plans see the commitment; the unused tail is released at completion
+  // (early finishes free capacity, exactly like Libra's share release).
+  const double booked_share = degraded_share;
+  const sim::SimTime window_end = booking.window_end;
+  if (now < window_end) {
+    for (cluster::NodeId node : nodes) {
+      book_.node(node).book(now, window_end, booked_share);
+    }
+  }
+
+  if (now < window_end) {
+    active_[booking.job.id] =
+        Active{nodes, booked_share, window_end};
+  }
+
+  host().notify_started(booking.job);
+  cluster_->start(
+      booking.job, nodes, degraded_share,
+      [this, booking](workload::JobId id, sim::SimTime finish) {
+        release_active(id, finish);
+        host().notify_finished(booking.job, finish);
+      });
+}
+
+void LibraReservePolicy::release_active(workload::JobId id,
+                                        sim::SimTime at) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  if (at < it->second.window_end - sim::kTimeEpsilon) {
+    for (cluster::NodeId node : it->second.nodes) {
+      book_.node(node).release(at, it->second.window_end,
+                               it->second.share);
+    }
+  }
+  active_.erase(it);
+}
+
+bool LibraReservePolicy::terminate(workload::JobId id) {
+  if (cluster_->cancel(id)) {
+    release_active(id, simulator().now());
+    return true;
+  }
+  auto it = deferred_.find(id);
+  if (it == deferred_.end()) return false;
+  // Deferred (not yet started): drop the future booking; the scheduled
+  // start event finds the id gone and no-ops.
+  for (cluster::NodeId node : it->second.nodes) {
+    book_.node(node).release(it->second.start, it->second.window_end,
+                             it->second.share);
+  }
+  deferred_.erase(it);
+  return true;
+}
+
+}  // namespace utilrisk::policy

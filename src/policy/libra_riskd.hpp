@@ -1,0 +1,33 @@
+// LibraRiskD (Yeo & Buyya [33]): Libra allocation that only places jobs on
+// nodes with zero risk of deadline delay.
+//
+// Base Libra admits on nominal share capacity alone; it trusts estimates.
+// LibraRiskD additionally projects every task on a candidate node forward
+// at the rates that would hold after the placement:
+//   - any task that has already overrun its estimate makes the node risky
+//     (its remaining work is unknowable, so no deadline can be guaranteed);
+//   - any task (including the new job) whose projected completion at the
+//     post-placement rates exceeds its deadline makes the node risky.
+// This is what lets LibraRiskD absorb inaccurate runtime estimates (Set B)
+// while matching Libra when estimates are accurate (Set A).
+#pragma once
+
+#include "policy/libra.hpp"
+
+namespace utilrisk::policy {
+
+class LibraRiskDPolicy : public LibraPolicy {
+ public:
+  using LibraPolicy::LibraPolicy;
+
+  [[nodiscard]] std::string_view name() const override {
+    return "LibraRiskD";
+  }
+
+ protected:
+  [[nodiscard]] bool node_eligible(cluster::NodeId node,
+                                   const workload::Job& job,
+                                   double share) const override;
+};
+
+}  // namespace utilrisk::policy

@@ -1,0 +1,122 @@
+// Resource-management policy interface.
+//
+// A policy receives every submitted job and decides whether/when it runs.
+// It owns its executor (space- or time-shared) and reports SLA lifecycle
+// transitions to the PolicyHost (the commercial computing service), which
+// does the accounting. Ground-truth runtimes are only ever consumed by the
+// executors; policies decide from estimates, deadlines, budgets and
+// penalty rates — exactly the information a real scheduler would have.
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+
+#include "cluster/node.hpp"
+#include "economy/money.hpp"
+#include "economy/pricing.hpp"
+#include "sim/simulator.hpp"
+#include "workload/job.hpp"
+
+namespace utilrisk::policy {
+
+/// Callbacks from a policy to the service. All calls happen at the current
+/// simulation time of the policy's simulator.
+class PolicyHost {
+ public:
+  virtual ~PolicyHost() = default;
+
+  /// SLA accepted. `quoted_cost` is the commodity-model charge fixed at
+  /// acceptance (ignored in the bid-based model, where utility is settled
+  /// from the completion time).
+  virtual void notify_accepted(const workload::Job& job,
+                               economy::Money quoted_cost) = 0;
+
+  /// SLA refused by admission control.
+  virtual void notify_rejected(const workload::Job& job) = 0;
+
+  /// Job began executing (drives the wait objective: t_start - t_submit).
+  virtual void notify_started(const workload::Job& job) = 0;
+
+  /// Job finished (drives SLA/reliability/profitability objectives).
+  virtual void notify_finished(const workload::Job& job,
+                               sim::SimTime finish_time) = 0;
+};
+
+/// Parameters of the FirstReward policy (paper §5.2, after Irwin et al.).
+struct FirstRewardParams {
+  /// Reward alpha-weighting; the paper's tuned value is 1 (pure earnings).
+  double alpha = 1.0;
+  /// Discount rate applied per hour of remaining processing time:
+  /// PV = b / (1 + rate * RPT_hours). The paper states "1%" without a time
+  /// unit; per-hour keeps PV meaningful at trace runtimes (DESIGN.md §3).
+  double discount_rate_per_hour = 0.01;
+  /// Admission slack threshold in seconds of (PV - cost) / penalty-rate.
+  double slack_threshold = 25.0;
+};
+
+/// Everything a policy needs at construction.
+struct PolicyContext {
+  sim::Simulator* simulator = nullptr;
+  cluster::MachineConfig machine;
+  economy::EconomicModel model = economy::EconomicModel::CommodityMarket;
+  economy::PricingParams pricing;
+  FirstRewardParams first_reward;
+  /// Preemption ablation (§5.2 assumes non-preemptive policies): when
+  /// true, the service kills any accepted job still unfinished at its
+  /// deadline via Policy::terminate. Default matches the paper.
+  bool terminate_at_deadline = false;
+};
+
+/// Abstract policy. Concrete policies: queue_policy.hpp (FCFS/SJF/EDF with
+/// EASY backfilling), libra.hpp, libra_dollar.hpp, libra_riskd.hpp,
+/// first_reward.hpp. Custom policies subclass this (see
+/// examples/custom_policy.cpp).
+class Policy {
+ public:
+  Policy(const PolicyContext& context, PolicyHost& host)
+      : context_(context), host_(&host) {
+    if (context_.simulator == nullptr) {
+      throw std::invalid_argument("Policy: null simulator");
+    }
+    context_.machine.validate();
+  }
+
+  virtual ~Policy() = default;
+
+  Policy(const Policy&) = delete;
+  Policy& operator=(const Policy&) = delete;
+
+  /// Invoked at the job's submission time.
+  virtual void on_submit(const workload::Job& job) = 0;
+
+  /// Display name, e.g. "SJF-BF".
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Processor-seconds of real work delivered by this policy's executor so
+  /// far (drives the utilisation figure in SimulationReport).
+  [[nodiscard]] virtual double delivered_proc_seconds() const { return 0.0; }
+
+  /// Kills an accepted (queued or running) job, freeing its resources and
+  /// suppressing its completion callback (the service records the outcome
+  /// separately). Returns false when the job is unknown or termination is
+  /// unsupported. Base implementation: unsupported.
+  virtual bool terminate(workload::JobId /*id*/) { return false; }
+
+  [[nodiscard]] const PolicyContext& context() const { return context_; }
+
+ protected:
+  [[nodiscard]] sim::Simulator& simulator() const {
+    return *context_.simulator;
+  }
+  [[nodiscard]] PolicyHost& host() const { return *host_; }
+  [[nodiscard]] economy::EconomicModel model() const { return context_.model; }
+  [[nodiscard]] const economy::PricingParams& pricing() const {
+    return context_.pricing;
+  }
+
+ private:
+  PolicyContext context_;
+  PolicyHost* host_;
+};
+
+}  // namespace utilrisk::policy

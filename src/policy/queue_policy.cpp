@@ -1,0 +1,181 @@
+#include "policy/queue_policy.hpp"
+
+#include <algorithm>
+
+#include "sim/trace_log.hpp"
+
+namespace utilrisk::policy {
+
+const char* to_string(QueueOrder order) {
+  switch (order) {
+    case QueueOrder::ArrivalTime: return "FCFS-BF";
+    case QueueOrder::ShortestEstimate: return "SJF-BF";
+    case QueueOrder::EarliestDeadline: return "EDF-BF";
+  }
+  return "?";
+}
+
+const char* to_string(AdmissionControl admission) {
+  return admission == AdmissionControl::Generous ? "generous" : "none";
+}
+
+QueueBackfillPolicy::QueueBackfillPolicy(const PolicyContext& context,
+                                         PolicyHost& host, QueueOrder order,
+                                         AdmissionControl admission)
+    : Policy(context, host),
+      order_(order),
+      admission_(admission),
+      cluster_(std::make_unique<cluster::SpaceSharedCluster>(
+          *context.simulator, context.machine)) {}
+
+std::string_view QueueBackfillPolicy::name() const {
+  return to_string(order_);
+}
+
+double QueueBackfillPolicy::delivered_proc_seconds() const {
+  return cluster_->busy_proc_seconds(simulator().now());
+}
+
+bool QueueBackfillPolicy::terminate(workload::JobId id) {
+  if (!cluster_->cancel(id)) return false;
+  dispatch();  // freed processors can start queued jobs
+  return true;
+}
+
+bool QueueBackfillPolicy::higher_priority(const workload::Job& a,
+                                          const workload::Job& b) const {
+  switch (order_) {
+    case QueueOrder::ArrivalTime:
+      if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+      break;
+    case QueueOrder::ShortestEstimate:
+      if (a.estimated_runtime != b.estimated_runtime) {
+        return a.estimated_runtime < b.estimated_runtime;
+      }
+      break;
+    case QueueOrder::EarliestDeadline:
+      if (a.absolute_deadline() != b.absolute_deadline()) {
+        return a.absolute_deadline() < b.absolute_deadline();
+      }
+      break;
+  }
+  return a.id < b.id;  // deterministic tiebreak
+}
+
+bool QueueBackfillPolicy::still_viable(const workload::Job& job) const {
+  if (admission_ == AdmissionControl::None) return true;
+  const sim::SimTime now = simulator().now();
+  // (ii) deadline already lapsed in the queue, or (i) starting now is
+  // predicted (by the estimate) to exceed the deadline.
+  return now + job.estimated_runtime <=
+         job.absolute_deadline() + sim::kTimeEpsilon;
+}
+
+std::uint32_t QueueBackfillPolicy::estimated_free_at(sim::SimTime when) const {
+  std::uint32_t available = cluster_->free_procs();
+  for (const auto& info : cluster_->running_jobs()) {
+    if (info.estimated_finish <= when + sim::kTimeEpsilon) {
+      available += info.procs;
+    }
+  }
+  return std::min(available, cluster_->total_procs());
+}
+
+void QueueBackfillPolicy::on_submit(const workload::Job& job) {
+  if (job.procs > cluster_->total_procs()) {
+    host().notify_rejected(job);
+    return;
+  }
+  // Commodity-market rule: a job whose expected cost exceeds its budget is
+  // rejected (§5.1). The tariff is fixed at submission (SLA negotiation
+  // time), so the check at submission equals the charge at start.
+  if (model() == economy::EconomicModel::CommodityMarket &&
+      economy::flat_quote_at(job, job.submit_time, pricing()) > job.budget) {
+    host().notify_rejected(job);
+    return;
+  }
+  queue_.push_back(job);
+  dispatch();
+}
+
+void QueueBackfillPolicy::start_job(const workload::Job& job) {
+  const economy::Money quote =
+      model() == economy::EconomicModel::CommodityMarket
+          ? economy::flat_quote_at(job, job.submit_time, pricing())
+          : job.budget;
+  host().notify_accepted(job, quote);
+  host().notify_started(job);
+  cluster_->start(job,
+                  [this, job](workload::JobId, sim::SimTime finish) {
+                    host().notify_finished(job, finish);
+                    dispatch();
+                  });
+}
+
+void QueueBackfillPolicy::dispatch() {
+  if (dispatching_) {
+    // Completion callbacks can re-enter while we are mid-scan; fold the
+    // request into the current pass.
+    dispatch_again_ = true;
+    return;
+  }
+  dispatching_ = true;
+  do {
+    dispatch_again_ = false;
+
+    std::sort(queue_.begin(), queue_.end(),
+              [this](const workload::Job& a, const workload::Job& b) {
+                return higher_priority(a, b);
+              });
+
+    // Reject queued jobs that can no longer fulfil their SLA (generous
+    // admission control, applied at the latest possible moment).
+    std::vector<workload::Job> viable;
+    viable.reserve(queue_.size());
+    for (const auto& job : queue_) {
+      if (still_viable(job)) {
+        viable.push_back(job);
+      } else {
+        host().notify_rejected(job);
+      }
+    }
+    queue_ = std::move(viable);
+
+    // Start the head while it fits.
+    while (!queue_.empty() && cluster_->can_start(queue_.front().procs)) {
+      const workload::Job head = queue_.front();
+      queue_.erase(queue_.begin());
+      start_job(head);
+    }
+    if (queue_.empty()) continue;
+
+    // EASY backfilling against the head's shadow reservation.
+    const workload::Job head = queue_.front();
+    sim::SimTime shadow = cluster_->estimated_availability(head.procs);
+    std::uint32_t extra = estimated_free_at(shadow) >= head.procs
+                              ? estimated_free_at(shadow) - head.procs
+                              : 0;
+    const sim::SimTime now = simulator().now();
+    for (std::size_t i = 1; i < queue_.size();) {
+      const workload::Job& candidate = queue_[i];
+      const bool fits_now = cluster_->can_start(candidate.procs);
+      const bool before_shadow =
+          now + candidate.estimated_runtime <= shadow + sim::kTimeEpsilon;
+      const bool within_extra = candidate.procs <= extra;
+      if (fits_now && (before_shadow || within_extra)) {
+        start_job(candidate);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        // Restate the reservation against the new cluster state.
+        shadow = cluster_->estimated_availability(head.procs);
+        extra = estimated_free_at(shadow) >= head.procs
+                    ? estimated_free_at(shadow) - head.procs
+                    : 0;
+      } else {
+        ++i;
+      }
+    }
+  } while (dispatch_again_);
+  dispatching_ = false;
+}
+
+}  // namespace utilrisk::policy

@@ -1,0 +1,150 @@
+#include "service/computing_service.hpp"
+
+#include <stdexcept>
+
+#include "economy/penalty.hpp"
+#include "sim/trace_log.hpp"
+
+namespace utilrisk::service {
+
+PolicyFactory factory_for(policy::PolicyKind kind) {
+  return [kind](const policy::PolicyContext& context,
+                policy::PolicyHost& host) {
+    return policy::make_policy(kind, context, host);
+  };
+}
+
+ComputingService::ComputingService(sim::Simulator& simulator,
+                                   policy::PolicyKind kind,
+                                   const policy::PolicyContext& context)
+    : ComputingService(simulator, factory_for(kind), context) {}
+
+ComputingService::ComputingService(sim::Simulator& simulator,
+                                   const PolicyFactory& factory,
+                                   const policy::PolicyContext& context)
+    : Entity(simulator, "computing-service"),
+      model_(context.model),
+      policy_(factory(context, *this)) {
+  if (context.simulator != &simulator) {
+    throw std::invalid_argument(
+        "ComputingService: context simulator mismatch");
+  }
+  if (!policy_) {
+    throw std::invalid_argument("ComputingService: factory returned null");
+  }
+}
+
+void ComputingService::submit_all(const std::vector<workload::Job>& jobs) {
+  for (const workload::Job& job : jobs) {
+    at(job.submit_time, [this, job] {
+      metrics_.record_submitted(job, now());
+      UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
+                   "submit job " << job.id << " procs=" << job.procs
+                                 << " est=" << job.estimated_runtime
+                                 << " deadline=" << job.deadline_duration);
+      policy_->on_submit(job);
+    });
+  }
+}
+
+void ComputingService::notify_accepted(const workload::Job& job,
+                                       economy::Money quoted_cost) {
+  metrics_.record_accepted(job.id, now(), quoted_cost);
+  if (policy_->context().terminate_at_deadline) {
+    const workload::JobId id = job.id;
+    // A hair past the deadline, so a job completing exactly on time
+    // settles as fulfilled before the kill fires.
+    constexpr sim::SimTime kKillSlack = 1e-3;
+    at(std::max(now(), job.absolute_deadline() + kKillSlack), [this, id] {
+      if (metrics_.record(id).outcome != workload::JobOutcome::Unfinished) {
+        return;  // settled on time (or already terminated)
+      }
+      if (policy_->terminate(id)) {
+        // The user pays nothing for work that never completed, and the
+        // provider stops accruing penalties: termination caps the bid
+        // model's otherwise unbounded downside at zero revenue.
+        metrics_.record_terminated(id, now(), 0.0);
+      }
+    });
+  }
+}
+
+void ComputingService::notify_rejected(const workload::Job& job) {
+  metrics_.record_rejected(job.id, now());
+}
+
+void ComputingService::notify_started(const workload::Job& job) {
+  metrics_.record_started(job.id, now());
+}
+
+void ComputingService::notify_finished(const workload::Job& job,
+                                       sim::SimTime finish_time) {
+  economy::Money utility = 0.0;
+  if (model_ == economy::EconomicModel::CommodityMarket) {
+    // No penalty: the service keeps charging the quoted price even when
+    // the deadline slipped (§5.1).
+    utility = metrics_.record(job.id).quoted_cost;
+  } else {
+    utility = economy::bid_utility(job, finish_time);
+  }
+  metrics_.record_finished(job.id, finish_time, utility);
+}
+
+SimulationReport simulate(const std::vector<workload::Job>& jobs,
+                          policy::PolicyKind kind,
+                          economy::EconomicModel model,
+                          const cluster::MachineConfig& machine,
+                          const economy::PricingParams& pricing,
+                          const policy::FirstRewardParams& first_reward) {
+  return simulate(jobs, factory_for(kind), model, machine, pricing,
+                  first_reward);
+}
+
+SimulationReport simulate(const std::vector<workload::Job>& jobs,
+                          const PolicyFactory& factory,
+                          economy::EconomicModel model,
+                          const cluster::MachineConfig& machine,
+                          const economy::PricingParams& pricing,
+                          const policy::FirstRewardParams& first_reward) {
+  policy::PolicyContext context;
+  context.machine = machine;
+  context.model = model;
+  context.pricing = pricing;
+  context.first_reward = first_reward;
+  return simulate(jobs, factory, context);
+}
+
+SimulationReport simulate(const std::vector<workload::Job>& jobs,
+                          const PolicyFactory& factory,
+                          policy::PolicyContext context) {
+  sim::Simulator simulator;
+  context.simulator = &simulator;
+  const cluster::MachineConfig machine = context.machine;
+
+  ComputingService svc(simulator, factory, context);
+  svc.submit_all(jobs);
+  simulator.run();
+
+  if (svc.metrics().unfinished_count() != 0) {
+    throw std::runtime_error(
+        "simulate: accepted jobs left unfinished after quiescence");
+  }
+
+  SimulationReport report;
+  report.inputs = svc.metrics().objective_inputs();
+  report.objectives = core::compute_objectives(report.inputs);
+  report.records.reserve(svc.metrics().records().size());
+  for (const auto& [id, record] : svc.metrics().records()) {
+    report.records.push_back(record);
+  }
+  report.events_dispatched = simulator.events_dispatched();
+  report.end_time = simulator.now();
+  if (report.end_time > 0.0 && machine.node_count > 0) {
+    report.utilization =
+        svc.active_policy().delivered_proc_seconds() /
+        (static_cast<double>(machine.node_count) * report.end_time);
+  }
+  return report;
+}
+
+}  // namespace utilrisk::service

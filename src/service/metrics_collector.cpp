@@ -1,0 +1,107 @@
+#include "service/metrics_collector.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace utilrisk::service {
+
+SlaRecord& MetricsCollector::must_find(workload::JobId id, const char* what) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    throw std::logic_error(std::string("MetricsCollector::") + what +
+                           ": unknown job " + std::to_string(id));
+  }
+  return it->second;
+}
+
+void MetricsCollector::record_submitted(const workload::Job& job,
+                                        sim::SimTime when) {
+  if (records_.contains(job.id)) {
+    throw std::logic_error("MetricsCollector: duplicate submission of job " +
+                           std::to_string(job.id));
+  }
+  SlaRecord record;
+  record.job = job;
+  record.submit_time = when;
+  records_.emplace(job.id, record);
+  ledger_.record_submitted(job);
+}
+
+void MetricsCollector::record_accepted(workload::JobId id, sim::SimTime when,
+                                       economy::Money quoted_cost) {
+  SlaRecord& record = must_find(id, "record_accepted");
+  record.decision_time = when;
+  record.quoted_cost = quoted_cost;
+  record.outcome = workload::JobOutcome::Unfinished;  // running/queued
+}
+
+void MetricsCollector::record_rejected(workload::JobId id, sim::SimTime when) {
+  SlaRecord& record = must_find(id, "record_rejected");
+  record.decision_time = when;
+  record.outcome = workload::JobOutcome::Rejected;
+}
+
+void MetricsCollector::record_started(workload::JobId id, sim::SimTime when) {
+  SlaRecord& record = must_find(id, "record_started");
+  record.start_time = when;
+}
+
+void MetricsCollector::record_finished(workload::JobId id, sim::SimTime when,
+                                       economy::Money utility) {
+  SlaRecord& record = must_find(id, "record_finished");
+  record.finish_time = when;
+  record.utility = utility;
+  const bool on_time =
+      when <= record.submit_time + record.job.deadline_duration +
+                  sim::kTimeEpsilon;
+  record.outcome = on_time ? workload::JobOutcome::FulfilledSLA
+                           : workload::JobOutcome::ViolatedSLA;
+  ledger_.record_utility(id, utility);
+}
+
+void MetricsCollector::record_terminated(workload::JobId id,
+                                         sim::SimTime when,
+                                         economy::Money utility) {
+  SlaRecord& record = must_find(id, "record_terminated");
+  if (record.outcome == workload::JobOutcome::Rejected) {
+    throw std::logic_error("MetricsCollector: terminating a rejected job");
+  }
+  record.finish_time = when;
+  record.utility = utility;
+  record.outcome = workload::JobOutcome::TerminatedSLA;
+  ledger_.record_utility(id, utility);
+}
+
+const SlaRecord& MetricsCollector::record(workload::JobId id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    throw std::out_of_range("MetricsCollector::record: unknown job " +
+                            std::to_string(id));
+  }
+  return it->second;
+}
+
+core::ObjectiveInputs MetricsCollector::objective_inputs() const {
+  core::ObjectiveInputs inputs;
+  inputs.total_budget = ledger_.total_budget();
+  inputs.total_utility = ledger_.total_utility();
+  for (const auto& [id, record] : records_) {
+    ++inputs.submitted;
+    if (record.accepted()) ++inputs.accepted;
+    if (record.fulfilled()) {
+      ++inputs.fulfilled;
+      inputs.wait_sum_fulfilled += record.wait_time();
+    }
+  }
+  return inputs;
+}
+
+std::size_t MetricsCollector::unfinished_count() const {
+  std::size_t count = 0;
+  for (const auto& [id, record] : records_) {
+    if (record.outcome == workload::JobOutcome::Unfinished) ++count;
+  }
+  return count;
+}
+
+}  // namespace utilrisk::service

@@ -1,0 +1,51 @@
+// Aggregates SLA records into the paper's objective inputs.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/objectives.hpp"
+#include "economy/accounting.hpp"
+#include "service/sla.hpp"
+
+namespace utilrisk::service {
+
+/// Collects per-job SLA records during a run and reduces them to the
+/// ObjectiveInputs consumed by the risk analysis.
+class MetricsCollector {
+ public:
+  void record_submitted(const workload::Job& job, sim::SimTime when);
+  void record_accepted(workload::JobId id, sim::SimTime when,
+                       economy::Money quoted_cost);
+  void record_rejected(workload::JobId id, sim::SimTime when);
+  void record_started(workload::JobId id, sim::SimTime when);
+  /// `utility` is the realised utility under the active economic model.
+  void record_finished(workload::JobId id, sim::SimTime when,
+                       economy::Money utility);
+
+  /// Job killed at its deadline (preemption ablation): counts as an
+  /// accepted, unfulfilled SLA with the given settlement (usually 0 — the
+  /// user pays nothing for work that never completed).
+  void record_terminated(workload::JobId id, sim::SimTime when,
+                         economy::Money utility);
+
+  [[nodiscard]] const SlaRecord& record(workload::JobId id) const;
+  [[nodiscard]] const std::map<workload::JobId, SlaRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const economy::Ledger& ledger() const { return ledger_; }
+
+  [[nodiscard]] core::ObjectiveInputs objective_inputs() const;
+
+  /// Jobs accepted but not finished (non-zero only if a run was cut off
+  /// before draining; the harness treats this as an error).
+  [[nodiscard]] std::size_t unfinished_count() const;
+
+ private:
+  SlaRecord& must_find(workload::JobId id, const char* what);
+
+  std::map<workload::JobId, SlaRecord> records_;
+  economy::Ledger ledger_;
+};
+
+}  // namespace utilrisk::service

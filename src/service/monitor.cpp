@@ -1,0 +1,91 @@
+#include "service/monitor.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "service/computing_service.hpp"
+
+namespace utilrisk::service {
+
+ServiceMonitor::ServiceMonitor(sim::Simulator& simulator,
+                               const ComputingService& service,
+                               sim::SimTime period, sim::SimTime horizon)
+    : Entity(simulator, "service-monitor"),
+      service_(&service),
+      period_(period),
+      horizon_(horizon) {
+  if (period <= 0.0) {
+    throw std::invalid_argument("ServiceMonitor: period must be positive");
+  }
+  if (horizon <= 0.0) {
+    throw std::invalid_argument("ServiceMonitor: horizon must be positive");
+  }
+  arm();
+}
+
+void ServiceMonitor::arm() {
+  if (now() + period_ > horizon_ + sim::kTimeEpsilon) return;
+  after(period_, [this] {
+    sample_now();
+    arm();
+  });
+}
+
+void ServiceMonitor::sample_now() {
+  const MetricsCollector& metrics = service_->metrics();
+  MonitorSample sample;
+  sample.time = now();
+  for (const auto& [id, record] : metrics.records()) {
+    ++sample.submitted;
+    switch (record.outcome) {
+      case workload::JobOutcome::Rejected:
+        ++sample.rejected;
+        break;
+      case workload::JobOutcome::FulfilledSLA:
+        ++sample.accepted;
+        ++sample.fulfilled;
+        break;
+      case workload::JobOutcome::ViolatedSLA:
+        ++sample.accepted;
+        ++sample.violated;
+        break;
+      case workload::JobOutcome::TerminatedSLA:
+        // Terminated SLAs are unfulfilled acceptances; the dashboard
+        // lumps them with violations.
+        ++sample.accepted;
+        ++sample.violated;
+        break;
+      case workload::JobOutcome::Unfinished:
+        // Queued/undecided or running: not yet settled either way.
+        ++sample.in_flight;
+        break;
+    }
+  }
+  sample.utility_to_date = metrics.ledger().total_utility();
+
+  const auto& machine = service_->active_policy().context().machine;
+  if (sample.time > 0.0 && machine.node_count > 0) {
+    sample.utilization =
+        service_->active_policy().delivered_proc_seconds() /
+        (static_cast<double>(machine.node_count) * sample.time);
+  }
+
+  core::ObjectiveInputs inputs = metrics.objective_inputs();
+  sample.objectives = core::compute_objectives(inputs);
+  samples_.push_back(sample);
+}
+
+void ServiceMonitor::write_csv(std::ostream& out) const {
+  out << "time,submitted,accepted,fulfilled,violated,rejected,in_flight,"
+         "utility,utilization,wait,sla,reliability,profitability\n";
+  for (const MonitorSample& s : samples_) {
+    out << s.time << ',' << s.submitted << ',' << s.accepted << ','
+        << s.fulfilled << ',' << s.violated << ',' << s.rejected << ','
+        << s.in_flight << ',' << s.utility_to_date << ',' << s.utilization
+        << ',' << s.objectives.wait << ',' << s.objectives.sla << ','
+        << s.objectives.reliability << ',' << s.objectives.profitability
+        << '\n';
+  }
+}
+
+}  // namespace utilrisk::service

@@ -1,0 +1,64 @@
+// Service-level monitoring (§3.3: "we assume that a commercial computing
+// service has monitoring mechanisms to check the progress of existing job
+// executions"): samples the service's operational state on a fixed period
+// and keeps a time series a provider would chart on a dashboard —
+// accepted backlog, running work, utilisation, cumulative utility, and
+// the rolling objective values.
+#pragma once
+
+#include <vector>
+
+#include "core/objectives.hpp"
+#include "sim/entity.hpp"
+
+namespace utilrisk::service {
+
+class ComputingService;
+
+/// One sample of the service's state.
+struct MonitorSample {
+  sim::SimTime time = 0.0;
+  std::uint64_t submitted = 0;
+  /// Settled acceptances (fulfilled + violated).
+  std::uint64_t accepted = 0;
+  std::uint64_t fulfilled = 0;
+  std::uint64_t violated = 0;
+  std::uint64_t rejected = 0;
+  /// Jobs submitted but not yet settled: awaiting an admission decision,
+  /// queued, or running.
+  std::uint64_t in_flight = 0;
+  economy::Money utility_to_date = 0.0;
+  /// Machine utilisation so far (delivered work / capacity to date).
+  double utilization = 0.0;
+  /// Rolling objective values over everything settled so far.
+  core::ObjectiveValues objectives;
+};
+
+/// Periodic sampler bound to a ComputingService. Construct after the
+/// service, before running the simulator; it re-arms itself every
+/// `period` seconds until the event set drains (a drained queue ends the
+/// run, so the monitor stops scheduling once the horizon passes).
+class ServiceMonitor : public sim::Entity {
+ public:
+  /// Samples every `period` seconds from `start` until `horizon`.
+  ServiceMonitor(sim::Simulator& simulator, const ComputingService& service,
+                 sim::SimTime period, sim::SimTime horizon);
+
+  [[nodiscard]] const std::vector<MonitorSample>& samples() const {
+    return samples_;
+  }
+
+  /// CSV dump (one row per sample) for external charting.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  void sample_now();
+  void arm();
+
+  const ComputingService* service_;
+  sim::SimTime period_;
+  sim::SimTime horizon_;
+  std::vector<MonitorSample> samples_;
+};
+
+}  // namespace utilrisk::service

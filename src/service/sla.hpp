@@ -1,0 +1,42 @@
+// SLA lifecycle record kept by the commercial computing service for every
+// submitted job.
+#pragma once
+
+#include "economy/money.hpp"
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace utilrisk::service {
+
+struct SlaRecord {
+  workload::Job job;
+  workload::JobOutcome outcome = workload::JobOutcome::Unfinished;
+
+  sim::SimTime submit_time = 0.0;
+  /// Time admission control decided (acceptance or rejection).
+  sim::SimTime decision_time = 0.0;
+  /// Execution start (wait objective measures start - submit).
+  sim::SimTime start_time = 0.0;
+  sim::SimTime finish_time = 0.0;
+
+  /// Commodity-model charge fixed at acceptance.
+  economy::Money quoted_cost = 0.0;
+  /// Realised utility (commodity: the quote; bid: bid minus penalty —
+  /// possibly negative). Zero for rejected jobs.
+  economy::Money utility = 0.0;
+
+  [[nodiscard]] bool accepted() const {
+    return outcome != workload::JobOutcome::Rejected;
+  }
+  [[nodiscard]] bool fulfilled() const {
+    return outcome == workload::JobOutcome::FulfilledSLA;
+  }
+  [[nodiscard]] double wait_time() const { return start_time - submit_time; }
+  [[nodiscard]] double deadline_delay() const {
+    const double delay =
+        (finish_time - submit_time) - job.deadline_duration;
+    return delay > 0.0 ? delay : 0.0;
+  }
+};
+
+}  // namespace utilrisk::service

@@ -1,0 +1,144 @@
+#include "sim/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace utilrisk::sim {
+
+double sample_exponential(Rng& rng, double mean) {
+  if (mean <= 0.0) {
+    throw std::invalid_argument("sample_exponential: mean must be > 0");
+  }
+  // Avoid log(0): uniform01() is in [0,1), so 1-u is in (0,1].
+  return -mean * std::log(1.0 - rng.uniform01());
+}
+
+double sample_standard_normal(Rng& rng) {
+  for (;;) {
+    const double u = 2.0 * rng.uniform01() - 1.0;
+    const double v = 2.0 * rng.uniform01() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double sample_normal(Rng& rng, double mean, double stddev) {
+  if (stddev < 0.0) {
+    throw std::invalid_argument("sample_normal: stddev must be >= 0");
+  }
+  return mean + stddev * sample_standard_normal(rng);
+}
+
+double sample_truncated_normal(Rng& rng, double mean, double stddev,
+                               double lo, double hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("sample_truncated_normal: lo > hi");
+  }
+  constexpr int kMaxAttempts = 64;
+  for (int i = 0; i < kMaxAttempts; ++i) {
+    const double x = sample_normal(rng, mean, stddev);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+double sample_lognormal_mean_cv(Rng& rng, double mean, double cv) {
+  if (mean <= 0.0 || cv <= 0.0) {
+    throw std::invalid_argument("sample_lognormal_mean_cv: mean, cv > 0");
+  }
+  // For X ~ LogNormal(mu, sigma): E[X] = exp(mu + sigma^2/2),
+  // CV^2 = exp(sigma^2) - 1  =>  sigma^2 = ln(1 + cv^2),
+  // mu = ln(mean) - sigma^2 / 2.
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  return std::exp(mu + std::sqrt(sigma2) * sample_standard_normal(rng));
+}
+
+double sample_gamma(Rng& rng, double shape, double scale) {
+  if (shape <= 0.0 || scale <= 0.0) {
+    throw std::invalid_argument("sample_gamma: shape, scale > 0");
+  }
+  if (shape < 1.0) {
+    // Boost: X ~ Gamma(shape+1), then X * U^(1/shape) ~ Gamma(shape).
+    const double boosted = sample_gamma(rng, shape + 1.0, 1.0);
+    const double u = rng.uniform01();
+    // uniform01 can return 0; resample the pathological case.
+    const double u_safe = u > 0.0 ? u : 0.5;
+    return scale * boosted * std::pow(u_safe, 1.0 / shape);
+  }
+  // Marsaglia & Tsang (2000).
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = sample_standard_normal(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform01();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+std::size_t sample_discrete(Rng& rng, const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("sample_discrete: empty weights");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("sample_discrete: weights must be finite, >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("sample_discrete: all weights zero");
+  }
+  double target = rng.uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point tail
+}
+
+std::uint32_t sample_job_size(Rng& rng, std::uint32_t max_procs,
+                              double p2_bias) {
+  if (max_procs == 0) {
+    throw std::invalid_argument("sample_job_size: max_procs must be >= 1");
+  }
+  if (rng.bernoulli(p2_bias)) {
+    const int max_exp =
+        static_cast<int>(std::floor(std::log2(static_cast<double>(max_procs))));
+    const int k = static_cast<int>(rng.uniform_int(0, static_cast<std::uint64_t>(max_exp)));
+    return std::min<std::uint32_t>(max_procs, 1u << k);
+  }
+  return static_cast<std::uint32_t>(rng.uniform_int(1, max_procs));
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace utilrisk::sim

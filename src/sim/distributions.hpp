@@ -1,0 +1,75 @@
+// Platform-stable probability distributions over utilrisk::sim::Rng.
+//
+// All samplers are pure functions of the engine stream, so a fixed seed
+// reproduces identical workloads on every platform/compiler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace utilrisk::sim {
+
+/// Exponential with the given mean (= 1/rate). mean > 0.
+[[nodiscard]] double sample_exponential(Rng& rng, double mean);
+
+/// Standard normal via the Marsaglia polar method (no trig; stable).
+/// Consumes a variable number of draws; do not interleave with samplers
+/// that assume fixed consumption.
+[[nodiscard]] double sample_standard_normal(Rng& rng);
+
+/// Normal(mean, stddev).
+[[nodiscard]] double sample_normal(Rng& rng, double mean, double stddev);
+
+/// Normal(mean, stddev) truncated to [lo, hi] by resampling (up to a
+/// bounded number of attempts, then clamped). Requires lo <= hi.
+[[nodiscard]] double sample_truncated_normal(Rng& rng, double mean,
+                                             double stddev, double lo,
+                                             double hi);
+
+/// Lognormal parameterised by the *target* mean and coefficient of
+/// variation (cv = stddev/mean) of the resulting distribution — more
+/// convenient for matching published trace statistics than (mu, sigma).
+[[nodiscard]] double sample_lognormal_mean_cv(Rng& rng, double mean,
+                                              double cv);
+
+/// Gamma(shape k, scale theta) via Marsaglia & Tsang's squeeze method
+/// (with the standard U^(1/k) boost for k < 1). Mean = k * theta.
+[[nodiscard]] double sample_gamma(Rng& rng, double shape, double scale);
+
+/// Samples an index from unnormalised non-negative weights.
+[[nodiscard]] std::size_t sample_discrete(Rng& rng,
+                                          const std::vector<double>& weights);
+
+/// Parallel-job size sampler biased toward powers of two, as observed in
+/// production parallel workloads (Feitelson's archive analyses): with
+/// probability `p2_bias` draws 2^k with k log-uniform in [0, log2(max)],
+/// otherwise uniform in [1, max]. The result never exceeds `max_procs`.
+[[nodiscard]] std::uint32_t sample_job_size(Rng& rng, std::uint32_t max_procs,
+                                            double p2_bias = 0.8);
+
+/// Online mean/variance accumulator (Welford). Population variance, to
+/// match the paper's volatility definition (eqn 6).
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n, as in eqn 6).
+  [[nodiscard]] double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace utilrisk::sim

@@ -1,0 +1,41 @@
+// Base class for simulation actors.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace utilrisk::sim {
+
+/// An Entity is a named actor bound to a Simulator. It provides scheduling
+/// sugar; all behaviour lives in subclasses (cluster executors, the
+/// computing service, workload injectors...).
+class Entity {
+ public:
+  Entity(Simulator& simulator, std::string name)
+      : simulator_(&simulator), name_(std::move(name)) {}
+
+  virtual ~Entity() = default;
+
+  Entity(const Entity&) = delete;
+  Entity& operator=(const Entity&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Simulator& simulator() const { return *simulator_; }
+  [[nodiscard]] SimTime now() const { return simulator_->now(); }
+
+ protected:
+  EventHandle at(SimTime time, EventAction action) {
+    return simulator_->schedule_at(time, std::move(action));
+  }
+  EventHandle after(SimTime delay, EventAction action) {
+    return simulator_->schedule_in(delay, std::move(action));
+  }
+
+ private:
+  Simulator* simulator_;
+  std::string name_;
+};
+
+}  // namespace utilrisk::sim

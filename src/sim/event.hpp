@@ -1,0 +1,80 @@
+// Event record used by the discrete-event kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/time.hpp"
+
+namespace utilrisk::sim {
+
+/// Action executed when an event fires. Runs with the simulator clock
+/// already advanced to the event's timestamp.
+using EventAction = std::function<void()>;
+
+/// Monotonically increasing sequence number; breaks ties between events
+/// scheduled for the same instant so execution order is deterministic
+/// (FIFO in scheduling order).
+using EventSequence = std::uint64_t;
+
+namespace detail {
+
+/// Heap node. Shared with EventHandle so cancellation is O(1): the node is
+/// tombstoned in place and skipped when it reaches the top of the heap.
+struct EventRecord {
+  SimTime time = 0.0;
+  EventSequence seq = 0;
+  EventAction action;
+  bool cancelled = false;
+  /// Points at the owning queue's live-event counter while the record sits
+  /// in the heap; cleared when popped. Lets cancel() keep size() exact
+  /// without a queue back-reference. Single-threaded by kernel contract.
+  std::size_t* live_hook = nullptr;
+};
+
+}  // namespace detail
+
+/// Opaque handle to a scheduled event, usable to cancel it before it fires.
+/// Default-constructed handles are inert. Handles do not keep the event
+/// alive past execution; cancelling an already-fired event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Returns true if this call
+  /// performed the cancellation.
+  bool cancel() {
+    auto rec = record_.lock();
+    if (!rec || rec->cancelled) return false;
+    rec->cancelled = true;
+    rec->action = nullptr;  // release captured state eagerly
+    if (rec->live_hook != nullptr) {
+      --*rec->live_hook;
+      rec->live_hook = nullptr;
+    }
+    return true;
+  }
+
+  /// True if the handle still refers to a live (pending, uncancelled) event.
+  [[nodiscard]] bool pending() const {
+    auto rec = record_.lock();
+    return rec && !rec->cancelled;
+  }
+
+  /// Scheduled firing time, or kTimeNever if no longer pending.
+  [[nodiscard]] SimTime time() const {
+    auto rec = record_.lock();
+    return (rec && !rec->cancelled) ? rec->time : kTimeNever;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<detail::EventRecord> rec)
+      : record_(std::move(rec)) {}
+
+  std::weak_ptr<detail::EventRecord> record_;
+};
+
+}  // namespace utilrisk::sim

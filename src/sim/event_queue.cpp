@@ -1,0 +1,112 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace utilrisk::sim {
+
+EventQueue::EventQueue() = default;
+
+EventQueue::~EventQueue() {
+  // Detach live hooks so a stray EventHandle outliving the queue cannot
+  // write through a dangling counter pointer.
+  clear();
+}
+
+bool EventQueue::before(const detail::EventRecord& a,
+                        const detail::EventRecord& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+EventHandle EventQueue::push(SimTime time, EventAction action) {
+  if (!std::isfinite(time)) {
+    throw std::invalid_argument("EventQueue::push: non-finite event time");
+  }
+  if (!action) {
+    throw std::invalid_argument("EventQueue::push: empty action");
+  }
+  auto rec = std::make_shared<detail::EventRecord>();
+  rec->time = time;
+  rec->seq = next_seq_++;
+  rec->action = std::move(action);
+  rec->live_hook = &live_;
+  EventHandle handle{std::weak_ptr<detail::EventRecord>(rec)};
+  heap_.push_back(std::move(rec));
+  sift_up(heap_.size() - 1);
+  ++live_;
+  ++total_pushed_;
+  return handle;
+}
+
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty() && heap_.front()->cancelled) {
+    std::swap(heap_.front(), heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  if (live_ == 0) return kTimeNever;
+  if (!heap_.front()->cancelled) return heap_.front()->time;
+  // Front is a tombstone (purged on the next pop); scan for the earliest
+  // live record. Rare path: only hit between a cancel of the head event
+  // and the next pop.
+  SimTime best = kTimeNever;
+  for (const auto& rec : heap_) {
+    if (!rec->cancelled && rec->time < best) best = rec->time;
+  }
+  return best;
+}
+
+std::shared_ptr<detail::EventRecord> EventQueue::pop() {
+  drop_dead_top();
+  if (heap_.empty()) {
+    assert(live_ == 0);
+    return nullptr;
+  }
+  auto top = heap_.front();
+  std::swap(heap_.front(), heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  assert(!top->cancelled);
+  assert(live_ > 0);
+  --live_;
+  top->live_hook = nullptr;
+  drop_dead_top();
+  return top;
+}
+
+void EventQueue::clear() {
+  for (auto& rec : heap_) rec->live_hook = nullptr;
+  heap_.clear();
+  live_ = 0;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (!before(*heap_[i], *heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t left = 2 * i + 1;
+    std::size_t right = left + 1;
+    std::size_t smallest = i;
+    if (left < n && before(*heap_[left], *heap_[smallest])) smallest = left;
+    if (right < n && before(*heap_[right], *heap_[smallest])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace utilrisk::sim

@@ -1,0 +1,60 @@
+// Pending-event set: a binary heap ordered by (time, sequence) with
+// tombstone-based O(1) cancellation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/time.hpp"
+
+namespace utilrisk::sim {
+
+/// Min-heap of pending events. Not thread-safe: the kernel is
+/// single-threaded by design (deterministic replay is a core requirement
+/// for the experiment cache; see DESIGN.md §4).
+class EventQueue {
+ public:
+  EventQueue();
+  ~EventQueue();
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Inserts an event. `time` must be finite.
+  EventHandle push(SimTime time, EventAction action);
+
+  /// True if no live (uncancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Timestamp of the earliest live event; kTimeNever when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest live event record, or nullptr when
+  /// empty. Tombstoned entries encountered on the way are discarded.
+  std::shared_ptr<detail::EventRecord> pop();
+
+  /// Drops every pending event.
+  void clear();
+
+  /// Total events ever pushed (diagnostics).
+  [[nodiscard]] std::uint64_t total_pushed() const { return total_pushed_; }
+
+ private:
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void drop_dead_top();
+  [[nodiscard]] static bool before(const detail::EventRecord& a,
+                                   const detail::EventRecord& b);
+
+  std::vector<std::shared_ptr<detail::EventRecord>> heap_;
+  std::size_t live_ = 0;
+  EventSequence next_seq_ = 0;
+  std::uint64_t total_pushed_ = 0;
+};
+
+}  // namespace utilrisk::sim

@@ -1,0 +1,32 @@
+#include "sim/rng.hpp"
+
+#include <stdexcept>
+
+namespace utilrisk::sim {
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  }
+  const std::uint64_t span = hi - lo + 1;  // wraps to 0 for the full range
+  if (span == 0) return operator()();
+  // Rejection sampling on the top bits: unbiased and cheap (expected < 2
+  // draws even in the worst case).
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw;
+  do {
+    draw = operator()();
+  } while (draw >= limit);
+  return lo + draw % span;
+}
+
+Rng Rng::split() {
+  // Use two raw draws to seed a child via SplitMix64; streams from
+  // different split points are statistically independent for our purposes.
+  std::uint64_t mix = operator()() ^ (operator()() << 1 | 1ULL);
+  Rng child(0);
+  child.reseed(mix);
+  return child;
+}
+
+}  // namespace utilrisk::sim

@@ -1,0 +1,83 @@
+// Deterministic random number engine.
+//
+// We hand-roll xoshiro256** (Blackman & Vigna) with SplitMix64 seeding
+// instead of using <random> engines + distributions, because libstdc++ /
+// libc++ distribution implementations differ: experiment results must be
+// bit-reproducible across platforms for the result cache and the
+// determinism tests to hold.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace utilrisk::sim {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into engine state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — 256-bit state, period 2^256 - 1, excellent
+/// statistical quality for simulation workloads.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds via SplitMix64 expansion; equal seeds give equal streams.
+  explicit Rng(std::uint64_t seed = 0x7261697365726973ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1) with 53-bit resolution.
+  [[nodiscard]] double uniform01() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Uses Lemire-style rejection
+  /// to avoid modulo bias.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Derives an independent child stream (for per-subsystem streams that
+  /// must not perturb each other when one consumes more draws).
+  [[nodiscard]] Rng split();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace utilrisk::sim

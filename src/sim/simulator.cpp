@@ -1,0 +1,58 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace utilrisk::sim {
+
+EventHandle Simulator::schedule_at(SimTime time, EventAction action) {
+  if (time < now_ - kTimeEpsilon) {
+    throw SchedulingError("Simulator::schedule_at: event in the past (t=" +
+                          std::to_string(time) +
+                          ", now=" + std::to_string(now_) + ")");
+  }
+  // Snap barely-in-the-past times (floating point slop from rate
+  // integration) to "now" so they still fire.
+  if (time < now_) time = now_;
+  return queue_.push(time, std::move(action));
+}
+
+EventHandle Simulator::schedule_in(SimTime delay, EventAction action) {
+  delay = clamp_nonnegative(delay);
+  if (delay < 0.0) {
+    throw SchedulingError("Simulator::schedule_in: negative delay " +
+                          std::to_string(delay));
+  }
+  return queue_.push(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  auto rec = queue_.pop();
+  if (!rec) return false;
+  now_ = rec->time;
+  running_ = true;
+  ++dispatched_;
+  // Move the action out so self-cancellation during dispatch is harmless.
+  EventAction action = std::move(rec->action);
+  action();
+  running_ = false;
+  return true;
+}
+
+std::uint64_t Simulator::run(SimTime horizon) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  for (;;) {
+    if (stop_requested_) break;
+    const SimTime next = queue_.next_time();
+    if (next == kTimeNever) break;
+    if (next > horizon) {
+      now_ = horizon;
+      break;
+    }
+    if (!step()) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace utilrisk::sim

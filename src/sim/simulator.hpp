@@ -1,0 +1,86 @@
+// Single-threaded discrete-event simulation kernel.
+//
+// This is the GridSim substitute (DESIGN.md §3): a deterministic event loop
+// with a virtual clock. Entities schedule closures at future instants; the
+// kernel dispatches them in (time, scheduling-order) order.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/event.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace utilrisk::sim {
+
+/// Thrown when an entity schedules an event in the past.
+class SchedulingError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Deterministic discrete-event simulator.
+///
+/// Usage:
+///   Simulator simk;
+///   simk.schedule_at(10.0, [&]{ ... });
+///   simk.run();
+///
+/// Invariants:
+///  - the clock never moves backwards;
+///  - events at the same instant fire in the order they were scheduled;
+///  - run() returns when the event set is exhausted, `stop()` is called,
+///    or the optional horizon is reached.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time (seconds since epoch).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `time` (>= now()).
+  EventHandle schedule_at(SimTime time, EventAction action);
+
+  /// Schedules `action` after `delay` seconds (>= 0).
+  EventHandle schedule_in(SimTime delay, EventAction action);
+
+  /// Runs until the event set drains, stop() is called, or — if `horizon`
+  /// is finite — the next event would fire after `horizon` (the clock is
+  /// then advanced to `horizon`). Returns the number of events dispatched
+  /// by this call.
+  std::uint64_t run(SimTime horizon = kTimeNever);
+
+  /// Dispatches at most one event. Returns false when no live event remains.
+  bool step();
+
+  /// Requests the current run() to return after the in-flight event.
+  void stop() { stop_requested_ = true; }
+
+  /// True while inside run()/step() dispatch.
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Total events dispatched over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t events_dispatched() const {
+    return dispatched_;
+  }
+
+  /// Number of live pending events.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Timestamp of the next pending event (kTimeNever when none).
+  [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t dispatched_ = 0;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+}  // namespace utilrisk::sim

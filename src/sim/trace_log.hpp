@@ -1,0 +1,69 @@
+// Lightweight leveled logger for simulation traces.
+//
+// Disabled (Level::Off) by default so hot loops pay one branch. The service
+// and policies log SLA lifecycle transitions at Debug for test forensics.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace utilrisk::sim {
+
+enum class LogLevel : int { Off = 0, Error = 1, Info = 2, Debug = 3 };
+
+/// Process-wide trace logger. Not thread-safe (kernel is single-threaded).
+class TraceLog {
+ public:
+  static TraceLog& instance() {
+    static TraceLog log;
+    return log;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) <= static_cast<int>(level_) &&
+           sink_ != nullptr;
+  }
+
+  void write(LogLevel level, SimTime now, const std::string& who,
+             const std::string& msg) {
+    if (!enabled(level)) return;
+    (*sink_) << '[' << label(level) << "] t=" << now << ' ' << who << ": "
+             << msg << '\n';
+  }
+
+ private:
+  TraceLog() = default;
+  static const char* label(LogLevel level) {
+    switch (level) {
+      case LogLevel::Error: return "ERR";
+      case LogLevel::Info: return "INF";
+      case LogLevel::Debug: return "DBG";
+      default: return "OFF";
+    }
+  }
+
+  LogLevel level_ = LogLevel::Off;
+  std::ostream* sink_ = &std::cerr;
+};
+
+/// Log with lazy message construction: the stream expression only runs when
+/// the level is enabled.
+#define UTILRISK_LOG(level, now, who, expr)                                  \
+  do {                                                                       \
+    auto& utilrisk_log_ = ::utilrisk::sim::TraceLog::instance();             \
+    if (utilrisk_log_.enabled(level)) {                                      \
+      std::ostringstream utilrisk_oss_;                                      \
+      utilrisk_oss_ << expr;                                                 \
+      utilrisk_log_.write(level, (now), (who), utilrisk_oss_.str());         \
+    }                                                                        \
+  } while (0)
+
+}  // namespace utilrisk::sim

@@ -1,0 +1,120 @@
+#include "workload/qos.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/distributions.hpp"
+
+namespace utilrisk::workload {
+
+namespace {
+
+void validate(const QosParameterConfig& p, const char* what) {
+  if (p.low_value_mean <= 0.0) {
+    throw std::invalid_argument(std::string(what) + ": low_value_mean <= 0");
+  }
+  if (p.high_low_ratio < 1.0) {
+    throw std::invalid_argument(std::string(what) + ": high_low_ratio < 1");
+  }
+  if (p.bias < 1.0) {
+    throw std::invalid_argument(std::string(what) + ": bias < 1");
+  }
+  if (p.sigma_fraction < 0.0) {
+    throw std::invalid_argument(std::string(what) + ": sigma_fraction < 0");
+  }
+}
+
+/// Samples a class factor: Normal(mean, sigma_fraction * mean), truncated
+/// to stay positive (floor at 5 % of the mean).
+double sample_factor(sim::Rng& rng, const QosParameterConfig& p,
+                     double mean) {
+  return sim::sample_truncated_normal(rng, mean, p.sigma_fraction * mean,
+                                      0.05 * mean, 10.0 * mean);
+}
+
+/// Applies the runtime bias: longer-than-average jobs get value / bias,
+/// shorter jobs get value * bias (paper §5.3).
+double apply_bias(double value, double bias, double runtime,
+                  double mean_runtime) {
+  if (bias <= 1.0) return value;
+  return runtime > mean_runtime ? value / bias : value * bias;
+}
+
+}  // namespace
+
+ClassMeans deadline_class_means(const QosParameterConfig& p) {
+  // High-urgency jobs have the LOW deadline factors.
+  return {.high_urgency_mean = p.low_value_mean,
+          .low_urgency_mean = p.low_value_mean * p.high_low_ratio};
+}
+
+ClassMeans money_class_means(const QosParameterConfig& p) {
+  // High-urgency jobs have the HIGH budget / penalty factors.
+  return {.high_urgency_mean = p.low_value_mean * p.high_low_ratio,
+          .low_urgency_mean = p.low_value_mean};
+}
+
+void assign_qos(std::vector<Job>& jobs, const QosConfig& config) {
+  if (config.high_urgency_percent < 0.0 ||
+      config.high_urgency_percent > 100.0) {
+    throw std::invalid_argument("assign_qos: high_urgency_percent outside [0,100]");
+  }
+  validate(config.deadline, "deadline");
+  validate(config.budget, "budget");
+  validate(config.penalty, "penalty");
+  if (config.base_price <= 0.0) {
+    throw std::invalid_argument("assign_qos: base_price <= 0");
+  }
+  if (jobs.empty()) return;
+
+  double mean_runtime = 0.0;
+  for (const auto& job : jobs) mean_runtime += job.actual_runtime;
+  mean_runtime /= static_cast<double>(jobs.size());
+
+  const ClassMeans d_means = deadline_class_means(config.deadline);
+  const ClassMeans b_means = money_class_means(config.budget);
+  const ClassMeans p_means = money_class_means(config.penalty);
+
+  sim::Rng rng(config.seed);
+  sim::Rng class_stream = rng.split();
+  sim::Rng deadline_stream = rng.split();
+  sim::Rng budget_stream = rng.split();
+  sim::Rng penalty_stream = rng.split();
+
+  const double p_high = config.high_urgency_percent / 100.0;
+
+  for (auto& job : jobs) {
+    // "The arrival sequence of jobs from the high urgency and low urgency
+    // classes is randomly distributed" — iid class draw per job.
+    job.urgency =
+        class_stream.bernoulli(p_high) ? Urgency::High : Urgency::Low;
+    const bool high = job.urgency == Urgency::High;
+
+    double d_factor = sample_factor(
+        deadline_stream, config.deadline,
+        high ? d_means.high_urgency_mean : d_means.low_urgency_mean);
+    d_factor = apply_bias(d_factor, config.deadline.bias, job.actual_runtime,
+                          mean_runtime);
+    d_factor = std::max(d_factor, config.deadline_factor_floor);
+    job.deadline_duration = d_factor * job.actual_runtime;
+
+    double b_factor = sample_factor(
+        budget_stream, config.budget,
+        high ? b_means.high_urgency_mean : b_means.low_urgency_mean);
+    b_factor = apply_bias(b_factor, config.budget.bias, job.actual_runtime,
+                          mean_runtime);
+    // f(tr) = tr * base_price: the budget is a multiple of the base cost.
+    job.budget = b_factor * job.actual_runtime * config.base_price;
+
+    double p_factor = sample_factor(
+        penalty_stream, config.penalty,
+        high ? p_means.high_urgency_mean : p_means.low_urgency_mean);
+    p_factor = apply_bias(p_factor, config.penalty.bias, job.actual_runtime,
+                          mean_runtime);
+    // g(tr) = tr * base_price / 3600 (see qos.hpp header comment).
+    job.penalty_rate =
+        p_factor * job.actual_runtime * config.base_price / 3600.0;
+  }
+}
+
+}  // namespace utilrisk::workload

@@ -1,0 +1,78 @@
+// QoS (deadline / budget / penalty) synthesis — the paper's §5.3
+// methodology after Irwin et al. [12].
+//
+// SLA parameters are unavailable in real traces, so the paper derives them
+// from two urgency classes:
+//   high urgency: low  deadline factor d/tr, high budget factor b/f(tr),
+//                 high penalty factor pr/g(tr)
+//   low  urgency: high deadline factor,      low budget factor,
+//                 low penalty factor
+// Factors are normally distributed within each class. The knobs (Table VI):
+//   - percentage of high-urgency jobs (job mix)
+//   - high:low ratio  = (mean of the class with the higher value)
+//                       / (mean of the class with the lower value)
+//   - low-value mean  = mean of the class with the *lower* value
+//   - bias            = longer-than-average jobs get their value divided by
+//                       the bias; shorter-than-average jobs multiplied
+//                       (counteracts "everything scales with runtime")
+//
+// Concrete f and g (left open in the paper; see DESIGN.md §3):
+//   f(tr) = tr * base_price           (budget scales with base cost)
+//   g(tr) = tr * base_price / 3600    (penalty rate per hour of runtime;
+//           a delay of ~3600 * budget_factor / penalty_factor seconds
+//           erodes the whole budget, i.e. penalties bite at hour scale)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workload/job.hpp"
+
+namespace utilrisk::workload {
+
+/// Per-parameter generator knobs (one instance each for deadline, budget,
+/// penalty).
+struct QosParameterConfig {
+  /// Mean factor of the class holding the *low* values of this parameter.
+  double low_value_mean = 4.0;
+  /// Ratio of high-value-class mean to low-value-class mean (>= 1).
+  double high_low_ratio = 4.0;
+  /// Runtime bias (>= 1); 1 disables the bias.
+  double bias = 2.0;
+  /// Spread: stddev = sigma_fraction * class mean.
+  double sigma_fraction = 0.25;
+};
+
+struct QosConfig {
+  /// Percentage of high-urgency jobs, 0..100 (Table VI job-mix knob).
+  double high_urgency_percent = 20.0;
+  QosParameterConfig deadline;
+  QosParameterConfig budget;
+  QosParameterConfig penalty;
+  /// Base price ($/processor-second) anchoring f and g.
+  double base_price = 1.0;
+  /// Floor on the deadline factor so every job is in principle completable
+  /// (d >= deadline_factor_floor * tr).
+  double deadline_factor_floor = 1.05;
+  std::uint64_t seed = 4242;
+};
+
+/// Assigns urgency classes and fills deadline_duration / budget /
+/// penalty_rate on every job, in place. Deterministic in (config, job
+/// order). The mean runtime used by the bias is computed over `jobs`.
+void assign_qos(std::vector<Job>& jobs, const QosConfig& config);
+
+/// Class means actually used for a parameter, given which class holds the
+/// high values. Exposed for tests.
+struct ClassMeans {
+  double high_urgency_mean = 0.0;
+  double low_urgency_mean = 0.0;
+};
+
+/// Deadline: low values belong to HIGH urgency (tight deadlines).
+[[nodiscard]] ClassMeans deadline_class_means(const QosParameterConfig& p);
+/// Budget / penalty: low values belong to LOW urgency.
+[[nodiscard]] ClassMeans money_class_means(const QosParameterConfig& p);
+
+}  // namespace utilrisk::workload

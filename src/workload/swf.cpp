@@ -1,0 +1,222 @@
+#include "workload/swf.hpp"
+
+#include <array>
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace utilrisk::workload {
+
+namespace {
+
+constexpr int kSwfFieldCount = 18;
+
+// Field indices (0-based) we consume.
+constexpr int kFieldSubmit = 1;
+constexpr int kFieldRunTime = 3;
+constexpr int kFieldAllocProcs = 4;
+constexpr int kFieldReqProcs = 7;
+constexpr int kFieldReqTime = 8;
+constexpr int kFieldStatus = 10;
+
+bool parse_double(std::string_view token, double& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+SwfParseResult parse_swf(std::istream& in, const SwfLoadOptions& options) {
+  SwfParseResult result;
+  std::string line;
+  std::size_t line_number = 0;
+  std::array<double, kSwfFieldCount> fields{};
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip trailing CR from DOS-formatted archive files.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view view(line);
+    // Skip leading whitespace.
+    const auto first = view.find_first_not_of(" \t");
+    if (first == std::string_view::npos) continue;
+    if (view[first] == ';') {
+      result.header.push_back(line);
+      continue;
+    }
+
+    // Tokenise.
+    int count = 0;
+    std::size_t pos = first;
+    bool bad = false;
+    while (pos < view.size() && count < kSwfFieldCount) {
+      const auto next = view.find_first_of(" \t", pos);
+      const auto len =
+          (next == std::string_view::npos ? view.size() : next) - pos;
+      if (!parse_double(view.substr(pos, len), fields[count])) {
+        bad = true;
+        break;
+      }
+      ++count;
+      pos = view.find_first_not_of(" \t", pos + len);
+      if (pos == std::string_view::npos) break;
+    }
+    if (bad || count < kFieldStatus + 1) {
+      result.skipped.push_back(
+          {line_number, bad ? "unparseable token" : "too few fields"});
+      continue;
+    }
+
+    const double status = fields[kFieldStatus];
+    if (options.completed_only && status != 1.0) {
+      result.skipped.push_back({line_number, "status != completed"});
+      continue;
+    }
+
+    Job job;
+    job.id = static_cast<JobId>(result.jobs.size() + 1);
+    job.submit_time = fields[kFieldSubmit];
+    job.actual_runtime = fields[kFieldRunTime];
+    // Prefer requested procs; fall back to allocated (some traces leave
+    // one of the two at -1).
+    double procs = fields[kFieldReqProcs];
+    if (procs <= 0) procs = fields[kFieldAllocProcs];
+    job.procs = procs > 0 ? static_cast<std::uint32_t>(procs) : 0;
+    // Requested time is the user estimate; fall back to actual runtime.
+    job.estimated_runtime =
+        fields[kFieldReqTime] > 0 ? fields[kFieldReqTime] : job.actual_runtime;
+
+    if (options.drop_degenerate &&
+        (job.actual_runtime <= 0.0 || job.procs == 0)) {
+      result.skipped.push_back({line_number, "degenerate job"});
+      continue;
+    }
+    result.jobs.push_back(job);
+  }
+  if (in.bad()) {
+    throw std::ios_base::failure("parse_swf: stream read error");
+  }
+
+  if (options.keep_last > 0 && result.jobs.size() > options.keep_last) {
+    result.jobs.erase(result.jobs.begin(),
+                      result.jobs.end() - static_cast<std::ptrdiff_t>(
+                                              options.keep_last));
+  }
+  if (options.rebase_submit_times && !result.jobs.empty()) {
+    const double base = result.jobs.front().submit_time;
+    JobId id = 1;
+    for (auto& job : result.jobs) {
+      job.submit_time -= base;
+      job.id = id++;
+    }
+  }
+  return result;
+}
+
+SwfParseResult load_swf(const std::string& path,
+                        const SwfLoadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_swf: cannot open " + path);
+  }
+  return parse_swf(in, options);
+}
+
+void save_swf(std::ostream& out, const std::vector<Job>& jobs,
+              const std::vector<std::string>& header) {
+  out.precision(12);  // sub-millisecond fidelity over multi-month horizons
+  for (const auto& line : header) {
+    if (!line.empty() && line.front() == ';') {
+      out << line << '\n';
+    } else {
+      out << "; " << line << '\n';
+    }
+  }
+  for (const auto& job : jobs) {
+    out << job.id << ' ' << job.submit_time << ' ' << -1 << ' '
+        << job.actual_runtime << ' ' << job.procs << ' ' << -1 << ' ' << -1
+        << ' ' << job.procs << ' ' << job.estimated_runtime << ' ' << -1
+        << ' ' << 1 << ' ' << -1 << ' ' << -1 << ' ' << -1 << ' ' << -1
+        << ' ' << -1 << ' ' << -1 << ' ' << -1 << '\n';
+  }
+}
+
+void save_qos_sidecar(std::ostream& out, const std::vector<Job>& jobs) {
+  out.precision(12);
+  out << "id,deadline_duration,budget,penalty_rate,urgency\n";
+  for (const Job& job : jobs) {
+    out << job.id << ',' << job.deadline_duration << ',' << job.budget
+        << ',' << job.penalty_rate << ',' << to_string(job.urgency) << '\n';
+  }
+}
+
+std::size_t load_qos_sidecar(std::istream& in, std::vector<Job>& jobs) {
+  std::map<JobId, Job*> by_id;
+  for (Job& job : jobs) by_id[job.id] = &job;
+
+  std::string line;
+  std::size_t line_number = 0;
+  std::size_t updated = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line_number == 1 && line.rfind("id,", 0) == 0) continue;  // header
+
+    std::istringstream row(line);
+    std::string token;
+    auto next = [&](const char* what) {
+      if (!std::getline(row, token, ',')) {
+        throw std::runtime_error("load_qos_sidecar: line " +
+                                 std::to_string(line_number) + ": missing " +
+                                 what);
+      }
+      return token;
+    };
+    const std::string id_text = next("id");
+    double id_value = 0.0;
+    if (!parse_double(id_text, id_value) || id_value < 1.0) {
+      throw std::runtime_error("load_qos_sidecar: line " +
+                               std::to_string(line_number) + ": bad id '" +
+                               id_text + "'");
+    }
+    const auto it = by_id.find(static_cast<JobId>(id_value));
+    if (it == by_id.end()) {
+      throw std::runtime_error("load_qos_sidecar: line " +
+                               std::to_string(line_number) +
+                               ": unknown job id " + id_text);
+    }
+    Job& job = *it->second;
+    double deadline = 0.0;
+    double budget = 0.0;
+    double penalty = 0.0;
+    if (!parse_double(next("deadline"), deadline) ||
+        !parse_double(next("budget"), budget) ||
+        !parse_double(next("penalty"), penalty) || deadline <= 0.0) {
+      throw std::runtime_error("load_qos_sidecar: line " +
+                               std::to_string(line_number) +
+                               ": malformed QoS values");
+    }
+    const std::string urgency = next("urgency");
+    if (urgency != "high" && urgency != "low") {
+      throw std::runtime_error("load_qos_sidecar: line " +
+                               std::to_string(line_number) +
+                               ": unknown urgency '" + urgency + "'");
+    }
+    job.deadline_duration = deadline;
+    job.budget = budget;
+    job.penalty_rate = penalty;
+    job.urgency = urgency == "high" ? Urgency::High : Urgency::Low;
+    ++updated;
+  }
+  return updated;
+}
+
+}  // namespace utilrisk::workload

@@ -1,0 +1,83 @@
+// Standard Workload Format (SWF) reader/writer.
+//
+// The paper draws its workload from the SDSC SP2 trace v2.2 in Feitelson's
+// Parallel Workloads Archive, which is distributed in SWF. When the real
+// trace file is available it can be loaded with `load_swf`; otherwise the
+// synthetic generator (synthetic_sdsc.hpp) produces a statistically matched
+// substitute. Round-tripping through `save_swf` lets tests and users
+// inspect generated workloads with standard SWF tooling.
+//
+// SWF: one job per line, 18 whitespace-separated fields; lines starting
+// with ';' are header comments. Field indices (1-based, per the archive
+// definition):
+//   1 job number, 2 submit time, 3 wait time, 4 run time,
+//   5 allocated procs, 6 avg cpu time, 7 used memory,
+//   8 requested procs, 9 requested time (estimate), 10 requested memory,
+//   11 status, 12 user id, 13 group id, 14 executable, 15 queue,
+//   16 partition, 17 preceding job, 18 think time.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace utilrisk::workload {
+
+/// Parse diagnostics for a single skipped line.
+struct SwfParseIssue {
+  std::size_t line_number = 0;
+  std::string reason;
+};
+
+/// Result of parsing an SWF stream.
+struct SwfParseResult {
+  std::vector<Job> jobs;
+  std::vector<std::string> header;     ///< ';'-prefixed comment lines
+  std::vector<SwfParseIssue> skipped;  ///< malformed / filtered lines
+};
+
+/// Options controlling SWF -> Job conversion.
+struct SwfLoadOptions {
+  /// Drop jobs whose status is not "completed" (1). The archive marks
+  /// cancelled/failed jobs with other codes; the paper simulates completed
+  /// work only.
+  bool completed_only = true;
+  /// Drop jobs with non-positive runtime or procs (present in raw traces).
+  bool drop_degenerate = true;
+  /// Keep only the last N jobs (0 = keep all). The paper uses the last
+  /// 5000 jobs of SDSC SP2.
+  std::size_t keep_last = 0;
+  /// Rebase submit times so the first kept job arrives at t = 0.
+  bool rebase_submit_times = true;
+};
+
+/// Parses SWF from a stream. Never throws on malformed lines; they are
+/// reported in `skipped`. Throws std::ios_base::failure only on stream
+/// errors other than EOF.
+[[nodiscard]] SwfParseResult parse_swf(std::istream& in,
+                                       const SwfLoadOptions& options = {});
+
+/// Convenience: parse a file on disk. Throws std::runtime_error if the
+/// file cannot be opened.
+[[nodiscard]] SwfParseResult load_swf(const std::string& path,
+                                      const SwfLoadOptions& options = {});
+
+/// Writes jobs as SWF (status=1, unknown fields as -1). QoS terms are not
+/// representable in SWF and are omitted; `save_qos_sidecar` keeps them.
+void save_swf(std::ostream& out, const std::vector<Job>& jobs,
+              const std::vector<std::string>& header = {});
+
+/// Writes the SLA terms SWF cannot carry as a CSV sidecar
+/// (id,deadline_duration,budget,penalty_rate,urgency) so a generated
+/// workload can be archived as SWF + sidecar and reloaded exactly.
+void save_qos_sidecar(std::ostream& out, const std::vector<Job>& jobs);
+
+/// Merges a sidecar produced by save_qos_sidecar back onto `jobs`,
+/// matching by job id. Throws std::runtime_error on malformed rows or ids
+/// that are missing from `jobs`; jobs without a sidecar row keep their
+/// current QoS fields. Returns the number of jobs updated.
+std::size_t load_qos_sidecar(std::istream& in, std::vector<Job>& jobs);
+
+}  // namespace utilrisk::workload

@@ -1,0 +1,75 @@
+#include "workload/trace_stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace utilrisk::workload {
+
+TraceStats compute_trace_stats(const std::vector<Job>& jobs,
+                               std::uint32_t nodes) {
+  TraceStats stats;
+  stats.job_count = jobs.size();
+  if (jobs.empty()) return stats;
+
+  double total_runtime = 0.0;
+  double total_procs = 0.0;
+  double total_work = 0.0;
+  double total_ratio = 0.0;
+  std::size_t over = 0;
+  std::size_t under = 0;
+  double end = 0.0;
+
+  for (const auto& job : jobs) {
+    total_runtime += job.actual_runtime;
+    total_procs += static_cast<double>(job.procs);
+    total_work += job.work();
+    stats.max_runtime = std::max(stats.max_runtime, job.actual_runtime);
+    stats.max_procs = std::max(stats.max_procs, job.procs);
+    if (job.actual_runtime > 0.0) {
+      total_ratio += job.estimated_runtime / job.actual_runtime;
+    }
+    if (job.estimated_runtime > job.actual_runtime) {
+      ++over;
+    } else if (job.estimated_runtime < job.actual_runtime) {
+      ++under;
+    }
+    end = std::max(end, job.submit_time + job.actual_runtime);
+  }
+
+  const double n = static_cast<double>(jobs.size());
+  stats.mean_runtime = total_runtime / n;
+  stats.mean_procs = total_procs / n;
+  stats.mean_estimate_ratio = total_ratio / n;
+  stats.overestimate_fraction = static_cast<double>(over) / n;
+  stats.underestimate_fraction = static_cast<double>(under) / n;
+
+  if (jobs.size() > 1) {
+    stats.mean_interarrival =
+        (jobs.back().submit_time - jobs.front().submit_time) / (n - 1.0);
+  }
+  stats.makespan = end - jobs.front().submit_time;
+  if (nodes > 0 && stats.makespan > 0.0) {
+    stats.offered_utilization =
+        total_work / (static_cast<double>(nodes) * stats.makespan);
+  }
+  return stats;
+}
+
+std::ostream& operator<<(std::ostream& out, const TraceStats& stats) {
+  out << "jobs:                 " << stats.job_count << '\n'
+      << "mean inter-arrival:   " << stats.mean_interarrival << " s\n"
+      << "mean runtime:         " << stats.mean_runtime << " s\n"
+      << "max runtime:          " << stats.max_runtime << " s\n"
+      << "mean procs:           " << stats.mean_procs << '\n'
+      << "max procs:            " << stats.max_procs << '\n'
+      << "makespan:             " << stats.makespan << " s\n"
+      << "offered utilization:  " << stats.offered_utilization << '\n'
+      << "over-estimated:       " << stats.overestimate_fraction * 100.0
+      << " %\n"
+      << "under-estimated:      " << stats.underestimate_fraction * 100.0
+      << " %\n"
+      << "mean estimate ratio:  " << stats.mean_estimate_ratio << '\n';
+  return out;
+}
+
+}  // namespace utilrisk::workload

@@ -1,0 +1,38 @@
+// Summary statistics over a job trace, used to validate the synthetic
+// SDSC SP2 substitute against the published subset figures and to report
+// workload characteristics in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace utilrisk::workload {
+
+struct TraceStats {
+  std::size_t job_count = 0;
+  double mean_interarrival = 0.0;   ///< seconds
+  double mean_runtime = 0.0;        ///< seconds
+  double max_runtime = 0.0;
+  double mean_procs = 0.0;
+  std::uint32_t max_procs = 0;
+  double makespan = 0.0;            ///< last submit + its runtime - first submit
+  /// Offered utilisation: total work / (nodes * makespan). >1 means the
+  /// submitted demand exceeds machine capacity (admission control territory).
+  double offered_utilization = 0.0;
+  double overestimate_fraction = 0.0;
+  double underestimate_fraction = 0.0;
+  /// Mean of estimate/actual over all jobs (>=1 means padding on average).
+  double mean_estimate_ratio = 0.0;
+};
+
+/// Computes stats; `nodes` is the machine width used for utilisation.
+[[nodiscard]] TraceStats compute_trace_stats(const std::vector<Job>& jobs,
+                                             std::uint32_t nodes);
+
+/// Human-readable one-per-line dump.
+std::ostream& operator<<(std::ostream& out, const TraceStats& stats);
+
+}  // namespace utilrisk::workload

@@ -1,0 +1,204 @@
+// Tests for the a-priori risk advisor (core/advisor.hpp) and its exp-layer
+// adapter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/advisor.hpp"
+#include "core/report.hpp"
+#include "exp/experiment.hpp"
+#include "exp/figures.hpp"
+
+namespace utilrisk::core {
+namespace {
+
+/// Two synthetic policies over three scenarios:
+///  - "steady": performance 0.6 everywhere, volatility 0 (all objectives).
+///  - "spiky": performance 0.8, volatility 0.4 (all objectives).
+AdvisorInput two_policy_input() {
+  AdvisorInput input;
+  input.policies = {"steady", "spiky"};
+  const std::array<RiskPoint, 4> steady = {
+      RiskPoint{0.6, 0.0}, RiskPoint{0.6, 0.0}, RiskPoint{0.6, 0.0},
+      RiskPoint{0.6, 0.0}};
+  const std::array<RiskPoint, 4> spiky = {
+      RiskPoint{0.8, 0.4}, RiskPoint{0.8, 0.4}, RiskPoint{0.8, 0.4},
+      RiskPoint{0.8, 0.4}};
+  input.points = {{steady, steady, steady}, {spiky, spiky, spiky}};
+  return input;
+}
+
+TEST(AdvisorTest, RiskAversionFlipsTheRecommendation) {
+  const AdvisorInput input = two_policy_input();
+
+  AdvisorConfig tolerant;
+  tolerant.risk_aversion = 0.0;
+  EXPECT_EQ(advise(input, tolerant).ranked.front().policy, "spiky")
+      << "without risk aversion, raw performance wins";
+
+  AdvisorConfig averse;
+  averse.risk_aversion = 1.0;
+  EXPECT_EQ(advise(input, averse).ranked.front().policy, "steady")
+      << "0.8 - 1.0*0.4 = 0.4 < 0.6 - 0";
+}
+
+TEST(AdvisorTest, ScoreIsMeanMinusLambdaSigma) {
+  const AdvisorInput input = two_policy_input();
+  AdvisorConfig config;
+  config.risk_aversion = 0.5;
+  const AdvisorReport report = advise(input, config);
+  for (const PolicyAdvice& advice : report.ranked) {
+    EXPECT_NEAR(advice.score,
+                advice.mean_performance - 0.5 * advice.mean_volatility,
+                1e-12);
+  }
+}
+
+TEST(AdvisorTest, ObjectiveWeightsSelectTheRelevantObjective) {
+  AdvisorInput input;
+  input.policies = {"wait-hero", "profit-hero"};
+  // wait-hero: ideal wait, poor profitability; profit-hero: the reverse.
+  const std::array<RiskPoint, 4> wait_hero = {
+      RiskPoint{1.0, 0.0},   // wait
+      RiskPoint{0.5, 0.1},   // SLA
+      RiskPoint{0.5, 0.1},   // reliability
+      RiskPoint{0.1, 0.0}};  // profitability
+  const std::array<RiskPoint, 4> profit_hero = {
+      RiskPoint{0.1, 0.0}, RiskPoint{0.5, 0.1}, RiskPoint{0.5, 0.1},
+      RiskPoint{1.0, 0.0}};
+  input.points = {{wait_hero, wait_hero}, {profit_hero, profit_hero}};
+
+  AdvisorConfig wait_only;
+  wait_only.objective_weights = {1.0, 0.0, 0.0, 0.0};
+  EXPECT_EQ(advise(input, wait_only).ranked.front().policy, "wait-hero");
+
+  AdvisorConfig profit_only;
+  profit_only.objective_weights = {0.0, 0.0, 0.0, 1.0};
+  EXPECT_EQ(advise(input, profit_only).ranked.front().policy, "profit-hero");
+
+  const AdvisorReport balanced = advise(input, AdvisorConfig{});
+  EXPECT_EQ(balanced.best_per_objective[static_cast<std::size_t>(
+                Objective::Wait)],
+            "wait-hero");
+  EXPECT_EQ(balanced.best_per_objective[static_cast<std::size_t>(
+                Objective::Profitability)],
+            "profit-hero");
+}
+
+TEST(AdvisorTest, MostConsistentIsLowestMeanVolatility) {
+  const AdvisorReport report = advise(two_policy_input(), AdvisorConfig{});
+  EXPECT_EQ(report.most_consistent, "steady");
+}
+
+TEST(AdvisorTest, SummaryNamesTheWinner) {
+  const AdvisorReport report = advise(two_policy_input(), AdvisorConfig{});
+  EXPECT_NE(report.summary.find("Recommended policy"), std::string::npos);
+  EXPECT_NE(report.summary.find(report.ranked.front().policy),
+            std::string::npos);
+}
+
+TEST(AdvisorTest, ValidatesInputAndConfig) {
+  AdvisorInput empty;
+  EXPECT_THROW((void)advise(empty, {}), std::invalid_argument);
+
+  AdvisorInput ragged = two_policy_input();
+  ragged.points[1].pop_back();
+  EXPECT_THROW((void)advise(ragged, {}), std::invalid_argument);
+
+  AdvisorConfig bad_weights;
+  bad_weights.objective_weights = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_THROW((void)advise(two_policy_input(), bad_weights),
+               std::invalid_argument);
+
+  AdvisorConfig negative;
+  negative.risk_aversion = -1.0;
+  EXPECT_THROW((void)advise(two_policy_input(), negative),
+               std::invalid_argument);
+}
+
+TEST(AdvisorTest, EndToEndFromASweep) {
+  exp::ExperimentConfig config;
+  config.model = economy::EconomicModel::BidBased;
+  config.set = exp::ExperimentSet::B;
+  config.trace.job_count = 150;
+  exp::ExperimentRunner runner(config);
+  const auto sweep = runner.run_sweep(
+      {policy::PolicyKind::Libra, policy::PolicyKind::LibraRiskD,
+       policy::PolicyKind::FirstReward});
+  const AdvisorInput input = exp::advisor_input(sweep);
+  ASSERT_EQ(input.policies.size(), 3u);
+  ASSERT_EQ(input.points.size(), 3u);
+  ASSERT_EQ(input.points[0].size(), 12u);
+
+  const AdvisorReport report = advise(input, AdvisorConfig{});
+  EXPECT_EQ(report.ranked.size(), 3u);
+  // Scores are bounded by construction.
+  for (const PolicyAdvice& advice : report.ranked) {
+    EXPECT_GE(advice.mean_performance, 0.0);
+    EXPECT_LE(advice.mean_performance, 1.0);
+    EXPECT_GE(advice.mean_volatility, 0.0);
+  }
+  // Ranking is by descending score.
+  for (std::size_t i = 1; i < report.ranked.size(); ++i) {
+    EXPECT_GE(report.ranked[i - 1].score, report.ranked[i].score);
+  }
+}
+
+TEST(WeightSensitivityTest, FindsTheCrossover) {
+  AdvisorInput input;
+  input.policies = {"wait-hero", "profit-hero"};
+  const std::array<RiskPoint, 4> wait_hero = {
+      RiskPoint{1.0, 0.0}, RiskPoint{0.5, 0.0}, RiskPoint{0.5, 0.0},
+      RiskPoint{0.1, 0.0}};
+  const std::array<RiskPoint, 4> profit_hero = {
+      RiskPoint{0.1, 0.0}, RiskPoint{0.5, 0.0}, RiskPoint{0.5, 0.0},
+      RiskPoint{1.0, 0.0}};
+  input.points = {{wait_hero, wait_hero}, {profit_hero, profit_hero}};
+
+  const auto sweep =
+      weight_sensitivity(input, Objective::Profitability, 11);
+  ASSERT_EQ(sweep.size(), 11u);
+  EXPECT_DOUBLE_EQ(sweep.front().weight, 0.0);
+  EXPECT_DOUBLE_EQ(sweep.back().weight, 1.0);
+  EXPECT_EQ(sweep.front().winner, "wait-hero")
+      << "at weight 0 the profitability gap is invisible";
+  EXPECT_EQ(sweep.back().winner, "profit-hero");
+  // Exactly one crossover for two policies with linear scores.
+  std::size_t flips = 0;
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    if (sweep[i].winner != sweep[i - 1].winner) ++flips;
+  }
+  EXPECT_EQ(flips, 1u);
+}
+
+TEST(WeightSensitivityTest, ScoresAreMonotoneForTheFocusSpecialist) {
+  AdvisorInput input = two_policy_input();
+  const auto sweep = weight_sensitivity(input, Objective::Sla, 5);
+  for (const auto& point : sweep) {
+    EXPECT_FALSE(point.winner.empty());
+    EXPECT_GE(point.score, 0.0);
+  }
+  EXPECT_THROW((void)weight_sensitivity(input, Objective::Sla, 1),
+               std::invalid_argument);
+}
+
+TEST(ReportTest, GnuplotScriptReferencesDataAndPolicies) {
+  AdvisorInput input = two_policy_input();
+  RiskPlot plot;
+  plot.title = "script test";
+  plot.series = {{"steady", {{0.6, 0.0}, {0.7, 0.1}}},
+                 {"spiky", {{0.8, 0.4}, {0.9, 0.3}}}};
+  std::ostringstream out;
+  write_gnuplot_script(out, plot, "data.dat", "out.png");
+  const std::string script = out.str();
+  EXPECT_NE(script.find("set output 'out.png'"), std::string::npos);
+  EXPECT_NE(script.find("'data.dat' index 0"), std::string::npos);
+  EXPECT_NE(script.find("'data.dat' index 1"), std::string::npos);
+  EXPECT_NE(script.find("title 'steady'"), std::string::npos);
+  EXPECT_NE(script.find("title 'spiky'"), std::string::npos);
+  EXPECT_NE(script.find("with lines dt 2"), std::string::npos)
+      << "trend lines rendered for policies with valid fits";
+}
+
+}  // namespace
+}  // namespace utilrisk::core

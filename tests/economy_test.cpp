@@ -1,0 +1,215 @@
+// Tests for the economic models: pricing functions (flat, Libra static
+// incentive, Libra+$ dynamic), the bid-based penalty function (Fig. 2),
+// and the revenue ledger.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "economy/accounting.hpp"
+#include "economy/penalty.hpp"
+#include "economy/pricing.hpp"
+
+namespace utilrisk::economy {
+namespace {
+
+workload::Job make_job(double estimate, double deadline, double budget = 0.0,
+                       double penalty_rate = 0.0) {
+  workload::Job job;
+  job.id = 1;
+  job.actual_runtime = estimate;
+  job.estimated_runtime = estimate;
+  job.deadline_duration = deadline;
+  job.budget = budget;
+  job.penalty_rate = penalty_rate;
+  return job;
+}
+
+// --------------------------------------------------------------- Pricing
+
+TEST(PricingTest, FlatQuoteChargesEstimateTimesBase) {
+  PricingParams params;  // $1/s
+  EXPECT_DOUBLE_EQ(flat_quote(make_job(3600.0, 7200.0), params), 3600.0);
+  params.base_price = 2.5;
+  EXPECT_DOUBLE_EQ(flat_quote(make_job(100.0, 200.0), params), 250.0);
+}
+
+TEST(PricingTest, FlatQuoteUsesEstimateNotActual) {
+  // Over-estimated jobs are over-charged (§5.2's observation).
+  workload::Job job = make_job(1000.0, 8000.0);
+  job.estimated_runtime = 4000.0;
+  EXPECT_DOUBLE_EQ(flat_quote(job, PricingParams{}), 4000.0);
+}
+
+TEST(PricingTest, LibraQuoteRewardsRelaxedDeadlines) {
+  PricingParams params;  // gamma = delta = 1
+  const Money tight = libra_quote(make_job(1000.0, 1100.0), params);
+  const Money relaxed = libra_quote(make_job(1000.0, 8000.0), params);
+  EXPECT_GT(tight, relaxed);
+  // cost = gamma*tr + delta*tr/d.
+  EXPECT_DOUBLE_EQ(relaxed, 1000.0 + 1000.0 / 8000.0);
+}
+
+TEST(PricingTest, LibraQuoteScalesWithGammaDelta) {
+  PricingParams params;
+  params.libra_gamma = 2.0;
+  params.libra_delta = 0.0;
+  EXPECT_DOUBLE_EQ(libra_quote(make_job(500.0, 1000.0), params), 1000.0);
+}
+
+TEST(PricingTest, LibraQuoteRejectsNonPositiveDeadline) {
+  EXPECT_THROW((void)libra_quote(make_job(100.0, 0.0), PricingParams{}),
+               std::invalid_argument);
+}
+
+TEST(PricingTest, LibraDollarPriceRisesWithSaturation) {
+  PricingParams params;  // alpha 1, beta 0.3
+  const Money idle = libra_dollar_node_price(1000.0, 900.0, params);
+  const Money busy = libra_dollar_node_price(1000.0, 100.0, params);
+  EXPECT_GT(busy, idle);
+  // alpha*PBase + beta*(max/free)*PBase.
+  EXPECT_DOUBLE_EQ(idle, 1.0 + 0.3 * 1000.0 / 900.0);
+  EXPECT_DOUBLE_EQ(busy, 1.0 + 0.3 * 10.0);
+}
+
+TEST(PricingTest, LibraDollarSaturatedNodeIsUnaffordable) {
+  PricingParams params;
+  EXPECT_EQ(libra_dollar_node_price(1000.0, 0.0, params), kUnaffordable);
+  EXPECT_EQ(libra_dollar_node_price(1000.0, -5.0, params), kUnaffordable);
+  EXPECT_THROW((void)libra_dollar_node_price(0.0, 1.0, params),
+               std::invalid_argument);
+}
+
+TEST(PricingTest, LibraDollarQuoteMultipliesEstimate) {
+  EXPECT_DOUBLE_EQ(libra_dollar_quote(make_job(100.0, 800.0), 2.0), 200.0);
+  EXPECT_EQ(libra_dollar_quote(make_job(100.0, 800.0), kUnaffordable),
+            kUnaffordable);
+}
+
+// ------------------------------------------------------ Variable pricing
+
+TEST(VariablePricingTest, DisabledMeansFlat) {
+  PricingParams params;  // variable.enabled = false
+  EXPECT_DOUBLE_EQ(price_multiplier_at(0.0, params), 1.0);
+  EXPECT_DOUBLE_EQ(price_multiplier_at(12.0 * 3600.0, params), 1.0);
+  EXPECT_DOUBLE_EQ(flat_quote_at(make_job(100.0, 800.0), 12.0 * 3600.0,
+                                 params),
+                   100.0);
+}
+
+TEST(VariablePricingTest, PeakWindowBoundaries) {
+  PricingParams params;
+  params.variable.enabled = true;
+  params.variable.peak_multiplier = 2.0;
+  params.variable.peak_start_hour = 9;
+  params.variable.peak_end_hour = 17;
+  const double hour = 3600.0;
+  EXPECT_DOUBLE_EQ(price_multiplier_at(8.99 * hour, params), 1.0);
+  EXPECT_DOUBLE_EQ(price_multiplier_at(9.0 * hour, params), 2.0)
+      << "start inclusive";
+  EXPECT_DOUBLE_EQ(price_multiplier_at(16.99 * hour, params), 2.0);
+  EXPECT_DOUBLE_EQ(price_multiplier_at(17.0 * hour, params), 1.0)
+      << "end exclusive";
+  // Wraps with the day.
+  EXPECT_DOUBLE_EQ(price_multiplier_at(24.0 * hour + 12.0 * hour, params),
+                   2.0);
+}
+
+TEST(VariablePricingTest, QuoteScalesByMultiplier) {
+  PricingParams params;
+  params.variable.enabled = true;
+  params.variable.peak_multiplier = 1.5;
+  const workload::Job job = make_job(1000.0, 8000.0);
+  EXPECT_DOUBLE_EQ(flat_quote_at(job, 12.0 * 3600.0, params), 1500.0);
+  EXPECT_DOUBLE_EQ(flat_quote_at(job, 2.0 * 3600.0, params), 1000.0);
+}
+
+TEST(VariablePricingTest, ValidatesWindowAndMultiplier) {
+  PricingParams params;
+  params.variable.enabled = true;
+  params.variable.peak_multiplier = 0.0;
+  EXPECT_THROW((void)price_multiplier_at(0.0, params),
+               std::invalid_argument);
+  params.variable.peak_multiplier = 1.5;
+  params.variable.peak_start_hour = 18;
+  params.variable.peak_end_hour = 9;
+  EXPECT_THROW((void)price_multiplier_at(0.0, params),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- Penalty
+
+TEST(PenaltyTest, OnTimeJobEarnsFullBudget) {
+  const workload::Job job = make_job(100.0, 500.0, 1000.0, 2.0);
+  EXPECT_DOUBLE_EQ(deadline_delay(job, 400.0), 0.0);
+  EXPECT_DOUBLE_EQ(bid_utility(job, 400.0), 1000.0);
+  EXPECT_DOUBLE_EQ(bid_utility(job, 500.0), 1000.0) << "exactly on time";
+}
+
+TEST(PenaltyTest, UtilityDropsLinearlyPastDeadline) {
+  const workload::Job job = make_job(100.0, 500.0, 1000.0, 2.0);
+  EXPECT_DOUBLE_EQ(bid_utility(job, 600.0), 1000.0 - 100.0 * 2.0);
+  EXPECT_DOUBLE_EQ(bid_utility(job, 1000.0), 0.0) << "breakeven point";
+  EXPECT_DOUBLE_EQ(bid_utility(job, 1500.0), -1000.0)
+      << "penalty is unbounded below";
+}
+
+TEST(PenaltyTest, DelayIsRelativeToSubmission) {
+  workload::Job job = make_job(100.0, 500.0, 1000.0, 2.0);
+  job.submit_time = 10000.0;
+  // eqn 10: dy = (tf - tsu) - d.
+  EXPECT_DOUBLE_EQ(deadline_delay(job, 10500.0), 0.0);
+  EXPECT_DOUBLE_EQ(deadline_delay(job, 10700.0), 200.0);
+}
+
+TEST(PenaltyTest, BreakevenDelayMatchesFormula) {
+  const workload::Job job = make_job(100.0, 500.0, 1000.0, 2.0);
+  EXPECT_DOUBLE_EQ(breakeven_delay(job), 500.0 + 1000.0 / 2.0);
+  const workload::Job no_penalty = make_job(100.0, 500.0, 1000.0, 0.0);
+  EXPECT_TRUE(std::isinf(breakeven_delay(no_penalty)));
+}
+
+// Property: utility at the breakeven point is exactly zero for any
+// positive penalty rate.
+class PenaltyBreakevenSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PenaltyBreakevenSweep, UtilityIsZeroAtBreakeven) {
+  const workload::Job job = make_job(100.0, 700.0, 5000.0, GetParam());
+  const double t_breakeven = job.submit_time + breakeven_delay(job);
+  EXPECT_NEAR(bid_utility(job, t_breakeven), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PenaltyBreakevenSweep,
+                         ::testing::Values(0.01, 0.5, 1.0, 2.0, 10.0, 250.0));
+
+// ---------------------------------------------------------------- Ledger
+
+TEST(LedgerTest, ProfitabilityIsUtilityOverBudget) {
+  Ledger ledger;
+  workload::Job a = make_job(100.0, 500.0, 1000.0);
+  workload::Job b = make_job(100.0, 500.0, 3000.0);
+  ledger.record_submitted(a);
+  ledger.record_submitted(b);
+  ledger.record_utility(a.id, 800.0);
+  EXPECT_DOUBLE_EQ(ledger.total_budget(), 4000.0);
+  EXPECT_DOUBLE_EQ(ledger.total_utility(), 800.0);
+  EXPECT_DOUBLE_EQ(ledger.profitability_percent(), 20.0);
+  EXPECT_EQ(ledger.submitted(), 2u);
+}
+
+TEST(LedgerTest, NegativeUtilityReducesProfitability) {
+  Ledger ledger;
+  workload::Job a = make_job(100.0, 500.0, 1000.0);
+  ledger.record_submitted(a);
+  ledger.record_utility(a.id, 500.0);
+  ledger.record_utility(a.id, -700.0);  // penalty on another settlement
+  EXPECT_DOUBLE_EQ(ledger.profitability_percent(), -20.0);
+}
+
+TEST(LedgerTest, EmptyLedgerIsZero) {
+  const Ledger ledger;
+  EXPECT_DOUBLE_EQ(ledger.profitability_percent(), 0.0);
+  EXPECT_TRUE(ledger.entries().empty());
+}
+
+}  // namespace
+}  // namespace utilrisk::economy

@@ -1,0 +1,168 @@
+// Tests for the gamma sampler and the Lublin-Feitelson-style workload
+// generator (the robustness-check alternative to the SDSC generator).
+#include <gtest/gtest.h>
+
+#include "sim/distributions.hpp"
+#include "workload/synthetic_lublin.hpp"
+#include "workload/trace_stats.hpp"
+
+namespace utilrisk::workload {
+namespace {
+
+// ----------------------------------------------------------------- Gamma
+
+TEST(GammaTest, MeanAndVarianceConverge) {
+  sim::Rng rng(17);
+  sim::RunningStats stats;
+  const double shape = 3.0;
+  const double scale = 50.0;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(sim::sample_gamma(rng, shape, scale));
+  }
+  EXPECT_NEAR(stats.mean(), shape * scale, 2.0);
+  EXPECT_NEAR(stats.variance(), shape * scale * scale, 200.0);
+}
+
+TEST(GammaTest, SubUnitShapeBoostWorks) {
+  sim::Rng rng(18);
+  sim::RunningStats stats;
+  const double shape = 0.5;
+  const double scale = 100.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = sim::sample_gamma(rng, shape, scale);
+    ASSERT_GE(x, 0.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), shape * scale, 1.5);
+}
+
+TEST(GammaTest, ShapeOneIsExponential) {
+  sim::Rng rng(19);
+  sim::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(sim::sample_gamma(rng, 1.0, 200.0));
+  }
+  EXPECT_NEAR(stats.mean(), 200.0, 4.0);
+  EXPECT_NEAR(stats.stddev(), 200.0, 8.0) << "exponential: stddev == mean";
+}
+
+TEST(GammaTest, RejectsNonPositiveParameters) {
+  sim::Rng rng(1);
+  EXPECT_THROW((void)sim::sample_gamma(rng, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim::sample_gamma(rng, 1.0, -1.0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Lublin
+
+class LublinTraceTest : public ::testing::Test {
+ protected:
+  static const std::vector<Job>& trace() {
+    static const std::vector<Job> jobs =
+        generate_synthetic_lublin(SyntheticLublinConfig{});
+    return jobs;
+  }
+};
+
+TEST_F(LublinTraceTest, MeanInterarrivalHitsTarget) {
+  const TraceStats stats = compute_trace_stats(trace(), 128);
+  EXPECT_NEAR(stats.mean_interarrival, 1969.0, 250.0);
+}
+
+TEST_F(LublinTraceTest, SerialFractionIsRespected) {
+  std::size_t serial = 0;
+  for (const Job& job : trace()) {
+    if (job.procs == 1) ++serial;
+  }
+  EXPECT_NEAR(static_cast<double>(serial) / trace().size(), 0.24, 0.03);
+}
+
+TEST_F(LublinTraceTest, SizesWithinMachineAndPowerOfTwoHeavy) {
+  std::size_t p2 = 0;
+  for (const Job& job : trace()) {
+    ASSERT_GE(job.procs, 1u);
+    ASSERT_LE(job.procs, 128u);
+    if ((job.procs & (job.procs - 1)) == 0) ++p2;
+  }
+  EXPECT_GT(static_cast<double>(p2) / trace().size(), 0.6)
+      << "power-of-two sizes dominate";
+}
+
+TEST_F(LublinTraceTest, RuntimesAreHyperGammaLike) {
+  const TraceStats stats = compute_trace_stats(trace(), 128);
+  EXPECT_GE(stats.mean_runtime, 2000.0);
+  EXPECT_LE(stats.mean_runtime, 12000.0);
+  EXPECT_LE(stats.max_runtime, 18.0 * 3600.0 + 1.0);
+  // Wide jobs run longer on average (the size/runtime correlation).
+  double narrow = 0.0, wide = 0.0;
+  std::size_t n_narrow = 0, n_wide = 0;
+  for (const Job& job : trace()) {
+    if (job.procs <= 2) {
+      narrow += job.actual_runtime;
+      ++n_narrow;
+    } else if (job.procs >= 32) {
+      wide += job.actual_runtime;
+      ++n_wide;
+    }
+  }
+  ASSERT_GT(n_narrow, 100u);
+  ASSERT_GT(n_wide, 100u);
+  EXPECT_GT(wide / n_wide, narrow / n_narrow);
+}
+
+TEST_F(LublinTraceTest, EstimateMixMatchesConfig) {
+  const TraceStats stats = compute_trace_stats(trace(), 128);
+  EXPECT_NEAR(stats.overestimate_fraction, 0.92, 0.02);
+}
+
+TEST_F(LublinTraceTest, DeterministicAndSeedSensitive) {
+  const auto again = generate_synthetic_lublin(SyntheticLublinConfig{});
+  ASSERT_EQ(again.size(), trace().size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    ASSERT_DOUBLE_EQ(again[i].submit_time, trace()[i].submit_time);
+    ASSERT_EQ(again[i].procs, trace()[i].procs);
+  }
+  SyntheticLublinConfig other;
+  other.seed = 7;
+  const auto different = generate_synthetic_lublin(other);
+  bool any = false;
+  for (std::size_t i = 0; i < different.size(); ++i) {
+    if (different[i].actual_runtime != trace()[i].actual_runtime) {
+      any = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(LublinConfigTest, RejectsDegenerateConfigs) {
+  SyntheticLublinConfig config;
+  config.job_count = 0;
+  EXPECT_THROW((void)generate_synthetic_lublin(config),
+               std::invalid_argument);
+  config = {};
+  config.arrival_shape = 0.0;
+  EXPECT_THROW((void)generate_synthetic_lublin(config),
+               std::invalid_argument);
+  config = {};
+  config.serial_fraction = 1.5;
+  EXPECT_THROW((void)generate_synthetic_lublin(config),
+               std::invalid_argument);
+}
+
+TEST(LublinConfigTest, BurstierThanPoisson) {
+  // Gamma shape < 1 gives inter-arrival CV > 1 (burstier than Poisson);
+  // verify through the realised gaps.
+  SyntheticLublinConfig config;
+  config.job_count = 4000;
+  const auto jobs = generate_synthetic_lublin(config);
+  sim::RunningStats gaps;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    gaps.add(jobs[i].submit_time - jobs[i - 1].submit_time);
+  }
+  EXPECT_GT(gaps.stddev() / gaps.mean(), 1.1);
+}
+
+}  // namespace
+}  // namespace utilrisk::workload

@@ -1,0 +1,199 @@
+// Headline-claim regression tests: the qualitative results of the paper's
+// §6/§7 (as recorded in EXPERIMENTS.md) must keep holding on a reduced
+// sweep. These are the end-to-end guards for the whole pipeline — if a
+// policy, pricing, or analysis change flips a headline, these fail.
+//
+// The sweeps run at 1000 jobs (vs 5000 in the benches) to stay fast while
+// keeping the between-policy gaps comfortably above seed noise
+// (bench_robustness_seeds quantifies both).
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "exp/figures.hpp"
+
+namespace utilrisk::exp {
+namespace {
+
+class NarrativeTest : public ::testing::Test {
+ protected:
+  static const SweepResult& sweep(economy::EconomicModel model,
+                                  ExperimentSet set) {
+    static std::map<std::string, SweepResult> cache;
+    static ResultStore store;  // shared across the four sweeps
+    const std::string key =
+        std::string(economy::to_string(model)) + to_string(set);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      ExperimentConfig config;
+      config.model = model;
+      config.set = set;
+      config.trace.job_count = 1000;
+      ExperimentRunner runner(config, &store);
+      it = cache.emplace(key, runner.run_sweep()).first;
+    }
+    return it->second;
+  }
+
+  static const core::PolicySeries& series_of(const core::RiskPlot& plot,
+                                             const std::string& policy) {
+    for (const core::PolicySeries& series : plot.series) {
+      if (series.policy == policy) return series;
+    }
+    throw std::logic_error("no such policy in plot: " + policy);
+  }
+
+  static double mean_performance(const core::PolicySeries& series) {
+    double sum = 0.0;
+    for (const core::RiskPoint& p : series.points) sum += p.performance;
+    return sum / static_cast<double>(series.points.size());
+  }
+};
+
+TEST_F(NarrativeTest, LibraFamilyHoldsTheIdealWaitPoint) {
+  for (auto model : {economy::EconomicModel::CommodityMarket,
+                     economy::EconomicModel::BidBased}) {
+    for (auto set : {ExperimentSet::A, ExperimentSet::B}) {
+      const auto plot =
+          separate_plot(sweep(model, set), core::Objective::Wait, "wait");
+      const auto& libra = series_of(plot, "Libra");
+      for (const core::RiskPoint& point : libra.points) {
+        EXPECT_DOUBLE_EQ(point.performance, 1.0);
+        EXPECT_DOUBLE_EQ(point.volatility, 0.0);
+      }
+    }
+  }
+}
+
+TEST_F(NarrativeTest, LibraDollarLeadsCommodityProfitabilityInBothSets) {
+  for (auto set : {ExperimentSet::A, ExperimentSet::B}) {
+    const auto plot =
+        separate_plot(sweep(economy::EconomicModel::CommodityMarket, set),
+                      core::Objective::Profitability, "profitability");
+    const double dollar = mean_performance(series_of(plot, "Libra+$"));
+    for (const core::PolicySeries& series : plot.series) {
+      if (series.policy == "Libra+$") continue;
+      EXPECT_GT(dollar, mean_performance(series))
+          << "Set " << to_string(set) << ": Libra+$ vs " << series.policy;
+    }
+  }
+}
+
+TEST_F(NarrativeTest, LibraDollarAcceptsFewerJobsThanLibra) {
+  for (auto set : {ExperimentSet::A, ExperimentSet::B}) {
+    const auto plot =
+        separate_plot(sweep(economy::EconomicModel::CommodityMarket, set),
+                      core::Objective::Sla, "SLA");
+    EXPECT_LT(mean_performance(series_of(plot, "Libra+$")),
+              mean_performance(series_of(plot, "Libra")));
+  }
+}
+
+TEST_F(NarrativeTest, BackfillReliabilityIsNearIdeal) {
+  for (auto model : {economy::EconomicModel::CommodityMarket,
+                     economy::EconomicModel::BidBased}) {
+    for (auto set : {ExperimentSet::A, ExperimentSet::B}) {
+      const auto plot = separate_plot(
+          sweep(model, set), core::Objective::Reliability, "reliability");
+      for (const char* policy : {"FCFS-BF", "EDF-BF"}) {
+        EXPECT_GT(mean_performance(series_of(plot, policy)), 0.99)
+            << economy::to_string(model) << " Set " << to_string(set);
+      }
+    }
+  }
+}
+
+TEST_F(NarrativeTest, InaccurateEstimatesHurtLibraReliability) {
+  const auto plot_a =
+      separate_plot(sweep(economy::EconomicModel::CommodityMarket,
+                          ExperimentSet::A),
+                    core::Objective::Reliability, "rel");
+  const auto plot_b =
+      separate_plot(sweep(economy::EconomicModel::CommodityMarket,
+                          ExperimentSet::B),
+                    core::Objective::Reliability, "rel");
+  EXPECT_GT(mean_performance(series_of(plot_a, "Libra")),
+            mean_performance(series_of(plot_b, "Libra")))
+      << "Set B's over/under-estimates break Libra's guarantees";
+}
+
+TEST_F(NarrativeTest, FirstRewardIsRiskAverseOnSlaButConsistent) {
+  for (auto set : {ExperimentSet::A, ExperimentSet::B}) {
+    const auto plot = separate_plot(
+        sweep(economy::EconomicModel::BidBased, set), core::Objective::Sla,
+        "SLA");
+    const auto& first_reward = series_of(plot, "FirstReward");
+    // Worst mean SLA performance...
+    for (const core::PolicySeries& series : plot.series) {
+      if (series.policy == "FirstReward") continue;
+      EXPECT_LT(mean_performance(first_reward), mean_performance(series));
+    }
+    // ...but the tightest volatility spread (paper: "best volatility").
+    const auto stats = core::compute_rank_stats(first_reward);
+    for (const core::PolicySeries& series : plot.series) {
+      if (series.policy == "FirstReward") continue;
+      EXPECT_LE(stats.volatility_difference(),
+                core::compute_rank_stats(series).volatility_difference() +
+                    0.05);
+    }
+  }
+}
+
+TEST_F(NarrativeTest, LibraRiskDEqualsLibraInSetA) {
+  const auto& result = sweep(economy::EconomicModel::BidBased,
+                             ExperimentSet::A);
+  std::size_t libra = result.policy_count(), riskd = result.policy_count();
+  for (std::size_t p = 0; p < result.policy_count(); ++p) {
+    if (result.policies[p] == policy::PolicyKind::Libra) libra = p;
+    if (result.policies[p] == policy::PolicyKind::LibraRiskD) riskd = p;
+  }
+  ASSERT_LT(libra, result.policy_count());
+  ASSERT_LT(riskd, result.policy_count());
+  for (std::size_t s = 0; s < result.scenario_count(); ++s) {
+    // The inaccuracy scenario sweeps estimates up to 100% inaccurate even
+    // in Set A — the paper's "single point deviation" where the two
+    // policies legitimately differ.
+    if (result.scenario_names[s] == "inaccuracy") continue;
+    for (core::Objective objective : core::kAllObjectives) {
+      const auto o = static_cast<std::size_t>(objective);
+      EXPECT_NEAR(result.separate[s][libra][o].performance,
+                  result.separate[s][riskd][o].performance, 1e-9)
+          << "scenario " << result.scenario_names[s];
+    }
+  }
+}
+
+TEST_F(NarrativeTest, LibraRiskDWinsIntegratedBidSetB) {
+  const std::vector<core::Objective> all(core::kAllObjectives.begin(),
+                                         core::kAllObjectives.end());
+  const auto plot = integrated_plot(
+      sweep(economy::EconomicModel::BidBased, ExperimentSet::B), all,
+      "all");
+  const auto ranked =
+      core::rank_policies(plot.series, core::RankBy::BestPerformance);
+  // The paper's headline: LibraRiskD handles inaccurate estimates best.
+  // Our Libra's softer collapse keeps it adjacent, so accept first-or-
+  // second-with-LibraRiskD-above-Libra as the stable relation.
+  std::size_t pos_riskd = ranked.size(), pos_libra = ranked.size();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].policy == "LibraRiskD") pos_riskd = i;
+    if (ranked[i].policy == "Libra") pos_libra = i;
+  }
+  EXPECT_LE(pos_riskd, 1u);
+  EXPECT_LT(pos_riskd, pos_libra);
+}
+
+TEST_F(NarrativeTest, RawSweepCsvExports) {
+  const auto& result =
+      sweep(economy::EconomicModel::BidBased, ExperimentSet::B);
+  std::ostringstream out;
+  write_sweep_csv(out, result);
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 1u + result.scenario_count() * 4u *
+                      result.policy_count() * kValuesPerScenario);
+}
+
+}  // namespace
+}  // namespace utilrisk::exp

@@ -1,0 +1,590 @@
+// Behavioural tests of the seven resource-management policies, driven
+// through a recording PolicyHost.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "policy/factory.hpp"
+#include "policy/first_reward.hpp"
+#include "policy/libra.hpp"
+#include "policy/libra_dollar.hpp"
+#include "policy/libra_riskd.hpp"
+#include "policy/queue_policy.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace utilrisk::policy {
+namespace {
+
+/// Records every lifecycle notification with its timestamp.
+class RecordingHost : public PolicyHost {
+ public:
+  struct Event {
+    enum Kind { Accepted, Rejected, Started, Finished } kind;
+    workload::JobId job;
+    sim::SimTime time;
+    economy::Money quoted;
+  };
+
+  explicit RecordingHost(sim::Simulator& simulator)
+      : simulator_(&simulator) {}
+
+  void notify_accepted(const workload::Job& job,
+                       economy::Money quoted) override {
+    events_.push_back({Event::Accepted, job.id, simulator_->now(), quoted});
+  }
+  void notify_rejected(const workload::Job& job) override {
+    events_.push_back({Event::Rejected, job.id, simulator_->now(), 0.0});
+  }
+  void notify_started(const workload::Job& job) override {
+    events_.push_back({Event::Started, job.id, simulator_->now(), 0.0});
+  }
+  void notify_finished(const workload::Job& job,
+                       sim::SimTime finish) override {
+    events_.push_back({Event::Finished, job.id, finish, 0.0});
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  [[nodiscard]] std::vector<workload::JobId> ids_of(
+      Event::Kind kind) const {
+    std::vector<workload::JobId> ids;
+    for (const Event& event : events_) {
+      if (event.kind == kind) ids.push_back(event.job);
+    }
+    return ids;
+  }
+
+  [[nodiscard]] const Event* find(Event::Kind kind,
+                                  workload::JobId job) const {
+    for (const Event& event : events_) {
+      if (event.kind == kind && event.job == job) return &event;
+    }
+    return nullptr;
+  }
+
+ private:
+  sim::Simulator* simulator_;
+  std::vector<Event> events_;
+};
+
+using Event = RecordingHost::Event;
+
+workload::Job make_job(workload::JobId id, double submit, std::uint32_t procs,
+                       double runtime, double deadline_factor = 8.0,
+                       double budget_factor = 100.0) {
+  workload::Job job;
+  job.id = id;
+  job.submit_time = submit;
+  job.procs = procs;
+  job.actual_runtime = runtime;
+  job.estimated_runtime = runtime;
+  job.deadline_duration = runtime * deadline_factor;
+  job.budget = runtime * budget_factor;
+  job.penalty_rate = 1.0;
+  return job;
+}
+
+/// Drives a policy with a fixed job list and returns the host record.
+struct Harness {
+  sim::Simulator simk;
+  RecordingHost host{simk};
+  PolicyContext context;
+  std::unique_ptr<Policy> policy;
+
+  explicit Harness(PolicyKind kind,
+                   economy::EconomicModel model =
+                       economy::EconomicModel::BidBased,
+                   std::uint32_t nodes = 8,
+                   FirstRewardParams first_reward = {}) {
+    context.simulator = &simk;
+    context.machine.node_count = nodes;
+    context.model = model;
+    context.first_reward = first_reward;
+    policy = make_policy(kind, context, host);
+  }
+
+  void run(const std::vector<workload::Job>& jobs) {
+    for (const workload::Job& job : jobs) {
+      simk.schedule_at(job.submit_time,
+                       [this, job] { policy->on_submit(job); });
+    }
+    simk.run();
+  }
+};
+
+// --------------------------------------------------------------- Factory
+
+TEST(FactoryTest, NamesRoundTrip) {
+  for (PolicyKind kind : all_policy_kinds()) {
+    EXPECT_EQ(parse_policy_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)parse_policy_kind("RoundRobin"), std::invalid_argument);
+}
+
+TEST(FactoryTest, TableVSetsPerModel) {
+  const auto commodity =
+      policies_for_model(economy::EconomicModel::CommodityMarket);
+  EXPECT_EQ(commodity.size(), 5u);
+  const auto bid = policies_for_model(economy::EconomicModel::BidBased);
+  EXPECT_EQ(bid.size(), 5u);
+  // Libra+$ commodity-only; LibraRiskD and FirstReward bid-only (Table V).
+  auto contains = [](const std::vector<PolicyKind>& set, PolicyKind kind) {
+    for (auto k : set) {
+      if (k == kind) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(commodity, PolicyKind::LibraDollar));
+  EXPECT_FALSE(contains(bid, PolicyKind::LibraDollar));
+  EXPECT_TRUE(contains(bid, PolicyKind::LibraRiskD));
+  EXPECT_TRUE(contains(bid, PolicyKind::FirstReward));
+  EXPECT_TRUE(contains(commodity, PolicyKind::SjfBf));
+  EXPECT_FALSE(contains(bid, PolicyKind::SjfBf));
+}
+
+TEST(FactoryTest, InstantiatesEveryPolicy) {
+  sim::Simulator simk;
+  RecordingHost host(simk);
+  PolicyContext context;
+  context.simulator = &simk;
+  for (PolicyKind kind : all_policy_kinds()) {
+    const auto policy = make_policy(kind, context, host);
+    EXPECT_EQ(policy->name(), to_string(kind));
+  }
+}
+
+TEST(FactoryTest, PolicyRejectsNullSimulator) {
+  sim::Simulator simk;
+  RecordingHost host(simk);
+  PolicyContext context;  // simulator left null
+  EXPECT_THROW((void)make_policy(PolicyKind::Libra, context, host),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------- Queue policies
+
+TEST(QueuePolicyTest, FcfsStartsInArrivalOrder) {
+  Harness h(PolicyKind::FcfsBf);
+  // Each job needs the whole machine: strictly sequential.
+  h.run({make_job(1, 0.0, 8, 100.0, 50.0), make_job(2, 1.0, 8, 100.0, 50.0),
+         make_job(3, 2.0, 8, 100.0, 50.0)});
+  EXPECT_EQ(h.host.ids_of(Event::Started),
+            (std::vector<workload::JobId>{1, 2, 3}));
+  EXPECT_EQ(h.host.ids_of(Event::Rejected).size(), 0u);
+}
+
+TEST(QueuePolicyTest, SjfPicksShortestEstimateFirst) {
+  Harness h(PolicyKind::SjfBf);
+  std::vector<workload::Job> jobs = {
+      make_job(1, 0.0, 8, 100.0, 50.0),  // running first (arrived alone)
+      make_job(2, 1.0, 8, 500.0, 50.0),
+      make_job(3, 2.0, 8, 50.0, 50.0),
+  };
+  h.run(jobs);
+  // Job 1 starts immediately; at its completion SJF picks 3 before 2.
+  EXPECT_EQ(h.host.ids_of(Event::Started),
+            (std::vector<workload::JobId>{1, 3, 2}));
+}
+
+TEST(QueuePolicyTest, EdfPicksEarliestDeadlineFirst) {
+  Harness h(PolicyKind::EdfBf);
+  std::vector<workload::Job> jobs = {
+      make_job(1, 0.0, 8, 100.0, 50.0),
+      make_job(2, 1.0, 8, 100.0, 50.0),   // deadline 801
+      make_job(3, 2.0, 8, 100.0, 20.0),   // deadline 2002 -> wait, smaller factor = earlier
+  };
+  jobs[1].deadline_duration = 5000.0;
+  jobs[2].deadline_duration = 1000.0;
+  h.run(jobs);
+  EXPECT_EQ(h.host.ids_of(Event::Started),
+            (std::vector<workload::JobId>{1, 3, 2}));
+}
+
+TEST(QueuePolicyTest, EasyBackfillLetsSmallJobsJumpAhead) {
+  Harness h(PolicyKind::FcfsBf);
+  std::vector<workload::Job> jobs = {
+      make_job(1, 0.0, 6, 1000.0, 50.0),  // leaves 2 procs free
+      make_job(2, 1.0, 8, 1000.0, 50.0),  // head: must wait for all 8
+      make_job(3, 2.0, 2, 500.0, 50.0),   // fits the hole, ends before 1000
+  };
+  h.run(jobs);
+  const auto* started3 = h.host.find(Event::Started, 3);
+  ASSERT_NE(started3, nullptr);
+  EXPECT_DOUBLE_EQ(started3->time, 2.0) << "backfilled immediately";
+  const auto* started2 = h.host.find(Event::Started, 2);
+  ASSERT_NE(started2, nullptr);
+  EXPECT_DOUBLE_EQ(started2->time, 1000.0)
+      << "head job not delayed by the backfill";
+}
+
+TEST(QueuePolicyTest, BackfillNeverDelaysTheHeadJob) {
+  Harness h(PolicyKind::FcfsBf);
+  std::vector<workload::Job> jobs = {
+      make_job(1, 0.0, 6, 1000.0, 50.0),
+      make_job(2, 1.0, 8, 1000.0, 50.0),  // head, shadow time t=1000
+      make_job(3, 2.0, 2, 2000.0, 50.0),  // would overrun the shadow
+  };
+  h.run(jobs);
+  const auto* started2 = h.host.find(Event::Started, 2);
+  const auto* started3 = h.host.find(Event::Started, 3);
+  ASSERT_NE(started2, nullptr);
+  ASSERT_NE(started3, nullptr);
+  EXPECT_DOUBLE_EQ(started2->time, 1000.0);
+  EXPECT_GT(started3->time, started2->time);
+}
+
+TEST(QueuePolicyTest, GenerousAdmissionRejectsOnlyWhenHopeless) {
+  Harness h(PolicyKind::FcfsBf);
+  std::vector<workload::Job> jobs = {
+      make_job(1, 0.0, 8, 1000.0, 50.0),
+      // Deadline factor 1.2: by t=1000 the queue wait alone exceeds the
+      // slack (deadline 120+... ) -> rejected at examination time, not at
+      // submission.
+      make_job(2, 1.0, 8, 100.0, 1.2),
+  };
+  h.run(jobs);
+  const auto* rejected = h.host.find(Event::Rejected, 2);
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_GT(rejected->time, 1.0)
+      << "generous admission rejects at dispatch, not submission";
+  EXPECT_EQ(h.host.ids_of(Event::Started),
+            (std::vector<workload::JobId>{1}));
+}
+
+TEST(QueuePolicyTest, ViableQueuedJobSurvivesGenerousAdmission) {
+  Harness h(PolicyKind::FcfsBf);
+  std::vector<workload::Job> jobs = {
+      make_job(1, 0.0, 8, 1000.0, 50.0),
+      make_job(2, 1.0, 8, 100.0, 15.0),  // deadline 1501 > 1000+100
+  };
+  h.run(jobs);
+  const auto* finished = h.host.find(Event::Finished, 2);
+  ASSERT_NE(finished, nullptr);
+  EXPECT_DOUBLE_EQ(finished->time, 1100.0);
+}
+
+TEST(QueuePolicyTest, RejectsJobsLargerThanTheMachine) {
+  Harness h(PolicyKind::FcfsBf);
+  h.run({make_job(1, 0.0, 9, 100.0)});
+  EXPECT_EQ(h.host.ids_of(Event::Rejected),
+            (std::vector<workload::JobId>{1}));
+}
+
+TEST(QueuePolicyTest, CommodityBudgetRejection) {
+  Harness h(PolicyKind::FcfsBf, economy::EconomicModel::CommodityMarket);
+  workload::Job job = make_job(1, 0.0, 4, 100.0);
+  job.budget = 50.0;  // flat quote = $100 > budget
+  h.run({job});
+  EXPECT_EQ(h.host.ids_of(Event::Rejected),
+            (std::vector<workload::JobId>{1}));
+  workload::Job affordable = make_job(2, 0.0, 4, 100.0);
+  affordable.budget = 100.0;
+  Harness h2(PolicyKind::FcfsBf, economy::EconomicModel::CommodityMarket);
+  h2.run({affordable});
+  const auto* accepted = h2.host.find(Event::Accepted, 2);
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_DOUBLE_EQ(accepted->quoted, 100.0);
+}
+
+// ------------------------------------------------------------------ Libra
+
+TEST(LibraTest, AcceptsImmediatelyWithZeroWait) {
+  Harness h(PolicyKind::Libra);
+  h.run({make_job(1, 5.0, 4, 100.0)});
+  const auto* accepted = h.host.find(Event::Accepted, 1);
+  const auto* started = h.host.find(Event::Started, 1);
+  ASSERT_NE(accepted, nullptr);
+  ASSERT_NE(started, nullptr);
+  EXPECT_DOUBLE_EQ(accepted->time, 5.0);
+  EXPECT_DOUBLE_EQ(started->time, 5.0) << "time-shared: wait is zero";
+  const auto* finished = h.host.find(Event::Finished, 1);
+  ASSERT_NE(finished, nullptr);
+  EXPECT_NEAR(finished->time, 105.0, 1e-6) << "alone: runs at full rate";
+}
+
+TEST(LibraTest, RejectsInfeasibleShare) {
+  Harness h(PolicyKind::Libra);
+  workload::Job job = make_job(1, 0.0, 1, 100.0);
+  job.estimated_runtime = 200.0;
+  job.deadline_duration = 100.0;  // share = 2 > 1
+  h.run({job});
+  EXPECT_EQ(h.host.ids_of(Event::Rejected),
+            (std::vector<workload::JobId>{1}));
+}
+
+TEST(LibraTest, RejectsWhenNoNodeHasCapacity) {
+  Harness h(PolicyKind::Libra, economy::EconomicModel::BidBased, 2);
+  // Two jobs with share 0.6 fill both nodes past the point where a third
+  // 0.6-share job fits anywhere.
+  std::vector<workload::Job> jobs;
+  for (workload::JobId id = 1; id <= 3; ++id) {
+    workload::Job job = make_job(id, 0.0, 2, 600.0);
+    job.deadline_duration = 1000.0;  // share 0.6
+    jobs.push_back(job);
+  }
+  h.run(jobs);
+  EXPECT_EQ(h.host.ids_of(Event::Accepted).size(), 1u);
+  EXPECT_EQ(h.host.ids_of(Event::Rejected).size(), 2u);
+}
+
+TEST(LibraTest, BestFitSaturatesLoadedNodes) {
+  sim::Simulator simk;
+  RecordingHost host(simk);
+  PolicyContext context;
+  context.simulator = &simk;
+  context.machine.node_count = 4;
+  LibraPolicy policy(context, host);
+
+  // First job occupies one node with share 0.5.
+  workload::Job first = make_job(1, 0.0, 1, 500.0);
+  first.deadline_duration = 1000.0;
+  // Second job (share 0.3) must be placed on the SAME node (best fit).
+  workload::Job second = make_job(2, 0.0, 1, 300.0);
+  second.deadline_duration = 1000.0;
+  simk.schedule_at(0.0, [&] {
+    policy.on_submit(first);
+    policy.on_submit(second);
+    const auto& cluster = policy.executor();
+    int loaded_nodes = 0;
+    for (cluster::NodeId n = 0; n < cluster.node_count(); ++n) {
+      if (cluster.committed_share(n) > 0.0) ++loaded_nodes;
+    }
+    EXPECT_EQ(loaded_nodes, 1) << "best fit stacks, not spreads";
+    EXPECT_NEAR(cluster.committed_share(0), 0.8, 1e-12);
+  });
+  simk.run();
+}
+
+TEST(LibraTest, CommodityQuoteAndBudgetGate) {
+  Harness h(PolicyKind::Libra, economy::EconomicModel::CommodityMarket);
+  workload::Job job = make_job(1, 0.0, 2, 1000.0, 4.0);
+  job.budget = 2000.0;
+  h.run({job});
+  const auto* accepted = h.host.find(Event::Accepted, 1);
+  ASSERT_NE(accepted, nullptr);
+  // gamma*tr + delta*tr/d = 1000 + 1000/4000.
+  EXPECT_NEAR(accepted->quoted, 1000.25, 1e-9);
+
+  Harness h2(PolicyKind::Libra, economy::EconomicModel::CommodityMarket);
+  workload::Job poor = make_job(2, 0.0, 2, 1000.0, 4.0);
+  poor.budget = 900.0;  // below the quote
+  h2.run({poor});
+  EXPECT_EQ(h2.host.ids_of(Event::Rejected),
+            (std::vector<workload::JobId>{2}));
+}
+
+// ---------------------------------------------------------------- Libra+$
+
+TEST(LibraDollarTest, PriceRisesWithClusterLoad) {
+  auto quote_with_preload = [](int preload_jobs) {
+    sim::Simulator simk;
+    RecordingHost host(simk);
+    PolicyContext context;
+    context.simulator = &simk;
+    context.machine.node_count = 2;
+    context.model = economy::EconomicModel::CommodityMarket;
+    LibraDollarPolicy policy(context, host);
+    simk.schedule_at(0.0, [&] {
+      for (int i = 0; i < preload_jobs; ++i) {
+        workload::Job filler = make_job(100 + i, 0.0, 2, 300.0);
+        filler.deadline_duration = 1000.0;  // share 0.3 on both nodes
+        policy.on_submit(filler);
+      }
+      workload::Job probe = make_job(1, 0.0, 2, 100.0);
+      probe.deadline_duration = 1000.0;
+      policy.on_submit(probe);
+    });
+    simk.run();
+    const Event* accepted = host.find(Event::Accepted, 1);
+    return accepted != nullptr ? accepted->quoted : economy::kUnaffordable;
+  };
+  const economy::Money idle = quote_with_preload(0);
+  const economy::Money busy = quote_with_preload(2);
+  EXPECT_GT(busy, idle) << "dynamic pricing charges more under load";
+  EXPECT_GT(idle, 100.0) << "alpha*PBase alone would be $100";
+}
+
+TEST(LibraDollarTest, PricesOutLowBudgetJobsUnderLoad) {
+  Harness h(PolicyKind::LibraDollar, economy::EconomicModel::CommodityMarket,
+            2);
+  std::vector<workload::Job> jobs;
+  for (workload::JobId id = 1; id <= 4; ++id) {
+    workload::Job job = make_job(id, 0.0, 2, 300.0);
+    job.deadline_duration = 1000.0;
+    job.budget = 450.0;  // covers the idle price (~$429) but not loaded ones
+    jobs.push_back(job);
+  }
+  h.run(jobs);
+  // Libra (flat-ish pricing) would accept 3 (shares 3 x 0.3 <= 1);
+  // Libra+$'s rising price rejects earlier.
+  EXPECT_LT(h.host.ids_of(Event::Accepted).size(), 3u);
+  EXPECT_GE(h.host.ids_of(Event::Accepted).size(), 1u);
+}
+
+// -------------------------------------------------------------- LibraRiskD
+
+TEST(LibraRiskDTest, MatchesLibraWhenEstimatesAreAccurate) {
+  std::vector<workload::Job> jobs;
+  sim::Rng rng(33);
+  for (workload::JobId id = 1; id <= 40; ++id) {
+    workload::Job job =
+        make_job(id, rng.uniform(0.0, 3000.0), 1 + id % 4,
+                 rng.uniform(50.0, 400.0), rng.uniform(1.5, 6.0));
+    jobs.push_back(job);
+  }
+  Harness libra(PolicyKind::Libra);
+  libra.run(jobs);
+  Harness riskd(PolicyKind::LibraRiskD);
+  riskd.run(jobs);
+  EXPECT_EQ(libra.host.ids_of(Event::Accepted),
+            riskd.host.ids_of(Event::Accepted))
+      << "zero risk everywhere when estimates are exact (paper Set A)";
+}
+
+TEST(LibraRiskDTest, AvoidsNodesWithOverrunTasks) {
+  auto run_policy = [](PolicyKind kind) {
+    Harness h(kind, economy::EconomicModel::BidBased, 1);
+    // Job 1 under-estimates: estimate 100, really 10000. After t=100 it
+    // has overrun; nominal share stays 0.2.
+    workload::Job liar = make_job(1, 0.0, 1, 10000.0);
+    liar.estimated_runtime = 100.0;
+    liar.deadline_duration = 500.0;  // share 0.2
+    // Job 2 arrives at t=200 needing share 0.5.
+    workload::Job honest = make_job(2, 200.0, 1, 500.0);
+    honest.deadline_duration = 1000.0;
+    h.run({liar, honest});
+    return h.host.ids_of(Event::Accepted).size();
+  };
+  EXPECT_EQ(run_policy(PolicyKind::Libra), 2u)
+      << "Libra trusts the stale share bookkeeping";
+  EXPECT_EQ(run_policy(PolicyKind::LibraRiskD), 1u)
+      << "LibraRiskD sees the overrun and refuses the node";
+}
+
+TEST(LibraRiskDTest, AcceptsOnCleanNodes) {
+  Harness h(PolicyKind::LibraRiskD, economy::EconomicModel::BidBased, 2);
+  workload::Job liar = make_job(1, 0.0, 1, 10000.0);
+  liar.estimated_runtime = 100.0;
+  liar.deadline_duration = 500.0;
+  workload::Job honest = make_job(2, 200.0, 1, 500.0);
+  honest.deadline_duration = 1000.0;
+  h.run({liar, honest});
+  // Node 1 is clean: job 2 is accepted there.
+  EXPECT_EQ(h.host.ids_of(Event::Accepted).size(), 2u);
+}
+
+// ------------------------------------------------------------- FirstReward
+
+TEST(FirstRewardTest, FormulasMatchTheDefinition) {
+  sim::Simulator simk;
+  RecordingHost host(simk);
+  PolicyContext context;
+  context.simulator = &simk;
+  context.machine.node_count = 8;
+  FirstRewardPolicy policy(context, host);
+
+  workload::Job job = make_job(1, 0.0, 1, 3600.0);  // 1 hour
+  job.budget = 1010.0;
+  job.penalty_rate = 2.0;
+  // PV = b / (1 + 0.01 * 1h) = 1010 / 1.01 = 1000.
+  EXPECT_NEAR(policy.present_value(job), 1000.0, 1e-9);
+  // No other accepted jobs: cost 0, slack = PV / pr = 500.
+  EXPECT_NEAR(policy.opportunity_cost(job), 0.0, 1e-12);
+  EXPECT_NEAR(policy.slack(job), 500.0, 1e-9);
+  // alpha = 1: reward = PV / RPT.
+  EXPECT_NEAR(policy.reward(job), 1000.0 / 3600.0, 1e-9);
+}
+
+TEST(FirstRewardTest, SlackThresholdGatesAdmission) {
+  FirstRewardParams params;
+  params.slack_threshold = 25.0;
+  Harness h(PolicyKind::FirstReward, economy::EconomicModel::BidBased, 8,
+            params);
+  workload::Job rich = make_job(1, 0.0, 1, 3600.0);
+  rich.budget = 1000.0;
+  rich.penalty_rate = 2.0;  // slack ~ 495 >= 25
+  workload::Job risky = make_job(2, 0.0, 1, 3600.0);
+  risky.budget = 40.0;
+  risky.penalty_rate = 2.0;  // slack ~ 19.8 < 25
+  h.run({rich, risky});
+  EXPECT_EQ(h.host.ids_of(Event::Accepted),
+            (std::vector<workload::JobId>{1}));
+  EXPECT_EQ(h.host.ids_of(Event::Rejected),
+            (std::vector<workload::JobId>{2}));
+}
+
+TEST(FirstRewardTest, OpportunityCostGrowsWithAcceptedSet) {
+  sim::Simulator simk;
+  RecordingHost host(simk);
+  PolicyContext context;
+  context.simulator = &simk;
+  context.machine.node_count = 8;
+  FirstRewardPolicy policy(context, host);
+  workload::Job probe = make_job(99, 0.0, 1, 1000.0);
+  probe.penalty_rate = 1.0;
+  simk.schedule_at(0.0, [&] {
+    const double cost_before = policy.opportunity_cost(probe);
+    workload::Job other = make_job(1, 0.0, 1, 1000.0);
+    other.budget = 1e6;
+    other.penalty_rate = 3.0;
+    policy.on_submit(other);
+    const double cost_after = policy.opportunity_cost(probe);
+    EXPECT_DOUBLE_EQ(cost_before, 0.0);
+    // cost = sum pr_j * RPT_i = 3.0 * 1000.
+    EXPECT_DOUBLE_EQ(cost_after, 3000.0);
+  });
+  simk.run();
+}
+
+TEST(FirstRewardTest, DelaysAcceptedJobsForHigherReward) {
+  Harness h(PolicyKind::FirstReward);
+  // Machine-filling job runs first; two more accepted while it runs.
+  workload::Job filler = make_job(1, 0.0, 8, 1000.0);
+  filler.budget = 10000.0;
+  workload::Job cheap = make_job(2, 1.0, 8, 1000.0);
+  cheap.budget = 5000.0;  // big enough to pass the slack admission
+  workload::Job lucrative = make_job(3, 2.0, 8, 1000.0);
+  lucrative.budget = 50000.0;
+  h.run({filler, cheap, lucrative});
+  // Reward ranks the later-arriving lucrative job above the cheap one.
+  EXPECT_EQ(h.host.ids_of(Event::Started),
+            (std::vector<workload::JobId>{1, 3, 2}));
+}
+
+TEST(FirstRewardTest, NoBackfillBlocksOnHeadJob) {
+  Harness h(PolicyKind::FirstReward);
+  // 6-proc job running; head needs 8 and blocks; a 2-proc job behind it
+  // could backfill but FirstReward does not.
+  workload::Job running = make_job(1, 0.0, 6, 1000.0);
+  running.budget = 1e5;
+  workload::Job head = make_job(2, 1.0, 8, 1000.0);
+  head.budget = 9e5;  // top reward, keeps queue head
+  workload::Job small = make_job(3, 2.0, 2, 100.0);
+  small.budget = 10000.0;  // accepted, but must still wait behind the head
+  h.run({running, head, small});
+  const auto* started_small = h.host.find(Event::Started, 3);
+  const auto* started_head = h.host.find(Event::Started, 2);
+  ASSERT_NE(started_small, nullptr);
+  ASSERT_NE(started_head, nullptr);
+  EXPECT_GT(started_small->time, started_head->time)
+      << "no backfilling: the small job waits behind the blocked head";
+}
+
+TEST(FirstRewardTest, ZeroPenaltyJobsHaveInfiniteSlack) {
+  FirstRewardParams params;
+  params.slack_threshold = 1e12;
+  Harness h(PolicyKind::FirstReward, economy::EconomicModel::BidBased, 8,
+            params);
+  workload::Job job = make_job(1, 0.0, 1, 100.0);
+  job.penalty_rate = 0.0;
+  h.run({job});
+  EXPECT_EQ(h.host.ids_of(Event::Accepted),
+            (std::vector<workload::JobId>{1}))
+      << "a job that can never incur penalties is always safe to accept";
+}
+
+}  // namespace
+}  // namespace utilrisk::policy

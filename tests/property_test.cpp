@@ -1,0 +1,253 @@
+// Cross-module property tests: invariants that must hold for random
+// workloads, every policy, and both economic models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "service/computing_service.hpp"
+#include "sim/rng.hpp"
+#include "workload/synthetic_lublin.hpp"
+#include "workload/workload.hpp"
+
+namespace utilrisk {
+namespace {
+
+/// Random (but seeded) workload with QoS terms.
+std::vector<workload::Job> random_workload(std::uint64_t seed,
+                                           std::uint32_t jobs,
+                                           double inaccuracy) {
+  workload::SyntheticSdscConfig trace;
+  trace.job_count = jobs;
+  trace.seed = seed;
+  workload::QosConfig qos;
+  qos.seed = seed * 7919 + 1;
+  const workload::WorkloadBuilder builder(trace);
+  return builder.build(qos, 0.25, inaccuracy);
+}
+
+struct PropertyCase {
+  policy::PolicyKind kind;
+  economy::EconomicModel model;
+  std::uint64_t seed;
+};
+
+class AllPoliciesPropertySweep
+    : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(AllPoliciesPropertySweep, UniversalInvariantsHold) {
+  const PropertyCase param = GetParam();
+  const auto jobs = random_workload(param.seed, 300, 100.0);
+  const auto report = service::simulate(jobs, param.kind, param.model);
+
+  // Conservation: every job is exactly one of rejected / fulfilled /
+  // violated; nothing is left unfinished after quiescence.
+  std::size_t rejected = 0, fulfilled = 0, violated = 0;
+  for (const service::SlaRecord& record : report.records) {
+    switch (record.outcome) {
+      case workload::JobOutcome::Rejected: ++rejected; break;
+      case workload::JobOutcome::FulfilledSLA: ++fulfilled; break;
+      case workload::JobOutcome::ViolatedSLA: ++violated; break;
+      case workload::JobOutcome::TerminatedSLA:
+        FAIL() << "job " << record.job.id
+               << " terminated without the ablation flag";
+      case workload::JobOutcome::Unfinished:
+        FAIL() << "job " << record.job.id << " unfinished";
+    }
+  }
+  EXPECT_EQ(rejected + fulfilled + violated, jobs.size());
+  EXPECT_EQ(report.inputs.accepted, fulfilled + violated);
+  EXPECT_EQ(report.inputs.fulfilled, fulfilled);
+
+  // Physical bounds.
+  EXPECT_GE(report.utilization, 0.0);
+  EXPECT_LE(report.utilization, 1.0 + 1e-9);
+
+  // Causality: starts after submission, finishes after starts by at least
+  // the actual runtime (time-sharing can only stretch execution).
+  for (const service::SlaRecord& record : report.records) {
+    if (!record.accepted()) continue;
+    EXPECT_GE(record.start_time, record.submit_time - sim::kTimeEpsilon);
+    EXPECT_GE(record.finish_time,
+              record.start_time + record.job.actual_runtime - 1e-6)
+        << "job " << record.job.id
+        << ": non-preemptive execution cannot beat the dedicated runtime";
+  }
+
+  // Economic sanity.
+  for (const service::SlaRecord& record : report.records) {
+    if (!record.accepted()) continue;
+    if (param.model == economy::EconomicModel::CommodityMarket) {
+      EXPECT_GE(record.utility, 0.0);
+      EXPECT_LE(record.utility, record.job.budget + 1e-9);
+    } else if (record.fulfilled()) {
+      EXPECT_NEAR(record.utility, record.job.budget, 1e-9);
+    }
+  }
+}
+
+std::vector<PropertyCase> property_cases() {
+  std::vector<PropertyCase> cases;
+  for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    for (economy::EconomicModel model :
+         {economy::EconomicModel::CommodityMarket,
+          economy::EconomicModel::BidBased}) {
+      for (policy::PolicyKind kind : policy::policies_for_model(model)) {
+        cases.push_back({kind, model, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllPoliciesPropertySweep, ::testing::ValuesIn(property_cases()),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      std::string name = std::string(policy::to_string(info.param.kind)) +
+                         "_" + economy::to_string(info.param.model) + "_s" +
+                         std::to_string(info.param.seed);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// With accurate estimates every policy keeps its promises: an accepted job
+// either meets its deadline or was started by a policy that never promised
+// one (none here — all seven gate on deadlines at admission).
+class AccurateEstimatePromiseSweep
+    : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(AccurateEstimatePromiseSweep, NoViolationsUnderAccurateEstimates) {
+  const PropertyCase param = GetParam();
+  const auto jobs = random_workload(param.seed, 300, /*inaccuracy=*/0.0);
+  const auto report = service::simulate(jobs, param.kind, param.model);
+  EXPECT_EQ(report.inputs.accepted, report.inputs.fulfilled)
+      << policy::to_string(param.kind)
+      << ": with exact estimates, admission control is a guarantee";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AccurateEstimatePromiseSweep,
+    ::testing::Values(
+        PropertyCase{policy::PolicyKind::FcfsBf,
+                     economy::EconomicModel::BidBased, 5},
+        PropertyCase{policy::PolicyKind::SjfBf,
+                     economy::EconomicModel::CommodityMarket, 5},
+        PropertyCase{policy::PolicyKind::EdfBf,
+                     economy::EconomicModel::BidBased, 5},
+        PropertyCase{policy::PolicyKind::Libra,
+                     economy::EconomicModel::BidBased, 5},
+        PropertyCase{policy::PolicyKind::LibraDollar,
+                     economy::EconomicModel::CommodityMarket, 5},
+        PropertyCase{policy::PolicyKind::LibraRiskD,
+                     economy::EconomicModel::BidBased, 5}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      std::string name = std::string(policy::to_string(info.param.kind));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// Note: FirstReward is deliberately absent above — its admission control
+// gates on *profitability slack*, not deadlines, so it can accept a job
+// whose processors stay busy past the deadline even with exact estimates.
+TEST(FirstRewardPromise, MayViolateDeadlinesByDesign) {
+  const auto jobs = random_workload(5, 300, 0.0);
+  const auto report = service::simulate(jobs, policy::PolicyKind::FirstReward,
+                                        economy::EconomicModel::BidBased);
+  // Not asserting violations exist (workload-dependent); assert the
+  // decomposition stays consistent even if they do.
+  EXPECT_LE(report.inputs.fulfilled, report.inputs.accepted);
+}
+
+// Monotonicity: lightening the load (higher arrival delay factor) never
+// reduces the SLA percentage for deadline-gated policies on the same
+// trace.
+class LoadMonotonicitySweep
+    : public ::testing::TestWithParam<policy::PolicyKind> {};
+
+TEST_P(LoadMonotonicitySweep, SlaImprovesWhenLoadLightens) {
+  workload::SyntheticSdscConfig trace;
+  trace.job_count = 400;
+  const workload::WorkloadBuilder builder(trace);
+  double previous_sla = -1.0;
+  for (double adf : {0.05, 0.25, 1.0}) {
+    const auto jobs = builder.build(workload::QosConfig{}, adf, 0.0);
+    const auto report = service::simulate(jobs, GetParam(),
+                                          economy::EconomicModel::BidBased);
+    EXPECT_GE(report.objectives.sla, previous_sla - 5.0)
+        << "allowing small non-monotonic wiggle, large regressions are bugs";
+    previous_sla = report.objectives.sla;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, LoadMonotonicitySweep,
+                         ::testing::Values(policy::PolicyKind::FcfsBf,
+                                           policy::PolicyKind::EdfBf,
+                                           policy::PolicyKind::Libra,
+                                           policy::PolicyKind::LibraRiskD),
+                         [](const auto& info) {
+                           std::string name =
+                               std::string(policy::to_string(info.param));
+                           for (char& c : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// Determinism: identical inputs give bit-identical outputs for every
+// policy (the foundation of the experiment cache).
+class DeterminismSweep : public ::testing::TestWithParam<policy::PolicyKind> {
+};
+
+TEST_P(DeterminismSweep, BitIdenticalReplay) {
+  const auto jobs = random_workload(99, 250, 100.0);
+  const economy::EconomicModel model =
+      GetParam() == policy::PolicyKind::LibraDollar ||
+              GetParam() == policy::PolicyKind::SjfBf
+          ? economy::EconomicModel::CommodityMarket
+          : economy::EconomicModel::BidBased;
+  const auto a = service::simulate(jobs, GetParam(), model);
+  const auto b = service::simulate(jobs, GetParam(), model);
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.inputs.accepted, b.inputs.accepted);
+  EXPECT_EQ(a.inputs.fulfilled, b.inputs.fulfilled);
+  EXPECT_EQ(a.inputs.total_utility, b.inputs.total_utility);
+  EXPECT_EQ(a.end_time, b.end_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, DeterminismSweep,
+    ::testing::ValuesIn(policy::all_policy_kinds()),
+    [](const auto& info) {
+      std::string name = std::string(policy::to_string(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// The two workload generators must both drive every bid-model policy to a
+// consistent, quiescent simulation (guards against generator-specific
+// pathologies like zero-length jobs or monster bursts).
+TEST(GeneratorCompatibility, LublinWorkloadsRunEverywhere) {
+  workload::SyntheticLublinConfig trace;
+  trace.job_count = 300;
+  const workload::WorkloadBuilder builder(
+      workload::generate_synthetic_lublin(trace));
+  const auto jobs = builder.build(workload::QosConfig{}, 0.25, 100.0);
+  for (policy::PolicyKind kind :
+       policy::policies_for_model(economy::EconomicModel::BidBased)) {
+    const auto report =
+        service::simulate(jobs, kind, economy::EconomicModel::BidBased);
+    EXPECT_EQ(report.inputs.submitted, 300u) << policy::to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace utilrisk

@@ -1,0 +1,351 @@
+// Tests for the advance-reservation substrate and the LibraReserve
+// deferred-admission policy built on it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/reservation.hpp"
+#include "service/computing_service.hpp"
+#include "sim/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace utilrisk {
+namespace {
+
+using cluster::ReservationBook;
+using cluster::ReservationTimeline;
+
+// ------------------------------------------------------ ReservationTimeline
+
+TEST(ReservationTimelineTest, EmptyTimelineIsUncommitted) {
+  const ReservationTimeline timeline;
+  EXPECT_DOUBLE_EQ(timeline.committed_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.committed_at(1e9), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.max_committed(0.0, 100.0), 0.0);
+}
+
+TEST(ReservationTimelineTest, BookCreatesAStep) {
+  ReservationTimeline timeline;
+  timeline.book(10.0, 20.0, 0.4);
+  EXPECT_DOUBLE_EQ(timeline.committed_at(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.committed_at(10.0), 0.4) << "start inclusive";
+  EXPECT_DOUBLE_EQ(timeline.committed_at(15.0), 0.4);
+  EXPECT_DOUBLE_EQ(timeline.committed_at(20.0), 0.0) << "end exclusive";
+}
+
+TEST(ReservationTimelineTest, OverlappingBookingsStack) {
+  ReservationTimeline timeline;
+  timeline.book(0.0, 100.0, 0.3);
+  timeline.book(50.0, 150.0, 0.5);
+  EXPECT_DOUBLE_EQ(timeline.committed_at(25.0), 0.3);
+  EXPECT_DOUBLE_EQ(timeline.committed_at(75.0), 0.8);
+  EXPECT_DOUBLE_EQ(timeline.committed_at(125.0), 0.5);
+  EXPECT_DOUBLE_EQ(timeline.max_committed(0.0, 150.0), 0.8);
+  EXPECT_DOUBLE_EQ(timeline.max_committed(0.0, 50.0), 0.3);
+  EXPECT_DOUBLE_EQ(timeline.max_committed(100.0, 150.0), 0.5);
+}
+
+TEST(ReservationTimelineTest, ReleaseInvertsBooking) {
+  ReservationTimeline timeline;
+  timeline.book(0.0, 100.0, 0.6);
+  timeline.release(0.0, 100.0, 0.6);
+  EXPECT_DOUBLE_EQ(timeline.max_committed(0.0, 100.0), 0.0);
+}
+
+TEST(ReservationTimelineTest, PartialReleaseFreesTheTail) {
+  ReservationTimeline timeline;
+  timeline.book(0.0, 100.0, 0.6);
+  timeline.release(40.0, 100.0, 0.6);  // early completion at t=40
+  EXPECT_DOUBLE_EQ(timeline.committed_at(20.0), 0.6);
+  EXPECT_DOUBLE_EQ(timeline.committed_at(60.0), 0.0);
+}
+
+TEST(ReservationTimelineTest, OverReleaseThrows) {
+  ReservationTimeline timeline;
+  timeline.book(0.0, 100.0, 0.3);
+  EXPECT_THROW(timeline.release(0.0, 100.0, 0.5), std::logic_error);
+}
+
+TEST(ReservationTimelineTest, ValidatesArguments) {
+  ReservationTimeline timeline;
+  EXPECT_THROW(timeline.book(10.0, 10.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(timeline.book(10.0, 5.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(timeline.book(0.0, 10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(timeline.book(0.0, 10.0, -0.2), std::invalid_argument);
+  EXPECT_THROW((void)timeline.max_committed(5.0, 5.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)timeline.earliest_fit(0.0, 10.0, 0.0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(ReservationTimelineTest, EarliestFitFindsGaps) {
+  ReservationTimeline timeline;
+  timeline.book(0.0, 100.0, 0.8);  // nearly full until t=100
+  // A 0.5-share, 50-long booking fits only from t=100.
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(0.0, 500.0, 50.0, 0.5), 100.0);
+  // A 0.2-share booking fits immediately (0.8 + 0.2 <= 1).
+  EXPECT_DOUBLE_EQ(timeline.earliest_fit(0.0, 500.0, 50.0, 0.2), 0.0);
+  // Nothing fits if the latest start precedes the gap.
+  EXPECT_EQ(timeline.earliest_fit(0.0, 99.0, 50.0, 0.5), sim::kTimeNever);
+}
+
+TEST(ReservationTimelineTest, DiscardBeforeCompacts) {
+  ReservationTimeline timeline;
+  for (int i = 0; i < 50; ++i) {
+    timeline.book(i * 10.0, i * 10.0 + 5.0, 0.1);
+  }
+  const std::size_t before = timeline.breakpoint_count();
+  timeline.discard_before(250.0);
+  EXPECT_LT(timeline.breakpoint_count(), before);
+  // Future state is unaffected.
+  EXPECT_DOUBLE_EQ(timeline.committed_at(302.0), 0.1);
+  EXPECT_DOUBLE_EQ(timeline.committed_at(308.0), 0.0);
+}
+
+// Randomised check against a brute-force reference: a dense time grid
+// where every booking adds its share to each covered cell. The timeline's
+// committed_at / max_committed must agree with the grid at every probe.
+class TimelineReferenceSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TimelineReferenceSweep, AgreesWithBruteForceGrid) {
+  sim::Rng rng(GetParam());
+  ReservationTimeline timeline;
+  constexpr int kCells = 200;        // grid over [0, 200) at 1s resolution
+  std::vector<double> grid(kCells, 0.0);
+  struct Interval {
+    int start, end;
+    double share;
+  };
+  std::vector<Interval> live;
+
+  for (int op = 0; op < 120; ++op) {
+    const bool do_release = !live.empty() && rng.bernoulli(0.35);
+    if (do_release) {
+      const auto idx = rng.uniform_int(0, live.size() - 1);
+      const Interval interval = live[idx];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      timeline.release(interval.start, interval.end, interval.share);
+      for (int c = interval.start; c < interval.end; ++c) {
+        grid[static_cast<std::size_t>(c)] -= interval.share;
+      }
+    } else {
+      const int start = static_cast<int>(rng.uniform_int(0, kCells - 2));
+      const int end =
+          static_cast<int>(rng.uniform_int(start + 1, kCells - 1));
+      const double share = rng.uniform(0.05, 0.4);
+      live.push_back({start, end, share});
+      timeline.book(start, end, share);
+      for (int c = start; c < end; ++c) {
+        grid[static_cast<std::size_t>(c)] += share;
+      }
+    }
+    // Probe a few random points and windows.
+    for (int probe = 0; probe < 4; ++probe) {
+      const int t = static_cast<int>(rng.uniform_int(0, kCells - 1));
+      ASSERT_NEAR(timeline.committed_at(t + 0.5),
+                  grid[static_cast<std::size_t>(t)], 1e-9);
+      const int a = static_cast<int>(rng.uniform_int(0, kCells - 2));
+      const int b = static_cast<int>(rng.uniform_int(a + 1, kCells - 1));
+      double expected = 0.0;
+      for (int c = a; c < b; ++c) {
+        expected = std::max(expected, grid[static_cast<std::size_t>(c)]);
+      }
+      ASSERT_NEAR(timeline.max_committed(a, b), expected, 1e-9)
+          << "window [" << a << ", " << b << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineReferenceSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ----------------------------------------------------------- ReservationBook
+
+TEST(ReservationBookTest, FittingNodesAreBestFitOrdered) {
+  ReservationBook book(3);
+  book.node(0).book(0.0, 100.0, 0.2);
+  book.node(1).book(0.0, 100.0, 0.6);
+  book.node(2).book(0.0, 100.0, 0.95);
+  const auto fitting = book.fitting_nodes(0.0, 100.0, 0.3);
+  // Node 2 cannot fit 0.3; node 1 (most committed that fits) first.
+  ASSERT_EQ(fitting.size(), 2u);
+  EXPECT_EQ(fitting[0], 1u);
+  EXPECT_EQ(fitting[1], 0u);
+}
+
+TEST(ReservationBookTest, ValidatesConstructionAndAccess) {
+  EXPECT_THROW(ReservationBook(0), std::invalid_argument);
+  ReservationBook book(2);
+  EXPECT_THROW((void)book.node(2), std::out_of_range);
+}
+
+// ------------------------------------------------------------- LibraReserve
+
+std::vector<workload::Job> reserve_workload(double inaccuracy) {
+  workload::SyntheticSdscConfig trace;
+  trace.job_count = 500;
+  const workload::WorkloadBuilder builder(trace);
+  return builder.build(workload::QosConfig{}, 0.25, inaccuracy);
+}
+
+TEST(LibraReserveTest, PerfectEstimatesMeanPerfectReliability) {
+  const auto report =
+      service::simulate(reserve_workload(0.0),
+                        policy::PolicyKind::LibraReserve,
+                        economy::EconomicModel::BidBased);
+  EXPECT_DOUBLE_EQ(report.objectives.reliability, 100.0)
+      << "every booked job runs inside its booked window";
+  EXPECT_GT(report.objectives.wait, 0.0)
+      << "deferred admissions wait for their slot";
+}
+
+TEST(LibraReserveTest, TradesWaitForReliabilityVsLibraUnderInaccuracy) {
+  const auto jobs = reserve_workload(100.0);
+  const auto libra = service::simulate(jobs, policy::PolicyKind::Libra,
+                                       economy::EconomicModel::BidBased);
+  const auto reserve =
+      service::simulate(jobs, policy::PolicyKind::LibraReserve,
+                        economy::EconomicModel::BidBased);
+  EXPECT_GE(reserve.objectives.reliability, libra.objectives.reliability)
+      << "whole-window guarantees absorb mis-estimates better";
+  EXPECT_GT(reserve.objectives.wait, libra.objectives.wait)
+      << "Libra never defers";
+}
+
+TEST(LibraReserveTest, AcceptsJobsThatNeedDeferral) {
+  // Two whole-machine jobs with deadlines loose enough to run serially:
+  // Libra rejects the second (no instantaneous share), LibraReserve books
+  // it behind the first.
+  auto make = [](workload::JobId id, double submit) {
+    workload::Job job;
+    job.id = id;
+    job.submit_time = submit;
+    job.procs = 4;
+    job.actual_runtime = 1000.0;
+    job.estimated_runtime = 1000.0;
+    job.deadline_duration = 5000.0;
+    job.budget = 5000.0;
+    job.penalty_rate = 1.0;
+    return job;
+  };
+  const std::vector<workload::Job> jobs = {make(1, 0.0), make(2, 1.0)};
+  cluster::MachineConfig machine;
+  machine.node_count = 4;
+
+  const auto libra = service::simulate(jobs, policy::PolicyKind::Libra,
+                                       economy::EconomicModel::BidBased,
+                                       machine);
+  // Libra can still fit both if shares stack (0.2 each) — force full
+  // shares with tight deadlines relative to estimates? share = 1000/5000
+  // = 0.2, stacks fine. Use near-deadline jobs instead:
+  (void)libra;
+
+  auto tight = jobs;
+  for (auto& job : tight) {
+    job.deadline_duration = 2200.0;  // share 0.45, two fit; third won't
+  }
+  tight.push_back(make(3, 2.0));
+  tight[2].deadline_duration = 9000.0;  // relaxed: can wait its turn
+  const auto libra_tight =
+      service::simulate(tight, policy::PolicyKind::Libra,
+                        economy::EconomicModel::BidBased, machine);
+  const auto reserve_tight =
+      service::simulate(tight, policy::PolicyKind::LibraReserve,
+                        economy::EconomicModel::BidBased, machine);
+  EXPECT_GE(reserve_tight.inputs.accepted, libra_tight.inputs.accepted);
+  EXPECT_EQ(reserve_tight.inputs.fulfilled, reserve_tight.inputs.accepted)
+      << "accurate estimates: every accepted job fulfilled";
+}
+
+TEST(LibraReserveTest, DegradedStartWhenPredecessorOverruns) {
+  // The liar books [0, 110) with share ~0.909 but really runs 5000 s.
+  // The newcomer's reserved start at t=200 finds the node still 90.9 %
+  // committed: it starts degraded at the residual share and violates —
+  // but it runs (no deadlock, no starvation).
+  workload::Job liar;
+  liar.id = 1;
+  liar.procs = 1;
+  liar.actual_runtime = 5000.0;
+  liar.estimated_runtime = 100.0;
+  liar.deadline_duration = 110.0;
+  liar.budget = 1000.0;
+  liar.penalty_rate = 0.01;
+
+  workload::Job newcomer;
+  newcomer.id = 2;
+  newcomer.submit_time = 200.0;
+  newcomer.procs = 1;
+  newcomer.actual_runtime = 100.0;
+  newcomer.estimated_runtime = 100.0;
+  newcomer.deadline_duration = 200.0;  // share 0.5 if started immediately
+  newcomer.budget = 1000.0;
+  newcomer.penalty_rate = 0.01;
+
+  cluster::MachineConfig machine;
+  machine.node_count = 1;
+  const auto report =
+      service::simulate({liar, newcomer}, policy::PolicyKind::LibraReserve,
+                        economy::EconomicModel::BidBased, machine);
+  EXPECT_EQ(report.inputs.accepted, 2u);
+  EXPECT_EQ(report.records[1].outcome, workload::JobOutcome::ViolatedSLA)
+      << "degraded share cannot meet the deadline";
+  EXPECT_GT(report.records[1].finish_time, 0.0);
+  // Degraded rate ~0.0909 for 100 s of work while the liar runs: long.
+  EXPECT_GT(report.records[1].finish_time - report.records[1].start_time,
+            newcomer.actual_runtime);
+}
+
+TEST(LibraReserveTest, RetriesWhenResidualShareIsTooSmall) {
+  // Liar holds ~0.999 share: below the degraded-share floor, so the
+  // newcomer re-books and retries until the liar completes at t=5000.
+  workload::Job liar;
+  liar.id = 1;
+  liar.procs = 1;
+  liar.actual_runtime = 5000.0;
+  liar.estimated_runtime = 100.0;
+  liar.deadline_duration = 100.05;
+  liar.budget = 1000.0;
+  liar.penalty_rate = 0.0;
+
+  workload::Job newcomer;
+  newcomer.id = 2;
+  newcomer.submit_time = 150.0;
+  newcomer.procs = 1;
+  newcomer.actual_runtime = 100.0;
+  newcomer.estimated_runtime = 100.0;
+  newcomer.deadline_duration = 300.0;
+  newcomer.budget = 1000.0;
+  newcomer.penalty_rate = 0.0;
+
+  cluster::MachineConfig machine;
+  machine.node_count = 1;
+  const auto report =
+      service::simulate({liar, newcomer}, policy::PolicyKind::LibraReserve,
+                        economy::EconomicModel::BidBased, machine);
+  ASSERT_EQ(report.inputs.accepted, 2u);
+  EXPECT_EQ(report.records[1].outcome, workload::JobOutcome::ViolatedSLA);
+  EXPECT_GE(report.records[1].start_time, 5000.0)
+      << "retries defer the start until the liar finally releases the node";
+  EXPECT_NEAR(report.records[1].finish_time,
+              report.records[1].start_time + 100.0, 1.0)
+      << "once alone it runs at full rate";
+}
+
+TEST(LibraReserveTest, RegisteredInFactory) {
+  EXPECT_EQ(policy::to_string(policy::PolicyKind::LibraReserve),
+            "LibraReserve");
+  EXPECT_EQ(policy::parse_policy_kind("LibraReserve"),
+            policy::PolicyKind::LibraReserve);
+  // Not part of the paper's Table V sets.
+  for (auto model : {economy::EconomicModel::CommodityMarket,
+                     economy::EconomicModel::BidBased}) {
+    for (auto kind : policy::policies_for_model(model)) {
+      EXPECT_NE(kind, policy::PolicyKind::LibraReserve);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace utilrisk

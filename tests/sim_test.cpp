@@ -1,0 +1,392 @@
+// Unit tests for the discrete-event kernel: event ordering, cancellation,
+// clock semantics, RNG determinism and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "sim/distributions.hpp"
+#include "sim/entity.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace_log.hpp"
+
+namespace utilrisk::sim {
+namespace {
+
+// ---------------------------------------------------------------- EventQueue
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(3.0, [&] { order.push_back(3); });
+  queue.push(1.0, [&] { order.push_back(1); });
+  queue.push(2.0, [&] { order.push_back(2); });
+  while (auto rec = queue.pop()) rec->action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeFifoBySchedulingOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (auto rec = queue.pop()) rec->action();
+  std::vector<int> expected(10);
+  for (int i = 0; i < 10; ++i) expected[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue queue;
+  auto h1 = queue.push(1.0, [] {});
+  auto h2 = queue.push(2.0, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_TRUE(h1.cancel());
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_FALSE(h1.cancel()) << "double cancel must be a no-op";
+  EXPECT_TRUE(h2.pending());
+  queue.pop();
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, CancelledEventsAreSkipped) {
+  EventQueue queue;
+  std::vector<int> order;
+  auto h = queue.push(1.0, [&] { order.push_back(1); });
+  queue.push(2.0, [&] { order.push_back(2); });
+  h.cancel();
+  while (auto rec = queue.pop()) rec->action();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelledHead) {
+  EventQueue queue;
+  auto h = queue.push(1.0, [] {});
+  queue.push(7.0, [] {});
+  EXPECT_DOUBLE_EQ(queue.next_time(), 1.0);
+  h.cancel();
+  EXPECT_DOUBLE_EQ(queue.next_time(), 7.0);
+}
+
+TEST(EventQueueTest, RejectsNonFiniteTimeAndEmptyAction) {
+  EventQueue queue;
+  EXPECT_THROW(queue.push(kTimeNever, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.push(1.0, EventAction{}), std::invalid_argument);
+}
+
+TEST(EventQueueTest, HandleOutlivesQueueSafely) {
+  EventHandle handle;
+  {
+    EventQueue queue;
+    handle = queue.push(1.0, [] {});
+  }
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(EventQueueTest, StressManyRandomEvents) {
+  EventQueue queue;
+  Rng rng(7);
+  std::vector<double> times;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = rng.uniform(0.0, 1000.0);
+    queue.push(t, [] {});
+  }
+  double prev = -1.0;
+  while (auto rec = queue.pop()) {
+    EXPECT_GE(rec->time, prev);
+    prev = rec->time;
+  }
+}
+
+// ----------------------------------------------------------------- Simulator
+
+TEST(SimulatorTest, RunsToQuiescence) {
+  Simulator simk;
+  int fired = 0;
+  simk.schedule_at(10.0, [&] { ++fired; });
+  simk.schedule_at(20.0, [&] { ++fired; });
+  EXPECT_EQ(simk.run(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(simk.now(), 20.0);
+}
+
+TEST(SimulatorTest, ClockAdvancesMonotonically) {
+  Simulator simk;
+  std::vector<double> observed;
+  for (double t : {5.0, 1.0, 3.0, 1.0}) {
+    simk.schedule_at(t, [&simk, &observed] { observed.push_back(simk.now()); });
+  }
+  simk.run();
+  EXPECT_TRUE(std::is_sorted(observed.begin(), observed.end()));
+  EXPECT_EQ(observed.size(), 4u);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator simk;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 5) simk.schedule_in(1.0, next);
+  };
+  simk.schedule_at(0.0, next);
+  simk.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(simk.now(), 4.0);
+}
+
+TEST(SimulatorTest, RejectsSchedulingInThePast) {
+  Simulator simk;
+  simk.schedule_at(10.0, [&] {
+    EXPECT_THROW(simk.schedule_at(5.0, [] {}), SchedulingError);
+  });
+  simk.run();
+}
+
+TEST(SimulatorTest, HorizonStopsAndAdvancesClock) {
+  Simulator simk;
+  int fired = 0;
+  simk.schedule_at(10.0, [&] { ++fired; });
+  simk.schedule_at(100.0, [&] { ++fired; });
+  EXPECT_EQ(simk.run(50.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(simk.now(), 50.0);
+  EXPECT_EQ(simk.pending_events(), 1u);
+  simk.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StopRequestHaltsRun) {
+  Simulator simk;
+  int fired = 0;
+  simk.schedule_at(1.0, [&] {
+    ++fired;
+    simk.stop();
+  });
+  simk.schedule_at(2.0, [&] { ++fired; });
+  simk.run();
+  EXPECT_EQ(fired, 1);
+  simk.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsDispatch) {
+  Simulator simk;
+  int fired = 0;
+  auto handle = simk.schedule_at(1.0, [&] { ++fired; });
+  simk.schedule_at(0.5, [&] { handle.cancel(); });
+  simk.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, NegativeDelaySlackSnapsToNow) {
+  Simulator simk;
+  int fired = 0;
+  simk.schedule_at(1.0, [&] {
+    // Tiny negative delays from floating-point cancellation must not throw.
+    simk.schedule_in(-1e-9, [&] { ++fired; });
+  });
+  simk.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// ----------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.uniform_int(0, 5)];
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(count, kDraws / 6, kDraws / 60);
+  }
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_int(5, 1), std::invalid_argument);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentOfParentConsumption) {
+  Rng parent1(77);
+  Rng parent2(77);
+  Rng child1 = parent1.split();
+  Rng child2 = parent2.split();
+  // Children seeded identically regardless of later parent draws.
+  (void)parent1();
+  EXPECT_EQ(child1(), child2());
+}
+
+// --------------------------------------------------------------- Entity/Log
+
+TEST(EntityTest, SchedulingSugarBindsToSimulator) {
+  class Pinger : public Entity {
+   public:
+    explicit Pinger(Simulator& simk) : Entity(simk, "pinger") {}
+    void ping_at(SimTime t) {
+      at(t, [this] { last_ping = now(); });
+    }
+    void ping_after(SimTime d) {
+      after(d, [this] { last_ping = now(); });
+    }
+    SimTime last_ping = -1.0;
+  };
+  Simulator simk;
+  Pinger pinger(simk);
+  EXPECT_EQ(pinger.name(), "pinger");
+  pinger.ping_at(5.0);
+  simk.run();
+  EXPECT_DOUBLE_EQ(pinger.last_ping, 5.0);
+  pinger.ping_after(3.0);
+  simk.run();
+  EXPECT_DOUBLE_EQ(pinger.last_ping, 8.0);
+}
+
+TEST(TraceLogTest, LevelsGateOutput) {
+  auto& log = TraceLog::instance();
+  std::ostringstream sink;
+  log.set_sink(&sink);
+  log.set_level(LogLevel::Info);
+  EXPECT_TRUE(log.enabled(LogLevel::Error));
+  EXPECT_TRUE(log.enabled(LogLevel::Info));
+  EXPECT_FALSE(log.enabled(LogLevel::Debug));
+
+  UTILRISK_LOG(LogLevel::Info, 1.5, "unit", "hello " << 42);
+  UTILRISK_LOG(LogLevel::Debug, 2.0, "unit", "suppressed");
+  log.set_level(LogLevel::Off);
+  log.set_sink(&std::cerr);
+
+  const std::string text = sink.str();
+  EXPECT_NE(text.find("[INF] t=1.5 unit: hello 42"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("suppressed"), std::string::npos);
+}
+
+// --------------------------------------------------------------- RunningStats
+
+TEST(RunningStatsTest, MatchesClosedForm) {
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 1.25);  // population variance
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 10.0);
+  EXPECT_EQ(stats.count(), 4u);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+// ------------------------------------------------------------- Distributions
+
+TEST(DistributionsTest, ExponentialMeanConverges) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(sample_exponential(rng, 100.0));
+  EXPECT_NEAR(stats.mean(), 100.0, 2.0);
+}
+
+TEST(DistributionsTest, NormalMeanAndStddevConverge) {
+  Rng rng(6);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(sample_normal(rng, 10.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(DistributionsTest, TruncatedNormalRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = sample_truncated_normal(rng, 0.0, 10.0, -1.0, 1.0);
+    ASSERT_GE(x, -1.0);
+    ASSERT_LE(x, 1.0);
+  }
+}
+
+TEST(DistributionsTest, LognormalMatchesTargetMoments) {
+  Rng rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.add(sample_lognormal_mean_cv(rng, 50.0, 1.0));
+  }
+  EXPECT_NEAR(stats.mean(), 50.0, 1.5);
+  EXPECT_NEAR(stats.stddev() / stats.mean(), 1.0, 0.1);
+}
+
+TEST(DistributionsTest, DiscreteFollowsWeights) {
+  Rng rng(12);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sample_discrete(rng, weights)];
+  EXPECT_NEAR(counts[0], kDraws * 0.1, kDraws * 0.02);
+  EXPECT_NEAR(counts[1], kDraws * 0.3, kDraws * 0.02);
+  EXPECT_NEAR(counts[2], kDraws * 0.6, kDraws * 0.02);
+}
+
+TEST(DistributionsTest, DiscreteRejectsDegenerateWeights) {
+  Rng rng(1);
+  EXPECT_THROW((void)sample_discrete(rng, {}), std::invalid_argument);
+  EXPECT_THROW((void)sample_discrete(rng, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)sample_discrete(rng, {-1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(DistributionsTest, JobSizeWithinMachine) {
+  Rng rng(14);
+  for (int i = 0; i < 5000; ++i) {
+    const auto size = sample_job_size(rng, 128);
+    ASSERT_GE(size, 1u);
+    ASSERT_LE(size, 128u);
+  }
+}
+
+class ExponentialMeanSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMeanSweep, MeanTracksParameter) {
+  Rng rng(21);
+  RunningStats stats;
+  const double mean = GetParam();
+  for (int i = 0; i < 30000; ++i) stats.add(sample_exponential(rng, mean));
+  EXPECT_NEAR(stats.mean() / mean, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExponentialMeanSweep,
+                         ::testing::Values(0.1, 1.0, 10.0, 1969.0, 1e6));
+
+}  // namespace
+}  // namespace utilrisk::sim

@@ -1,0 +1,190 @@
+// Tests for executor cancellation and the terminate-at-deadline ablation.
+#include <gtest/gtest.h>
+
+#include "cluster/space_shared.hpp"
+#include "cluster/time_shared.hpp"
+#include "service/computing_service.hpp"
+#include "workload/workload.hpp"
+
+namespace utilrisk {
+namespace {
+
+workload::Job make_job(workload::JobId id, std::uint32_t procs,
+                       double runtime, double deadline_factor = 8.0) {
+  workload::Job job;
+  job.id = id;
+  job.procs = procs;
+  job.actual_runtime = runtime;
+  job.estimated_runtime = runtime;
+  job.deadline_duration = runtime * deadline_factor;
+  job.budget = runtime * 10.0;
+  job.penalty_rate = 1.0;
+  return job;
+}
+
+// ------------------------------------------------------- executor cancel
+
+TEST(SpaceSharedCancelTest, FreesProcessorsAndSuppressesCompletion) {
+  sim::Simulator simk;
+  cluster::SpaceSharedCluster cluster(simk, {.node_count = 8});
+  bool completed = false;
+  cluster.start(make_job(1, 4, 1000.0),
+                [&](workload::JobId, sim::SimTime) { completed = true; });
+  simk.schedule_at(300.0, [&] {
+    EXPECT_TRUE(cluster.cancel(1));
+    EXPECT_EQ(cluster.free_procs(), 8u);
+    EXPECT_FALSE(cluster.cancel(1)) << "double cancel";
+  });
+  simk.run();
+  EXPECT_FALSE(completed) << "cancelled jobs never complete";
+  // Partial work is still accounted as delivered.
+  EXPECT_DOUBLE_EQ(cluster.busy_proc_seconds(simk.now()), 4.0 * 300.0);
+}
+
+TEST(SpaceSharedCancelTest, UnknownJobReturnsFalse) {
+  sim::Simulator simk;
+  cluster::SpaceSharedCluster cluster(simk, {.node_count = 8});
+  EXPECT_FALSE(cluster.cancel(99));
+}
+
+TEST(TimeSharedCancelTest, FreesShareAndSpeedsUpSurvivors) {
+  sim::Simulator simk;
+  cluster::TimeSharedCluster cluster(simk, {.node_count = 1});
+  bool hog_completed = false;
+  double victim_finish = -1.0;
+  // Hog: share 0.5, huge. Victim: share 0.5, 300s of work.
+  cluster.start(make_job(1, 1, 1e6), {0}, 0.5,
+                [&](workload::JobId, sim::SimTime) { hog_completed = true; });
+  cluster.start(make_job(2, 1, 300.0), {0}, 0.5,
+                [&](workload::JobId, sim::SimTime t) { victim_finish = t; });
+  simk.schedule_at(200.0, [&] {
+    EXPECT_TRUE(cluster.cancel(1));
+    EXPECT_NEAR(cluster.committed_share(0), 0.5, 1e-9);
+  });
+  simk.run();
+  EXPECT_FALSE(hog_completed);
+  // Victim: 100 work done by t=200 (rate .5), then alone at rate 1:
+  // finishes at 200 + 200 = 400 instead of 600.
+  EXPECT_NEAR(victim_finish, 400.0, 1e-6);
+}
+
+TEST(TimeSharedCancelTest, CancelParallelJobClearsAllNodes) {
+  sim::Simulator simk;
+  cluster::TimeSharedCluster cluster(simk, {.node_count = 3});
+  cluster.start(make_job(1, 3, 1000.0), {0, 1, 2}, 0.4, {});
+  simk.schedule_at(100.0, [&] {
+    EXPECT_TRUE(cluster.cancel(1));
+    for (cluster::NodeId n = 0; n < 3; ++n) {
+      EXPECT_NEAR(cluster.committed_share(n), 0.0, 1e-9);
+    }
+    EXPECT_EQ(cluster.running_count(), 0u);
+  });
+  simk.run();
+}
+
+// ------------------------------------------- terminate-at-deadline service
+
+service::SimulationReport run_with_termination(
+    const std::vector<workload::Job>& jobs, policy::PolicyKind kind,
+    bool terminate) {
+  policy::PolicyContext context;
+  context.model = economy::EconomicModel::BidBased;
+  context.terminate_at_deadline = terminate;
+  return service::simulate(jobs, service::factory_for(kind), context);
+}
+
+TEST(TerminateAtDeadlineTest, KillsOverrunningJobsAtZeroUtility) {
+  // One job that under-estimates badly: believed 100 s (fits deadline
+  // 800 s), really 10000 s.
+  workload::Job liar = make_job(1, 4, 10000.0);
+  liar.estimated_runtime = 100.0;
+  liar.deadline_duration = 800.0;
+  liar.penalty_rate = 20.0;  // delay 9200s at $20/s dwarfs the $100k bid
+
+  const auto without = run_with_termination({liar}, policy::PolicyKind::Libra,
+                                            false);
+  EXPECT_EQ(without.records[0].outcome, workload::JobOutcome::ViolatedSLA);
+  EXPECT_LT(without.records[0].utility, 0.0) << "unbounded penalty accrues";
+
+  const auto with = run_with_termination({liar}, policy::PolicyKind::Libra,
+                                         true);
+  EXPECT_EQ(with.records[0].outcome, workload::JobOutcome::TerminatedSLA);
+  EXPECT_DOUBLE_EQ(with.records[0].utility, 0.0);
+  EXPECT_NEAR(with.records[0].finish_time, 800.0, 2e-3)
+      << "killed at the deadline (plus the 1 ms on-time-settlement slack)";
+  EXPECT_EQ(with.inputs.accepted, 1u);
+  EXPECT_EQ(with.inputs.fulfilled, 0u);
+}
+
+TEST(TerminateAtDeadlineTest, OnTimeJobsAreUntouched) {
+  const auto report = run_with_termination(
+      {make_job(1, 4, 500.0)}, policy::PolicyKind::Libra, true);
+  EXPECT_EQ(report.records[0].outcome, workload::JobOutcome::FulfilledSLA);
+  EXPECT_DOUBLE_EQ(report.records[0].utility, report.records[0].job.budget);
+}
+
+TEST(TerminateAtDeadlineTest, FreedCapacityServesLaterJobs) {
+  // The hog blocks the whole 4-node machine far past job 2's viability;
+  // killing it at t=800 lets job 2 start and fulfil.
+  workload::Job hog = make_job(1, 4, 10000.0);
+  hog.estimated_runtime = 100.0;
+  hog.deadline_duration = 800.0;
+  workload::Job later = make_job(2, 4, 500.0);
+  later.submit_time = 100.0;
+  later.estimated_runtime = 500.0;
+  later.deadline_duration = 2000.0;
+
+  cluster::MachineConfig machine;
+  machine.node_count = 4;
+  policy::PolicyContext context;
+  context.machine = machine;
+  context.model = economy::EconomicModel::BidBased;
+  context.terminate_at_deadline = true;
+  const auto report = service::simulate(
+      {hog, later}, service::factory_for(policy::PolicyKind::FcfsBf),
+      context);
+  EXPECT_EQ(report.records[0].outcome, workload::JobOutcome::TerminatedSLA);
+  EXPECT_EQ(report.records[1].outcome, workload::JobOutcome::FulfilledSLA)
+      << "queued job started after the kill freed the machine";
+  EXPECT_NEAR(report.records[1].start_time, 800.0, 2e-3);
+}
+
+class TerminationInvariantSweep
+    : public ::testing::TestWithParam<policy::PolicyKind> {};
+
+TEST_P(TerminationInvariantSweep, EveryJobSettlesUnderTermination) {
+  workload::SyntheticSdscConfig trace;
+  trace.job_count = 300;
+  const workload::WorkloadBuilder builder(trace);
+  const auto jobs = builder.build(workload::QosConfig{}, 0.25, 100.0);
+  const auto report = run_with_termination(jobs, GetParam(), true);
+  std::size_t settled = 0;
+  for (const auto& record : report.records) {
+    EXPECT_NE(record.outcome, workload::JobOutcome::Unfinished);
+    if (record.outcome == workload::JobOutcome::TerminatedSLA) {
+      EXPECT_DOUBLE_EQ(record.utility, 0.0);
+    }
+    ++settled;
+  }
+  EXPECT_EQ(settled, jobs.size());
+  // Terminations bound the downside: total utility can't be negative.
+  EXPECT_GE(report.inputs.total_utility, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, TerminationInvariantSweep,
+    ::testing::Values(policy::PolicyKind::FcfsBf, policy::PolicyKind::EdfBf,
+                      policy::PolicyKind::Libra,
+                      policy::PolicyKind::LibraRiskD,
+                      policy::PolicyKind::FirstReward,
+                      policy::PolicyKind::LibraReserve),
+    [](const auto& info) {
+      std::string name = std::string(policy::to_string(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace utilrisk

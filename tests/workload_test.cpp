@@ -1,0 +1,482 @@
+// Tests for the workload substrate: SWF parsing, the synthetic SDSC SP2
+// generator, QoS synthesis and the experiment knobs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/qos.hpp"
+#include "workload/swf.hpp"
+#include "workload/synthetic_sdsc.hpp"
+#include "workload/trace_stats.hpp"
+#include "workload/workload.hpp"
+
+namespace utilrisk::workload {
+namespace {
+
+// ----------------------------------------------------------------------- SWF
+
+TEST(SwfTest, ParsesWellFormedLines) {
+  std::istringstream in(
+      "; SDSC SP2 test header\n"
+      "1 0 10 3600 8 -1 -1 8 7200 -1 1 3 4 -1 1 -1 -1 -1\n"
+      "2 100 0 600 1 -1 -1 1 900 -1 1 3 4 -1 1 -1 -1 -1\n");
+  const SwfParseResult result = parse_swf(in);
+  ASSERT_EQ(result.jobs.size(), 2u);
+  EXPECT_EQ(result.header.size(), 1u);
+  EXPECT_TRUE(result.skipped.empty());
+  EXPECT_DOUBLE_EQ(result.jobs[0].submit_time, 0.0);
+  EXPECT_DOUBLE_EQ(result.jobs[0].actual_runtime, 3600.0);
+  EXPECT_EQ(result.jobs[0].procs, 8u);
+  EXPECT_DOUBLE_EQ(result.jobs[0].estimated_runtime, 7200.0);
+  EXPECT_DOUBLE_EQ(result.jobs[1].submit_time, 100.0);
+}
+
+TEST(SwfTest, SkipsMalformedAndFilteredLines) {
+  std::istringstream in(
+      "garbage line\n"
+      "1 0 10 3600 8 -1 -1 8 7200 -1 0 3 4 -1 1 -1 -1 -1\n"   // status 0
+      "2 0 10 -1 8 -1 -1 8 7200 -1 1 3 4 -1 1 -1 -1 -1\n"     // degenerate
+      "3 50 10 600 4 -1 -1 4 900 -1 1 3 4 -1 1 -1 -1 -1\n");  // good
+  const SwfParseResult result = parse_swf(in);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_EQ(result.skipped.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.jobs[0].submit_time, 0.0)
+      << "rebase must shift the first kept job to t=0";
+}
+
+TEST(SwfTest, KeepLastSelectsTail) {
+  std::ostringstream trace;
+  for (int i = 1; i <= 10; ++i) {
+    trace << i << ' ' << i * 100 << " 0 600 1 -1 -1 1 900 -1 1 -1 -1 -1 1"
+          << " -1 -1 -1\n";
+  }
+  std::istringstream in(trace.str());
+  SwfLoadOptions options;
+  options.keep_last = 3;
+  const SwfParseResult result = parse_swf(in, options);
+  ASSERT_EQ(result.jobs.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.jobs[0].submit_time, 0.0);
+  EXPECT_DOUBLE_EQ(result.jobs[2].submit_time, 200.0);
+  EXPECT_EQ(result.jobs[0].id, 1u) << "ids are re-assigned after the cut";
+}
+
+TEST(SwfTest, FallsBackToAllocatedProcsAndRuntimeEstimate) {
+  std::istringstream in(
+      "1 0 10 3600 16 -1 -1 -1 -1 -1 1 -1 -1 -1 1 -1 -1 -1\n");
+  const SwfParseResult result = parse_swf(in);
+  ASSERT_EQ(result.jobs.size(), 1u);
+  EXPECT_EQ(result.jobs[0].procs, 16u);
+  EXPECT_DOUBLE_EQ(result.jobs[0].estimated_runtime, 3600.0);
+}
+
+TEST(SwfTest, RoundTripsThroughSaveAndParse) {
+  const SyntheticSdscConfig config{.job_count = 50};
+  const std::vector<Job> jobs = generate_synthetic_sdsc(config);
+  std::ostringstream out;
+  save_swf(out, jobs, {"synthetic test trace"});
+  std::istringstream in(out.str());
+  const SwfParseResult parsed = parse_swf(in);
+  ASSERT_EQ(parsed.jobs.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_NEAR(parsed.jobs[i].submit_time, jobs[i].submit_time, 1e-3);
+    EXPECT_NEAR(parsed.jobs[i].actual_runtime, jobs[i].actual_runtime, 1e-3);
+    EXPECT_EQ(parsed.jobs[i].procs, jobs[i].procs);
+  }
+}
+
+TEST(SwfSidecarTest, QosRoundTripsThroughTheSidecar) {
+  std::vector<Job> jobs =
+      generate_synthetic_sdsc(SyntheticSdscConfig{.job_count = 100});
+  assign_qos(jobs, QosConfig{});
+
+  std::ostringstream sidecar;
+  save_qos_sidecar(sidecar, jobs);
+
+  std::vector<Job> stripped = jobs;
+  for (Job& job : stripped) {
+    job.deadline_duration = 0.0;
+    job.budget = 0.0;
+    job.penalty_rate = 0.0;
+    job.urgency = Urgency::Low;
+  }
+  std::istringstream in(sidecar.str());
+  EXPECT_EQ(load_qos_sidecar(in, stripped), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_NEAR(stripped[i].deadline_duration, jobs[i].deadline_duration,
+                1e-6);
+    EXPECT_NEAR(stripped[i].budget, jobs[i].budget, 1e-6);
+    EXPECT_NEAR(stripped[i].penalty_rate, jobs[i].penalty_rate, 1e-9);
+    EXPECT_EQ(stripped[i].urgency, jobs[i].urgency);
+  }
+}
+
+TEST(SwfSidecarTest, RejectsMalformedRows) {
+  std::vector<Job> jobs(1);
+  jobs[0].id = 1;
+  {
+    std::istringstream in("id,deadline_duration,budget,penalty_rate,urgency\n"
+                          "1,100.0,50.0\n");
+    EXPECT_THROW((void)load_qos_sidecar(in, jobs), std::runtime_error)
+        << "missing columns";
+  }
+  {
+    std::istringstream in("9,100.0,50.0,1.0,low\n");
+    EXPECT_THROW((void)load_qos_sidecar(in, jobs), std::runtime_error)
+        << "unknown job id";
+  }
+  {
+    std::istringstream in("1,100.0,50.0,1.0,medium\n");
+    EXPECT_THROW((void)load_qos_sidecar(in, jobs), std::runtime_error)
+        << "unknown urgency";
+  }
+  {
+    std::istringstream in("1,-5.0,50.0,1.0,low\n");
+    EXPECT_THROW((void)load_qos_sidecar(in, jobs), std::runtime_error)
+        << "non-positive deadline";
+  }
+}
+
+TEST(SwfSidecarTest, PartialSidecarUpdatesOnlyListedJobs) {
+  std::vector<Job> jobs(2);
+  jobs[0].id = 1;
+  jobs[1].id = 2;
+  jobs[1].budget = 777.0;
+  std::istringstream in("1,100.0,50.0,2.5,high\n");
+  EXPECT_EQ(load_qos_sidecar(in, jobs), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].budget, 50.0);
+  EXPECT_EQ(jobs[0].urgency, Urgency::High);
+  EXPECT_DOUBLE_EQ(jobs[1].budget, 777.0) << "untouched";
+}
+
+// ------------------------------------------------------------ Synthetic SDSC
+
+class SyntheticTraceTest : public ::testing::Test {
+ protected:
+  static const std::vector<Job>& trace() {
+    static const std::vector<Job> jobs =
+        generate_synthetic_sdsc(SyntheticSdscConfig{});
+    return jobs;
+  }
+};
+
+TEST_F(SyntheticTraceTest, MatchesPublishedSubsetStatistics) {
+  const TraceStats stats = compute_trace_stats(trace(), 128);
+  EXPECT_EQ(stats.job_count, 5000u);
+  // Published figures: mean inter-arrival 1969 s, mean runtime 8671 s,
+  // mean size ~17 PEs. Allow 10 % sampling slack.
+  EXPECT_NEAR(stats.mean_interarrival, 1969.0, 197.0);
+  EXPECT_NEAR(stats.mean_runtime, 8671.0, 870.0);
+  EXPECT_NEAR(stats.mean_procs, 17.0, 2.5);
+  EXPECT_LE(stats.max_procs, 128u);
+  EXPECT_LE(stats.max_runtime, 18.0 * 3600.0 + 1.0);
+}
+
+TEST_F(SyntheticTraceTest, EstimateMixMatchesTrace) {
+  const TraceStats stats = compute_trace_stats(trace(), 128);
+  // 92 % over- / 8 % under-estimates, +/- 2 points of sampling noise.
+  EXPECT_NEAR(stats.overestimate_fraction, 0.92, 0.02);
+  EXPECT_NEAR(stats.underestimate_fraction, 0.08, 0.02);
+}
+
+TEST_F(SyntheticTraceTest, SubmissionOrderAndIds) {
+  const auto& jobs = trace();
+  EXPECT_DOUBLE_EQ(jobs.front().submit_time, 0.0);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].submit_time, jobs[i - 1].submit_time);
+    EXPECT_EQ(jobs[i].id, jobs[i - 1].id + 1);
+  }
+}
+
+TEST_F(SyntheticTraceTest, DeterministicInSeed) {
+  const std::vector<Job> again =
+      generate_synthetic_sdsc(SyntheticSdscConfig{});
+  ASSERT_EQ(again.size(), trace().size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again[i].submit_time, trace()[i].submit_time);
+    EXPECT_DOUBLE_EQ(again[i].actual_runtime, trace()[i].actual_runtime);
+    EXPECT_EQ(again[i].procs, trace()[i].procs);
+  }
+}
+
+TEST_F(SyntheticTraceTest, DifferentSeedsProduceDifferentTraces) {
+  SyntheticSdscConfig config;
+  config.seed = 43;
+  const std::vector<Job> other = generate_synthetic_sdsc(config);
+  bool any_different = false;
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    if (other[i].actual_runtime != trace()[i].actual_runtime) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SyntheticTraceConfigTest, RejectsDegenerateConfigs) {
+  SyntheticSdscConfig config;
+  config.job_count = 0;
+  EXPECT_THROW((void)generate_synthetic_sdsc(config), std::invalid_argument);
+  config = {};
+  config.mean_runtime = -1.0;
+  EXPECT_THROW((void)generate_synthetic_sdsc(config), std::invalid_argument);
+  config = {};
+  config.overestimate_fraction = 1.5;
+  EXPECT_THROW((void)generate_synthetic_sdsc(config), std::invalid_argument);
+}
+
+TEST(SyntheticTraceConfigTest, OverestimateFractionKnobIsHonoured) {
+  SyntheticSdscConfig config;
+  config.job_count = 2000;
+  config.overestimate_fraction = 0.5;
+  const TraceStats stats =
+      compute_trace_stats(generate_synthetic_sdsc(config), 128);
+  EXPECT_NEAR(stats.overestimate_fraction, 0.5, 0.04);
+}
+
+// ------------------------------------------------------------------------ QoS
+
+class QosTest : public ::testing::Test {
+ protected:
+  std::vector<Job> jobs_ = generate_synthetic_sdsc(
+      SyntheticSdscConfig{.job_count = 2000});
+};
+
+TEST_F(QosTest, AssignsPositiveTermsToEveryJob) {
+  assign_qos(jobs_, QosConfig{});
+  for (const Job& job : jobs_) {
+    EXPECT_GT(job.deadline_duration, 0.0);
+    EXPECT_GT(job.budget, 0.0);
+    EXPECT_GT(job.penalty_rate, 0.0);
+    EXPECT_GE(job.deadline_factor(), 1.05 - 1e-9)
+        << "deadline floor keeps jobs feasible";
+  }
+}
+
+TEST_F(QosTest, UrgencyMixMatchesPercentage) {
+  QosConfig config;
+  config.high_urgency_percent = 30.0;
+  assign_qos(jobs_, config);
+  std::size_t high = 0;
+  for (const Job& job : jobs_) {
+    if (job.urgency == Urgency::High) ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(high) / jobs_.size(), 0.30, 0.03);
+}
+
+TEST_F(QosTest, HighUrgencyJobsHaveTighterDeadlinesAndBiggerBudgets) {
+  QosConfig config;
+  config.high_urgency_percent = 50.0;
+  config.deadline.bias = 1.0;  // isolate the class effect from the bias
+  config.budget.bias = 1.0;
+  config.penalty.bias = 1.0;
+  assign_qos(jobs_, config);
+
+  double d_high = 0, d_low = 0, b_high = 0, b_low = 0;
+  std::size_t n_high = 0, n_low = 0;
+  for (const Job& job : jobs_) {
+    const double d_factor = job.deadline_factor();
+    const double b_factor = job.budget / job.actual_runtime;
+    if (job.urgency == Urgency::High) {
+      d_high += d_factor;
+      b_high += b_factor;
+      ++n_high;
+    } else {
+      d_low += d_factor;
+      b_low += b_factor;
+      ++n_low;
+    }
+  }
+  ASSERT_GT(n_high, 100u);
+  ASSERT_GT(n_low, 100u);
+  EXPECT_LT(d_high / n_high, d_low / n_low)
+      << "high urgency = tight deadlines";
+  EXPECT_GT(b_high / n_high, b_low / n_low) << "high urgency = big budgets";
+  // Class means should track the configured 4x ratio.
+  EXPECT_NEAR((d_low / n_low) / (d_high / n_high), 4.0, 0.8);
+  EXPECT_NEAR((b_high / n_high) / (b_low / n_low), 4.0, 0.8);
+}
+
+TEST_F(QosTest, BiasPenalisesLongJobs) {
+  QosConfig config;
+  config.deadline.bias = 4.0;
+  config.high_urgency_percent = 0.0;  // single class isolates the bias
+  assign_qos(jobs_, config);
+
+  double mean_runtime = 0.0;
+  for (const Job& job : jobs_) mean_runtime += job.actual_runtime;
+  mean_runtime /= static_cast<double>(jobs_.size());
+
+  double f_long = 0, f_short = 0;
+  std::size_t n_long = 0, n_short = 0;
+  for (const Job& job : jobs_) {
+    if (job.actual_runtime > mean_runtime) {
+      f_long += job.deadline_factor();
+      ++n_long;
+    } else {
+      f_short += job.deadline_factor();
+      ++n_short;
+    }
+  }
+  EXPECT_LT(f_long / n_long, f_short / n_short);
+}
+
+TEST_F(QosTest, PenaltyRateFollowsTheDocumentedG) {
+  // g(tr) = tr * base_price / 3600 (qos.hpp): with bias off and a single
+  // class, the mean of pr / (tr/3600) must equal the class factor mean.
+  QosConfig config;
+  config.high_urgency_percent = 0.0;
+  config.penalty.bias = 1.0;
+  config.penalty.low_value_mean = 4.0;
+  assign_qos(jobs_, config);
+  double mean_factor = 0.0;
+  for (const Job& job : jobs_) {
+    mean_factor += job.penalty_rate / (job.actual_runtime / 3600.0);
+  }
+  mean_factor /= static_cast<double>(jobs_.size());
+  EXPECT_NEAR(mean_factor, 4.0, 0.2);
+}
+
+TEST_F(QosTest, BudgetScalesWithBasePrice) {
+  QosConfig cheap;
+  cheap.base_price = 1.0;
+  QosConfig pricey;
+  pricey.base_price = 3.0;
+  std::vector<Job> a = jobs_;
+  std::vector<Job> b = jobs_;
+  assign_qos(a, cheap);
+  assign_qos(b, pricey);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(b[i].budget, 3.0 * a[i].budget, 1e-6 * b[i].budget);
+    ASSERT_NEAR(b[i].penalty_rate, 3.0 * a[i].penalty_rate,
+                1e-6 * b[i].penalty_rate);
+    ASSERT_DOUBLE_EQ(b[i].deadline_duration, a[i].deadline_duration)
+        << "deadlines are price-independent";
+  }
+}
+
+TEST_F(QosTest, DeterministicInSeed) {
+  std::vector<Job> copy = jobs_;
+  assign_qos(jobs_, QosConfig{});
+  assign_qos(copy, QosConfig{});
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    EXPECT_DOUBLE_EQ(jobs_[i].deadline_duration, copy[i].deadline_duration);
+    EXPECT_DOUBLE_EQ(jobs_[i].budget, copy[i].budget);
+    EXPECT_DOUBLE_EQ(jobs_[i].penalty_rate, copy[i].penalty_rate);
+  }
+}
+
+TEST_F(QosTest, ClassMeansFollowTheParameterSemantics) {
+  QosParameterConfig p;
+  p.low_value_mean = 3.0;
+  p.high_low_ratio = 5.0;
+  const ClassMeans d = deadline_class_means(p);
+  EXPECT_DOUBLE_EQ(d.high_urgency_mean, 3.0);
+  EXPECT_DOUBLE_EQ(d.low_urgency_mean, 15.0);
+  const ClassMeans m = money_class_means(p);
+  EXPECT_DOUBLE_EQ(m.high_urgency_mean, 15.0);
+  EXPECT_DOUBLE_EQ(m.low_urgency_mean, 3.0);
+}
+
+TEST_F(QosTest, RejectsInvalidConfig) {
+  QosConfig config;
+  config.high_urgency_percent = 120.0;
+  EXPECT_THROW(assign_qos(jobs_, config), std::invalid_argument);
+  config = {};
+  config.deadline.bias = 0.5;
+  EXPECT_THROW(assign_qos(jobs_, config), std::invalid_argument);
+  config = {};
+  config.budget.high_low_ratio = 0.5;
+  EXPECT_THROW(assign_qos(jobs_, config), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Workload knobs
+
+TEST(WorkloadKnobsTest, ArrivalDelayFactorScalesGaps) {
+  std::vector<Job> jobs(3);
+  jobs[0].submit_time = 0.0;
+  jobs[1].submit_time = 600.0;
+  jobs[2].submit_time = 1000.0;
+  apply_arrival_delay_factor(jobs, 0.1);
+  EXPECT_DOUBLE_EQ(jobs[0].submit_time, 0.0);
+  EXPECT_DOUBLE_EQ(jobs[1].submit_time, 60.0);
+  EXPECT_DOUBLE_EQ(jobs[2].submit_time, 100.0);
+}
+
+TEST(WorkloadKnobsTest, ArrivalDelayFactorRejectsNonPositive) {
+  std::vector<Job> jobs(2);
+  EXPECT_THROW(apply_arrival_delay_factor(jobs, 0.0), std::invalid_argument);
+  EXPECT_THROW(apply_arrival_delay_factor(jobs, -1.0), std::invalid_argument);
+}
+
+TEST(WorkloadKnobsTest, InaccuracyBlendsEstimates) {
+  std::vector<Job> jobs(1);
+  jobs[0].actual_runtime = 1000.0;
+  jobs[0].estimated_runtime = 3000.0;
+
+  std::vector<Job> at0 = jobs;
+  apply_estimate_inaccuracy(at0, 0.0);
+  EXPECT_DOUBLE_EQ(at0[0].estimated_runtime, 1000.0) << "Set A: accurate";
+
+  std::vector<Job> at50 = jobs;
+  apply_estimate_inaccuracy(at50, 50.0);
+  EXPECT_DOUBLE_EQ(at50[0].estimated_runtime, 2000.0);
+
+  std::vector<Job> at100 = jobs;
+  apply_estimate_inaccuracy(at100, 100.0);
+  EXPECT_DOUBLE_EQ(at100[0].estimated_runtime, 3000.0) << "Set B: trace";
+}
+
+TEST(WorkloadKnobsTest, InaccuracyRejectsOutOfRange) {
+  std::vector<Job> jobs(1);
+  EXPECT_THROW(apply_estimate_inaccuracy(jobs, -1.0), std::invalid_argument);
+  EXPECT_THROW(apply_estimate_inaccuracy(jobs, 101.0), std::invalid_argument);
+}
+
+TEST(WorkloadBuilderTest, BuildComposesAllKnobs) {
+  SyntheticSdscConfig trace;
+  trace.job_count = 500;
+  const WorkloadBuilder builder(trace);
+  const std::vector<Job> jobs = builder.build(QosConfig{}, 0.5, 0.0);
+  ASSERT_EQ(jobs.size(), 500u);
+  for (const Job& job : jobs) {
+    EXPECT_GT(job.deadline_duration, 0.0);
+    EXPECT_DOUBLE_EQ(job.estimated_runtime, job.actual_runtime)
+        << "0% inaccuracy means perfectly accurate estimates";
+  }
+  // Arrivals compressed 2x relative to the base trace.
+  EXPECT_NEAR(jobs.back().submit_time,
+              builder.base_trace().back().submit_time * 0.5, 1e-6);
+}
+
+TEST(WorkloadBuilderTest, BaseTraceIsInvariantAcrossBuilds) {
+  SyntheticSdscConfig trace;
+  trace.job_count = 200;
+  const WorkloadBuilder builder(trace);
+  (void)builder.build(QosConfig{}, 0.1, 100.0);
+  const std::vector<Job> second = builder.build(QosConfig{}, 1.0, 0.0);
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_DOUBLE_EQ(second[i].submit_time,
+                     builder.base_trace()[i].submit_time);
+  }
+}
+
+class ArrivalDelaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArrivalDelaySweep, MeanInterarrivalScalesLinearly) {
+  SyntheticSdscConfig trace;
+  trace.job_count = 1000;
+  const WorkloadBuilder builder(trace);
+  const double factor = GetParam();
+  const std::vector<Job> jobs = builder.build(QosConfig{}, factor, 0.0);
+  const TraceStats base = compute_trace_stats(builder.base_trace(), 128);
+  const TraceStats scaled = compute_trace_stats(jobs, 128);
+  EXPECT_NEAR(scaled.mean_interarrival, base.mean_interarrival * factor,
+              base.mean_interarrival * factor * 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableVI, ArrivalDelaySweep,
+                         ::testing::Values(0.02, 0.10, 0.25, 0.50, 0.75,
+                                           1.00));
+
+}  // namespace
+}  // namespace utilrisk::workload
