@@ -1,0 +1,82 @@
+// Robustness: the paper's risk analysis under increasing node-failure
+// rates. Runs the bid-model policy matrix over the MTBF sweep scenario
+// (infinite MTBF — the failure-free baseline — down to one failure per
+// node-hour) with bounded retries, then regenerates the separate risk
+// plots for reliability and SLA plus the integrated four-objective plot.
+// Reliability (eqn 3) is the objective outages attack directly: failed
+// jobs stay accepted but never fulfil, so n_SLA/n falls as MTBF shrinks.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace utilrisk;
+  const bench::BenchEnv env = bench::read_env();
+  exp::ResultStore store = bench::make_store(env);
+  const exp::ExperimentConfig config = bench::make_config(
+      env, economy::EconomicModel::BidBased, exp::ExperimentSet::B);
+  exp::ExperimentRunner runner(config, &store);
+
+  exp::RunSettings defaults = config.default_settings();
+  // Recovery posture of the sweep: two retries with 5-minute exponential
+  // backoff, hourly repairs. The infinite-MTBF cell leaves defaults
+  // untouched (FailureConfig::enabled() false), so it reuses the cache
+  // entries of the failure-free figure benches.
+  defaults.failure.mttr_seconds = 3600.0;
+  defaults.recovery.retry_limit = 2;
+  defaults.recovery.backoff_seconds = 300.0;
+
+  const std::vector<policy::PolicyKind> policies =
+      policy::policies_for_model(economy::EconomicModel::BidBased);
+  const exp::Scenario& scenario = exp::mtbf_scenario();
+  const exp::SweepResult sweep =
+      runner.run_scenarios({scenario}, defaults, policies);
+  std::cout << "[" << runner.simulations_run() << " simulations]\n\n";
+
+  // Raw reliability per MTBF cell: the eqn-3 degradation, unnormalised.
+  std::cout << "Reliability (%) vs per-node MTBF (bid model, Set B, "
+            << config.trace.job_count << " jobs):\n";
+  std::cout << std::left << std::setw(14) << "policy" << std::right;
+  for (double mtbf : scenario.values) {
+    std::ostringstream head;
+    if (std::isinf(mtbf)) {
+      head << "inf";
+    } else {
+      head << mtbf / 3600.0 << "h";
+    }
+    std::cout << std::setw(10) << head.str();
+  }
+  std::cout << '\n';
+  const auto r = static_cast<std::size_t>(core::Objective::Reliability);
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    std::cout << std::left << std::setw(14)
+              << policy::to_string(policies[p]) << std::right
+              << std::fixed << std::setprecision(1);
+    for (std::size_t v = 0; v < scenario.values.size(); ++v) {
+      std::cout << std::setw(10) << sweep.raw[0][r][p][v];
+    }
+    std::cout << '\n';
+  }
+  std::cout << '\n';
+
+  bench::emit_plot(
+      env,
+      exp::separate_plot(sweep, core::Objective::Reliability,
+                         "separate risk under failures: reliability"),
+      "robustness_failures_reliability");
+  bench::emit_plot(env,
+                   exp::separate_plot(sweep, core::Objective::Sla,
+                                      "separate risk under failures: SLA"),
+                   "robustness_failures_sla");
+  const std::vector<core::Objective> all(core::kAllObjectives.begin(),
+                                         core::kAllObjectives.end());
+  bench::emit_plot(
+      env,
+      exp::integrated_plot(sweep, all,
+                           "integrated risk under failures: all objectives"),
+      "robustness_failures_integrated");
+  return 0;
+}

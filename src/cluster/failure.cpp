@@ -1,0 +1,182 @@
+#include "cluster/failure.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/trace_log.hpp"
+
+namespace utilrisk::cluster {
+
+const char* to_string(FailureDistribution distribution) {
+  return distribution == FailureDistribution::Weibull ? "weibull"
+                                                      : "exponential";
+}
+
+void FailureConfig::validate() const {
+  if (std::isnan(mtbf_seconds) || mtbf_seconds < 0.0) {
+    throw std::invalid_argument("FailureConfig: mtbf_seconds < 0");
+  }
+  if (!std::isfinite(mttr_seconds) || mttr_seconds <= 0.0) {
+    throw std::invalid_argument(
+        "FailureConfig: mttr_seconds must be positive and finite");
+  }
+  if (!std::isfinite(weibull_shape) || weibull_shape <= 0.0) {
+    throw std::invalid_argument("FailureConfig: weibull_shape <= 0");
+  }
+  if (std::isnan(correlated_fraction) || correlated_fraction < 0.0 ||
+      correlated_fraction > 1.0) {
+    throw std::invalid_argument(
+        "FailureConfig: correlated_fraction outside [0, 1]");
+  }
+  if (correlated_size == 0) {
+    throw std::invalid_argument("FailureConfig: correlated_size == 0");
+  }
+}
+
+void RecoveryParams::validate() const {
+  if (!std::isfinite(backoff_seconds) || backoff_seconds < 0.0) {
+    throw std::invalid_argument("RecoveryParams: backoff_seconds < 0");
+  }
+  if (!std::isfinite(backoff_factor) || backoff_factor < 1.0) {
+    throw std::invalid_argument("RecoveryParams: backoff_factor < 1");
+  }
+  if (std::isnan(checkpoint_interval) || checkpoint_interval < 0.0) {
+    throw std::invalid_argument("RecoveryParams: checkpoint_interval < 0");
+  }
+}
+
+double RecoveryParams::checkpointed(double completed_work) const {
+  if (checkpoint_interval <= 0.0 || completed_work <= 0.0) return 0.0;
+  return std::floor(completed_work / checkpoint_interval) *
+         checkpoint_interval;
+}
+
+double RecoveryParams::backoff_for(std::uint32_t attempt) const {
+  return backoff_seconds * std::pow(backoff_factor, attempt);
+}
+
+FailureModel::FailureModel(FailureConfig config) : config_(config) {
+  config_.validate();
+  if (config_.distribution == FailureDistribution::Weibull &&
+      config_.enabled()) {
+    // Weibull mean = lambda * Gamma(1 + 1/k); solve for lambda.
+    weibull_scale_ =
+        config_.mtbf_seconds / std::tgamma(1.0 + 1.0 / config_.weibull_shape);
+  }
+}
+
+double FailureModel::sample_time_to_failure(sim::Rng& rng) const {
+  // Inverse-CDF sampling keeps exactly one draw per TTF, so per-node
+  // streams stay aligned regardless of distribution.
+  const double u = rng.uniform01();
+  if (config_.distribution == FailureDistribution::Weibull) {
+    return weibull_scale_ *
+           std::pow(-std::log1p(-u), 1.0 / config_.weibull_shape);
+  }
+  return -config_.mtbf_seconds * std::log1p(-u);
+}
+
+double FailureModel::sample_time_to_repair(sim::Rng& rng) const {
+  return -config_.mttr_seconds * std::log1p(-rng.uniform01());
+}
+
+FailureInjector::FailureInjector(sim::Simulator& simulator,
+                                 const MachineConfig& machine,
+                                 const FailureConfig& config)
+    : Entity(simulator, "failure-injector"), model_(config) {
+  machine.validate();
+  nodes_.resize(machine.node_count);
+  // Independent child stream per node, derived in id order: node k's
+  // failure schedule is a pure function of (seed, k).
+  sim::Rng parent(config.seed);
+  for (NodeRuntime& node : nodes_) node.rng = parent.split();
+}
+
+void FailureInjector::set_callbacks(NodeCallback on_down, NodeCallback on_up) {
+  on_down_ = std::move(on_down);
+  on_up_ = std::move(on_up);
+}
+
+void FailureInjector::arm() {
+  if (armed_ || !model_.config().enabled()) return;
+  armed_ = true;
+  for (NodeId id = 0; id < nodes_.size(); ++id) schedule_failure(id);
+}
+
+void FailureInjector::disarm() {
+  if (!armed_) return;
+  armed_ = false;
+  for (NodeRuntime& node : nodes_) node.pending.cancel();
+}
+
+bool FailureInjector::is_down(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("FailureInjector::is_down: bad node");
+  }
+  return nodes_[id].down;
+}
+
+std::uint32_t FailureInjector::down_count() const {
+  std::uint32_t count = 0;
+  for (const NodeRuntime& node : nodes_) {
+    if (node.down) ++count;
+  }
+  return count;
+}
+
+void FailureInjector::schedule_failure(NodeId id) {
+  NodeRuntime& node = nodes_[id];
+  node.pending = after(model_.sample_time_to_failure(node.rng),
+                       [this, id] { fail_group(id); });
+}
+
+void FailureInjector::fail_group(NodeId primary) {
+  NodeRuntime& first = nodes_[primary];
+  if (first.down) return;  // defensive: taken down as a secondary
+
+  const FailureConfig& config = model_.config();
+  std::vector<NodeId> group{primary};
+  if (config.correlated_fraction > 0.0 &&
+      first.rng.bernoulli(config.correlated_fraction)) {
+    // Contiguous blast radius starting at the primary, wrapping, skipping
+    // nodes that are already down.
+    NodeId candidate = primary;
+    while (group.size() < config.correlated_size) {
+      candidate = static_cast<NodeId>((candidate + 1) % nodes_.size());
+      if (candidate == primary) break;  // machine smaller than the group
+      if (!nodes_[candidate].down) group.push_back(candidate);
+    }
+  }
+  // The whole group shares one repair (the outage ends when the rack
+  // comes back); the repair draw comes from the primary's stream.
+  const double ttr = model_.sample_time_to_repair(first.rng);
+
+  for (NodeId id : group) {
+    NodeRuntime& node = nodes_[id];
+    node.pending.cancel();  // secondaries' own TTF events die with them
+    node.down = true;
+    ++failures_;
+    UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "node " << id
+                                                              << " down");
+    if (on_down_) on_down_(id);
+  }
+  // A down callback can disarm the injector (all jobs settled); schedule
+  // nothing more in that case so the run can drain.
+  if (!armed_) return;
+  nodes_[primary].pending =
+      after(ttr, [this, group] { repair_group(group); });
+}
+
+void FailureInjector::repair_group(const std::vector<NodeId>& group) {
+  for (NodeId id : group) {
+    NodeRuntime& node = nodes_[id];
+    node.down = false;
+    ++repairs_;
+    UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "node " << id
+                                                              << " up");
+    if (on_up_) on_up_(id);
+    if (armed_) schedule_failure(id);
+  }
+}
+
+}  // namespace utilrisk::cluster

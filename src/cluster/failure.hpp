@@ -1,0 +1,168 @@
+// Fault injection for the cluster substrate (dependability layer).
+//
+// A seeded FailureModel draws node time-to-failure (exponential or
+// Weibull around an MTBF) and time-to-repair (exponential around an
+// MTTR), after the MTBF/MTTR-driven dependability simulation of Dobre et
+// al. The FailureInjector is a sim entity that turns those draws into
+// node_down/node_up events against the kernel; the computing service
+// forwards them to the active policy, whose executor kills resident
+// tasks (non-preemptive semantics) or lets the service restart them from
+// the last checkpoint (RecoveryParams, after Daly's periodic-checkpoint
+// model).
+//
+// Determinism: every node owns an independent child stream split from
+// the config seed, so the failure schedule of node k never depends on
+// how many draws other nodes consumed. With MTBF = infinity (the
+// default) the injector is inert — arm() schedules nothing and every
+// executor takes its pre-failure fast path, keeping legacy runs
+// bit-identical.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "sim/entity.hpp"
+#include "sim/rng.hpp"
+#include "workload/job.hpp"
+
+namespace utilrisk::cluster {
+
+/// A job killed by a node outage, as reported by an executor's
+/// node_down(): the job (the attempt's SLA terms, needed to resubmit)
+/// plus the per-processor seconds of work it completed before the crash
+/// (feeds the checkpoint-restart credit).
+struct FailureKill {
+  workload::Job job;
+  double completed_work = 0.0;
+};
+
+enum class FailureDistribution : std::uint8_t { Exponential, Weibull };
+
+[[nodiscard]] const char* to_string(FailureDistribution distribution);
+
+/// Failure-injection knobs. The default (infinite MTBF) disables the
+/// subsystem entirely.
+struct FailureConfig {
+  /// Per-node mean time between failures, seconds. Non-finite or
+  /// non-positive disables injection.
+  double mtbf_seconds = std::numeric_limits<double>::infinity();
+  /// Mean time to repair a failed node, seconds (exponential).
+  double mttr_seconds = 3600.0;
+  FailureDistribution distribution = FailureDistribution::Exponential;
+  /// Weibull shape k (only with FailureDistribution::Weibull); k > 1
+  /// models wear-out, k < 1 infant mortality.
+  double weibull_shape = 1.5;
+  /// Seed of the injector's RNG tree (independent of trace/QoS seeds).
+  std::uint64_t seed = 64023;
+  /// Probability that a failure is a correlated outage taking down a
+  /// contiguous group of nodes (switch/rack-style blast radius).
+  double correlated_fraction = 0.0;
+  /// Nodes per correlated outage (including the primary).
+  std::uint32_t correlated_size = 4;
+
+  /// True when injection is active: finite, positive MTBF.
+  [[nodiscard]] bool enabled() const {
+    return std::isfinite(mtbf_seconds) && mtbf_seconds > 0.0;
+  }
+
+  /// Throws std::invalid_argument on nonsensical knobs.
+  void validate() const;
+};
+
+/// Recovery knobs for jobs killed by an outage, applied by the service
+/// layer (the bounded-retry/backoff resubmission policy).
+struct RecoveryParams {
+  /// Maximum resubmissions of a job whose attempt was killed by an
+  /// outage; 0 (default) fails the job permanently on first kill.
+  std::uint32_t retry_limit = 0;
+  /// Delay before the first resubmission, seconds.
+  double backoff_seconds = 60.0;
+  /// Multiplier applied to the backoff per prior attempt (>= 1).
+  double backoff_factor = 2.0;
+  /// Checkpoint interval tau, seconds; 0 = no checkpointing (a restart
+  /// loses all progress). With tau > 0 a restart resumes from the last
+  /// completed multiple of tau.
+  double checkpoint_interval = 0.0;
+
+  void validate() const;
+
+  /// Work credited to a restart after completing `completed_work`
+  /// seconds: the last checkpoint boundary at or below it.
+  [[nodiscard]] double checkpointed(double completed_work) const;
+
+  /// Backoff before attempt number `attempt` (0-based).
+  [[nodiscard]] double backoff_for(std::uint32_t attempt) const;
+};
+
+/// Seeded sampling of time-to-failure / time-to-repair.
+class FailureModel {
+ public:
+  explicit FailureModel(FailureConfig config);
+
+  [[nodiscard]] const FailureConfig& config() const { return config_; }
+
+  /// Draws a time-to-failure from `rng` with mean mtbf_seconds.
+  [[nodiscard]] double sample_time_to_failure(sim::Rng& rng) const;
+
+  /// Draws a time-to-repair from `rng` with mean mttr_seconds.
+  [[nodiscard]] double sample_time_to_repair(sim::Rng& rng) const;
+
+ private:
+  FailureConfig config_;
+  /// Weibull scale lambda chosen so the mean equals mtbf_seconds.
+  double weibull_scale_ = 0.0;
+};
+
+/// Schedules node_down/node_up events against the kernel. The owner (the
+/// computing service) wires the callbacks to the active policy.
+class FailureInjector : public sim::Entity {
+ public:
+  using NodeCallback = std::function<void(NodeId)>;
+
+  FailureInjector(sim::Simulator& simulator, const MachineConfig& machine,
+                  const FailureConfig& config);
+
+  /// Installs the down/up callbacks (must be set before arm()).
+  void set_callbacks(NodeCallback on_down, NodeCallback on_up);
+
+  /// Starts injection: schedules the first time-to-failure of every node.
+  /// A no-op when the config is disabled or the injector is already
+  /// armed, so the disabled path adds zero events to the schedule.
+  void arm();
+
+  /// Cancels every pending failure/repair event. The service calls this
+  /// once all submitted jobs reached a terminal outcome, so run() can
+  /// drain instead of injecting failures forever.
+  void disarm();
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] bool is_down(NodeId id) const;
+  [[nodiscard]] std::uint32_t down_count() const;
+  [[nodiscard]] std::uint64_t failures_injected() const { return failures_; }
+  [[nodiscard]] std::uint64_t repairs_completed() const { return repairs_; }
+
+ private:
+  struct NodeRuntime {
+    sim::Rng rng{0};
+    bool down = false;
+    sim::EventHandle pending;  ///< next failure, or the group repair
+  };
+
+  void schedule_failure(NodeId id);
+  void fail_group(NodeId primary);
+  void repair_group(const std::vector<NodeId>& group);
+
+  FailureModel model_;
+  std::vector<NodeRuntime> nodes_;
+  NodeCallback on_down_;
+  NodeCallback on_up_;
+  bool armed_ = false;
+  std::uint64_t failures_ = 0;
+  std::uint64_t repairs_ = 0;
+};
+
+}  // namespace utilrisk::cluster

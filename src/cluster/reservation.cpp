@@ -113,10 +113,24 @@ void ReservationTimeline::discard_before(sim::SimTime t) {
 }
 
 ReservationBook::ReservationBook(std::uint32_t node_count)
-    : timelines_(node_count) {
+    : timelines_(node_count), down_(node_count, 0) {
   if (node_count == 0) {
     throw std::invalid_argument("ReservationBook: node_count == 0");
   }
+}
+
+void ReservationBook::set_down(NodeId id, bool down) {
+  if (id >= timelines_.size()) {
+    throw std::out_of_range("ReservationBook::set_down: bad id");
+  }
+  down_[id] = down ? 1 : 0;
+}
+
+bool ReservationBook::is_down(NodeId id) const {
+  if (id >= timelines_.size()) {
+    throw std::out_of_range("ReservationBook::is_down: bad id");
+  }
+  return down_[id] != 0;
 }
 
 ReservationTimeline& ReservationBook::node(NodeId id) {
@@ -139,6 +153,7 @@ std::vector<NodeId> ReservationBook::fitting_nodes(sim::SimTime start,
                                                    double capacity) const {
   std::vector<std::pair<double, NodeId>> candidates;
   for (NodeId id = 0; id < timelines_.size(); ++id) {
+    if (down_[id] != 0) continue;
     const double max_level = timelines_[id].max_committed(start, end);
     if (max_level + share <= capacity + kShareSlack) {
       candidates.emplace_back(max_level, id);

@@ -84,14 +84,21 @@ class ReservationBook {
 
   /// Nodes whose max committed share over [start, end) stays <=
   /// capacity - share (i.e. the booking fits), best-fit ordered: highest
-  /// max-committed first.
+  /// max-committed first. Down nodes never fit.
   [[nodiscard]] std::vector<NodeId> fitting_nodes(sim::SimTime start,
                                                   sim::SimTime end,
                                                   double share,
                                                   double capacity = 1.0) const;
 
+  /// Marks a node out of (or back into) service; fitting_nodes excludes
+  /// down nodes so new reservations never book a dead node. Existing
+  /// bookings on the node are left to the owning policy to release.
+  void set_down(NodeId id, bool down);
+  [[nodiscard]] bool is_down(NodeId id) const;
+
  private:
   std::vector<ReservationTimeline> timelines_;
+  std::vector<char> down_;
 };
 
 }  // namespace utilrisk::cluster

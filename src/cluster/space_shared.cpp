@@ -12,6 +12,9 @@ SpaceSharedCluster::SpaceSharedCluster(sim::Simulator& simulator,
     : Entity(simulator, "space-shared-cluster"), machine_(machine) {
   machine_.validate();
   free_procs_ = machine_.node_count;
+  down_.assign(machine_.node_count, 0);
+  occupant_.assign(machine_.node_count, kNoOccupant);
+  for (NodeId id = 0; id < machine_.node_count; ++id) free_nodes_.insert(id);
 }
 
 void SpaceSharedCluster::start(const workload::Job& job,
@@ -31,6 +34,14 @@ void SpaceSharedCluster::start(const workload::Job& job,
   entry.job = job;
   entry.start_time = now();
   entry.on_complete = std::move(on_complete);
+  // Deterministic placement: lowest free node ids first.
+  entry.nodes.reserve(job.procs);
+  for (std::uint32_t i = 0; i < job.procs; ++i) {
+    const NodeId node = *free_nodes_.begin();
+    free_nodes_.erase(free_nodes_.begin());
+    occupant_[node] = job.id;
+    entry.nodes.push_back(node);
+  }
   const workload::JobId id = job.id;
   auto [it, inserted] = running_.emplace(id, std::move(entry));
   UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
@@ -40,17 +51,80 @@ void SpaceSharedCluster::start(const workload::Job& job,
       after(job.actual_runtime, [this, id] { complete(id); });
 }
 
+void SpaceSharedCluster::release_nodes(const Running& entry) {
+  for (NodeId node : entry.nodes) {
+    occupant_[node] = kNoOccupant;
+    if (down_[node] == 0) {
+      free_nodes_.insert(node);
+      ++free_procs_;
+    }
+  }
+}
+
 bool SpaceSharedCluster::cancel(workload::JobId id) {
   auto it = running_.find(id);
   if (it == running_.end()) return false;
   it->second.completion_event.cancel();
-  free_procs_ += it->second.job.procs;
+  release_nodes(it->second);
   delivered_proc_seconds_ +=
       (now() - it->second.start_time) *
       static_cast<double>(it->second.job.procs);
   UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "cancel job " << id);
   running_.erase(it);
   return true;
+}
+
+std::optional<FailureKill> SpaceSharedCluster::node_down(NodeId id) {
+  if (id >= machine_.node_count) {
+    throw std::out_of_range("SpaceSharedCluster::node_down: bad node");
+  }
+  if (down_[id] != 0) {
+    throw std::logic_error("SpaceSharedCluster::node_down: node already down");
+  }
+  down_[id] = 1;
+  ++down_count_;
+  if (occupant_[id] == kNoOccupant) {
+    free_nodes_.erase(id);
+    --free_procs_;
+    return std::nullopt;
+  }
+  // The node was running a task: the whole (rigid, non-preemptible) job
+  // dies with it. Its other nodes return to the free pool.
+  auto it = running_.find(occupant_[id]);
+  if (it == running_.end()) {
+    throw std::logic_error("SpaceSharedCluster::node_down: orphan occupant");
+  }
+  it->second.completion_event.cancel();
+  FailureKill kill;
+  kill.job = it->second.job;
+  kill.completed_work = now() - it->second.start_time;
+  release_nodes(it->second);
+  delivered_proc_seconds_ +=
+      kill.completed_work * static_cast<double>(kill.job.procs);
+  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
+               "node " << id << " down kills job " << kill.job.id);
+  running_.erase(it);
+  return kill;
+}
+
+void SpaceSharedCluster::node_up(NodeId id) {
+  if (id >= machine_.node_count) {
+    throw std::out_of_range("SpaceSharedCluster::node_up: bad node");
+  }
+  if (down_[id] == 0) {
+    throw std::logic_error("SpaceSharedCluster::node_up: node is not down");
+  }
+  down_[id] = 0;
+  --down_count_;
+  free_nodes_.insert(id);
+  ++free_procs_;
+}
+
+bool SpaceSharedCluster::is_up(NodeId id) const {
+  if (id >= machine_.node_count) {
+    throw std::out_of_range("SpaceSharedCluster::is_up: bad node");
+  }
+  return down_[id] == 0;
 }
 
 void SpaceSharedCluster::complete(workload::JobId id) {
@@ -60,7 +134,7 @@ void SpaceSharedCluster::complete(workload::JobId id) {
   }
   Running entry = std::move(it->second);
   running_.erase(it);
-  free_procs_ += entry.job.procs;
+  release_nodes(entry);
   delivered_proc_seconds_ +=
       entry.job.actual_runtime * static_cast<double>(entry.job.procs);
   UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "finish job " << id);
@@ -91,7 +165,7 @@ std::vector<RunningJobInfo> SpaceSharedCluster::running_jobs() const {
 
 sim::SimTime SpaceSharedCluster::estimated_availability(
     std::uint32_t procs) const {
-  if (procs > machine_.node_count) return sim::kTimeNever;
+  if (procs > up_procs()) return sim::kTimeNever;
   if (procs <= free_procs_) return now();
   std::uint32_t available = free_procs_;
   for (const auto& info : running_jobs()) {  // sorted by estimated finish

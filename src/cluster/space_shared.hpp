@@ -6,8 +6,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
+#include <set>
 #include <vector>
 
+#include "cluster/failure.hpp"
 #include "cluster/node.hpp"
 #include "sim/entity.hpp"
 #include "workload/job.hpp"
@@ -32,6 +35,13 @@ struct RunningJobInfo {
 /// The executor runs jobs; *deciding* which job runs next is the policy's
 /// concern (policy/queue_policy.hpp). Completion callbacks fire inside the
 /// simulation event that completes the job, before any later event.
+///
+/// Failure semantics: node_down(id) removes the node from the free pool
+/// and — because allocations are dedicated and jobs are rigid and
+/// non-preemptible — kills the job occupying it (all of the job's nodes
+/// are freed). node_up(id) restores the node. Placement is deterministic
+/// (lowest free node ids first), so runs without failures are
+/// bit-identical to the pre-occupancy-tracking executor.
 class SpaceSharedCluster : public sim::Entity {
  public:
   /// Called when a job completes; receives the job id and completion time.
@@ -40,11 +50,16 @@ class SpaceSharedCluster : public sim::Entity {
 
   SpaceSharedCluster(sim::Simulator& simulator, MachineConfig machine);
 
-  /// Free processors right now.
+  /// Free processors right now (excludes down nodes).
   [[nodiscard]] std::uint32_t free_procs() const { return free_procs_; }
 
   [[nodiscard]] std::uint32_t total_procs() const {
     return machine_.node_count;
+  }
+
+  /// Processors currently up (total minus down nodes).
+  [[nodiscard]] std::uint32_t up_procs() const {
+    return machine_.node_count - down_count_;
   }
 
   [[nodiscard]] bool can_start(std::uint32_t procs) const {
@@ -63,6 +78,19 @@ class SpaceSharedCluster : public sim::Entity {
   /// accounted.
   bool cancel(workload::JobId id);
 
+  /// Takes `id` out of service. If a job occupied the node, the whole job
+  /// is killed (rigid, non-preemptive: losing one task loses the job) and
+  /// returned with the work it completed; its other nodes return to the
+  /// free pool. Throws std::logic_error if the node is already down.
+  std::optional<FailureKill> node_down(NodeId id);
+
+  /// Returns a repaired node to the free pool. Throws std::logic_error if
+  /// the node is not down.
+  void node_up(NodeId id);
+
+  [[nodiscard]] bool is_up(NodeId id) const;
+  [[nodiscard]] std::uint32_t down_count() const { return down_count_; }
+
   /// Running jobs sorted by estimated finish time (scheduler view).
   [[nodiscard]] std::vector<RunningJobInfo> running_jobs() const;
 
@@ -74,6 +102,8 @@ class SpaceSharedCluster : public sim::Entity {
   /// and nothing new starts: the EASY "shadow time". Returns now() when
   /// already free. Jobs that have overrun their estimate are treated as
   /// finishing immediately (their estimated finish is in the past).
+  /// Returns kTimeNever while down nodes leave fewer than `procs`
+  /// processors in service.
   [[nodiscard]] sim::SimTime estimated_availability(std::uint32_t procs) const;
 
   /// Processor-seconds actually delivered so far (utilisation accounting).
@@ -85,14 +115,24 @@ class SpaceSharedCluster : public sim::Entity {
     sim::SimTime start_time = 0.0;
     CompletionCallback on_complete;
     sim::EventHandle completion_event;
+    std::vector<NodeId> nodes;  ///< dedicated nodes, ascending
   };
 
   void complete(workload::JobId id);
+  void release_nodes(const Running& entry);
 
   MachineConfig machine_;
   std::uint32_t free_procs_ = 0;
+  std::uint32_t down_count_ = 0;
+  std::set<NodeId> free_nodes_;  ///< up and unoccupied, ascending
+  std::vector<char> down_;
+  /// occupant_[node] = running job id, or kNoOccupant.
+  std::vector<workload::JobId> occupant_;
   std::map<workload::JobId, Running> running_;
   double delivered_proc_seconds_ = 0.0;
+
+  static constexpr workload::JobId kNoOccupant =
+      static_cast<workload::JobId>(-1);
 };
 
 }  // namespace utilrisk::cluster

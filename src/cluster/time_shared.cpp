@@ -22,6 +22,7 @@ TimeSharedCluster::TimeSharedCluster(sim::Simulator& simulator,
     : Entity(simulator, "time-shared-cluster"), machine_(machine) {
   machine_.validate();
   nodes_.resize(machine_.node_count);
+  down_.assign(machine_.node_count, 0);
 }
 
 double TimeSharedCluster::committed_share(NodeId node) const {
@@ -77,6 +78,9 @@ void TimeSharedCluster::start(const workload::Job& job,
     if (!seen.insert(id).second) {
       throw std::logic_error("TimeSharedCluster::start: duplicate node");
     }
+    if (down_[id] != 0) {
+      throw std::logic_error("TimeSharedCluster::start: node is down");
+    }
     if (nodes_[id].total_share + share > 1.0 + kShareEpsilon) {
       throw std::logic_error(
           "TimeSharedCluster::start: share capacity exceeded on node");
@@ -84,6 +88,7 @@ void TimeSharedCluster::start(const workload::Job& job,
   }
 
   JobState job_state;
+  job_state.job = job;
   job_state.remaining_tasks = job.procs;
   job_state.on_complete = std::move(on_complete);
   jobs_.emplace(job.id, std::move(job_state));
@@ -170,16 +175,14 @@ void TimeSharedCluster::task_finished(workload::JobId job) {
   }
 }
 
-bool TimeSharedCluster::cancel(workload::JobId id) {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) return false;
-  jobs_.erase(it);
+double TimeSharedCluster::remove_job_tasks(workload::JobId job) {
+  double done_min = std::numeric_limits<double>::infinity();
   for (NodeId node_id = 0; node_id < nodes_.size(); ++node_id) {
     NodeState& node = nodes_[node_id];
     bool touched = false;
     // Settle progress at the old rates before removing the task.
     for (const Task& task : node.tasks) {
-      if (task.job == id) {
+      if (task.job == job) {
         touched = true;
         break;
       }
@@ -187,7 +190,8 @@ bool TimeSharedCluster::cancel(workload::JobId id) {
     if (!touched) continue;
     integrate(node);
     for (auto task = node.tasks.begin(); task != node.tasks.end();) {
-      if (task->job == id) {
+      if (task->job == job) {
+        done_min = std::min(done_min, task->done);
         node.total_share -= task->share;
         task = node.tasks.erase(task);
       } else {
@@ -199,8 +203,70 @@ bool TimeSharedCluster::cancel(workload::JobId id) {
     }
     reschedule(node, node_id);
   }
+  return std::isfinite(done_min) ? done_min : 0.0;
+}
+
+bool TimeSharedCluster::cancel(workload::JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  jobs_.erase(it);
+  remove_job_tasks(id);
   UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "cancel job " << id);
   return true;
+}
+
+std::vector<FailureKill> TimeSharedCluster::node_down(NodeId id) {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("TimeSharedCluster::node_down: bad node");
+  }
+  if (down_[id] != 0) {
+    throw std::logic_error("TimeSharedCluster::node_down: node already down");
+  }
+  down_[id] = 1;
+  ++down_count_;
+  NodeState& node = nodes_[id];
+  integrate(node);
+  node.next_completion.cancel();
+  // Every task resident on the node belongs to a distinct job (one task
+  // per node per job); each such job dies entirely, in task order.
+  std::vector<workload::JobId> victims;
+  victims.reserve(node.tasks.size());
+  for (const Task& task : node.tasks) victims.push_back(task.job);
+  std::vector<FailureKill> kills;
+  kills.reserve(victims.size());
+  for (workload::JobId victim : victims) {
+    auto it = jobs_.find(victim);
+    if (it == jobs_.end()) continue;  // defensive
+    FailureKill kill;
+    kill.job = it->second.job;
+    jobs_.erase(it);
+    kill.completed_work = remove_job_tasks(victim);
+    UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
+                 "node " << id << " down kills job " << victim);
+    kills.push_back(kill);
+  }
+  return kills;
+}
+
+void TimeSharedCluster::node_up(NodeId id) {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("TimeSharedCluster::node_up: bad node");
+  }
+  if (down_[id] == 0) {
+    throw std::logic_error("TimeSharedCluster::node_up: node is not down");
+  }
+  down_[id] = 0;
+  --down_count_;
+  // The node hosted no tasks while down; restart its integration clock so
+  // the idle window never counts as progress.
+  nodes_[id].last_integrated = now();
+}
+
+bool TimeSharedCluster::is_up(NodeId id) const {
+  if (id >= nodes_.size()) {
+    throw std::out_of_range("TimeSharedCluster::is_up: bad node");
+  }
+  return down_[id] == 0;
 }
 
 double TimeSharedCluster::busy_proc_seconds() const {

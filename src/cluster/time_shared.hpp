@@ -18,6 +18,7 @@
 #include <map>
 #include <vector>
 
+#include "cluster/failure.hpp"
 #include "cluster/node.hpp"
 #include "sim/entity.hpp"
 #include "workload/job.hpp"
@@ -84,6 +85,22 @@ class TimeSharedCluster : public sim::Entity {
   /// false if the job is not running.
   bool cancel(workload::JobId id);
 
+  /// Takes `id` out of service: every job with a task on it is killed
+  /// entirely (rigid jobs lose all tasks when one dies), their shares are
+  /// released on all nodes, and the kills are returned with each job's
+  /// completed work (the minimum integrated work across its tasks — a
+  /// restart must redo the slowest task's remainder). A down node accepts
+  /// no new tasks and its committed share is 0, so Sigma-share accounting
+  /// excludes it. Throws std::logic_error if the node is already down.
+  std::vector<FailureKill> node_down(NodeId id);
+
+  /// Returns a repaired node to service. Throws std::logic_error if the
+  /// node is not down.
+  void node_up(NodeId id);
+
+  [[nodiscard]] bool is_up(NodeId id) const;
+  [[nodiscard]] std::uint32_t down_count() const { return down_count_; }
+
   /// Number of jobs with at least one unfinished task.
   [[nodiscard]] std::size_t running_count() const { return jobs_.size(); }
 
@@ -113,6 +130,7 @@ class TimeSharedCluster : public sim::Entity {
   };
 
   struct JobState {
+    workload::Job job;  ///< kept so an outage kill can report/resubmit it
     std::uint32_t remaining_tasks = 0;
     CompletionCallback on_complete;
   };
@@ -121,9 +139,14 @@ class TimeSharedCluster : public sim::Entity {
   void reschedule(NodeState& node, NodeId id);
   void handle_node_event(NodeId id);
   void task_finished(workload::JobId job);
+  /// Integrates every node hosting `job`, removes its tasks, and returns
+  /// the minimum done work across them (0 when the job hosts no tasks).
+  double remove_job_tasks(workload::JobId job);
 
   MachineConfig machine_;
   std::vector<NodeState> nodes_;
+  std::vector<char> down_;
+  std::uint32_t down_count_ = 0;
   std::map<workload::JobId, JobState> jobs_;
 };
 

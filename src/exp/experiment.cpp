@@ -70,9 +70,16 @@ core::ObjectiveValues ExperimentRunner::run_one(policy::PolicyKind policy,
   const std::vector<workload::Job> jobs = builder_.build(
       qos, settings.arrival_delay_factor, settings.inaccuracy_percent);
 
+  policy::PolicyContext context;
+  context.machine = config_.machine;
+  context.model = config_.model;
+  context.pricing = config_.pricing;
+  context.first_reward = config_.first_reward;
+  context.failure = settings.failure;
+  context.recovery = settings.recovery;
+
   const service::SimulationReport report =
-      service::simulate(jobs, policy, config_.model, config_.machine,
-                        config_.pricing, config_.first_reward);
+      service::simulate(jobs, service::factory_for(policy), context);
   ++simulations_run_;
   store_->insert(key, report.objectives);
   return report.objectives;
@@ -84,9 +91,13 @@ SweepResult ExperimentRunner::run_sweep() {
 
 SweepResult ExperimentRunner::run_sweep(
     const std::vector<policy::PolicyKind>& policies) {
-  const std::vector<Scenario>& scenarios = all_scenarios();
-  const RunSettings defaults = config_.default_settings();
+  return run_scenarios(all_scenarios(), config_.default_settings(),
+                       policies);
+}
 
+SweepResult ExperimentRunner::run_scenarios(
+    const std::vector<Scenario>& scenarios, const RunSettings& defaults,
+    const std::vector<policy::PolicyKind>& policies) {
   SweepResult result;
   result.policies = policies;
   result.scenario_names.reserve(scenarios.size());

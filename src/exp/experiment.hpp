@@ -87,6 +87,14 @@ class ExperimentRunner {
   [[nodiscard]] SweepResult run_sweep(
       const std::vector<policy::PolicyKind>& policies);
 
+  /// Arbitrary scenario list over explicit defaults — the substrate of
+  /// run_sweep, exposed so extension scenarios (the MTBF robustness
+  /// sweep) reuse the raw-collection/normalise/reduce machinery without
+  /// joining the Table VI set.
+  [[nodiscard]] SweepResult run_scenarios(
+      const std::vector<Scenario>& scenarios, const RunSettings& defaults,
+      const std::vector<policy::PolicyKind>& policies);
+
   [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   [[nodiscard]] const workload::WorkloadBuilder& workloads() const {
     return builder_;

@@ -1,5 +1,6 @@
 #include "exp/scenario.hpp"
 
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -29,6 +30,15 @@ std::string RunSettings::key_fragment() const {
   qos_fragment(oss, budget);
   oss << ";p=";
   qos_fragment(oss, penalty);
+  if (failure.enabled()) {
+    oss << ";fail=" << failure.mtbf_seconds << ',' << failure.mttr_seconds
+        << ',' << cluster::to_string(failure.distribution) << ','
+        << failure.weibull_shape << ',' << failure.seed << ','
+        << failure.correlated_fraction << ',' << failure.correlated_size
+        << ";rec=" << recovery.retry_limit << ',' << recovery.backoff_seconds
+        << ',' << recovery.backoff_factor << ','
+        << recovery.checkpoint_interval;
+  }
   return oss.str();
 }
 
@@ -102,10 +112,30 @@ const std::vector<Scenario>& all_scenarios() {
   return scenarios;
 }
 
+const Scenario& mtbf_scenario() {
+  static const Scenario scenario = [] {
+    Scenario s;
+    s.name = "mtbf";
+    // Infinity (no failures) down to one failure per node-hour: one week,
+    // two days, one day, six hours, one hour.
+    s.values = {std::numeric_limits<double>::infinity(),
+                604800, 172800, 86400, 21600, 3600};
+    s.apply = [](RunSettings& settings, double v) {
+      settings.failure.mtbf_seconds = v;
+    };
+    if (s.values.size() != kValuesPerScenario) {
+      throw std::logic_error("mtbf_scenario: scenario without 6 values");
+    }
+    return s;
+  }();
+  return scenario;
+}
+
 const Scenario& scenario_by_name(const std::string& name) {
   for (const Scenario& scenario : all_scenarios()) {
     if (scenario.name == name) return scenario;
   }
+  if (name == mtbf_scenario().name) return mtbf_scenario();
   throw std::invalid_argument("scenario_by_name: unknown scenario '" + name +
                               "'");
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/failure.hpp"
 #include "workload/qos.hpp"
 
 namespace utilrisk::exp {
@@ -22,8 +23,14 @@ struct RunSettings {
   workload::QosParameterConfig deadline{};  // low_mean 4, ratio 4, bias 2
   workload::QosParameterConfig budget{};
   workload::QosParameterConfig penalty{};
+  /// Fault injection (disabled by default: infinite MTBF).
+  cluster::FailureConfig failure{};
+  /// Retry/backoff/checkpoint knobs for outage recovery.
+  cluster::RecoveryParams recovery{};
 
-  /// Canonical key fragment for the result cache.
+  /// Canonical key fragment for the result cache. The failure/recovery
+  /// knobs only appear when injection is enabled, so every pre-existing
+  /// cache entry (and the MTBF sweep's infinite-MTBF cell) keeps its key.
   [[nodiscard]] std::string key_fragment() const;
 };
 
@@ -47,7 +54,14 @@ inline constexpr std::size_t kValuesPerScenario = 6;
 /// ratio, low-value mean} x {deadline, budget, penalty}.
 [[nodiscard]] const std::vector<Scenario>& all_scenarios();
 
-/// Looks a scenario up by name; throws std::invalid_argument when unknown.
+/// The 13th, robustness scenario: an MTBF sweep (infinity down to one
+/// hour) at otherwise-default knobs. Deliberately NOT part of
+/// all_scenarios() — the Table VI figures must not change — and consumed
+/// by bench_robustness_failures and the `sweep` CLI instead.
+[[nodiscard]] const Scenario& mtbf_scenario();
+
+/// Looks a scenario up by name (Table VI plus "mtbf"); throws
+/// std::invalid_argument when unknown.
 [[nodiscard]] const Scenario& scenario_by_name(const std::string& name);
 
 }  // namespace utilrisk::exp

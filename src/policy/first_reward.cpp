@@ -80,6 +80,23 @@ bool FirstRewardPolicy::terminate(workload::JobId id) {
   return false;
 }
 
+void FirstRewardPolicy::on_node_down(cluster::NodeId id) {
+  auto kill = cluster_->node_down(id);
+  if (kill) {
+    // The completion callback normally settles the penalty-rate sum; the
+    // outage suppressed it, so settle here before reporting the kill.
+    accepted_penalty_rate_sum_ -= kill->job.penalty_rate;
+    running_penalty_.erase(kill->job.id);
+    host().notify_failed(kill->job, kill->completed_work);
+  }
+  dispatch();
+}
+
+void FirstRewardPolicy::on_node_up(cluster::NodeId id) {
+  cluster_->node_up(id);
+  dispatch();  // repaired capacity can start queued jobs
+}
+
 void FirstRewardPolicy::dispatch() {
   // Keep the wait queue ordered by reward (descending): FirstReward delays
   // previously accepted jobs whenever a newcomer outranks them.

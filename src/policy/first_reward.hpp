@@ -39,6 +39,8 @@ class FirstRewardPolicy : public Policy {
     return cluster_->busy_proc_seconds(simulator().now());
   }
   bool terminate(workload::JobId id) override;
+  void on_node_down(cluster::NodeId id) override;
+  void on_node_up(cluster::NodeId id) override;
 
   [[nodiscard]] std::size_t queued_count() const { return queue_.size(); }
   [[nodiscard]] const cluster::SpaceSharedCluster& executor() const {

@@ -24,8 +24,19 @@ std::optional<double> LibraPolicy::required_share(
 bool LibraPolicy::node_eligible(cluster::NodeId node,
                                 const workload::Job& /*job*/,
                                 double share) const {
-  return cluster_->committed_share(node) + share <=
-         1.0 + cluster::TimeSharedCluster::kShareEpsilon;
+  return cluster_->is_up(node) &&
+         cluster_->committed_share(node) + share <=
+             1.0 + cluster::TimeSharedCluster::kShareEpsilon;
+}
+
+void LibraPolicy::on_node_down(cluster::NodeId id) {
+  for (const cluster::FailureKill& kill : cluster_->node_down(id)) {
+    host().notify_failed(kill.job, kill.completed_work);
+  }
+}
+
+void LibraPolicy::on_node_up(cluster::NodeId id) {
+  cluster_->node_up(id);
 }
 
 economy::Money LibraPolicy::quote(const workload::Job& job,

@@ -34,6 +34,8 @@ class LibraPolicy : public Policy {
   bool terminate(workload::JobId id) override {
     return cluster_->cancel(id);
   }
+  void on_node_down(cluster::NodeId id) override;
+  void on_node_up(cluster::NodeId id) override;
 
   [[nodiscard]] const cluster::TimeSharedCluster& executor() const {
     return *cluster_;

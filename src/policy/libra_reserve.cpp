@@ -116,8 +116,9 @@ void LibraReservePolicy::start_booked(workload::JobId id) {
   double degraded_share = booking.share;
   bool booked_nodes_ok = true;
   for (cluster::NodeId node : booking.nodes) {
-    if (cluster_->committed_share(node) + booking.share >
-        1.0 + cluster::TimeSharedCluster::kShareEpsilon) {
+    if (!cluster_->is_up(node) ||
+        cluster_->committed_share(node) + booking.share >
+            1.0 + cluster::TimeSharedCluster::kShareEpsilon) {
       booked_nodes_ok = false;
       break;
     }
@@ -131,8 +132,9 @@ void LibraReservePolicy::start_booked(workload::JobId id) {
          node < cluster_->node_count() && nodes.size() < booking.job.procs;
          ++node) {
       const bool live_ok =
+          cluster_->is_up(node) &&
           cluster_->committed_share(node) + booking.share <=
-          1.0 + cluster::TimeSharedCluster::kShareEpsilon;
+              1.0 + cluster::TimeSharedCluster::kShareEpsilon;
       const bool book_ok =
           now >= booking.window_end ||
           book_.node(node).max_committed(now, booking.window_end) +
@@ -145,6 +147,7 @@ void LibraReservePolicy::start_booked(workload::JobId id) {
     // Degraded path: take the least-committed nodes and shrink the share.
     std::vector<std::pair<double, cluster::NodeId>> by_load;
     for (cluster::NodeId node = 0; node < cluster_->node_count(); ++node) {
+      if (!cluster_->is_up(node)) continue;
       by_load.emplace_back(cluster_->committed_share(node), node);
     }
     std::sort(by_load.begin(), by_load.end());
@@ -208,6 +211,19 @@ void LibraReservePolicy::release_active(workload::JobId id,
     }
   }
   active_.erase(it);
+}
+
+void LibraReservePolicy::on_node_down(cluster::NodeId id) {
+  book_.set_down(id, true);  // plans stop booking the dead node
+  for (const cluster::FailureKill& kill : cluster_->node_down(id)) {
+    release_active(kill.job.id, simulator().now());
+    host().notify_failed(kill.job, kill.completed_work);
+  }
+}
+
+void LibraReservePolicy::on_node_up(cluster::NodeId id) {
+  book_.set_down(id, false);
+  cluster_->node_up(id);
 }
 
 bool LibraReservePolicy::terminate(workload::JobId id) {

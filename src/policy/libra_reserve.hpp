@@ -44,6 +44,8 @@ class LibraReservePolicy : public Policy {
     return cluster_->busy_proc_seconds();
   }
   bool terminate(workload::JobId id) override;
+  void on_node_down(cluster::NodeId id) override;
+  void on_node_up(cluster::NodeId id) override;
 
   [[nodiscard]] const cluster::TimeSharedCluster& executor() const {
     return *cluster_;

@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "cluster/failure.hpp"
 #include "cluster/node.hpp"
 #include "economy/money.hpp"
 #include "economy/pricing.hpp"
@@ -40,6 +41,14 @@ class PolicyHost {
   /// Job finished (drives SLA/reliability/profitability objectives).
   virtual void notify_finished(const workload::Job& job,
                                sim::SimTime finish_time) = 0;
+
+  /// An accepted job was killed by a node outage. `completed_work` is the
+  /// per-processor seconds of progress lost-or-checkpointed before the
+  /// crash; the host decides whether to resubmit (bounded retry) or settle
+  /// the SLA as FailedOutage. Default: ignore (hosts predating the failure
+  /// subsystem keep compiling).
+  virtual void notify_failed(const workload::Job& /*job*/,
+                             double /*completed_work*/) {}
 };
 
 /// Parameters of the FirstReward policy (paper §5.2, after Irwin et al.).
@@ -65,6 +74,12 @@ struct PolicyContext {
   /// true, the service kills any accepted job still unfinished at its
   /// deadline via Policy::terminate. Default matches the paper.
   bool terminate_at_deadline = false;
+  /// Node failure process (disabled by default: mtbf = infinity, so the
+  /// injector schedules nothing and every run is bit-identical to the
+  /// failure-free build).
+  cluster::FailureConfig failure;
+  /// Retry/backoff/checkpoint knobs for jobs killed by outages.
+  cluster::RecoveryParams recovery;
 };
 
 /// Abstract policy. Concrete policies: queue_policy.hpp (FCFS/SJF/EDF with
@@ -101,6 +116,15 @@ class Policy {
   /// separately). Returns false when the job is unknown or termination is
   /// unsupported. Base implementation: unsupported.
   virtual bool terminate(workload::JobId /*id*/) { return false; }
+
+  /// Node `id` just failed: the policy must take it out of its executor
+  /// (killing resident jobs via PolicyHost::notify_failed) and stop
+  /// considering it for admission. Default: no-op (policies without an
+  /// executor, e.g. test doubles, ignore failures).
+  virtual void on_node_down(cluster::NodeId /*id*/) {}
+
+  /// Node `id` was repaired and is back in service.
+  virtual void on_node_up(cluster::NodeId /*id*/) {}
 
   [[nodiscard]] const PolicyContext& context() const { return context_; }
 

@@ -37,9 +37,29 @@ double QueueBackfillPolicy::delivered_proc_seconds() const {
 }
 
 bool QueueBackfillPolicy::terminate(workload::JobId id) {
-  if (!cluster_->cancel(id)) return false;
-  dispatch();  // freed processors can start queued jobs
+  if (cluster_->cancel(id)) {
+    dispatch();  // freed processors can start queued jobs
+    return true;
+  }
+  // Accepted-but-queued jobs can also be terminated (outage abandon path).
+  auto it = std::find_if(
+      queue_.begin(), queue_.end(),
+      [id](const workload::Job& job) { return job.id == id; });
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
   return true;
+}
+
+void QueueBackfillPolicy::on_node_down(cluster::NodeId id) {
+  auto kill = cluster_->node_down(id);
+  if (kill) host().notify_failed(kill->job, kill->completed_work);
+  // Shrunken capacity can invalidate queued SLAs; re-examine the queue.
+  dispatch();
+}
+
+void QueueBackfillPolicy::on_node_up(cluster::NodeId id) {
+  cluster_->node_up(id);
+  dispatch();  // repaired capacity can start queued jobs
 }
 
 bool QueueBackfillPolicy::higher_priority(const workload::Job& a,

@@ -54,6 +54,8 @@ class QueueBackfillPolicy : public Policy {
   [[nodiscard]] std::string_view name() const override;
   [[nodiscard]] double delivered_proc_seconds() const override;
   bool terminate(workload::JobId id) override;
+  void on_node_down(cluster::NodeId id) override;
+  void on_node_up(cluster::NodeId id) override;
 
   [[nodiscard]] QueueOrder order() const { return order_; }
   [[nodiscard]] AdmissionControl admission() const { return admission_; }

@@ -1,11 +1,23 @@
 #include "service/computing_service.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 #include "economy/penalty.hpp"
 #include "sim/trace_log.hpp"
 
 namespace utilrisk::service {
+
+namespace {
+/// A hair past the deadline, so a job completing exactly on time settles
+/// as fulfilled before any kill/abandon event fires.
+constexpr sim::SimTime kKillSlack = 1e-3;
+/// Residual runtime floor for a checkpoint-restarted attempt (a restart
+/// exactly at a checkpoint boundary still costs a moment of recovery).
+constexpr double kMinRestartRuntime = 1e-3;
+}  // namespace
 
 PolicyFactory factory_for(policy::PolicyKind kind) {
   return [kind](const policy::PolicyContext& context,
@@ -32,9 +44,23 @@ ComputingService::ComputingService(sim::Simulator& simulator,
   if (!policy_) {
     throw std::invalid_argument("ComputingService: factory returned null");
   }
+  context.machine.validate();
+  if (context.failure.enabled()) {
+    context.failure.validate();
+    context.recovery.validate();
+    injector_ = std::make_unique<cluster::FailureInjector>(
+        simulator, context.machine, context.failure);
+    injector_->set_callbacks(
+        [this](cluster::NodeId id) { policy_->on_node_down(id); },
+        [this](cluster::NodeId id) { policy_->on_node_up(id); });
+  }
 }
 
 void ComputingService::submit_all(const std::vector<workload::Job>& jobs) {
+  expected_jobs_ += jobs.size();
+  // Arm only while settlements are outstanding: an injector with no jobs
+  // to fail would keep the event queue alive forever.
+  if (injector_ && terminal_jobs_ < expected_jobs_) injector_->arm();
   for (const workload::Job& job : jobs) {
     at(job.submit_time, [this, job] {
       metrics_.record_submitted(job, now());
@@ -50,11 +76,8 @@ void ComputingService::submit_all(const std::vector<workload::Job>& jobs) {
 void ComputingService::notify_accepted(const workload::Job& job,
                                        economy::Money quoted_cost) {
   metrics_.record_accepted(job.id, now(), quoted_cost);
+  const workload::JobId id = job.id;
   if (policy_->context().terminate_at_deadline) {
-    const workload::JobId id = job.id;
-    // A hair past the deadline, so a job completing exactly on time
-    // settles as fulfilled before the kill fires.
-    constexpr sim::SimTime kKillSlack = 1e-3;
     at(std::max(now(), job.absolute_deadline() + kKillSlack), [this, id] {
       if (metrics_.record(id).outcome != workload::JobOutcome::Unfinished) {
         return;  // settled on time (or already terminated)
@@ -64,13 +87,35 @@ void ComputingService::notify_accepted(const workload::Job& job,
         // provider stops accruing penalties: termination caps the bid
         // model's otherwise unbounded downside at zero revenue.
         metrics_.record_terminated(id, now(), 0.0);
+        note_terminal();
       }
+    });
+  } else if (injector_) {
+    // Outage liveness guard: policies that accept at submission
+    // (FirstReward, LibraReserve) can leave a job queued forever when
+    // failures shrink capacity below its width. Once its deadline passes
+    // without the job ever starting, abandon it as an outage casualty.
+    at(std::max(now(), job.absolute_deadline() + kKillSlack), [this, id] {
+      const SlaRecord& record = metrics_.record(id);
+      if (record.outcome != workload::JobOutcome::Unfinished ||
+          record.started) {
+        return;  // settled, or running (it will finish on its own)
+      }
+      if (policy_->terminate(id)) settle_outage(id);
     });
   }
 }
 
 void ComputingService::notify_rejected(const workload::Job& job) {
+  if (retry_attempts_.contains(job.id)) {
+    // A resubmitted attempt the policy would not take back: the original
+    // acceptance stands, so the job is lost to the outage — not flipped
+    // to Rejected (m = accepted + rejected must keep holding).
+    settle_outage(job.id);
+    return;
+  }
   metrics_.record_rejected(job.id, now());
+  note_terminal();
 }
 
 void ComputingService::notify_started(const workload::Job& job) {
@@ -88,6 +133,67 @@ void ComputingService::notify_finished(const workload::Job& job,
     utility = economy::bid_utility(job, finish_time);
   }
   metrics_.record_finished(job.id, finish_time, utility);
+  note_terminal();
+}
+
+void ComputingService::notify_failed(const workload::Job& job,
+                                     double completed_work) {
+  metrics_.record_outage(job.id, now());
+  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
+               "job " << job.id << " killed by outage, completed "
+                      << completed_work << "s");
+  handle_failed_attempt(job, completed_work);
+}
+
+void ComputingService::handle_failed_attempt(const workload::Job& attempt,
+                                             double completed_work) {
+  const cluster::RecoveryParams& recovery = policy_->context().recovery;
+  std::uint32_t& attempts = retry_attempts_[attempt.id];
+  const sim::SimTime deadline = attempt.absolute_deadline();
+  if (attempts < recovery.retry_limit) {
+    const sim::SimTime resubmit = now() + recovery.backoff_for(attempts);
+    if (resubmit < deadline - sim::kTimeEpsilon) {
+      ++attempts;
+      // Checkpoint credit: progress rounds down to the last checkpoint
+      // boundary (tau = 0 keeps nothing, the restart redoes everything).
+      const double kept = std::min(recovery.checkpointed(completed_work),
+                                   attempt.actual_runtime);
+      workload::Job retry = attempt;
+      retry.submit_time = resubmit;
+      // Same absolute deadline: crashing does not renegotiate the SLA.
+      retry.deadline_duration = deadline - resubmit;
+      retry.actual_runtime =
+          std::max(attempt.actual_runtime - kept, kMinRestartRuntime);
+      retry.estimated_runtime =
+          std::max(attempt.estimated_runtime - kept, 1.0);
+      UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
+                   "retry " << attempts << " of job " << attempt.id
+                            << " at t=" << resubmit);
+      at(resubmit, [this, retry] { policy_->on_submit(retry); });
+      return;
+    }
+  }
+  settle_outage(attempt.id);
+}
+
+void ComputingService::settle_outage(workload::JobId id) {
+  const SlaRecord& record = metrics_.record(id);
+  economy::Money utility = 0.0;
+  if (model_ == economy::EconomicModel::BidBased) {
+    // No delivery, no revenue; but retries kept the SLA open past its
+    // deadline, and the provider owes the penalty for that delay — the
+    // cost that makes outages bite the bid model's profitability.
+    const double delay =
+        std::max(0.0, now() - record.job.absolute_deadline());
+    utility = -record.job.penalty_rate * delay;
+  }
+  metrics_.record_failed(id, now(), utility);
+  note_terminal();
+}
+
+void ComputingService::note_terminal() {
+  ++terminal_jobs_;
+  if (injector_ && terminal_jobs_ >= expected_jobs_) injector_->disarm();
 }
 
 SimulationReport simulate(const std::vector<workload::Job>& jobs,
@@ -96,6 +202,7 @@ SimulationReport simulate(const std::vector<workload::Job>& jobs,
                           const cluster::MachineConfig& machine,
                           const economy::PricingParams& pricing,
                           const policy::FirstRewardParams& first_reward) {
+  machine.validate();
   return simulate(jobs, factory_for(kind), model, machine, pricing,
                   first_reward);
 }
@@ -106,6 +213,7 @@ SimulationReport simulate(const std::vector<workload::Job>& jobs,
                           const cluster::MachineConfig& machine,
                           const economy::PricingParams& pricing,
                           const policy::FirstRewardParams& first_reward) {
+  machine.validate();
   policy::PolicyContext context;
   context.machine = machine;
   context.model = model;
@@ -117,6 +225,7 @@ SimulationReport simulate(const std::vector<workload::Job>& jobs,
 SimulationReport simulate(const std::vector<workload::Job>& jobs,
                           const PolicyFactory& factory,
                           policy::PolicyContext context) {
+  context.machine.validate();
   sim::Simulator simulator;
   context.simulator = &simulator;
   const cluster::MachineConfig machine = context.machine;
@@ -126,8 +235,26 @@ SimulationReport simulate(const std::vector<workload::Job>& jobs,
   simulator.run();
 
   if (svc.metrics().unfinished_count() != 0) {
-    throw std::runtime_error(
-        "simulate: accepted jobs left unfinished after quiescence");
+    // A stuck job is a kernel or policy bug, not a workload condition;
+    // name the culprits so the bug is debuggable from the message alone.
+    std::ostringstream msg;
+    msg << "simulate: " << svc.metrics().unfinished_count()
+        << " accepted job(s) left unfinished after quiescence [policy="
+        << svc.active_policy().name()
+        << ", pending events=" << simulator.pending_events()
+        << ", t=" << simulator.now() << "]; stuck:";
+    std::size_t listed = 0;
+    for (const auto& [id, record] : svc.metrics().records()) {
+      if (record.outcome != workload::JobOutcome::Unfinished) continue;
+      if (listed == 10) {
+        msg << " ...";
+        break;
+      }
+      msg << " job " << id << (record.started ? " (running" : " (queued")
+          << ", outages=" << record.outage_count << ")";
+      ++listed;
+    }
+    throw std::runtime_error(msg.str());
   }
 
   SimulationReport report;

@@ -3,10 +3,13 @@
 // active economic model, and feeds the metrics collector.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
+#include "cluster/failure.hpp"
 #include "policy/factory.hpp"
 #include "policy/policy.hpp"
 #include "service/metrics_collector.hpp"
@@ -41,6 +44,12 @@ class ComputingService : public sim::Entity, public policy::PolicyHost {
   }
   [[nodiscard]] economy::EconomicModel model() const { return model_; }
 
+  /// The fault injector, or nullptr when failure injection is disabled
+  /// (context.failure.mtbf_seconds not finite-positive).
+  [[nodiscard]] const cluster::FailureInjector* failure_injector() const {
+    return injector_.get();
+  }
+
   // --- PolicyHost -------------------------------------------------------
   void notify_accepted(const workload::Job& job,
                        economy::Money quoted_cost) override;
@@ -48,11 +57,30 @@ class ComputingService : public sim::Entity, public policy::PolicyHost {
   void notify_started(const workload::Job& job) override;
   void notify_finished(const workload::Job& job,
                        sim::SimTime finish_time) override;
+  void notify_failed(const workload::Job& job,
+                     double completed_work) override;
 
  private:
+  /// Bounded retry with exponential backoff; falls through to
+  /// settle_outage when the budget or the deadline is exhausted.
+  void handle_failed_attempt(const workload::Job& attempt,
+                             double completed_work);
+  /// Settles a job permanently lost to outages (FailedOutage).
+  void settle_outage(workload::JobId id);
+  /// One job reached a terminal outcome; disarms the injector once all
+  /// submitted jobs are settled so the run can drain.
+  void note_terminal();
+
   economy::EconomicModel model_;
   MetricsCollector metrics_;
   std::unique_ptr<policy::Policy> policy_;
+  std::unique_ptr<cluster::FailureInjector> injector_;
+  /// Resubmissions consumed per job (present only for jobs that absorbed
+  /// at least one outage — also how notify_rejected tells a retry attempt
+  /// from a fresh submission).
+  std::map<workload::JobId, std::uint32_t> retry_attempts_;
+  std::size_t expected_jobs_ = 0;
+  std::size_t terminal_jobs_ = 0;
 };
 
 /// Outcome of a complete simulation run.

@@ -43,7 +43,11 @@ void MetricsCollector::record_rejected(workload::JobId id, sim::SimTime when) {
 
 void MetricsCollector::record_started(workload::JobId id, sim::SimTime when) {
   SlaRecord& record = must_find(id, "record_started");
-  record.start_time = when;
+  // Retried attempts keep the first start (wait measures first dispatch).
+  if (!record.started && record.outage_count == 0) {
+    record.start_time = when;
+  }
+  record.started = true;
 }
 
 void MetricsCollector::record_finished(workload::JobId id, sim::SimTime when,
@@ -69,6 +73,28 @@ void MetricsCollector::record_terminated(workload::JobId id,
   record.finish_time = when;
   record.utility = utility;
   record.outcome = workload::JobOutcome::TerminatedSLA;
+  ledger_.record_utility(id, utility);
+}
+
+void MetricsCollector::record_outage(workload::JobId id,
+                                     sim::SimTime /*when*/) {
+  SlaRecord& record = must_find(id, "record_outage");
+  if (record.outcome == workload::JobOutcome::Rejected) {
+    throw std::logic_error("MetricsCollector: outage on a rejected job");
+  }
+  ++record.outage_count;
+  record.started = false;
+}
+
+void MetricsCollector::record_failed(workload::JobId id, sim::SimTime when,
+                                     economy::Money utility) {
+  SlaRecord& record = must_find(id, "record_failed");
+  if (record.outcome == workload::JobOutcome::Rejected) {
+    throw std::logic_error("MetricsCollector: failing a rejected job");
+  }
+  record.finish_time = when;
+  record.utility = utility;
+  record.outcome = workload::JobOutcome::FailedOutage;
   ledger_.record_utility(id, utility);
 }
 

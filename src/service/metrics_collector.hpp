@@ -29,6 +29,16 @@ class MetricsCollector {
   void record_terminated(workload::JobId id, sim::SimTime when,
                          economy::Money utility);
 
+  /// An attempt of the job was killed by a node outage (the job itself may
+  /// still be retried): bumps outage_count and clears the started flag.
+  void record_outage(workload::JobId id, sim::SimTime when);
+
+  /// Job lost for good to outages (retry budget exhausted or deadline
+  /// unreachable): accepted, unfulfilled, settled at `utility` (usually
+  /// negative in the bid model — the provider owes the penalty).
+  void record_failed(workload::JobId id, sim::SimTime when,
+                     economy::Money utility);
+
   [[nodiscard]] const SlaRecord& record(workload::JobId id) const;
   [[nodiscard]] const std::map<workload::JobId, SlaRecord>& records() const {
     return records_;

@@ -55,6 +55,11 @@ void ServiceMonitor::sample_now() {
         ++sample.accepted;
         ++sample.violated;
         break;
+      case workload::JobOutcome::FailedOutage:
+        // Permanently lost to node failures: an unfulfilled acceptance.
+        ++sample.accepted;
+        ++sample.violated;
+        break;
       case workload::JobOutcome::Unfinished:
         // Queued/undecided or running: not yet settled either way.
         ++sample.in_flight;

@@ -25,6 +25,12 @@ struct SlaRecord {
   /// possibly negative). Zero for rejected jobs.
   economy::Money utility = 0.0;
 
+  /// True while an attempt is executing; an outage kill resets it, so the
+  /// service can tell a queued attempt from a running one.
+  bool started = false;
+  /// Number of outage kills this job absorbed (each may trigger a retry).
+  std::uint32_t outage_count = 0;
+
   [[nodiscard]] bool accepted() const {
     return outcome != workload::JobOutcome::Rejected;
   }

@@ -85,6 +85,8 @@ enum class JobOutcome : std::uint8_t {
   ViolatedSLA,     ///< accepted but finished after deadline
   TerminatedSLA,   ///< accepted but killed at the deadline (preemption
                    ///< ablation; the paper's policies never terminate)
+  FailedOutage,    ///< accepted but lost to a node failure after the
+                   ///< bounded-retry budget was exhausted
   Unfinished,      ///< accepted but still running when the horizon closed
 };
 
@@ -94,6 +96,7 @@ enum class JobOutcome : std::uint8_t {
     case JobOutcome::FulfilledSLA: return "fulfilled";
     case JobOutcome::ViolatedSLA: return "violated";
     case JobOutcome::TerminatedSLA: return "terminated";
+    case JobOutcome::FailedOutage: return "failed-outage";
     case JobOutcome::Unfinished: return "unfinished";
   }
   return "?";

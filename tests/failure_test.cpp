@@ -1,0 +1,504 @@
+// Tests for the fault-injection and recovery subsystem: recovery-knob
+// arithmetic, the seeded injector, executor down/up invariants, the
+// disabled-path bit-identity guarantee, and the service-level SLA
+// accounting under outages and bounded retries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cluster/failure.hpp"
+#include "cluster/space_shared.hpp"
+#include "cluster/time_shared.hpp"
+#include "exp/experiment.hpp"
+#include "exp/scenario.hpp"
+#include "service/computing_service.hpp"
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace utilrisk {
+namespace {
+
+workload::Job make_job(workload::JobId id, double submit, std::uint32_t procs,
+                       double runtime, double deadline_factor,
+                       double budget, double penalty_rate = 1.0) {
+  workload::Job job;
+  job.id = id;
+  job.submit_time = submit;
+  job.procs = procs;
+  job.actual_runtime = runtime;
+  job.estimated_runtime = runtime;
+  job.deadline_duration = runtime * deadline_factor;
+  job.budget = budget;
+  job.penalty_rate = penalty_rate;
+  return job;
+}
+
+std::vector<workload::Job> sdsc_jobs(std::uint32_t count) {
+  workload::SyntheticSdscConfig trace;
+  trace.job_count = count;
+  const workload::WorkloadBuilder builder(trace);
+  return builder.build(workload::QosConfig{}, 0.25, 100.0);
+}
+
+// ------------------------------------------------------- Config/recovery
+
+TEST(FailureConfigTest, DefaultIsDisabled) {
+  const cluster::FailureConfig config;
+  EXPECT_FALSE(config.enabled());
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(FailureConfigTest, ValidateRejectsNonsense) {
+  cluster::FailureConfig config;
+  config.mtbf_seconds = 3600.0;
+  EXPECT_NO_THROW(config.validate());
+
+  config.mttr_seconds = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.mttr_seconds = 3600.0;
+
+  config.correlated_fraction = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.correlated_fraction = 0.0;
+
+  config.distribution = cluster::FailureDistribution::Weibull;
+  config.weibull_shape = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(RecoveryParamsTest, ValidateRejectsNonsense) {
+  cluster::RecoveryParams recovery;
+  EXPECT_NO_THROW(recovery.validate());
+  recovery.backoff_factor = 0.5;
+  EXPECT_THROW(recovery.validate(), std::invalid_argument);
+  recovery.backoff_factor = 2.0;
+  recovery.checkpoint_interval = -1.0;
+  EXPECT_THROW(recovery.validate(), std::invalid_argument);
+}
+
+TEST(RecoveryParamsTest, CheckpointCreditIsLastBoundary) {
+  cluster::RecoveryParams recovery;
+  // No checkpointing: a restart loses everything.
+  EXPECT_DOUBLE_EQ(recovery.checkpointed(950.0), 0.0);
+
+  recovery.checkpoint_interval = 300.0;
+  EXPECT_DOUBLE_EQ(recovery.checkpointed(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(recovery.checkpointed(299.0), 0.0);
+  EXPECT_DOUBLE_EQ(recovery.checkpointed(300.0), 300.0);
+  EXPECT_DOUBLE_EQ(recovery.checkpointed(950.0), 900.0);
+}
+
+TEST(RecoveryParamsTest, BackoffGrowsGeometrically) {
+  cluster::RecoveryParams recovery;
+  recovery.backoff_seconds = 60.0;
+  recovery.backoff_factor = 2.0;
+  EXPECT_DOUBLE_EQ(recovery.backoff_for(0), 60.0);
+  EXPECT_DOUBLE_EQ(recovery.backoff_for(1), 120.0);
+  EXPECT_DOUBLE_EQ(recovery.backoff_for(2), 240.0);
+}
+
+// ------------------------------------------------------- FailureModel
+
+TEST(FailureModelTest, SampleMeansTrackConfig) {
+  cluster::FailureConfig config;
+  config.mtbf_seconds = 1000.0;
+  config.mttr_seconds = 100.0;
+  const cluster::FailureModel model(config);
+  sim::Rng rng(7);
+  double ttf_sum = 0.0;
+  double ttr_sum = 0.0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const double ttf = model.sample_time_to_failure(rng);
+    const double ttr = model.sample_time_to_repair(rng);
+    ASSERT_GT(ttf, 0.0);
+    ASSERT_GT(ttr, 0.0);
+    ttf_sum += ttf;
+    ttr_sum += ttr;
+  }
+  EXPECT_NEAR(ttf_sum / draws, config.mtbf_seconds,
+              0.05 * config.mtbf_seconds);
+  EXPECT_NEAR(ttr_sum / draws, config.mttr_seconds,
+              0.05 * config.mttr_seconds);
+}
+
+TEST(FailureModelTest, WeibullMeanMatchesMtbf) {
+  cluster::FailureConfig config;
+  config.mtbf_seconds = 500.0;
+  config.distribution = cluster::FailureDistribution::Weibull;
+  config.weibull_shape = 1.5;
+  const cluster::FailureModel model(config);
+  sim::Rng rng(11);
+  double sum = 0.0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) sum += model.sample_time_to_failure(rng);
+  EXPECT_NEAR(sum / draws, config.mtbf_seconds, 0.05 * config.mtbf_seconds);
+}
+
+// ------------------------------------------------------- FailureInjector
+
+TEST(FailureInjectorTest, DisabledInjectorSchedulesNothing) {
+  sim::Simulator simulator;
+  cluster::MachineConfig machine;
+  machine.node_count = 4;
+  const cluster::FailureConfig config;  // mtbf = inf
+  cluster::FailureInjector injector(simulator, machine, config);
+  injector.set_callbacks([](cluster::NodeId) {}, [](cluster::NodeId) {});
+  injector.arm();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_EQ(simulator.pending_events(), 0u);
+  EXPECT_EQ(simulator.run(), 0u);
+  EXPECT_EQ(injector.failures_injected(), 0u);
+}
+
+TEST(FailureInjectorTest, DeterministicFailureScheduleAcrossRuns) {
+  const auto run_once = [] {
+    sim::Simulator simulator;
+    cluster::MachineConfig machine;
+    machine.node_count = 8;
+    cluster::FailureConfig config;
+    config.mtbf_seconds = 1000.0;
+    config.mttr_seconds = 200.0;
+    config.seed = 99;
+    cluster::FailureInjector injector(simulator, machine, config);
+    std::vector<double> down_times;
+    injector.set_callbacks(
+        [&](cluster::NodeId) {
+          down_times.push_back(simulator.now());
+          if (down_times.size() >= 25) injector.disarm();
+        },
+        [](cluster::NodeId) {});
+    injector.arm();
+    EXPECT_TRUE(injector.armed());
+    simulator.run();
+    EXPECT_FALSE(injector.armed());
+    EXPECT_GE(injector.failures_injected(), 25u);
+    return down_times;
+  };
+  const std::vector<double> a = run_once();
+  const std::vector<double> b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(FailureInjectorTest, DownCountMatchesPerNodeState) {
+  sim::Simulator simulator;
+  cluster::MachineConfig machine;
+  machine.node_count = 8;
+  cluster::FailureConfig config;
+  config.mtbf_seconds = 500.0;
+  config.mttr_seconds = 500.0;
+  config.seed = 5;
+  cluster::FailureInjector injector(simulator, machine, config);
+  std::uint64_t events = 0;
+  const auto check = [&](cluster::NodeId) {
+    std::uint32_t down = 0;
+    for (cluster::NodeId id = 0; id < machine.node_count; ++id) {
+      if (injector.is_down(id)) ++down;
+    }
+    EXPECT_EQ(down, injector.down_count());
+    if (++events >= 60) injector.disarm();
+  };
+  injector.set_callbacks(check, check);
+  injector.arm();
+  simulator.run();
+  EXPECT_EQ(injector.repairs_completed() + injector.failures_injected(),
+            events);
+}
+
+// ------------------------------------------------------- Executors
+
+TEST(SpaceSharedFailureTest, CapacityStaysConsistentAcrossDownUp) {
+  sim::Simulator simulator;
+  cluster::MachineConfig machine;
+  machine.node_count = 8;
+  cluster::SpaceSharedCluster cluster(simulator, machine);
+
+  const auto occupied = [&] {
+    std::uint32_t procs = 0;
+    for (const auto& info : cluster.running_jobs()) procs += info.procs;
+    return procs;
+  };
+  const auto check_capacity = [&] {
+    EXPECT_LE(cluster.free_procs(), cluster.up_procs());
+    EXPECT_EQ(cluster.free_procs() + occupied(), cluster.up_procs());
+  };
+
+  int finished = 0;
+  const auto on_complete = [&](workload::JobId, sim::SimTime) { ++finished; };
+  cluster.start(make_job(1, 0.0, 3, 100.0, 5.0, 10.0), on_complete);
+  cluster.start(make_job(2, 0.0, 2, 100.0, 5.0, 10.0), on_complete);
+  check_capacity();
+
+  // Deterministic placement: job 1 occupies nodes 0-2. Taking node 1 down
+  // kills it; nodes 0 and 2 return to the free pool, node 1 does not.
+  const auto kill = cluster.node_down(1);
+  ASSERT_TRUE(kill.has_value());
+  EXPECT_EQ(kill->job.id, 1u);
+  EXPECT_GE(kill->completed_work, 0.0);
+  EXPECT_FALSE(cluster.is_up(1));
+  EXPECT_EQ(cluster.up_procs(), 7u);
+  check_capacity();
+
+  // A free down node changes nothing further.
+  const auto no_kill = cluster.node_down(5);
+  EXPECT_FALSE(no_kill.has_value());
+  EXPECT_EQ(cluster.up_procs(), 6u);
+  check_capacity();
+  EXPECT_THROW((void)cluster.node_down(5), std::logic_error);
+
+  // estimated_availability cannot promise more processors than are up.
+  EXPECT_EQ(cluster.estimated_availability(7), sim::kTimeNever);
+
+  cluster.node_up(1);
+  cluster.node_up(5);
+  EXPECT_EQ(cluster.up_procs(), 8u);
+  check_capacity();
+  EXPECT_THROW(cluster.node_up(5), std::logic_error);
+
+  simulator.run();
+  EXPECT_EQ(finished, 1);  // job 2 survived, job 1 was killed
+  check_capacity();
+}
+
+TEST(TimeSharedFailureTest, SharesStayBoundedAcrossDownUp) {
+  sim::Simulator simulator;
+  cluster::MachineConfig machine;
+  machine.node_count = 4;
+  cluster::TimeSharedCluster cluster(simulator, machine);
+
+  const auto check_shares = [&] {
+    for (cluster::NodeId id = 0; id < machine.node_count; ++id) {
+      const double share = cluster.committed_share(id);
+      EXPECT_GE(share, 0.0);
+      EXPECT_LE(share,
+                1.0 + cluster::TimeSharedCluster::kShareEpsilon);
+      if (!cluster.is_up(id)) {
+        EXPECT_DOUBLE_EQ(share, 0.0);
+      }
+    }
+  };
+
+  int finished = 0;
+  const auto on_complete = [&](workload::JobId, sim::SimTime) { ++finished; };
+  cluster.start(make_job(1, 0.0, 2, 100.0, 5.0, 10.0), {0, 1}, 0.5,
+                on_complete);
+  cluster.start(make_job(2, 0.0, 2, 100.0, 5.0, 10.0), {1, 2}, 0.4,
+                on_complete);
+  cluster.start(make_job(3, 0.0, 1, 100.0, 5.0, 10.0), {3}, 0.3,
+                on_complete);
+  check_shares();
+  EXPECT_EQ(cluster.running_count(), 3u);
+
+  // Node 1 hosts tasks of jobs 1 and 2: both die entirely (rigid jobs),
+  // releasing their shares on nodes 0 and 2 as well.
+  const auto kills = cluster.node_down(1);
+  ASSERT_EQ(kills.size(), 2u);
+  EXPECT_EQ(kills[0].job.id, 1u);
+  EXPECT_EQ(kills[1].job.id, 2u);
+  for (const auto& kill : kills) EXPECT_GE(kill.completed_work, 0.0);
+  EXPECT_DOUBLE_EQ(cluster.committed_share(0), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.committed_share(2), 0.0);
+  EXPECT_EQ(cluster.running_count(), 1u);
+  check_shares();
+
+  // Starting on a down node is a physical impossibility.
+  EXPECT_THROW(cluster.start(make_job(4, 0.0, 1, 10.0, 5.0, 1.0), {1}, 0.2,
+                             on_complete),
+               std::logic_error);
+  EXPECT_THROW((void)cluster.node_down(1), std::logic_error);
+
+  cluster.node_up(1);
+  EXPECT_TRUE(cluster.is_up(1));
+  cluster.start(make_job(4, 0.0, 1, 10.0, 5.0, 1.0), {1}, 0.2, on_complete);
+  check_shares();
+
+  simulator.run();
+  EXPECT_EQ(finished, 2);  // job 3 and the post-repair job 4
+  check_shares();
+}
+
+// ------------------------------------------------------- Disabled path
+
+TEST(FailureServiceTest, DisabledFailureConfigIsBitIdentical) {
+  const auto jobs = sdsc_jobs(250);
+  const auto baseline = service::simulate(
+      jobs, policy::PolicyKind::LibraRiskD, economy::EconomicModel::BidBased);
+
+  policy::PolicyContext context;
+  context.model = economy::EconomicModel::BidBased;
+  // context.failure stays at its default: mtbf = inf, injector never built.
+  const auto with_config = service::simulate(
+      jobs, service::factory_for(policy::PolicyKind::LibraRiskD), context);
+
+  EXPECT_EQ(baseline.events_dispatched, with_config.events_dispatched);
+  EXPECT_DOUBLE_EQ(baseline.end_time, with_config.end_time);
+  ASSERT_EQ(baseline.records.size(), with_config.records.size());
+  for (std::size_t i = 0; i < baseline.records.size(); ++i) {
+    const auto& a = baseline.records[i];
+    const auto& b = with_config.records[i];
+    EXPECT_EQ(a.job.id, b.job.id);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_DOUBLE_EQ(a.start_time, b.start_time);
+    EXPECT_DOUBLE_EQ(a.finish_time, b.finish_time);
+    EXPECT_DOUBLE_EQ(a.utility, b.utility);
+    EXPECT_EQ(b.outage_count, 0u);
+  }
+}
+
+// ------------------------------------------------------- Service + outages
+
+policy::PolicyContext failing_context(economy::EconomicModel model,
+                                      double mtbf,
+                                      std::uint32_t retry_limit) {
+  policy::PolicyContext context;
+  context.model = model;
+  context.failure.mtbf_seconds = mtbf;
+  context.failure.mttr_seconds = 1800.0;
+  context.failure.seed = 64023;
+  context.recovery.retry_limit = retry_limit;
+  context.recovery.backoff_seconds = 120.0;
+  context.recovery.checkpoint_interval = 600.0;
+  return context;
+}
+
+TEST(FailureServiceTest, SameFailureSeedIsDeterministic) {
+  const auto jobs = sdsc_jobs(250);
+  const auto context =
+      failing_context(economy::EconomicModel::BidBased, 30000.0, 2);
+  const auto a = service::simulate(
+      jobs, service::factory_for(policy::PolicyKind::Libra), context);
+  const auto b = service::simulate(
+      jobs, service::factory_for(policy::PolicyKind::Libra), context);
+
+  EXPECT_EQ(a.events_dispatched, b.events_dispatched);
+  EXPECT_EQ(a.inputs.accepted, b.inputs.accepted);
+  EXPECT_EQ(a.inputs.fulfilled, b.inputs.fulfilled);
+  EXPECT_DOUBLE_EQ(a.inputs.total_utility, b.inputs.total_utility);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].outcome, b.records[i].outcome);
+    EXPECT_EQ(a.records[i].outage_count, b.records[i].outage_count);
+    EXPECT_DOUBLE_EQ(a.records[i].finish_time, b.records[i].finish_time);
+    EXPECT_DOUBLE_EQ(a.records[i].utility, b.records[i].utility);
+  }
+}
+
+TEST(FailureServiceTest, InvariantsHoldUnderOutagesAndRetries) {
+  const auto jobs = sdsc_jobs(300);
+  for (const policy::PolicyKind kind :
+       policy::policies_for_model(economy::EconomicModel::BidBased)) {
+    SCOPED_TRACE(policy::to_string(kind));
+    const auto context =
+        failing_context(economy::EconomicModel::BidBased, 50000.0, 2);
+    const auto report =
+        service::simulate(jobs, service::factory_for(kind), context);
+
+    // m = accepted + rejected: every submitted SLA reached a terminal
+    // outcome even with outages in flight.
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    std::size_t failed = 0;
+    for (const auto& record : report.records) {
+      ASSERT_NE(record.outcome, workload::JobOutcome::Unfinished);
+      if (record.outcome == workload::JobOutcome::Rejected) {
+        ++rejected;
+      } else {
+        ++accepted;
+        if (record.outcome == workload::JobOutcome::FailedOutage) ++failed;
+      }
+    }
+    EXPECT_EQ(accepted + rejected, jobs.size());
+    EXPECT_EQ(report.inputs.accepted, accepted);
+    // n_SLA <= n <= m (eqn 3 denominators stay ordered).
+    EXPECT_LE(report.inputs.fulfilled, report.inputs.accepted);
+    EXPECT_LE(report.inputs.accepted, report.inputs.submitted);
+    EXPECT_EQ(report.inputs.submitted, jobs.size());
+    // A permanently failed job never fulfils its SLA.
+    EXPECT_LE(failed, accepted - report.inputs.fulfilled);
+    EXPECT_GE(report.objectives.reliability, 0.0);
+    EXPECT_LE(report.objectives.reliability, 100.0);
+  }
+}
+
+TEST(FailureServiceTest, ExhaustedRetriesSettleAsFailedOutage) {
+  // One long job on a machine failing every ~50 seconds with no retry
+  // budget: the job is killed and settles as failed-outage with a
+  // bid-model penalty (negative utility past the deadline).
+  std::vector<workload::Job> jobs = {
+      make_job(1, 0.0, 1, 20000.0, 2.0, 100.0, 0.01)};
+  auto context = failing_context(economy::EconomicModel::BidBased, 50.0, 0);
+  context.failure.mttr_seconds = 10000.0;
+  const auto report = service::simulate(
+      jobs, service::factory_for(policy::PolicyKind::Libra), context);
+
+  ASSERT_EQ(report.records.size(), 1u);
+  const auto& record = report.records[0];
+  EXPECT_EQ(record.outcome, workload::JobOutcome::FailedOutage);
+  EXPECT_GE(record.outage_count, 1u);
+  EXPECT_LE(record.utility, 0.0);
+  EXPECT_EQ(report.inputs.fulfilled, 0u);
+  EXPECT_EQ(report.inputs.accepted, 1u);
+}
+
+TEST(FailureServiceTest, ReliabilityDegradesAsMtbfShrinks) {
+  const auto jobs = sdsc_jobs(300);
+  const auto infinite = service::simulate(
+      jobs, policy::PolicyKind::Libra, economy::EconomicModel::BidBased);
+  const auto context =
+      failing_context(economy::EconomicModel::BidBased, 3600.0, 2);
+  const auto failing = service::simulate(
+      jobs, service::factory_for(policy::PolicyKind::Libra), context);
+
+  EXPECT_LE(failing.objectives.reliability, infinite.objectives.reliability);
+  std::size_t failed = 0;
+  for (const auto& record : failing.records) {
+    if (record.outcome == workload::JobOutcome::FailedOutage) ++failed;
+  }
+  EXPECT_GT(failed, 0u);
+}
+
+// ------------------------------------------------------- Experiment layer
+
+TEST(FailureExperimentTest, MtbfScenarioSweepsOnlyTheFailureKnob) {
+  const exp::Scenario& scenario = exp::mtbf_scenario();
+  EXPECT_EQ(scenario.name, "mtbf");
+  EXPECT_EQ(scenario.values.size(), exp::kValuesPerScenario);
+  EXPECT_TRUE(std::isinf(scenario.values.front()));
+
+  const exp::RunSettings defaults;
+  // The infinite-MTBF cell reproduces the failure-free cache key, so the
+  // sweep's baseline column dedups against every existing figure bench.
+  EXPECT_EQ(scenario.settings_for(defaults, 0).key_fragment(),
+            defaults.key_fragment());
+  // Finite cells carry a failure fragment and differ per value.
+  const std::string one = scenario.settings_for(defaults, 1).key_fragment();
+  const std::string two = scenario.settings_for(defaults, 2).key_fragment();
+  EXPECT_NE(one, defaults.key_fragment());
+  EXPECT_NE(one, two);
+  EXPECT_EQ(&exp::scenario_by_name("mtbf"), &scenario);
+}
+
+TEST(FailureExperimentTest, RunOneCachesFailureCells) {
+  exp::ExperimentConfig config;
+  config.model = economy::EconomicModel::BidBased;
+  config.set = exp::ExperimentSet::B;
+  config.trace.job_count = 120;
+  exp::ExperimentRunner runner(config, nullptr);
+
+  exp::RunSettings settings = config.default_settings();
+  settings.failure.mtbf_seconds = 86400.0;
+  settings.recovery.retry_limit = 1;
+
+  const auto first = runner.run_one(policy::PolicyKind::Libra, settings);
+  EXPECT_EQ(runner.simulations_run(), 1u);
+  const auto second = runner.run_one(policy::PolicyKind::Libra, settings);
+  EXPECT_EQ(runner.simulations_run(), 1u);  // served from the result store
+  for (core::Objective objective : core::kAllObjectives) {
+    EXPECT_DOUBLE_EQ(first.get(objective), second.get(objective));
+  }
+}
+
+}  // namespace
+}  // namespace utilrisk

@@ -51,6 +51,9 @@ TEST_P(AllPoliciesPropertySweep, UniversalInvariantsHold) {
       case workload::JobOutcome::TerminatedSLA:
         FAIL() << "job " << record.job.id
                << " terminated without the ablation flag";
+      case workload::JobOutcome::FailedOutage:
+        FAIL() << "job " << record.job.id
+               << " failed by outage with injection disabled";
       case workload::JobOutcome::Unfinished:
         FAIL() << "job " << record.job.id << " unfinished";
     }

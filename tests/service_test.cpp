@@ -218,6 +218,10 @@ TEST_P(PolicyModelInvariants, CountsAndMoneyAreConsistent) {
         ADD_FAILURE() << "job " << record.job.id
                       << " terminated without the ablation flag";
         break;
+      case workload::JobOutcome::FailedOutage:
+        ADD_FAILURE() << "job " << record.job.id
+                      << " failed by outage with injection disabled";
+        break;
       case workload::JobOutcome::Unfinished:
         ADD_FAILURE() << "job " << record.job.id << " never finished";
         break;
