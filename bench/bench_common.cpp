@@ -20,6 +20,7 @@ BenchEnv read_env() {
   if (const char* out = std::getenv("REPRO_OUT")) {
     env.out_dir = out;
   }
+  env.workers = exp::default_worker_count();  // honours REPRO_JOBS_PAR
   std::filesystem::create_directories(env.out_dir);
   return env;
 }
@@ -56,11 +57,16 @@ std::string slugify(const std::string& title) {
 
 exp::SweepResult run_sweep(const BenchEnv& env, economy::EconomicModel model,
                            exp::ExperimentSet set, exp::ResultStore& store) {
-  exp::ExperimentRunner runner(make_config(env, model, set), &store);
+  exp::ParallelRunner runner(make_config(env, model, set), &store,
+                             env.workers);
   const exp::SweepResult sweep = runner.run_sweep();
+  const exp::SweepStats& stats = runner.stats();
   std::cout << "[sweep " << economy::to_string(model) << "/Set "
-            << exp::to_string(set) << ": " << runner.simulations_run()
-            << " simulations run, rest from cache]\n";
+            << exp::to_string(set) << ": " << stats.simulations
+            << " simulations on " << runner.worker_count() << " worker(s), "
+            << stats.cache_hits << " cells from cache, " << stats.deduped
+            << " deduped in flight, " << stats.events << " events in "
+            << stats.wall_seconds << " s]\n";
   return sweep;
 }
 

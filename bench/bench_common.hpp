@@ -1,10 +1,12 @@
 // Shared plumbing for the figure-regeneration benches.
 //
 // Environment knobs:
-//   REPRO_JOBS   job count of the synthetic trace (default 5000)
-//   REPRO_FRESH  set to 1 to bypass the on-disk result cache
-//   REPRO_OUT    output directory for .csv/.dat artefacts
-//                (default ./bench_out)
+//   REPRO_JOBS      job count of the synthetic trace (default 5000)
+//   REPRO_FRESH     set to 1 to bypass the on-disk result cache
+//   REPRO_OUT       output directory for .csv/.dat artefacts
+//                   (default ./bench_out)
+//   REPRO_JOBS_PAR  worker threads for the sweep fan-out
+//                   (default hardware_concurrency())
 #pragma once
 
 #include <string>
@@ -13,6 +15,7 @@
 #include "core/report.hpp"
 #include "exp/experiment.hpp"
 #include "exp/figures.hpp"
+#include "exp/parallel.hpp"
 
 namespace utilrisk::bench {
 
@@ -20,6 +23,7 @@ struct BenchEnv {
   std::uint32_t jobs = 5000;
   bool fresh = false;
   std::string out_dir = "bench_out";
+  std::size_t workers = 0;  ///< 0 = REPRO_JOBS_PAR / hardware_concurrency
 };
 
 /// Reads the environment knobs (creating the output directory).
@@ -43,7 +47,9 @@ void emit_plot(const BenchEnv& env, const core::RiskPlot& plot,
 /// Lowercase, filesystem-safe slug of a title.
 [[nodiscard]] std::string slugify(const std::string& title);
 
-/// Runs (or loads from cache) the full Table VI sweep for one model/set.
+/// Runs (or loads from cache) the full Table VI sweep for one model/set,
+/// fanning cache misses out across env.workers threads and printing the
+/// wall-clock / events-processed counters.
 [[nodiscard]] exp::SweepResult run_sweep(const BenchEnv& env,
                                          economy::EconomicModel model,
                                          exp::ExperimentSet set,

@@ -1,11 +1,23 @@
 #include "exp/experiment.hpp"
 
+#include <chrono>
 #include <ostream>
 #include <sstream>
 
+#include "exp/parallel.hpp"
 #include "service/computing_service.hpp"
 
 namespace utilrisk::exp {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 const char* to_string(ExperimentSet set) {
   return set == ExperimentSet::A ? "A" : "B";
@@ -49,40 +61,112 @@ void write_sweep_csv(std::ostream& out, const SweepResult& sweep) {
   }
 }
 
-ExperimentRunner::ExperimentRunner(ExperimentConfig config, ResultStore* store)
-    : config_(std::move(config)),
-      builder_(config_.trace),
-      store_(store != nullptr ? store : &local_store_) {}
+bool bit_identical(const SweepResult& a, const SweepResult& b) {
+  if (a.scenario_names != b.scenario_names || a.policies != b.policies ||
+      a.raw.size() != b.raw.size() ||
+      a.separate.size() != b.separate.size()) {
+    return false;
+  }
+  for (std::size_t s = 0; s < a.raw.size(); ++s) {
+    for (std::size_t o = 0; o < a.raw[s].size(); ++o) {
+      if (a.raw[s][o] != b.raw[s][o]) return false;  // exact, per double
+    }
+    if (a.separate[s].size() != b.separate[s].size()) return false;
+    for (std::size_t p = 0; p < a.separate[s].size(); ++p) {
+      for (std::size_t o = 0; o < a.separate[s][p].size(); ++o) {
+        if (a.separate[s][p][o].performance !=
+                b.separate[s][p][o].performance ||
+            a.separate[s][p][o].volatility !=
+                b.separate[s][p][o].volatility) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
 
-core::ObjectiveValues ExperimentRunner::run_one(policy::PolicyKind policy,
-                                                const RunSettings& settings) {
-  const std::string key = config_.run_key(policy, settings);
-  if (auto cached = store_->lookup(key)) return *cached;
+void SweepStats::accumulate(const SweepStats& other) {
+  simulations += other.simulations;
+  events += other.events;
+  wall_seconds += other.wall_seconds;
+  cache_hits += other.cache_hits;
+  deduped += other.deduped;
+  runs.insert(runs.end(), other.runs.begin(), other.runs.end());
+}
 
+core::ObjectiveValues simulate_run(const ExperimentConfig& config,
+                                   const workload::WorkloadBuilder& builder,
+                                   policy::PolicyKind policy,
+                                   const RunSettings& settings,
+                                   std::uint64_t* events_out) {
   workload::QosConfig qos;
   qos.high_urgency_percent = settings.high_urgency_percent;
   qos.deadline = settings.deadline;
   qos.budget = settings.budget;
   qos.penalty = settings.penalty;
-  qos.base_price = config_.pricing.base_price;
-  qos.seed = config_.qos_seed;
+  qos.base_price = config.pricing.base_price;
+  qos.seed = config.qos_seed;
 
-  const std::vector<workload::Job> jobs = builder_.build(
+  const std::vector<workload::Job> jobs = builder.build(
       qos, settings.arrival_delay_factor, settings.inaccuracy_percent);
 
   policy::PolicyContext context;
-  context.machine = config_.machine;
-  context.model = config_.model;
-  context.pricing = config_.pricing;
-  context.first_reward = config_.first_reward;
+  context.machine = config.machine;
+  context.model = config.model;
+  context.pricing = config.pricing;
+  context.first_reward = config.first_reward;
   context.failure = settings.failure;
   context.recovery = settings.recovery;
 
   const service::SimulationReport report =
       service::simulate(jobs, service::factory_for(policy), context);
-  ++simulations_run_;
-  store_->insert(key, report.objectives);
+  if (events_out != nullptr) *events_out += report.events_dispatched;
   return report.objectives;
+}
+
+void reduce_scenario(SweepResult& result, std::size_t s,
+                     const core::NormalizationConfig& normalization) {
+  // Normalise per objective across policies, then reduce to separate
+  // risk (eqns 5-6) per policy.
+  const std::size_t policies = result.policies.size();
+  result.separate[s].resize(policies);
+  for (core::Objective objective : core::kAllObjectives) {
+    const auto o = static_cast<std::size_t>(objective);
+    const auto normalized =
+        core::normalize_objective(objective, result.raw[s][o], normalization);
+    for (std::size_t p = 0; p < policies; ++p) {
+      result.separate[s][p][o] = core::separate_risk(normalized[p]);
+    }
+  }
+}
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config, ResultStore* store,
+                                   std::size_t workers)
+    : config_(std::move(config)),
+      builder_(config_.trace),
+      store_(store != nullptr ? store : &local_store_),
+      workers_(workers == 0 ? default_worker_count() : workers) {}
+
+core::ObjectiveValues ExperimentRunner::run_one(policy::PolicyKind policy,
+                                                const RunSettings& settings) {
+  const std::string key = config_.run_key(policy, settings);
+  if (auto cached = store_->lookup(key)) {
+    ++stats_.cache_hits;
+    return *cached;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t events = 0;
+  const core::ObjectiveValues values =
+      simulate_run(config_, builder_, policy, settings, &events);
+  const double elapsed = seconds_since(start);
+  ++stats_.simulations;
+  stats_.events += events;
+  stats_.wall_seconds += elapsed;
+  stats_.runs.push_back({key, elapsed, events});
+  store_->insert(key, values);
+  return values;
 }
 
 SweepResult ExperimentRunner::run_sweep() {
@@ -98,6 +182,14 @@ SweepResult ExperimentRunner::run_sweep(
 SweepResult ExperimentRunner::run_scenarios(
     const std::vector<Scenario>& scenarios, const RunSettings& defaults,
     const std::vector<policy::PolicyKind>& policies) {
+  if (workers_ > 1) {
+    SweepStats stats;
+    SweepResult result = run_scenarios_parallel(
+        config_, *store_, scenarios, defaults, policies, workers_, &stats);
+    stats_.accumulate(stats);
+    return result;
+  }
+
   SweepResult result;
   result.policies = policies;
   result.scenario_names.reserve(scenarios.size());
@@ -124,17 +216,7 @@ SweepResult ExperimentRunner::run_scenarios(
       }
     }
 
-    // Normalise per objective across policies, then reduce to separate
-    // risk (eqns 5-6) per policy.
-    result.separate[s].resize(policies.size());
-    for (core::Objective objective : core::kAllObjectives) {
-      const auto o = static_cast<std::size_t>(objective);
-      const auto normalized = core::normalize_objective(
-          objective, result.raw[s][o], config_.normalization);
-      for (std::size_t p = 0; p < policies.size(); ++p) {
-        result.separate[s][p][o] = core::separate_risk(normalized[p]);
-      }
-    }
+    reduce_scenario(result, s, config_.normalization);
   }
   return result;
 }

@@ -71,11 +71,56 @@ struct SweepResult {
 /// analysis.
 void write_sweep_csv(std::ostream& out, const SweepResult& sweep);
 
+/// Exact (bit-level, no tolerance) equality of two sweeps — the parallel
+/// executor's contract is bit-identity with the serial path, so nothing
+/// weaker than == on every double is acceptable here.
+[[nodiscard]] bool bit_identical(const SweepResult& a, const SweepResult& b);
+
+/// Diagnostics of one executed (cache-missing) simulation run.
+struct RunTiming {
+  std::string key;           ///< the run's cache key
+  double wall_seconds = 0.0;
+  std::uint64_t events = 0;  ///< kernel events dispatched
+};
+
+/// Timing/dedup counters of a sweep, accumulated across sweeps of one
+/// runner. Shared by the serial and parallel executors.
+struct SweepStats {
+  std::size_t simulations = 0;   ///< runs actually executed (cache misses)
+  std::uint64_t events = 0;      ///< kernel events across those runs
+  double wall_seconds = 0.0;     ///< wall clock of the execution region
+  std::size_t cache_hits = 0;    ///< matrix cells served by the store
+  std::size_t deduped = 0;       ///< cells coalesced onto an in-flight run
+  std::vector<RunTiming> runs;   ///< per executed run, deterministic order
+
+  void accumulate(const SweepStats& other);
+};
+
+/// One uncached simulation under `config`: builds the run's job stream
+/// from `builder` (parallel workers own one each so the single-threaded
+/// kernel is untouched), simulates, and returns the objectives. If
+/// `events_out` is non-null it receives the events dispatched. Exposed so
+/// the serial and parallel paths share one definition of "a run".
+[[nodiscard]] core::ObjectiveValues simulate_run(
+    const ExperimentConfig& config, const workload::WorkloadBuilder& builder,
+    policy::PolicyKind policy, const RunSettings& settings,
+    std::uint64_t* events_out = nullptr);
+
+/// Normalises scenario `s`'s raw values and reduces them to separate risk
+/// (eqns 5-6), writing result.separate[s]. One definition shared by the
+/// serial and parallel paths keeps them bit-identical by construction.
+void reduce_scenario(SweepResult& result, std::size_t s,
+                     const core::NormalizationConfig& normalization);
+
 class ExperimentRunner {
  public:
   /// `store` (optional) memoises runs across runners and processes.
+  /// `workers` > 1 fans sweep cells out across a thread pool
+  /// (exp/parallel.hpp) with bit-identical results; 0 resolves to
+  /// REPRO_JOBS_PAR / hardware_concurrency(), 1 forces the serial path.
   explicit ExperimentRunner(ExperimentConfig config,
-                            ResultStore* store = nullptr);
+                            ResultStore* store = nullptr,
+                            std::size_t workers = 0);
 
   /// Raw objective values of a single run (cached).
   [[nodiscard]] core::ObjectiveValues run_one(policy::PolicyKind policy,
@@ -102,15 +147,23 @@ class ExperimentRunner {
 
   /// Total simulations actually executed (cache misses).
   [[nodiscard]] std::size_t simulations_run() const {
-    return simulations_run_;
+    return stats_.simulations;
   }
+
+  /// Worker threads used by run_sweep/run_scenarios (1 = serial).
+  [[nodiscard]] std::size_t worker_count() const { return workers_; }
+
+  /// Per-run wall-clock and events-processed counters, accumulated across
+  /// run_one/run_sweep/run_scenarios calls.
+  [[nodiscard]] const SweepStats& stats() const { return stats_; }
 
  private:
   ExperimentConfig config_;
   workload::WorkloadBuilder builder_;
   ResultStore* store_;
   ResultStore local_store_;  ///< used when no shared store is given
-  std::size_t simulations_run_ = 0;
+  std::size_t workers_;
+  SweepStats stats_;
 };
 
 }  // namespace utilrisk::exp

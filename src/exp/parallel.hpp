@@ -1,0 +1,121 @@
+// Parallel sweep executor: thread-pool fan-out of independent simulations.
+//
+// Every figure of the paper reduces hundreds of *independent*
+// single-threaded simulation runs (scenario x policy x value x seed), so
+// the experiment layer — not the kernel — is where parallelism lives
+// (DESIGN.md §4 "threading model"): each worker owns its own
+// WorkloadBuilder and simulator, RNG seeding stays per-run, and the
+// reduction happens in deterministic task order after a barrier, so the
+// parallel path is bit-identical to the serial one.
+//
+// The worker count resolves, in order: explicit argument >
+// REPRO_JOBS_PAR env var > std::thread::hardware_concurrency().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/scenario.hpp"
+
+namespace utilrisk::exp {
+
+/// REPRO_JOBS_PAR if set to a positive integer, else
+/// hardware_concurrency() (at least 1).
+[[nodiscard]] std::size_t default_worker_count();
+
+/// Fixed-size worker pool: std::jthread workers draining a mutex/condvar
+/// task queue. Tasks must not throw (the sweep executor catches and
+/// re-throws after its barrier); submit() never blocks on task execution.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers = default_worker_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for the next free worker.
+  void submit(std::function<void()> task);
+
+  /// Barrier: returns once the queue is drained and no task is running.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop(std::stop_token stop);
+
+  std::mutex mutex_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  std::vector<std::jthread> workers_;  ///< last member: joins first
+};
+
+/// Runs fn(0..count-1) across the pool (each index exactly once, dynamic
+/// load balancing) and returns after all complete. The first exception
+/// thrown by any index is re-thrown here.
+void parallel_for_index(ThreadPool& pool, std::size_t count,
+                        const std::function<void(std::size_t)>& fn);
+
+/// The parallel twin of ExperimentRunner::run_scenarios: enumerates the
+/// (scenario, policy, value) run matrix in deterministic order, dedupes
+/// tasks by cache key (an in-flight key is simulated exactly once, however
+/// many cells request it), fans the cache misses out across the pool's
+/// workers, then reduces after a barrier. `stats` (optional) receives the
+/// per-run timing counters.
+[[nodiscard]] SweepResult run_scenarios_parallel(
+    const ExperimentConfig& config, ResultStore& store,
+    const std::vector<Scenario>& scenarios, const RunSettings& defaults,
+    const std::vector<policy::PolicyKind>& policies, ThreadPool& pool,
+    SweepStats* stats = nullptr);
+
+/// Convenience overload: a throwaway pool of `workers` threads.
+[[nodiscard]] SweepResult run_scenarios_parallel(
+    const ExperimentConfig& config, ResultStore& store,
+    const std::vector<Scenario>& scenarios, const RunSettings& defaults,
+    const std::vector<policy::PolicyKind>& policies, std::size_t workers,
+    SweepStats* stats = nullptr);
+
+/// Drop-in parallel ExperimentRunner with a persistent pool: same sweep
+/// API, bit-identical results, `stats()` exposing wall-clock/events/dedup
+/// counters of the last sweep.
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(ExperimentConfig config, ResultStore* store = nullptr,
+                          std::size_t workers = 0 /* 0 = default */);
+
+  [[nodiscard]] SweepResult run_sweep();
+  [[nodiscard]] SweepResult run_sweep(
+      const std::vector<policy::PolicyKind>& policies);
+  [[nodiscard]] SweepResult run_scenarios(
+      const std::vector<Scenario>& scenarios, const RunSettings& defaults,
+      const std::vector<policy::PolicyKind>& policies);
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t worker_count() const {
+    return pool_.worker_count();
+  }
+  /// Simulations actually executed (cache misses) across all sweeps.
+  [[nodiscard]] std::size_t simulations_run() const {
+    return stats_.simulations;
+  }
+  /// Timing/dedup counters accumulated across all sweeps of this runner.
+  [[nodiscard]] const SweepStats& stats() const { return stats_; }
+
+ private:
+  ExperimentConfig config_;
+  ResultStore* store_;
+  ResultStore local_store_;  ///< used when no shared store is given
+  SweepStats stats_;
+  ThreadPool pool_;  ///< last member: joins before the store dies
+};
+
+}  // namespace utilrisk::exp

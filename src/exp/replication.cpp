@@ -1,8 +1,10 @@
 #include "exp/replication.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "exp/parallel.hpp"
 #include "service/computing_service.hpp"
 #include "workload/workload.hpp"
 
@@ -45,9 +47,13 @@ ReplicationSummary replicate(const ReplicationConfig& config) {
   if (config.seeds.size() < 2) {
     throw std::invalid_argument("replicate: need at least 2 seeds");
   }
-  std::vector<core::ObjectiveValues> replicates;
-  replicates.reserve(config.seeds.size());
-  for (std::uint64_t seed : config.seeds) {
+  // Each replicate builds its own trace, workload and simulator from its
+  // seed alone (no shared RNG streams), so the seeds fan out across the
+  // pool; results land at their seed's index, keeping the summary
+  // bit-identical to the serial order.
+  std::vector<core::ObjectiveValues> replicates(config.seeds.size());
+  const auto run_seed = [&config, &replicates](std::size_t i) {
+    const std::uint64_t seed = config.seeds[i];
     workload::SyntheticSdscConfig trace = config.trace;
     trace.seed = seed;
     workload::QosConfig qos;
@@ -60,8 +66,21 @@ ReplicationSummary replicate(const ReplicationConfig& config) {
     const auto jobs =
         builder.build(qos, config.settings.arrival_delay_factor,
                       config.settings.inaccuracy_percent);
-    const auto report = service::simulate(jobs, config.policy, config.model);
-    replicates.push_back(report.objectives);
+    policy::PolicyContext context;
+    context.model = config.model;
+    context.failure = config.settings.failure;
+    context.recovery = config.settings.recovery;
+    const auto report = service::simulate(
+        jobs, service::factory_for(config.policy), context);
+    replicates[i] = report.objectives;
+  };
+  const std::size_t workers =
+      config.workers == 0 ? default_worker_count() : config.workers;
+  if (workers > 1 && config.seeds.size() > 1) {
+    ThreadPool pool(std::min(workers, config.seeds.size()));
+    parallel_for_index(pool, config.seeds.size(), run_seed);
+  } else {
+    for (std::size_t i = 0; i < config.seeds.size(); ++i) run_seed(i);
   }
   return summarize_replicates(std::move(replicates));
 }

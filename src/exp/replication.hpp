@@ -5,6 +5,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -51,10 +52,16 @@ struct ReplicationConfig {
   RunSettings settings;
   /// Independent seeds, one replicate each (>= 2 for an interval).
   std::vector<std::uint64_t> seeds = {42, 1001, 2002, 3003, 4004};
+  /// Worker threads fanning the seeds out (exp/parallel.hpp); 0 resolves
+  /// to REPRO_JOBS_PAR / hardware_concurrency(), 1 forces serial.
+  std::size_t workers = 0;
 };
 
 /// Runs one simulation per seed (trace seed = s, QoS seed = s * 31 + 7)
-/// and reduces. Throws std::invalid_argument on fewer than 2 seeds.
+/// and reduces. Replicates are fully independent (each worker owns its
+/// trace, builder and simulator), so they fan out across config.workers
+/// threads; the replicate order — and thus the summary — is identical to
+/// the serial path. Throws std::invalid_argument on fewer than 2 seeds.
 [[nodiscard]] ReplicationSummary replicate(const ReplicationConfig& config);
 
 /// Reduces externally collected replicate values (exposed for tests and

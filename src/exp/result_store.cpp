@@ -1,6 +1,7 @@
 #include "exp/result_store.hpp"
 
-#include <fstream>
+#include <iostream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -15,31 +16,52 @@ constexpr char kSeparator = '\t';
 
 }  // namespace
 
-ResultStore::ResultStore(std::string path) : path_(std::move(path)) { load(); }
+ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
+  load();
+  append_.open(path_, std::ios::app);
+  if (!append_) {
+    throw std::runtime_error("ResultStore: cannot append to " + path_);
+  }
+  append_.precision(17);
+}
 
 void ResultStore::load() {
   std::ifstream in(path_);
   if (!in) return;  // first use: no cache yet
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
     const auto tab = line.find(kSeparator);
-    if (tab == std::string::npos) continue;
-    std::istringstream values(line.substr(tab + 1));
-    core::ObjectiveValues v;
-    if (values >> v.wait >> v.sla >> v.reliability >> v.profitability) {
-      entries_[line.substr(0, tab)] = v;
+    bool parsed = false;
+    if (tab != std::string::npos) {
+      std::istringstream values(line.substr(tab + 1));
+      core::ObjectiveValues v;
+      if (values >> v.wait >> v.sla >> v.reliability >> v.profitability) {
+        entries_[line.substr(0, tab)] = v;
+        parsed = true;
+      }
+    }
+    if (!parsed) {
+      // Torn tail of a crashed run or a manual edit: drop the line rather
+      // than silently mis-parsing it; the run is simply re-simulated.
+      ++malformed_lines_skipped_;
+      std::cerr << "[ResultStore] " << path_ << ':' << line_no
+                << ": skipping malformed cache line\n";
     }
   }
 }
 
 std::optional<core::ObjectiveValues> ResultStore::lookup(
     const std::string& key) const {
+  std::shared_lock lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second;
 }
 
@@ -49,16 +71,18 @@ void ResultStore::insert(const std::string& key,
       key.find('\n') != std::string::npos) {
     throw std::invalid_argument("ResultStore::insert: key contains separator");
   }
+  std::unique_lock lock(mutex_);
   const auto [it, inserted] = entries_.emplace(key, values);
   if (!inserted) return;  // idempotent
   if (path_.empty()) return;
-  std::ofstream out(path_, std::ios::app);
-  if (!out) {
+  // Single-writer append under the exclusive lock; flush per record so a
+  // crash cannot leave an acknowledged insert only half on disk.
+  append_ << key << kSeparator << values.wait << ' ' << values.sla << ' '
+          << values.reliability << ' ' << values.profitability << '\n'
+          << std::flush;
+  if (!append_) {
     throw std::runtime_error("ResultStore: cannot append to " + path_);
   }
-  out.precision(17);
-  out << key << kSeparator << values.wait << ' ' << values.sla << ' '
-      << values.reliability << ' ' << values.profitability << '\n';
 }
 
 }  // namespace utilrisk::exp

@@ -1,14 +1,24 @@
 // Memoisation of simulation runs.
 //
-// Figures 3-5 (and 6-8) share one policies x scenarios x values sweep, and
+// Figures 3-8 (and 6-8) share one policies x scenarios x values sweep, and
 // within a sweep the all-defaults run recurs in most scenarios. The store
 // caches raw objective values keyed by the complete run configuration and
 // optionally persists them to a CSV file so the per-figure bench binaries
 // reuse each other's simulations.
+//
+// Thread safety: lookup/insert/size may be called concurrently (the
+// parallel sweep executor in exp/parallel.hpp shares one store across
+// workers). Reads take a shared lock; inserts take an exclusive lock and
+// perform the single-writer append + flush to the backing file while
+// holding it, so a crash can lose at most the record being written and
+// never interleaves two records.
 #pragma once
 
+#include <atomic>
+#include <fstream>
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 
 #include "core/objectives.hpp"
@@ -21,7 +31,9 @@ class ResultStore {
   ResultStore() = default;
 
   /// Backed by `path`: existing entries are loaded eagerly (ignored if the
-  /// file does not exist); every insert appends to the file.
+  /// file does not exist; malformed lines are skipped with a warning);
+  /// every insert appends to the file and flushes, so a crash mid-run
+  /// cannot tear an already-acknowledged record.
   explicit ResultStore(std::string path);
 
   [[nodiscard]] std::optional<core::ObjectiveValues> lookup(
@@ -29,17 +41,32 @@ class ResultStore {
 
   void insert(const std::string& key, const core::ObjectiveValues& values);
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] std::size_t hits() const { return hits_; }
-  [[nodiscard]] std::size_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock lock(mutex_);
+    return entries_.size();
+  }
+  [[nodiscard]] std::size_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Lines of the backing file dropped by load() because they failed to
+  /// parse (torn tail of a crashed run, manual edits).
+  [[nodiscard]] std::size_t malformed_lines_skipped() const {
+    return malformed_lines_skipped_;
+  }
 
  private:
   void load();
 
-  std::string path_;  ///< empty = memory-only
+  std::string path_;      ///< empty = memory-only
+  std::ofstream append_;  ///< held open across inserts (single writer)
   std::map<std::string, core::ObjectiveValues> entries_;
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
+  mutable std::shared_mutex mutex_;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+  std::size_t malformed_lines_skipped_ = 0;
 };
 
 }  // namespace utilrisk::exp

@@ -21,17 +21,17 @@ using EventSequence = std::uint64_t;
 
 namespace detail {
 
-/// Heap node. Shared with EventHandle so cancellation is O(1): the node is
-/// tombstoned in place and skipped when it reaches the top of the heap.
+/// Heap node, owned exclusively by the queue's slab pool. Cancellation is
+/// O(1): the node is tombstoned in place and skipped when it reaches the
+/// top of the heap. Slots are recycled after pop; `generation` is bumped
+/// on every recycle so a stale EventHandle can tell its event already
+/// fired. Single-threaded by kernel contract.
 struct EventRecord {
   SimTime time = 0.0;
   EventSequence seq = 0;
   EventAction action;
   bool cancelled = false;
-  /// Points at the owning queue's live-event counter while the record sits
-  /// in the heap; cleared when popped. Lets cancel() keep size() exact
-  /// without a queue back-reference. Single-threaded by kernel contract.
-  std::size_t* live_hook = nullptr;
+  std::uint64_t generation = 0;
 };
 
 }  // namespace detail
@@ -39,6 +39,11 @@ struct EventRecord {
 /// Opaque handle to a scheduled event, usable to cancel it before it fires.
 /// Default-constructed handles are inert. Handles do not keep the event
 /// alive past execution; cancelling an already-fired event is a no-op.
+///
+/// Validity is checked in two layers: a queue-lifetime token (so a handle
+/// outliving its queue degrades to inert instead of dangling) and the
+/// record's generation counter (so a recycled slot is never mistaken for
+/// the original event).
 class EventHandle {
  public:
   EventHandle() = default;
@@ -46,35 +51,41 @@ class EventHandle {
   /// Cancels the event if it has not fired yet. Returns true if this call
   /// performed the cancellation.
   bool cancel() {
-    auto rec = record_.lock();
-    if (!rec || rec->cancelled) return false;
-    rec->cancelled = true;
-    rec->action = nullptr;  // release captured state eagerly
-    if (rec->live_hook != nullptr) {
-      --*rec->live_hook;
-      rec->live_hook = nullptr;
+    auto live = live_.lock();
+    if (!live) return false;
+    if (record_ == nullptr || record_->generation != generation_ ||
+        record_->cancelled) {
+      return false;
     }
+    record_->cancelled = true;
+    record_->action = nullptr;  // release captured state eagerly
+    --*live;
     return true;
   }
 
   /// True if the handle still refers to a live (pending, uncancelled) event.
   [[nodiscard]] bool pending() const {
-    auto rec = record_.lock();
-    return rec && !rec->cancelled;
+    auto live = live_.lock();
+    return live && record_ != nullptr &&
+           record_->generation == generation_ && !record_->cancelled;
   }
 
   /// Scheduled firing time, or kTimeNever if no longer pending.
   [[nodiscard]] SimTime time() const {
-    auto rec = record_.lock();
-    return (rec && !rec->cancelled) ? rec->time : kTimeNever;
+    return pending() ? record_->time : kTimeNever;
   }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::weak_ptr<detail::EventRecord> rec)
-      : record_(std::move(rec)) {}
+  EventHandle(std::weak_ptr<std::size_t> live, detail::EventRecord* record,
+              std::uint64_t generation)
+      : live_(std::move(live)), record_(record), generation_(generation) {}
 
-  std::weak_ptr<detail::EventRecord> record_;
+  /// The owning queue's live-event counter; expires with the queue, which
+  /// also guards `record_` (the slab dies with the queue).
+  std::weak_ptr<std::size_t> live_;
+  detail::EventRecord* record_ = nullptr;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace utilrisk::sim

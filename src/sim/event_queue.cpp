@@ -7,18 +7,33 @@
 
 namespace utilrisk::sim {
 
-EventQueue::EventQueue() = default;
+EventQueue::EventQueue() : live_(std::make_shared<std::size_t>(0)) {}
 
-EventQueue::~EventQueue() {
-  // Detach live hooks so a stray EventHandle outliving the queue cannot
-  // write through a dangling counter pointer.
-  clear();
-}
+EventQueue::~EventQueue() = default;
+// Handles hold only a weak_ptr to live_ plus a generation stamp, so the
+// queue (and its record slab) can die with handles outstanding: their
+// weak_ptr expires and they degrade to inert.
 
 bool EventQueue::before(const detail::EventRecord& a,
                         const detail::EventRecord& b) {
   if (a.time != b.time) return a.time < b.time;
   return a.seq < b.seq;
+}
+
+detail::EventRecord* EventQueue::acquire() {
+  if (!free_.empty()) {
+    detail::EventRecord* rec = free_.back();
+    free_.pop_back();
+    return rec;
+  }
+  return &pool_.emplace_back();
+}
+
+void EventQueue::recycle(detail::EventRecord* rec) {
+  ++rec->generation;  // invalidate outstanding handles to this slot
+  rec->action = nullptr;
+  rec->cancelled = false;
+  free_.push_back(rec);
 }
 
 EventHandle EventQueue::push(SimTime time, EventAction action) {
@@ -28,62 +43,65 @@ EventHandle EventQueue::push(SimTime time, EventAction action) {
   if (!action) {
     throw std::invalid_argument("EventQueue::push: empty action");
   }
-  auto rec = std::make_shared<detail::EventRecord>();
+  detail::EventRecord* rec = acquire();
   rec->time = time;
   rec->seq = next_seq_++;
   rec->action = std::move(action);
-  rec->live_hook = &live_;
-  EventHandle handle{std::weak_ptr<detail::EventRecord>(rec)};
-  heap_.push_back(std::move(rec));
+  rec->cancelled = false;
+  EventHandle handle{std::weak_ptr<std::size_t>(live_), rec, rec->generation};
+  heap_.push_back(rec);
   sift_up(heap_.size() - 1);
-  ++live_;
+  ++*live_;
   ++total_pushed_;
   return handle;
 }
 
 void EventQueue::drop_dead_top() {
   while (!heap_.empty() && heap_.front()->cancelled) {
+    detail::EventRecord* dead = heap_.front();
     std::swap(heap_.front(), heap_.back());
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
+    recycle(dead);
   }
 }
 
 SimTime EventQueue::next_time() const {
-  if (live_ == 0) return kTimeNever;
+  if (*live_ == 0) return kTimeNever;
   if (!heap_.front()->cancelled) return heap_.front()->time;
   // Front is a tombstone (purged on the next pop); scan for the earliest
   // live record. Rare path: only hit between a cancel of the head event
   // and the next pop.
   SimTime best = kTimeNever;
-  for (const auto& rec : heap_) {
+  for (const detail::EventRecord* rec : heap_) {
     if (!rec->cancelled && rec->time < best) best = rec->time;
   }
   return best;
 }
 
-std::shared_ptr<detail::EventRecord> EventQueue::pop() {
+std::optional<PoppedEvent> EventQueue::pop() {
   drop_dead_top();
   if (heap_.empty()) {
-    assert(live_ == 0);
-    return nullptr;
+    assert(*live_ == 0);
+    return std::nullopt;
   }
-  auto top = heap_.front();
+  detail::EventRecord* top = heap_.front();
   std::swap(heap_.front(), heap_.back());
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
   assert(!top->cancelled);
-  assert(live_ > 0);
-  --live_;
-  top->live_hook = nullptr;
+  assert(*live_ > 0);
+  --*live_;
+  PoppedEvent popped{top->time, top->seq, std::move(top->action)};
+  recycle(top);
   drop_dead_top();
-  return top;
+  return popped;
 }
 
 void EventQueue::clear() {
-  for (auto& rec : heap_) rec->live_hook = nullptr;
+  for (detail::EventRecord* rec : heap_) recycle(rec);
   heap_.clear();
-  live_ = 0;
+  *live_ = 0;
 }
 
 void EventQueue::sift_up(std::size_t i) {

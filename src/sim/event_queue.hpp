@@ -3,7 +3,9 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sim/event.hpp"
@@ -11,9 +13,22 @@
 
 namespace utilrisk::sim {
 
+/// An event removed from the queue, ready to dispatch.
+struct PoppedEvent {
+  SimTime time = 0.0;
+  EventSequence seq = 0;
+  EventAction action;
+};
+
 /// Min-heap of pending events. Not thread-safe: the kernel is
 /// single-threaded by design (deterministic replay is a core requirement
-/// for the experiment cache; see DESIGN.md §4).
+/// for the experiment cache; see DESIGN.md §4). Parallelism lives one
+/// layer up, in exp/parallel.hpp, with one kernel per worker.
+///
+/// Records live in a slab pool owned by the queue and are recycled after
+/// they fire, so the steady-state hot path performs no per-event heap
+/// allocation (the previous design paid one shared_ptr control block per
+/// push; see bench_micro_kernel's BM_EventQueuePushPop).
 class EventQueue {
  public:
   EventQueue();
@@ -26,17 +41,17 @@ class EventQueue {
   EventHandle push(SimTime time, EventAction action);
 
   /// True if no live (uncancelled) events remain.
-  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] bool empty() const { return *live_ == 0; }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::size_t size() const { return *live_; }
 
   /// Timestamp of the earliest live event; kTimeNever when empty.
   [[nodiscard]] SimTime next_time() const;
 
-  /// Removes and returns the earliest live event record, or nullptr when
-  /// empty. Tombstoned entries encountered on the way are discarded.
-  std::shared_ptr<detail::EventRecord> pop();
+  /// Removes and returns the earliest live event, or nullopt when empty.
+  /// Tombstoned entries encountered on the way are discarded.
+  std::optional<PoppedEvent> pop();
 
   /// Drops every pending event.
   void clear();
@@ -48,11 +63,17 @@ class EventQueue {
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
   void drop_dead_top();
+  void recycle(detail::EventRecord* rec);
+  [[nodiscard]] detail::EventRecord* acquire();
   [[nodiscard]] static bool before(const detail::EventRecord& a,
                                    const detail::EventRecord& b);
 
-  std::vector<std::shared_ptr<detail::EventRecord>> heap_;
-  std::size_t live_ = 0;
+  std::deque<detail::EventRecord> pool_;        ///< stable slab storage
+  std::vector<detail::EventRecord*> free_;      ///< recycled slots
+  std::vector<detail::EventRecord*> heap_;
+  /// Live-event counter, shared (weakly) with handles: expiry doubles as
+  /// the "queue still alive" token for handles that outlive the queue.
+  std::shared_ptr<std::size_t> live_;
   EventSequence next_seq_ = 0;
   std::uint64_t total_pushed_ = 0;
 };

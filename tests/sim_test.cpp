@@ -89,6 +89,21 @@ TEST(EventQueueTest, HandleOutlivesQueueSafely) {
   EXPECT_FALSE(handle.cancel());
 }
 
+TEST(EventQueueTest, StaleHandleIgnoresRecycledSlot) {
+  // After an event is popped its slot returns to the free list; a later
+  // push reuses it with a bumped generation, so the old handle must see
+  // neither the new event's time nor be able to cancel it.
+  EventQueue queue;
+  auto stale = queue.push(1.0, [] {});
+  auto rec = queue.pop();
+  ASSERT_TRUE(rec.has_value());
+  auto fresh = queue.push(9.0, [] {});
+  EXPECT_FALSE(stale.pending());
+  EXPECT_FALSE(stale.cancel()) << "stale handle must not cancel the reused slot";
+  EXPECT_TRUE(fresh.pending());
+  EXPECT_DOUBLE_EQ(queue.next_time(), 9.0);
+}
+
 TEST(EventQueueTest, StressManyRandomEvents) {
   EventQueue queue;
   Rng rng(7);
