@@ -176,6 +176,26 @@ std::string ArgParser::usage() const {
   return out.str();
 }
 
+std::vector<std::pair<std::string, std::string>>
+ArgParser::effective_options() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(options_.size() + positionals_.size());
+  for (const OptionSpec& spec : positionals_) {
+    if (const auto it = positional_values_.find(spec.name);
+        it != positional_values_.end()) {
+      out.emplace_back(spec.name, it->second);
+    }
+  }
+  for (const OptionSpec& spec : options_) {
+    if (spec.value_name.empty()) {
+      out.emplace_back(spec.name, get_flag(spec.name) ? "true" : "false");
+    } else {
+      out.emplace_back(spec.name, get(spec.name));
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> split_csv(const std::string& text) {
   std::vector<std::string> out;
   std::string token;

@@ -9,6 +9,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace utilrisk::cli {
@@ -64,6 +65,13 @@ class ArgParser {
 
   /// Usage text for --help and error reporting.
   [[nodiscard]] std::string usage() const;
+
+  /// Every declared option/flag/positional with the value this run
+  /// actually used (parsed, or the default; flags as "true"/"false";
+  /// absent optional positionals are skipped). Declaration order — feeds
+  /// the `config` section of run manifests.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+  effective_options() const;
 
  private:
   const OptionSpec* find_spec(const std::string& name) const;

@@ -1,0 +1,90 @@
+// Subcommand registry for the utilrisk CLI.
+//
+// Each subcommand declares its ArgParser options, help summary and handler
+// in one Command table entry; the registry owns the shared machinery that
+// used to be copy-pasted per subcommand in tools/utilrisk_cli.cpp:
+//
+//  - the shared flags --log-level, --manifest-dir and --workers are
+//    declared once (in add_shared_options) instead of per command;
+//  - every invocation of a manifest-emitting command (simulate, sweep,
+//    advise) gets an enabled MetricsRegistry and a RunManifest pre-filled
+//    with command/argv/git-describe/start-time/effective-config, and the
+//    registry writes the manifest (with a final metric snapshot and the
+//    wall time) after the handler returns;
+//  - dispatch, global usage, --help and error reporting live in run().
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "sim/logger.hpp"
+
+namespace utilrisk::cli {
+
+/// Everything a subcommand handler receives.
+struct CommandContext {
+  const ArgParser& args;
+  /// Enabled registry for this invocation; its snapshot lands in the
+  /// manifest after the handler returns.
+  obs::MetricsRegistry& metrics;
+  /// Pre-filled manifest; handlers append their seeds and result stats.
+  obs::RunManifest& manifest;
+  /// Resolved --workers (only for commands declared with uses_workers).
+  std::size_t workers = 0;
+  /// Resolved --log-level.
+  sim::LogLevel log_level = sim::LogLevel::Off;
+};
+
+/// One subcommand: declaration + behaviour in a single table entry.
+struct Command {
+  std::string name;
+  std::string summary;
+  /// Declares the command-specific options on the parser (the registry
+  /// appends the shared ones afterwards).
+  std::function<void(ArgParser&)> declare;
+  std::function<int(CommandContext&)> handler;
+  /// Declare the shared --workers option (parallel fan-out commands).
+  bool uses_workers = false;
+  /// Emit a run manifest (--manifest-dir; empty value disables).
+  bool emits_manifest = false;
+};
+
+class CommandRegistry {
+ public:
+  /// `program` and `description` feed the global usage text.
+  CommandRegistry(std::string program, std::string description);
+
+  /// Registers a subcommand (order = usage listing order).
+  void add(Command command);
+
+  [[nodiscard]] const Command* find(const std::string& name) const;
+  [[nodiscard]] const std::vector<Command>& commands() const {
+    return commands_;
+  }
+
+  /// Global usage text listing every registered subcommand.
+  [[nodiscard]] std::string usage() const;
+
+  /// Full dispatch: parses argv, builds the command's parser (specific +
+  /// shared options), handles --help/unknown-command/errors, runs the
+  /// handler and writes the manifest. Returns the process exit code.
+  int run(int argc, char** argv) const;
+
+ private:
+  int run_command(const Command& command,
+                  const std::vector<std::string>& args) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Command> commands_;
+};
+
+/// Declares the cross-command options. Called by the registry after the
+/// command's own declare(); exposed for tests.
+void add_shared_options(ArgParser& parser, const Command& command);
+
+}  // namespace utilrisk::cli

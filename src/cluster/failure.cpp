@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "sim/trace_log.hpp"
+#include "sim/logger.hpp"
 
 namespace utilrisk::cluster {
 
@@ -156,7 +156,7 @@ void FailureInjector::fail_group(NodeId primary) {
     node.pending.cancel();  // secondaries' own TTF events die with them
     node.down = true;
     ++failures_;
-    UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "node " << id
+    UTILRISK_ELOG(sim::LogLevel::Debug, "node " << id
                                                               << " down");
     if (on_down_) on_down_(id);
   }
@@ -172,7 +172,7 @@ void FailureInjector::repair_group(const std::vector<NodeId>& group) {
     NodeRuntime& node = nodes_[id];
     node.down = false;
     ++repairs_;
-    UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "node " << id
+    UTILRISK_ELOG(sim::LogLevel::Debug, "node " << id
                                                               << " up");
     if (on_up_) on_up_(id);
     if (armed_) schedule_failure(id);

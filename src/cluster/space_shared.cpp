@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "sim/trace_log.hpp"
+#include "sim/logger.hpp"
 
 namespace utilrisk::cluster {
 
@@ -44,8 +44,7 @@ void SpaceSharedCluster::start(const workload::Job& job,
   }
   const workload::JobId id = job.id;
   auto [it, inserted] = running_.emplace(id, std::move(entry));
-  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
-               "start job " << id << " procs=" << job.procs
+  UTILRISK_ELOG(sim::LogLevel::Debug, "start job " << id << " procs=" << job.procs
                             << " run=" << job.actual_runtime);
   it->second.completion_event =
       after(job.actual_runtime, [this, id] { complete(id); });
@@ -69,7 +68,7 @@ bool SpaceSharedCluster::cancel(workload::JobId id) {
   delivered_proc_seconds_ +=
       (now() - it->second.start_time) *
       static_cast<double>(it->second.job.procs);
-  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "cancel job " << id);
+  UTILRISK_ELOG(sim::LogLevel::Debug, "cancel job " << id);
   running_.erase(it);
   return true;
 }
@@ -101,8 +100,7 @@ std::optional<FailureKill> SpaceSharedCluster::node_down(NodeId id) {
   release_nodes(it->second);
   delivered_proc_seconds_ +=
       kill.completed_work * static_cast<double>(kill.job.procs);
-  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
-               "node " << id << " down kills job " << kill.job.id);
+  UTILRISK_ELOG(sim::LogLevel::Debug, "node " << id << " down kills job " << kill.job.id);
   running_.erase(it);
   return kill;
 }
@@ -137,7 +135,7 @@ void SpaceSharedCluster::complete(workload::JobId id) {
   release_nodes(entry);
   delivered_proc_seconds_ +=
       entry.job.actual_runtime * static_cast<double>(entry.job.procs);
-  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "finish job " << id);
+  UTILRISK_ELOG(sim::LogLevel::Debug, "finish job " << id);
   if (entry.on_complete) entry.on_complete(id, now());
 }
 

@@ -5,7 +5,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
-#include "sim/trace_log.hpp"
+#include "sim/logger.hpp"
 
 namespace utilrisk::cluster {
 
@@ -93,8 +93,7 @@ void TimeSharedCluster::start(const workload::Job& job,
   job_state.on_complete = std::move(on_complete);
   jobs_.emplace(job.id, std::move(job_state));
 
-  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
-               "start job " << job.id << " share=" << share << " on "
+  UTILRISK_ELOG(sim::LogLevel::Debug, "start job " << job.id << " share=" << share << " on "
                             << nodes.size() << " nodes");
 
   for (NodeId id : nodes) {
@@ -170,7 +169,7 @@ void TimeSharedCluster::task_finished(workload::JobId job) {
   if (--it->second.remaining_tasks == 0) {
     CompletionCallback callback = std::move(it->second.on_complete);
     jobs_.erase(it);
-    UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "finish job " << job);
+    UTILRISK_ELOG(sim::LogLevel::Debug, "finish job " << job);
     if (callback) callback(job, now());
   }
 }
@@ -211,7 +210,7 @@ bool TimeSharedCluster::cancel(workload::JobId id) {
   if (it == jobs_.end()) return false;
   jobs_.erase(it);
   remove_job_tasks(id);
-  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(), "cancel job " << id);
+  UTILRISK_ELOG(sim::LogLevel::Debug, "cancel job " << id);
   return true;
 }
 
@@ -241,8 +240,7 @@ std::vector<FailureKill> TimeSharedCluster::node_down(NodeId id) {
     kill.job = it->second.job;
     jobs_.erase(it);
     kill.completed_work = remove_job_tasks(victim);
-    UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
-                 "node " << id << " down kills job " << victim);
+    UTILRISK_ELOG(sim::LogLevel::Debug, "node " << id << " down kills job " << victim);
     kills.push_back(kill);
   }
   return kills;

@@ -99,7 +99,8 @@ core::ObjectiveValues simulate_run(const ExperimentConfig& config,
                                    const workload::WorkloadBuilder& builder,
                                    policy::PolicyKind policy,
                                    const RunSettings& settings,
-                                   std::uint64_t* events_out) {
+                                   std::uint64_t* events_out,
+                                   obs::MetricsRegistry* metrics) {
   workload::QosConfig qos;
   qos.high_urgency_percent = settings.high_urgency_percent;
   qos.deadline = settings.deadline;
@@ -118,6 +119,7 @@ core::ObjectiveValues simulate_run(const ExperimentConfig& config,
   context.first_reward = config.first_reward;
   context.failure = settings.failure;
   context.recovery = settings.recovery;
+  context.metrics = metrics;
 
   const service::SimulationReport report =
       service::simulate(jobs, service::factory_for(policy), context);

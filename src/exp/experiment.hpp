@@ -20,6 +20,10 @@
 #include "policy/factory.hpp"
 #include "workload/workload.hpp"
 
+namespace utilrisk::obs {
+class MetricsRegistry;
+}  // namespace utilrisk::obs
+
 namespace utilrisk::exp {
 
 /// The two experiment sets (§5.4): identical except for the default
@@ -99,12 +103,15 @@ struct SweepStats {
 /// One uncached simulation under `config`: builds the run's job stream
 /// from `builder` (parallel workers own one each so the single-threaded
 /// kernel is untouched), simulates, and returns the objectives. If
-/// `events_out` is non-null it receives the events dispatched. Exposed so
-/// the serial and parallel paths share one definition of "a run".
+/// `events_out` is non-null it receives the events dispatched. A non-null
+/// `metrics` registry is injected into the run (kernel `sim.*` and
+/// `service.*` instruments). Exposed so the serial and parallel paths
+/// share one definition of "a run".
 [[nodiscard]] core::ObjectiveValues simulate_run(
     const ExperimentConfig& config, const workload::WorkloadBuilder& builder,
     policy::PolicyKind policy, const RunSettings& settings,
-    std::uint64_t* events_out = nullptr);
+    std::uint64_t* events_out = nullptr,
+    obs::MetricsRegistry* metrics = nullptr);
 
 /// Normalises scenario `s`'s raw values and reduces them to separate risk
 /// (eqns 5-6), writing result.separate[s]. One definition shared by the

@@ -4,9 +4,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "workload/workload.hpp"
 
 namespace utilrisk::exp {
@@ -123,7 +126,7 @@ SweepResult run_scenarios_parallel(
     const ExperimentConfig& config, ResultStore& store,
     const std::vector<Scenario>& scenarios, const RunSettings& defaults,
     const std::vector<policy::PolicyKind>& policies, ThreadPool& pool,
-    SweepStats* stats) {
+    SweepStats* stats, const SweepHooks& hooks) {
   SweepResult result;
   result.policies = policies;
   result.scenario_names.reserve(scenarios.size());
@@ -183,14 +186,37 @@ SweepResult run_scenarios_parallel(
   std::vector<core::ObjectiveValues> job_values(jobs.size());
   std::vector<RunTiming> timings(jobs.size());
   std::atomic<std::uint64_t> total_events{0};
+  // Executor instruments (all null when no enabled registry is hooked):
+  // run/queue-wait histograms are shared across workers, the run counter
+  // is per worker shard so load imbalance is visible in the snapshot.
+  obs::MetricsRegistry* registry = hooks.metrics;
+  obs::Histogram* run_wall_hist = obs::histogram_or_null(
+      registry, "exp.run_wall_seconds", obs::default_time_buckets());
+  obs::Histogram* queue_wait_hist = obs::histogram_or_null(
+      registry, "exp.task_queue_wait_seconds", obs::default_time_buckets());
+  if (obs::Counter* c = obs::counter_or_null(registry, "exp.cache_hits")) {
+    c->inc(local.cache_hits);
+  }
+  if (obs::Counter* c = obs::counter_or_null(registry, "exp.deduped")) {
+    c->inc(local.deduped);
+  }
+  if (obs::Counter* c = obs::counter_or_null(registry, "exp.cache_misses")) {
+    c->inc(jobs.size());
+  }
   const auto region_start = std::chrono::steady_clock::now();
   if (!jobs.empty()) {
+    if (hooks.progress != nullptr) {
+      hooks.progress->begin(jobs.size(), pool.worker_count(),
+                            [&pool] { return pool.active_count(); });
+    }
     std::atomic<std::size_t> next{0};
     std::mutex error_mutex;
     std::exception_ptr first_error;
     const std::size_t shards = std::min(pool.worker_count(), jobs.size());
     for (std::size_t shard = 0; shard < shards; ++shard) {
-      pool.submit([&] {
+      obs::Counter* shard_runs = obs::counter_or_null(
+          registry, "exp.worker." + std::to_string(shard) + ".runs");
+      pool.submit([&, shard_runs] {
         try {
           const workload::WorkloadBuilder builder(config.trace);
           for (;;) {
@@ -198,12 +224,24 @@ SweepResult run_scenarios_parallel(
                 next.fetch_add(1, std::memory_order_relaxed);
             if (j >= jobs.size()) return;
             const auto start = std::chrono::steady_clock::now();
+            if (queue_wait_hist != nullptr) {
+              // Time this task spent enqueued before a worker picked it
+              // up, approximated from the fan-out instant.
+              queue_wait_hist->observe(
+                  std::chrono::duration<double>(start - region_start)
+                      .count());
+            }
             std::uint64_t events = 0;
             job_values[j] = simulate_run(config, builder, jobs[j].policy,
-                                         jobs[j].settings, &events);
+                                         jobs[j].settings, &events, registry);
             timings[j] = {jobs[j].key, seconds_since(start), events};
             total_events.fetch_add(events, std::memory_order_relaxed);
             store.insert(jobs[j].key, job_values[j]);
+            if (run_wall_hist != nullptr) {
+              run_wall_hist->observe(timings[j].wall_seconds);
+            }
+            if (shard_runs != nullptr) shard_runs->inc();
+            if (hooks.progress != nullptr) hooks.progress->note_done();
           }
         } catch (...) {
           std::lock_guard lock(error_mutex);
@@ -212,6 +250,8 @@ SweepResult run_scenarios_parallel(
       });
     }
     pool.wait_idle();  // barrier: reduction must see every result
+    // The reporter thread samples pool state; stop it before unwinding.
+    if (hooks.progress != nullptr) hooks.progress->end();
     if (first_error) std::rethrow_exception(first_error);
   }
   local.simulations = jobs.size();
@@ -248,10 +288,10 @@ SweepResult run_scenarios_parallel(
     const ExperimentConfig& config, ResultStore& store,
     const std::vector<Scenario>& scenarios, const RunSettings& defaults,
     const std::vector<policy::PolicyKind>& policies, std::size_t workers,
-    SweepStats* stats) {
+    SweepStats* stats, const SweepHooks& hooks) {
   ThreadPool pool(workers == 0 ? default_worker_count() : workers);
   return run_scenarios_parallel(config, store, scenarios, defaults, policies,
-                                pool, stats);
+                                pool, stats, hooks);
 }
 
 // ---------------------------------------------------------- ParallelRunner
@@ -276,7 +316,7 @@ SweepResult ParallelRunner::run_scenarios(
     const std::vector<Scenario>& scenarios, const RunSettings& defaults,
     const std::vector<policy::PolicyKind>& policies) {
   return run_scenarios_parallel(config_, *store_, scenarios, defaults,
-                                policies, pool_, &stats_);
+                                policies, pool_, &stats_, hooks_);
 }
 
 }  // namespace utilrisk::exp

@@ -23,6 +23,11 @@
 #include "exp/experiment.hpp"
 #include "exp/scenario.hpp"
 
+namespace utilrisk::obs {
+class MetricsRegistry;
+class ProgressReporter;
+}  // namespace utilrisk::obs
+
 namespace utilrisk::exp {
 
 /// REPRO_JOBS_PAR if set to a positive integer, else
@@ -48,10 +53,17 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
+  /// Workers currently executing a task (diagnostic; e.g. the sweep
+  /// progress reporter's "workers busy" figure).
+  [[nodiscard]] std::size_t active_count() const {
+    std::lock_guard lock(mutex_);
+    return active_;
+  }
+
  private:
   void worker_loop(std::stop_token stop);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable_any work_cv_;
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
@@ -65,6 +77,17 @@ class ThreadPool {
 void parallel_for_index(ThreadPool& pool, std::size_t count,
                         const std::function<void(std::size_t)>& fn);
 
+/// Optional observability attachments for a parallel sweep. Both pointers
+/// may be null (the default): the sweep then runs exactly as before.
+struct SweepHooks {
+  /// Receives `exp.*` executor instruments (per-worker run counters,
+  /// run-wall and queue-wait histograms, cache hit/miss counters) and is
+  /// injected into every executed run (`sim.*` / `service.*`).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Periodic completed/total/ETA lines while phase 2 executes.
+  obs::ProgressReporter* progress = nullptr;
+};
+
 /// The parallel twin of ExperimentRunner::run_scenarios: enumerates the
 /// (scenario, policy, value) run matrix in deterministic order, dedupes
 /// tasks by cache key (an in-flight key is simulated exactly once, however
@@ -75,14 +98,14 @@ void parallel_for_index(ThreadPool& pool, std::size_t count,
     const ExperimentConfig& config, ResultStore& store,
     const std::vector<Scenario>& scenarios, const RunSettings& defaults,
     const std::vector<policy::PolicyKind>& policies, ThreadPool& pool,
-    SweepStats* stats = nullptr);
+    SweepStats* stats = nullptr, const SweepHooks& hooks = {});
 
 /// Convenience overload: a throwaway pool of `workers` threads.
 [[nodiscard]] SweepResult run_scenarios_parallel(
     const ExperimentConfig& config, ResultStore& store,
     const std::vector<Scenario>& scenarios, const RunSettings& defaults,
     const std::vector<policy::PolicyKind>& policies, std::size_t workers,
-    SweepStats* stats = nullptr);
+    SweepStats* stats = nullptr, const SweepHooks& hooks = {});
 
 /// Drop-in parallel ExperimentRunner with a persistent pool: same sweep
 /// API, bit-identical results, `stats()` exposing wall-clock/events/dedup
@@ -110,11 +133,19 @@ class ParallelRunner {
   /// Timing/dedup counters accumulated across all sweeps of this runner.
   [[nodiscard]] const SweepStats& stats() const { return stats_; }
 
+  /// Attach observability to subsequent sweeps (see SweepHooks). Both
+  /// accept nullptr to detach; the runner never owns the objects.
+  void set_metrics(obs::MetricsRegistry* metrics) { hooks_.metrics = metrics; }
+  void set_progress(obs::ProgressReporter* progress) {
+    hooks_.progress = progress;
+  }
+
  private:
   ExperimentConfig config_;
   ResultStore* store_;
   ResultStore local_store_;  ///< used when no shared store is given
   SweepStats stats_;
+  SweepHooks hooks_;
   ThreadPool pool_;  ///< last member: joins before the store dies
 };
 

@@ -1,0 +1,120 @@
+#include "obs/manifest.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace utilrisk::obs {
+
+const char* build_git_describe() {
+#ifdef UTILRISK_GIT_DESCRIBE
+  return UTILRISK_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string utc_timestamp_now() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec);
+  return buffer;
+}
+
+json::Value RunManifest::to_json() const {
+  json::Value out{json::Object{}};
+  out.set("tool", tool);
+  out.set("schema", schema);
+  out.set("command", command);
+  json::Value argv_json{json::Array{}};
+  for (const std::string& arg : argv) argv_json.push_back(arg);
+  out.set("argv", std::move(argv_json));
+  out.set("git_describe", git_describe);
+  out.set("started_at_utc", started_at_utc);
+  out.set("wall_seconds", wall_seconds);
+  json::Value config_json{json::Object{}};
+  for (const auto& [key, value] : config) config_json.set(key, value);
+  out.set("config", std::move(config_json));
+  json::Value seeds_json{json::Array{}};
+  for (std::uint64_t seed : seeds) seeds_json.push_back(seed);
+  out.set("seeds", std::move(seeds_json));
+  json::Value stats_json{json::Object{}};
+  for (const auto& [key, value] : stats) stats_json.set(key, value);
+  out.set("stats", std::move(stats_json));
+  out.set("metrics", metrics.to_json());
+  return out;
+}
+
+void RunManifest::write(std::ostream& out) const { to_json().dump(out); }
+
+RunManifest RunManifest::from_json(const json::Value& value) {
+  RunManifest manifest;
+  manifest.tool = value.at("tool").as_string();
+  manifest.schema = value.at("schema").as_string();
+  manifest.command = value.at("command").as_string();
+  manifest.argv.clear();
+  for (const json::Value& arg : value.at("argv").as_array()) {
+    manifest.argv.push_back(arg.as_string());
+  }
+  manifest.git_describe = value.at("git_describe").as_string();
+  manifest.started_at_utc = value.at("started_at_utc").as_string();
+  manifest.wall_seconds = value.at("wall_seconds").as_number();
+  for (const auto& [key, v] : value.at("config").as_object()) {
+    manifest.config.emplace_back(key, v.as_string());
+  }
+  for (const json::Value& seed : value.at("seeds").as_array()) {
+    manifest.seeds.push_back(static_cast<std::uint64_t>(seed.as_number()));
+  }
+  for (const auto& [key, v] : value.at("stats").as_object()) {
+    manifest.stats.emplace_back(key, v.as_number());
+  }
+  manifest.metrics = MetricSnapshot::from_json(value.at("metrics"));
+  return manifest;
+}
+
+RunManifest RunManifest::parse(const std::string& text) {
+  return from_json(json::parse(text));
+}
+
+std::string manifest_filename(const std::string& command) {
+  return "utilrisk_manifest_" + command + ".json";
+}
+
+std::string write_manifest(const RunManifest& manifest,
+                           const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const std::string path =
+      (std::filesystem::path(dir) / manifest_filename(manifest.command))
+          .string();
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_manifest: cannot write " + path);
+  }
+  manifest.write(out);
+  if (!out) {
+    throw std::runtime_error("write_manifest: short write to " + path);
+  }
+  return path;
+}
+
+RunManifest read_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_manifest: cannot read " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return RunManifest::parse(text.str());
+}
+
+}  // namespace utilrisk::obs

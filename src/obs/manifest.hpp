@@ -1,0 +1,65 @@
+// Per-run JSON manifests: what produced this output?
+//
+// Every CLI invocation (and anything else that opts in) emits one JSON
+// document next to its outputs recording the command, its effective
+// configuration, the seeds, the source revision, wall-clock timings and a
+// metric snapshot — enough to reproduce or audit the run months later.
+// Manifests parse back (see from_json) so tooling and the obs test suite
+// can round-trip them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace utilrisk::obs {
+
+/// `git describe --always --dirty` of the source tree at configure time
+/// ("unknown" outside a git checkout).
+[[nodiscard]] const char* build_git_describe();
+
+/// Current wall-clock time as ISO 8601 UTC ("2026-08-06T12:34:56Z").
+[[nodiscard]] std::string utc_timestamp_now();
+
+struct RunManifest {
+  std::string tool = "utilrisk";
+  std::string schema = "utilrisk.run_manifest/1";
+  std::string command;             ///< subcommand, e.g. "sweep"
+  std::vector<std::string> argv;   ///< raw arguments as typed
+  std::string git_describe;        ///< source revision (build_git_describe)
+  std::string started_at_utc;      ///< wall-clock start, ISO 8601 UTC
+  double wall_seconds = 0.0;       ///< command wall time
+  /// Effective configuration: every declared option with the value the run
+  /// actually used (parsed or default).
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<std::uint64_t> seeds;
+  /// Free-form numeric result summary (simulations run, events, ...).
+  std::vector<std::pair<std::string, double>> stats;
+  MetricSnapshot metrics;
+
+  [[nodiscard]] json::Value to_json() const;
+  void write(std::ostream& out) const;
+
+  [[nodiscard]] static RunManifest from_json(const json::Value& value);
+  /// Parses a serialised manifest; throws json::ParseError /
+  /// std::runtime_error on malformed input.
+  [[nodiscard]] static RunManifest parse(const std::string& text);
+};
+
+/// Canonical manifest filename for a subcommand.
+[[nodiscard]] std::string manifest_filename(const std::string& command);
+
+/// Writes `<dir>/<manifest_filename(command)>` (creating `dir`), returns
+/// the path. Throws std::runtime_error when the file cannot be written.
+std::string write_manifest(const RunManifest& manifest,
+                           const std::string& dir);
+
+/// Loads and parses a manifest file.
+[[nodiscard]] RunManifest read_manifest(const std::string& path);
+
+}  // namespace utilrisk::obs

@@ -1,0 +1,164 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace utilrisk::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1) {  // + overflow
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: needs at least one bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "Histogram: bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double value) {
+  // Buckets are few (default 14); upper_bound beats maintaining a branchy
+  // unrolled scan and stays O(log n) if someone registers many.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value,
+                                   [](double v, double bound) {
+                                     return v <= bound;  // le upper bounds
+                                   });
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_time_buckets() {
+  static const std::vector<double> buckets = {
+      0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0,
+      5.0,   10.0,  30.0, 60.0, 120.0, 300.0, 600.0};
+  return buckets;
+}
+
+std::uint64_t MetricSnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+json::Value MetricSnapshot::to_json() const {
+  json::Value counters_json{json::Object{}};
+  for (const auto& [name, value] : counters) counters_json.set(name, value);
+  json::Value gauges_json{json::Object{}};
+  for (const auto& [name, value] : gauges) gauges_json.set(name, value);
+  json::Value histograms_json{json::Object{}};
+  for (const HistogramSnapshot& h : histograms) {
+    json::Value bounds{json::Array{}};
+    for (double b : h.upper_bounds) bounds.push_back(b);
+    json::Value buckets{json::Array{}};
+    for (std::uint64_t b : h.buckets) buckets.push_back(b);
+    json::Value entry{json::Object{}};
+    entry.set("upper_bounds", std::move(bounds));
+    entry.set("buckets", std::move(buckets));
+    entry.set("count", h.count);
+    entry.set("sum", h.sum);
+    histograms_json.set(h.name, std::move(entry));
+  }
+  json::Value out{json::Object{}};
+  out.set("counters", std::move(counters_json));
+  out.set("gauges", std::move(gauges_json));
+  out.set("histograms", std::move(histograms_json));
+  return out;
+}
+
+MetricSnapshot MetricSnapshot::from_json(const json::Value& value) {
+  MetricSnapshot snapshot;
+  for (const auto& [name, v] : value.at("counters").as_object()) {
+    snapshot.counters.emplace_back(
+        name, static_cast<std::uint64_t>(v.as_number()));
+  }
+  for (const auto& [name, v] : value.at("gauges").as_object()) {
+    snapshot.gauges.emplace_back(name, v.as_number());
+  }
+  for (const auto& [name, v] : value.at("histograms").as_object()) {
+    HistogramSnapshot h;
+    h.name = name;
+    for (const json::Value& b : v.at("upper_bounds").as_array()) {
+      h.upper_bounds.push_back(b.as_number());
+    }
+    for (const json::Value& b : v.at("buckets").as_array()) {
+      h.buckets.push_back(static_cast<std::uint64_t>(b.as_number()));
+    }
+    h.count = static_cast<std::uint64_t>(v.at("count").as_number());
+    h.sum = v.at("sum").as_number();
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+MetricSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.upper_bounds = histogram->upper_bounds();
+    h.buckets.reserve(h.upper_bounds.size() + 1);
+    for (std::size_t i = 0; i < h.upper_bounds.size() + 1; ++i) {
+      h.buckets.push_back(histogram->bucket_count(i));
+    }
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    out.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+Counter* counter_or_null(MetricsRegistry* registry, const std::string& name) {
+  if (registry == nullptr || !registry->enabled()) return nullptr;
+  return &registry->counter(name);
+}
+
+Gauge* gauge_or_null(MetricsRegistry* registry, const std::string& name) {
+  if (registry == nullptr || !registry->enabled()) return nullptr;
+  return &registry->gauge(name);
+}
+
+Histogram* histogram_or_null(MetricsRegistry* registry,
+                             const std::string& name,
+                             std::vector<double> upper_bounds) {
+  if (registry == nullptr || !registry->enabled()) return nullptr;
+  return &registry->histogram(name, std::move(upper_bounds));
+}
+
+}  // namespace utilrisk::obs

@@ -1,0 +1,175 @@
+// Thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// The contract the instrumented layers (sim kernel, service, parallel
+// executor) build on:
+//
+//  - Registration (counter()/gauge()/histogram()) is mutex-guarded and
+//    returns a reference that stays valid for the registry's lifetime, so
+//    hot paths register once and keep the pointer.
+//  - Updates (inc/set/add/observe) are lock-free relaxed atomics — safe
+//    from any number of threads, never ordering-significant.
+//  - Near-zero cost when disabled: instrumented components resolve their
+//    metric pointers via `counter_or_null` & friends, which return nullptr
+//    when no registry is attached or the registry is disabled, leaving a
+//    single never-taken null branch on the hot path (bench_obs_overhead
+//    asserts < 2 % on event-queue-churn kernels).
+//  - snapshot() captures every metric into a plain-data MetricSnapshot
+//    (JSON-serialisable; embedded in run manifests).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace utilrisk::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous double metric (queue depth, workers busy, ...).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) {
+    // fetch_add on atomic<double> is C++20; relaxed is fine — gauges are
+    // diagnostics, never synchronisation.
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations v with
+/// bounds[i-1] < v <= bounds[i]; one implicit overflow bucket collects
+/// v > bounds.back(). Bounds are set at registration and never change.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double value);
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return bounds_;
+  }
+  /// Non-cumulative count of bucket i (the last index is the overflow
+  /// bucket, so valid i < upper_bounds().size() + 1).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Wall-clock-seconds buckets covering event dispatch through multi-minute
+/// sweeps: 1ms .. 600s, roughly geometric.
+[[nodiscard]] const std::vector<double>& default_time_buckets();
+
+/// Plain-data capture of one histogram.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> buckets;  ///< upper_bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time capture of a registry, ordered by metric name.
+struct MetricSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// Named counter value, or 0 when absent.
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+
+  [[nodiscard]] json::Value to_json() const;
+  [[nodiscard]] static MetricSnapshot from_json(const json::Value& value);
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Disabled registries hand out no metric pointers via the *_or_null
+  /// helpers; flipping enabled later only affects components attached
+  /// afterwards (attachment caches pointers).
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Finds or creates; references stay valid for the registry's lifetime.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  /// `upper_bounds` applies only on first registration; a second caller
+  /// with different bounds gets the existing histogram.
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> upper_bounds);
+
+  [[nodiscard]] MetricSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: snapshots come out name-sorted; unique_ptr: stable addresses
+  // across registrations.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::atomic<bool> enabled_;
+};
+
+/// The disabled-path helpers: null when `registry` is null or disabled, so
+/// call sites reduce to `if (ptr) ptr->inc();`.
+[[nodiscard]] Counter* counter_or_null(MetricsRegistry* registry,
+                                       const std::string& name);
+[[nodiscard]] Gauge* gauge_or_null(MetricsRegistry* registry,
+                                   const std::string& name);
+[[nodiscard]] Histogram* histogram_or_null(MetricsRegistry* registry,
+                                           const std::string& name,
+                                           std::vector<double> upper_bounds);
+
+}  // namespace utilrisk::obs

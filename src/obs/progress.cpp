@@ -1,0 +1,108 @@
+#include "obs/progress.hpp"
+
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+namespace utilrisk::obs {
+
+namespace {
+
+std::string format_seconds(double seconds) {
+  std::ostringstream out;
+  out.precision(seconds < 10.0 ? 2 : 3);
+  out << seconds << " s";
+  return out.str();
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter() : ProgressReporter(Options{}) {}
+
+ProgressReporter::ProgressReporter(Options options)
+    : options_(std::move(options)) {
+  if (options_.sink == nullptr) options_.sink = &std::cerr;
+}
+
+ProgressReporter::~ProgressReporter() { end(); }
+
+void ProgressReporter::begin(std::size_t total, std::size_t workers,
+                             std::function<std::size_t()> busy_workers) {
+  end();
+  completed_.store(0, std::memory_order_relaxed);
+  total_ = total;
+  workers_ = workers;
+  busy_ = std::move(busy_workers);
+  started_ = std::chrono::steady_clock::now();
+  active_ = true;
+  if (options_.interval_seconds <= 0.0) return;
+  const auto interval = std::chrono::duration<double>(
+      options_.interval_seconds);
+  thread_ = std::jthread([this, interval](std::stop_token stop) {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      // wait_for returns true on stop; spurious wakeups just print early,
+      // which is harmless.
+      if (cv_.wait_for(lock, stop, interval, [&stop] {
+            return stop.stop_requested();
+          })) {
+        return;
+      }
+      print_line(/*final=*/false);
+    }
+  });
+}
+
+void ProgressReporter::note_done(std::size_t n) {
+  completed_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ProgressReporter::end() {
+  if (!active_) return;
+  if (thread_.joinable()) {
+    thread_.request_stop();
+    cv_.notify_all();
+    thread_.join();
+    thread_ = std::jthread();
+  }
+  // interval <= 0 means fully silent — no periodic lines, no final line.
+  if (options_.interval_seconds > 0.0 && options_.final_line && total_ > 0) {
+    std::lock_guard lock(mutex_);
+    print_line(/*final=*/true);
+  }
+  active_ = false;
+  busy_ = nullptr;
+}
+
+void ProgressReporter::print_line(bool final) {
+  // Called with mutex_ held (reporter thread or end()).
+  const std::size_t done = completed_.load(std::memory_order_relaxed);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  std::ostringstream line;
+  line << '[' << options_.label << "] " << done << '/' << total_ << " runs";
+  if (total_ > 0) {
+    line << " (" << std::lround(100.0 * static_cast<double>(done) /
+                                static_cast<double>(total_))
+         << "%)";
+  }
+  if (final) {
+    line << " done in " << format_seconds(elapsed);
+  } else {
+    if (done > 0 && done < total_) {
+      const double eta = elapsed * static_cast<double>(total_ - done) /
+                         static_cast<double>(done);
+      line << ", eta " << format_seconds(eta);
+    }
+    if (busy_ && workers_ > 0) {
+      line << ", workers busy " << busy_() << '/' << workers_;
+    }
+  }
+  (*options_.sink) << line.str() << '\n';
+  options_.sink->flush();
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace utilrisk::obs

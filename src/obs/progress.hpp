@@ -1,0 +1,90 @@
+// Periodic progress reporting for long sweeps.
+//
+// A dedicated reporter thread (std::jthread) wakes every
+// `interval_seconds` of *wall* time and prints one line — completed/total
+// runs, percentage, ETA, workers busy — so a multi-hour parallel sweep is
+// observable while it runs instead of only after it finishes. Workers call
+// the lock-free note_done(); the reporter thread is the only writer to the
+// sink.
+//
+// Shutdown is cooperative and prompt: end() (or destruction) requests the
+// jthread's stop token and wakes the wait, so a sweep that drains early —
+// or throws — never leaves a reporter ticking against a dead region
+// (the monitor-drain bugfix's wall-clock twin).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace utilrisk::obs {
+
+class ProgressReporter {
+ public:
+  struct Options {
+    /// Seconds between progress lines; <= 0 disables the reporter thread
+    /// entirely (begin/note_done/end stay cheap no-ops).
+    double interval_seconds = 5.0;
+    /// Where lines go. Defaults to std::cerr so progress never corrupts
+    /// machine-readable stdout.
+    std::ostream* sink = nullptr;  ///< nullptr = std::cerr
+    std::string label = "progress";
+    /// Print one final "N/N runs done in S s" line from end().
+    bool final_line = true;
+  };
+
+  ProgressReporter();
+  explicit ProgressReporter(Options options);
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Starts a reporting region of `total` work items across `workers`
+  /// workers. `busy_workers` (optional) is polled from the reporter thread
+  /// for the "workers busy" figure — it must stay callable until end().
+  /// Calling begin() while a region is active ends it first.
+  void begin(std::size_t total, std::size_t workers = 0,
+             std::function<std::size_t()> busy_workers = {});
+
+  /// Marks `n` work items finished. Lock-free; any thread.
+  void note_done(std::size_t n = 1);
+
+  /// Ends the region: stops and joins the reporter thread, then prints the
+  /// final summary line (if configured). Idempotent; returns promptly even
+  /// when the region drained long before the next tick.
+  void end();
+
+  [[nodiscard]] std::size_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  /// Lines written so far (periodic + final) — observability of the
+  /// observer, for tests.
+  [[nodiscard]] std::uint64_t lines_printed() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void print_line(bool final);
+
+  Options options_;
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::uint64_t> lines_{0};
+  std::size_t total_ = 0;
+  std::size_t workers_ = 0;
+  std::function<std::size_t()> busy_;
+  std::chrono::steady_clock::time_point started_{};
+  bool active_ = false;
+
+  std::mutex mutex_;  ///< guards thread lifecycle + sink writes
+  std::condition_variable_any cv_;
+  std::jthread thread_;  ///< last member: joins before state dies
+};
+
+}  // namespace utilrisk::obs

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "sim/trace_log.hpp"
+#include "sim/logger.hpp"
 
 namespace utilrisk::policy {
 

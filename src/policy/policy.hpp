@@ -18,6 +18,10 @@
 #include "sim/simulator.hpp"
 #include "workload/job.hpp"
 
+namespace utilrisk::obs {
+class MetricsRegistry;
+}  // namespace utilrisk::obs
+
 namespace utilrisk::policy {
 
 /// Callbacks from a policy to the service. All calls happen at the current
@@ -80,6 +84,12 @@ struct PolicyContext {
   cluster::FailureConfig failure;
   /// Retry/backoff/checkpoint knobs for jobs killed by outages.
   cluster::RecoveryParams recovery;
+  /// Optional metrics registry (obs/metrics.hpp). When non-null and
+  /// enabled, the kernel and the service publish `sim.*` / `service.*`
+  /// instruments here; null keeps every hot path at a single branch.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Trace level simulate() applies to the run simulator's Logger.
+  sim::LogLevel log_level = sim::LogLevel::Off;
 };
 
 /// Abstract policy. Concrete policies: queue_policy.hpp (FCFS/SJF/EDF with

@@ -1,12 +1,14 @@
 #include "service/computing_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 #include "economy/penalty.hpp"
-#include "sim/trace_log.hpp"
+#include "obs/metrics.hpp"
+#include "sim/logger.hpp"
 
 namespace utilrisk::service {
 
@@ -45,6 +47,19 @@ ComputingService::ComputingService(sim::Simulator& simulator,
     throw std::invalid_argument("ComputingService: factory returned null");
   }
   context.machine.validate();
+  if (obs::MetricsRegistry* reg = context.metrics) {
+    submitted_metric_ = obs::counter_or_null(reg, "service.jobs_submitted");
+    accepted_metric_ = obs::counter_or_null(reg, "service.sla_accepted");
+    rejected_metric_ = obs::counter_or_null(reg, "service.sla_rejected");
+    started_metric_ = obs::counter_or_null(reg, "service.jobs_started");
+    fulfilled_metric_ = obs::counter_or_null(reg, "service.sla_fulfilled");
+    violated_metric_ = obs::counter_or_null(reg, "service.sla_violated");
+    terminated_metric_ = obs::counter_or_null(reg, "service.sla_terminated");
+    retries_metric_ = obs::counter_or_null(reg, "service.retries");
+    outages_metric_ = obs::counter_or_null(reg, "service.outages");
+    failed_outage_metric_ =
+        obs::counter_or_null(reg, "service.jobs_failed_outage");
+  }
   if (context.failure.enabled()) {
     context.failure.validate();
     context.recovery.validate();
@@ -64,8 +79,8 @@ void ComputingService::submit_all(const std::vector<workload::Job>& jobs) {
   for (const workload::Job& job : jobs) {
     at(job.submit_time, [this, job] {
       metrics_.record_submitted(job, now());
-      UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
-                   "submit job " << job.id << " procs=" << job.procs
+      if (submitted_metric_ != nullptr) submitted_metric_->inc();
+      UTILRISK_ELOG(sim::LogLevel::Debug, "submit job " << job.id << " procs=" << job.procs
                                  << " est=" << job.estimated_runtime
                                  << " deadline=" << job.deadline_duration);
       policy_->on_submit(job);
@@ -76,6 +91,7 @@ void ComputingService::submit_all(const std::vector<workload::Job>& jobs) {
 void ComputingService::notify_accepted(const workload::Job& job,
                                        economy::Money quoted_cost) {
   metrics_.record_accepted(job.id, now(), quoted_cost);
+  if (accepted_metric_ != nullptr) accepted_metric_->inc();
   const workload::JobId id = job.id;
   if (policy_->context().terminate_at_deadline) {
     at(std::max(now(), job.absolute_deadline() + kKillSlack), [this, id] {
@@ -87,6 +103,7 @@ void ComputingService::notify_accepted(const workload::Job& job,
         // provider stops accruing penalties: termination caps the bid
         // model's otherwise unbounded downside at zero revenue.
         metrics_.record_terminated(id, now(), 0.0);
+        if (terminated_metric_ != nullptr) terminated_metric_->inc();
         note_terminal();
       }
     });
@@ -115,11 +132,13 @@ void ComputingService::notify_rejected(const workload::Job& job) {
     return;
   }
   metrics_.record_rejected(job.id, now());
+  if (rejected_metric_ != nullptr) rejected_metric_->inc();
   note_terminal();
 }
 
 void ComputingService::notify_started(const workload::Job& job) {
   metrics_.record_started(job.id, now());
+  if (started_metric_ != nullptr) started_metric_->inc();
 }
 
 void ComputingService::notify_finished(const workload::Job& job,
@@ -133,14 +152,19 @@ void ComputingService::notify_finished(const workload::Job& job,
     utility = economy::bid_utility(job, finish_time);
   }
   metrics_.record_finished(job.id, finish_time, utility);
+  // record_finished decides fulfilled-vs-violated from the deadline.
+  const bool fulfilled =
+      metrics_.record(job.id).outcome == workload::JobOutcome::FulfilledSLA;
+  if (fulfilled && fulfilled_metric_ != nullptr) fulfilled_metric_->inc();
+  if (!fulfilled && violated_metric_ != nullptr) violated_metric_->inc();
   note_terminal();
 }
 
 void ComputingService::notify_failed(const workload::Job& job,
                                      double completed_work) {
   metrics_.record_outage(job.id, now());
-  UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
-               "job " << job.id << " killed by outage, completed "
+  if (outages_metric_ != nullptr) outages_metric_->inc();
+  UTILRISK_ELOG(sim::LogLevel::Debug, "job " << job.id << " killed by outage, completed "
                       << completed_work << "s");
   handle_failed_attempt(job, completed_work);
 }
@@ -166,8 +190,8 @@ void ComputingService::handle_failed_attempt(const workload::Job& attempt,
           std::max(attempt.actual_runtime - kept, kMinRestartRuntime);
       retry.estimated_runtime =
           std::max(attempt.estimated_runtime - kept, 1.0);
-      UTILRISK_LOG(sim::LogLevel::Debug, now(), name(),
-                   "retry " << attempts << " of job " << attempt.id
+      if (retries_metric_ != nullptr) retries_metric_->inc();
+      UTILRISK_ELOG(sim::LogLevel::Debug, "retry " << attempts << " of job " << attempt.id
                             << " at t=" << resubmit);
       at(resubmit, [this, retry] { policy_->on_submit(retry); });
       return;
@@ -188,6 +212,7 @@ void ComputingService::settle_outage(workload::JobId id) {
     utility = -record.job.penalty_rate * delay;
   }
   metrics_.record_failed(id, now(), utility);
+  if (failed_outage_metric_ != nullptr) failed_outage_metric_->inc();
   note_terminal();
 }
 
@@ -228,11 +253,22 @@ SimulationReport simulate(const std::vector<workload::Job>& jobs,
   context.machine.validate();
   sim::Simulator simulator;
   context.simulator = &simulator;
+  simulator.logger().set_level(context.log_level);
+  simulator.set_metrics(context.metrics);
+  obs::Histogram* wall_hist = obs::histogram_or_null(
+      context.metrics, "service.run_wall_seconds",
+      obs::default_time_buckets());
   const cluster::MachineConfig machine = context.machine;
 
   ComputingService svc(simulator, factory, context);
   svc.submit_all(jobs);
+  const auto wall_start = std::chrono::steady_clock::now();
   simulator.run();
+  if (wall_hist != nullptr) {
+    wall_hist->observe(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count());
+  }
 
   if (svc.metrics().unfinished_count() != 0) {
     // A stuck job is a kernel or policy bug, not a workload condition;

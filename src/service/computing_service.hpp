@@ -15,6 +15,10 @@
 #include "service/metrics_collector.hpp"
 #include "sim/entity.hpp"
 
+namespace utilrisk::obs {
+class Counter;
+}  // namespace utilrisk::obs
+
 namespace utilrisk::service {
 
 /// Creates a policy bound to a host — the injection point for custom
@@ -81,6 +85,18 @@ class ComputingService : public sim::Entity, public policy::PolicyHost {
   std::map<workload::JobId, std::uint32_t> retry_attempts_;
   std::size_t expected_jobs_ = 0;
   std::size_t terminal_jobs_ = 0;
+  // service.* instruments, resolved once from context.metrics in the
+  // constructor; all null when no (enabled) registry was injected.
+  obs::Counter* submitted_metric_ = nullptr;
+  obs::Counter* accepted_metric_ = nullptr;
+  obs::Counter* rejected_metric_ = nullptr;
+  obs::Counter* started_metric_ = nullptr;
+  obs::Counter* fulfilled_metric_ = nullptr;
+  obs::Counter* violated_metric_ = nullptr;
+  obs::Counter* terminated_metric_ = nullptr;
+  obs::Counter* retries_metric_ = nullptr;
+  obs::Counter* outages_metric_ = nullptr;
+  obs::Counter* failed_outage_metric_ = nullptr;
 };
 
 /// Outcome of a complete simulation run.

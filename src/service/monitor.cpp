@@ -24,11 +24,21 @@ ServiceMonitor::ServiceMonitor(sim::Simulator& simulator,
 }
 
 void ServiceMonitor::arm() {
+  if (stopped_) return;
   if (now() + period_ > horizon_ + sim::kTimeEpsilon) return;
-  after(period_, [this] {
+  tick_ = after(period_, [this] {
     sample_now();
+    // Early-drain shutdown: if this tick was the last pending event, the
+    // service has quiesced and re-arming would do nothing but march the
+    // clock to the horizon. Take this as the final sample and stand down.
+    if (simulator().pending_events() == 0) return;
     arm();
   });
+}
+
+void ServiceMonitor::stop() {
+  stopped_ = true;
+  tick_.cancel();
 }
 
 void ServiceMonitor::sample_now() {

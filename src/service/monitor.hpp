@@ -36,8 +36,10 @@ struct MonitorSample {
 
 /// Periodic sampler bound to a ComputingService. Construct after the
 /// service, before running the simulator; it re-arms itself every
-/// `period` seconds until the event set drains (a drained queue ends the
-/// run, so the monitor stops scheduling once the horizon passes).
+/// `period` seconds until the horizon — but stands down as soon as the
+/// rest of the event set drains: when its tick is the only pending event,
+/// re-arming would keep an already-finished run ticking to the horizon,
+/// so the monitor takes its final sample and stops instead.
 class ServiceMonitor : public sim::Entity {
  public:
   /// Samples every `period` seconds from `start` until `horizon`.
@@ -47,6 +49,13 @@ class ServiceMonitor : public sim::Entity {
   [[nodiscard]] const std::vector<MonitorSample>& samples() const {
     return samples_;
   }
+
+  /// Cancels the pending tick (if any) and stops re-arming; the collected
+  /// samples stay available. Idempotent.
+  void stop();
+
+  /// True while a tick is scheduled.
+  [[nodiscard]] bool armed() const { return tick_.pending(); }
 
   /// CSV dump (one row per sample) for external charting.
   void write_csv(std::ostream& out) const;
@@ -58,6 +67,8 @@ class ServiceMonitor : public sim::Entity {
   const ComputingService* service_;
   sim::SimTime period_;
   sim::SimTime horizon_;
+  bool stopped_ = false;
+  sim::EventHandle tick_;
   std::vector<MonitorSample> samples_;
 };
 

@@ -2,7 +2,17 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace utilrisk::sim {
+
+void Simulator::set_metrics(obs::MetricsRegistry* registry) {
+  scheduled_metric_ =
+      obs::counter_or_null(registry, "sim.events_scheduled");
+  dispatched_metric_ =
+      obs::counter_or_null(registry, "sim.events_dispatched");
+  queue_depth_metric_ = obs::gauge_or_null(registry, "sim.queue_depth");
+}
 
 EventHandle Simulator::schedule_at(SimTime time, EventAction action) {
   if (time < now_ - kTimeEpsilon) {
@@ -13,7 +23,12 @@ EventHandle Simulator::schedule_at(SimTime time, EventAction action) {
   // Snap barely-in-the-past times (floating point slop from rate
   // integration) to "now" so they still fire.
   if (time < now_) time = now_;
-  return queue_.push(time, std::move(action));
+  auto handle = queue_.push(time, std::move(action));
+  if (scheduled_metric_ != nullptr) scheduled_metric_->inc();
+  if (queue_depth_metric_ != nullptr) {
+    queue_depth_metric_->set(static_cast<double>(queue_.size()));
+  }
+  return handle;
 }
 
 EventHandle Simulator::schedule_in(SimTime delay, EventAction action) {
@@ -22,7 +37,7 @@ EventHandle Simulator::schedule_in(SimTime delay, EventAction action) {
     throw SchedulingError("Simulator::schedule_in: negative delay " +
                           std::to_string(delay));
   }
-  return queue_.push(now_ + delay, std::move(action));
+  return schedule_at(now_ + delay, std::move(action));
 }
 
 bool Simulator::step() {
@@ -31,6 +46,10 @@ bool Simulator::step() {
   now_ = rec->time;
   running_ = true;
   ++dispatched_;
+  if (dispatched_metric_ != nullptr) dispatched_metric_->inc();
+  if (queue_depth_metric_ != nullptr) {
+    queue_depth_metric_->set(static_cast<double>(queue_.size()));
+  }
   // Move the action out so self-cancellation during dispatch is harmless.
   EventAction action = std::move(rec->action);
   action();

@@ -11,7 +11,14 @@
 
 #include "sim/event.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/logger.hpp"
 #include "sim/time.hpp"
+
+namespace utilrisk::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace utilrisk::obs
 
 namespace utilrisk::sim {
 
@@ -75,12 +82,26 @@ class Simulator {
   /// Timestamp of the next pending event (kTimeNever when none).
   [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
 
+  /// Per-simulator trace logger (replaces the TraceLog singleton).
+  [[nodiscard]] Logger& logger() { return logger_; }
+  [[nodiscard]] const Logger& logger() const { return logger_; }
+
+  /// Attaches (or detaches, with nullptr) a metrics registry. The kernel
+  /// resolves its instruments once here — `sim.events_scheduled`,
+  /// `sim.events_dispatched`, `sim.queue_depth` — so the per-event cost is
+  /// a null check when metrics are absent or disabled.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t dispatched_ = 0;
   bool stop_requested_ = false;
   bool running_ = false;
+  Logger logger_;
+  obs::Counter* scheduled_metric_ = nullptr;
+  obs::Counter* dispatched_metric_ = nullptr;
+  obs::Gauge* queue_depth_metric_ = nullptr;
 };
 
 }  // namespace utilrisk::sim

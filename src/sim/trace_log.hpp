@@ -1,69 +1,53 @@
-// Lightweight leveled logger for simulation traces.
+// DEPRECATED compatibility shim for the old process-wide trace logger.
 //
-// Disabled (Level::Off) by default so hot loops pay one branch. The service
-// and policies log SLA lifecycle transitions at Debug for test forensics.
+// The TraceLog::instance() singleton was documented "not thread-safe" and
+// became a latent data race once the parallel sweep executor (exp/parallel)
+// started running simulators on a jthread pool. Logging now goes through a
+// Logger owned by each Simulator (sim/logger.hpp): use
+// Simulator::logger() / UTILRISK_LOG_TO / UTILRISK_ELOG.
+//
+// This shim keeps out-of-tree callers compiling for one release and then
+// goes away. It forwards to an internal (thread-safe) Logger, so existing
+// code keeps working — it just can no longer be levelled per run.
 #pragma once
 
-#include <iostream>
-#include <sstream>
-#include <string>
-
-#include "sim/time.hpp"
+#include "sim/logger.hpp"
 
 namespace utilrisk::sim {
 
-enum class LogLevel : int { Off = 0, Error = 1, Info = 2, Debug = 3 };
-
-/// Process-wide trace logger. Not thread-safe (kernel is single-threaded).
 class TraceLog {
  public:
+  [[deprecated(
+      "TraceLog::instance() is deprecated; use Simulator::logger() "
+      "(sim/logger.hpp)")]]
   static TraceLog& instance() {
     static TraceLog log;
     return log;
   }
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-
-  void set_sink(std::ostream* sink) { sink_ = sink; }
-
+  void set_level(LogLevel level) { logger_.set_level(level); }
+  [[nodiscard]] LogLevel level() const { return logger_.level(); }
+  void set_sink(std::ostream* sink) { logger_.set_sink(sink); }
   [[nodiscard]] bool enabled(LogLevel level) const {
-    return static_cast<int>(level) <= static_cast<int>(level_) &&
-           sink_ != nullptr;
+    return logger_.enabled(level);
   }
-
   void write(LogLevel level, SimTime now, const std::string& who,
              const std::string& msg) {
-    if (!enabled(level)) return;
-    (*sink_) << '[' << label(level) << "] t=" << now << ' ' << who << ": "
-             << msg << '\n';
+    logger_.write(level, now, who, msg);
   }
+
+  /// The shim's backing logger, for staged migrations.
+  [[nodiscard]] Logger& logger() { return logger_; }
 
  private:
   TraceLog() = default;
-  static const char* label(LogLevel level) {
-    switch (level) {
-      case LogLevel::Error: return "ERR";
-      case LogLevel::Info: return "INF";
-      case LogLevel::Debug: return "DBG";
-      default: return "OFF";
-    }
-  }
-
-  LogLevel level_ = LogLevel::Off;
-  std::ostream* sink_ = &std::cerr;
+  Logger logger_;
 };
 
-/// Log with lazy message construction: the stream expression only runs when
-/// the level is enabled.
+/// DEPRECATED: logs through the process-wide shim. Use UTILRISK_LOG_TO
+/// with an owned Logger (or UTILRISK_ELOG inside entities) instead.
 #define UTILRISK_LOG(level, now, who, expr)                                  \
-  do {                                                                       \
-    auto& utilrisk_log_ = ::utilrisk::sim::TraceLog::instance();             \
-    if (utilrisk_log_.enabled(level)) {                                      \
-      std::ostringstream utilrisk_oss_;                                      \
-      utilrisk_oss_ << expr;                                                 \
-      utilrisk_log_.write(level, (now), (who), utilrisk_oss_.str());         \
-    }                                                                        \
-  } while (0)
+  UTILRISK_LOG_TO(::utilrisk::sim::TraceLog::instance(), level, (now),       \
+                  (who), expr)
 
 }  // namespace utilrisk::sim

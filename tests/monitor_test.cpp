@@ -63,7 +63,10 @@ TEST(ServiceMonitorTest, TracksLifecycleTransitions) {
   };
   MonitoredRun run(jobs, 250.0, 1500.0);
   const auto& samples = run.monitor->samples();
-  ASSERT_GE(samples.size(), 5u);
+  // The service quiesces at t=1000 (job 2 finishes); the monitor takes
+  // its final sample at t=1000 and stands down instead of ticking on to
+  // the 1500 horizon.
+  ASSERT_EQ(samples.size(), 4u);
 
   // t=250: job 1 running, job 2 still queued — both unsettled.
   EXPECT_EQ(samples[0].submitted, 2u);
@@ -75,12 +78,13 @@ TEST(ServiceMonitorTest, TracksLifecycleTransitions) {
   EXPECT_EQ(samples[2].fulfilled, 1u);
   EXPECT_EQ(samples[2].in_flight, 1u);
 
-  // t=1250: both done.
-  EXPECT_EQ(samples[4].fulfilled, 2u);
-  EXPECT_EQ(samples[4].in_flight, 0u);
-  EXPECT_DOUBLE_EQ(samples[4].utility_to_date, 2000.0);
-  EXPECT_GT(samples[4].utilization, 0.0);
-  EXPECT_LE(samples[4].utilization, 1.0);
+  // t=1000 (final sample, at quiescence): both done.
+  EXPECT_EQ(samples[3].fulfilled, 2u);
+  EXPECT_EQ(samples[3].in_flight, 0u);
+  EXPECT_DOUBLE_EQ(samples[3].utility_to_date, 2000.0);
+  EXPECT_GT(samples[3].utilization, 0.0);
+  EXPECT_LE(samples[3].utilization, 1.0);
+  EXPECT_FALSE(run.monitor->armed());
 }
 
 TEST(ServiceMonitorTest, UtilityAndObjectivesAreRolling) {
@@ -107,6 +111,33 @@ TEST(ServiceMonitorTest, CsvHasHeaderAndOneRowPerSample) {
   EXPECT_NE(line.find("utilization"), std::string::npos);
   while (std::getline(in, line)) ++rows;
   EXPECT_EQ(rows, run.monitor->samples().size());
+}
+
+TEST(ServiceMonitorTest, StandsDownWhenTheEventSetDrainsEarly) {
+  // One short job, generous horizon: the run quiesces at t=300, and the
+  // monitor must not keep the queue alive for another 97 ticks.
+  MonitoredRun run({make_job(1, 0.0, 2, 300.0, 5.0, 500.0)},
+                   /*period=*/100.0, /*horizon=*/10000.0);
+  EXPECT_EQ(run.monitor->samples().size(), 3u);
+  EXPECT_DOUBLE_EQ(run.simk.now(), 300.0);
+  EXPECT_EQ(run.simk.pending_events(), 0u);
+  EXPECT_FALSE(run.monitor->armed());
+}
+
+TEST(ServiceMonitorTest, StopCancelsThePendingTick) {
+  sim::Simulator simk;
+  policy::PolicyContext context;
+  context.simulator = &simk;
+  ComputingService service(simk, policy::PolicyKind::FcfsBf, context);
+  ServiceMonitor monitor(simk, service, 50.0, 1000.0);
+  EXPECT_TRUE(monitor.armed());
+  EXPECT_EQ(simk.pending_events(), 1u);
+  monitor.stop();
+  EXPECT_FALSE(monitor.armed());
+  EXPECT_EQ(simk.pending_events(), 0u);
+  simk.run();  // nothing left: returns immediately at t=0
+  EXPECT_DOUBLE_EQ(simk.now(), 0.0);
+  EXPECT_TRUE(monitor.samples().empty());
 }
 
 TEST(ServiceMonitorTest, ValidatesParameters) {

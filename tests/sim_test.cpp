@@ -288,8 +288,8 @@ TEST(EntityTest, SchedulingSugarBindsToSimulator) {
   EXPECT_DOUBLE_EQ(pinger.last_ping, 8.0);
 }
 
-TEST(TraceLogTest, LevelsGateOutput) {
-  auto& log = TraceLog::instance();
+TEST(LoggerTest, LevelsGateOutput) {
+  Logger log;
   std::ostringstream sink;
   log.set_sink(&sink);
   log.set_level(LogLevel::Info);
@@ -297,16 +297,51 @@ TEST(TraceLogTest, LevelsGateOutput) {
   EXPECT_TRUE(log.enabled(LogLevel::Info));
   EXPECT_FALSE(log.enabled(LogLevel::Debug));
 
-  UTILRISK_LOG(LogLevel::Info, 1.5, "unit", "hello " << 42);
-  UTILRISK_LOG(LogLevel::Debug, 2.0, "unit", "suppressed");
-  log.set_level(LogLevel::Off);
-  log.set_sink(&std::cerr);
+  UTILRISK_LOG_TO(log, LogLevel::Info, 1.5, "unit", "hello " << 42);
+  UTILRISK_LOG_TO(log, LogLevel::Debug, 2.0, "unit", "suppressed");
 
   const std::string text = sink.str();
   EXPECT_NE(text.find("[INF] t=1.5 unit: hello 42"), std::string::npos)
       << text;
   EXPECT_EQ(text.find("suppressed"), std::string::npos);
 }
+
+TEST(LoggerTest, SimulatorOwnsItsLogger) {
+  Simulator a;
+  Simulator b;
+  std::ostringstream sink_a;
+  a.logger().set_sink(&sink_a);
+  a.logger().set_level(LogLevel::Debug);
+  // b stays at the default (Off); levelling a must not affect b.
+  EXPECT_FALSE(b.logger().enabled(LogLevel::Error));
+  UTILRISK_LOG_TO(a.logger(), LogLevel::Debug, 0.0, "kernel", "visible");
+  UTILRISK_LOG_TO(b.logger(), LogLevel::Debug, 0.0, "kernel", "silent");
+  EXPECT_NE(sink_a.str().find("visible"), std::string::npos);
+  EXPECT_EQ(sink_a.str().find("silent"), std::string::npos);
+}
+
+TEST(LoggerTest, ParseLogLevelRoundTrips) {
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_THROW(parse_log_level("verbose"), std::invalid_argument);
+  EXPECT_STREQ(to_string(LogLevel::Debug), "debug");
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(TraceLogTest, DeprecatedShimStillForwards) {
+  auto& log = TraceLog::instance();
+  std::ostringstream sink;
+  log.set_sink(&sink);
+  log.set_level(LogLevel::Info);
+  UTILRISK_LOG(LogLevel::Info, 1.5, "unit", "hello " << 42);
+  log.set_level(LogLevel::Off);
+  log.set_sink(&std::cerr);
+  EXPECT_NE(sink.str().find("[INF] t=1.5 unit: hello 42"), std::string::npos);
+}
+#pragma GCC diagnostic pop
 
 // --------------------------------------------------------------- RunningStats
 
