@@ -15,6 +15,7 @@
 
 #include "bench_common.hpp"
 #include "exp/parallel.hpp"
+#include "verify/golden.hpp"
 
 namespace {
 
@@ -73,6 +74,12 @@ int main() {
     std::cout << "  serial reference: " << runner.simulations_run()
               << " simulations, " << serial_wall << " s\n";
   }
+  // One comparable 64-bit value for the whole sweep; every parallel run
+  // below must reproduce it exactly (a second line of defence beside
+  // bit_identical, and the value the JSON output exposes to trend tooling).
+  const std::uint64_t serial_digest = verify::sweep_digest(serial_sweep);
+  std::cout << "  serial sweep digest: " << verify::to_hex(serial_digest)
+            << "\n";
 
   std::vector<Measurement> runs;
   std::size_t cells = 0;
@@ -88,7 +95,8 @@ int main() {
     m.wall_seconds = now_seconds() - start;
     m.events = runner.stats().events;
     m.simulations = runner.stats().simulations;
-    m.identical_to_serial = exp::bit_identical(sweep, serial_sweep);
+    m.identical_to_serial = exp::bit_identical(sweep, serial_sweep) &&
+                            verify::sweep_digest(sweep) == serial_digest;
     runs.push_back(m);
     unique_runs = runner.stats().simulations;
     deduped = runner.stats().deduped;
@@ -138,6 +146,8 @@ int main() {
                             static_cast<double>(cells))
        << ",\n"
        << "  \"warm_cache_hit_rate\": " << warm_hit_rate << ",\n"
+       << "  \"sweep_digest\": \"" << verify::to_hex(serial_digest)
+       << "\",\n"
        << "  \"hardware_concurrency\": "
        << exp::default_worker_count() << ",\n"
        << "  \"serial_wall_seconds\": " << serial_wall << ",\n"

@@ -1,6 +1,5 @@
 #include "economy/penalty.hpp"
 
-#include <algorithm>
 #include <limits>
 
 namespace utilrisk::economy {
@@ -8,7 +7,11 @@ namespace utilrisk::economy {
 double deadline_delay(const workload::Job& job, sim::SimTime finish_time) {
   const double delay =
       (finish_time - job.submit_time) - job.deadline_duration;
-  return std::max(0.0, delay);
+  // Pin the eqn-10 boundary: finishing exactly at the deadline is zero
+  // delay even when (finish - submit) - d carries floating-point residue,
+  // using the same epsilon the SLA classifier (record_finished) applies —
+  // a fulfilled SLA can therefore never settle below its full budget.
+  return delay <= sim::kTimeEpsilon ? 0.0 : delay;
 }
 
 Money bid_utility(const workload::Job& job, sim::SimTime finish_time) {

@@ -9,6 +9,10 @@
 namespace utilrisk::economy {
 
 /// Delay dy_i = (tf - tsu) - d (eqn 10), clamped at 0 for on-time jobs.
+/// The boundary is epsilon-pinned consistently with the SLA classifier:
+/// any delay within sim::kTimeEpsilon of the deadline counts as exactly
+/// zero, so a job the service classifies as fulfilled always earns its
+/// full budget.
 [[nodiscard]] double deadline_delay(const workload::Job& job,
                                     sim::SimTime finish_time);
 

@@ -101,6 +101,16 @@ core::ObjectiveValues simulate_run(const ExperimentConfig& config,
                                    const RunSettings& settings,
                                    std::uint64_t* events_out,
                                    obs::MetricsRegistry* metrics) {
+  const service::SimulationReport report =
+      simulate_run_report(config, builder, policy, settings, metrics);
+  if (events_out != nullptr) *events_out += report.events_dispatched;
+  return report.objectives;
+}
+
+service::SimulationReport simulate_run_report(
+    const ExperimentConfig& config, const workload::WorkloadBuilder& builder,
+    policy::PolicyKind policy, const RunSettings& settings,
+    obs::MetricsRegistry* metrics) {
   workload::QosConfig qos;
   qos.high_urgency_percent = settings.high_urgency_percent;
   qos.deadline = settings.deadline;
@@ -121,10 +131,7 @@ core::ObjectiveValues simulate_run(const ExperimentConfig& config,
   context.recovery = settings.recovery;
   context.metrics = metrics;
 
-  const service::SimulationReport report =
-      service::simulate(jobs, service::factory_for(policy), context);
-  if (events_out != nullptr) *events_out += report.events_dispatched;
-  return report.objectives;
+  return service::simulate(jobs, service::factory_for(policy), context);
 }
 
 void reduce_scenario(SweepResult& result, std::size_t s,

@@ -24,6 +24,10 @@ namespace utilrisk::obs {
 class MetricsRegistry;
 }  // namespace utilrisk::obs
 
+namespace utilrisk::service {
+struct SimulationReport;
+}  // namespace utilrisk::service
+
 namespace utilrisk::exp {
 
 /// The two experiment sets (§5.4): identical except for the default
@@ -111,6 +115,15 @@ struct SweepStats {
     const ExperimentConfig& config, const workload::WorkloadBuilder& builder,
     policy::PolicyKind policy, const RunSettings& settings,
     std::uint64_t* events_out = nullptr,
+    obs::MetricsRegistry* metrics = nullptr);
+
+/// The same run, returning the full report (per-job SLA records, ledger
+/// snapshot, canonical digest) instead of just the objectives — the
+/// substrate of simulate_run and of the replay/golden-digest harness
+/// (verify/golden.hpp).
+[[nodiscard]] service::SimulationReport simulate_run_report(
+    const ExperimentConfig& config, const workload::WorkloadBuilder& builder,
+    policy::PolicyKind policy, const RunSettings& settings,
     obs::MetricsRegistry* metrics = nullptr);
 
 /// Normalises scenario `s`'s raw values and reduces them to separate risk

@@ -2,6 +2,7 @@
 
 #include <iostream>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -14,10 +15,19 @@ namespace {
 // Keys are printable and contain no tabs by construction (run_key).
 constexpr char kSeparator = '\t';
 
+bool same_values(const core::ObjectiveValues& a,
+                 const core::ObjectiveValues& b) {
+  // Exact: precision-17 round-trips are bit-faithful, so two lines for
+  // the same run agree bit-for-bit unless something is actually wrong.
+  return a.wait == b.wait && a.sla == b.sla &&
+         a.reliability == b.reliability &&
+         a.profitability == b.profitability;
+}
+
 }  // namespace
 
 ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
-  load();
+  if (load()) rewrite_file();
   append_.open(path_, std::ios::app);
   if (!append_) {
     throw std::runtime_error("ResultStore: cannot append to " + path_);
@@ -25,13 +35,28 @@ ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
   append_.precision(17);
 }
 
-void ResultStore::load() {
+bool ResultStore::load() {
   std::ifstream in(path_);
-  if (!in) return;  // first use: no cache yet
+  if (!in) return true;  // first use: create the file with its header
   std::string line;
   std::size_t line_no = 0;
+  bool needs_rewrite = false;
+  std::set<std::string> conflicted;
   while (std::getline(in, line)) {
     ++line_no;
+    if (line_no == 1) {
+      if (line == kSchemaHeader) continue;
+      // Pre-versioning or incompatible cache: the keys may not mean what
+      // they mean today (e.g. they used to omit the failure knobs), so
+      // serving any entry risks silently wrong objectives. Discard the
+      // whole file; every run is simply re-simulated.
+      std::cerr << "[ResultStore] " << path_
+                << ": stale or unversioned cache (expected '"
+                << kSchemaHeader << "' header); discarding it\n";
+      stale_cache_discarded_ = true;
+      entries_.clear();
+      return true;
+    }
     if (line.empty()) continue;
     const auto tab = line.find(kSeparator);
     bool parsed = false;
@@ -39,8 +64,30 @@ void ResultStore::load() {
       std::istringstream values(line.substr(tab + 1));
       core::ObjectiveValues v;
       if (values >> v.wait >> v.sla >> v.reliability >> v.profitability) {
-        entries_[line.substr(0, tab)] = v;
+        std::string key = line.substr(0, tab);
         parsed = true;
+        if (conflicted.contains(key)) {
+          ++malformed_lines_skipped_;
+          ++conflicting_lines_dropped_;
+          std::cerr << "[ResultStore] " << path_ << ':' << line_no
+                    << ": dropping another copy of conflicting key '" << key
+                    << "'\n";
+        } else if (auto it = entries_.find(key);
+                   it != entries_.end() && !same_values(it->second, v)) {
+          // Two lines claim the same run with different objectives: one of
+          // them is wrong and there is no way to tell which, so drop both
+          // and let the run re-simulate.
+          entries_.erase(it);
+          conflicted.insert(std::move(key));
+          malformed_lines_skipped_ += 2;
+          conflicting_lines_dropped_ += 2;
+          needs_rewrite = true;  // compact the poisoned lines away
+          std::cerr << "[ResultStore] " << path_ << ':' << line_no
+                    << ": duplicate key with conflicting objective values; "
+                       "dropping both copies (will re-simulate)\n";
+        } else {
+          entries_[std::move(key)] = v;  // identical duplicate: benign
+        }
       }
     }
     if (!parsed) {
@@ -50,6 +97,25 @@ void ResultStore::load() {
       std::cerr << "[ResultStore] " << path_ << ':' << line_no
                 << ": skipping malformed cache line\n";
     }
+  }
+  if (line_no == 0) return true;  // empty file: still needs its header
+  return needs_rewrite;
+}
+
+void ResultStore::rewrite_file() {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("ResultStore: cannot rewrite " + path_);
+  }
+  out.precision(17);
+  out << kSchemaHeader << '\n';
+  for (const auto& [key, values] : entries_) {
+    out << key << kSeparator << values.wait << ' ' << values.sla << ' '
+        << values.reliability << ' ' << values.profitability << '\n';
+  }
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("ResultStore: short rewrite of " + path_);
   }
 }
 

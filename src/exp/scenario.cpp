@@ -30,15 +30,19 @@ std::string RunSettings::key_fragment() const {
   qos_fragment(oss, budget);
   oss << ";p=";
   qos_fragment(oss, penalty);
-  if (failure.enabled()) {
-    oss << ";fail=" << failure.mtbf_seconds << ',' << failure.mttr_seconds
-        << ',' << cluster::to_string(failure.distribution) << ','
-        << failure.weibull_shape << ',' << failure.seed << ','
-        << failure.correlated_fraction << ',' << failure.correlated_size
-        << ";rec=" << recovery.retry_limit << ',' << recovery.backoff_seconds
-        << ',' << recovery.backoff_factor << ','
-        << recovery.checkpoint_interval;
-  }
+  // Unconditionally: these knobs change the run, so two runs that differ
+  // only in them must never share a cache key. (They used to be emitted
+  // only when injection was enabled, which made every --fail-* run collide
+  // with the failure-free cell of the same scenario; the result-store
+  // schema version was bumped alongside this fix so pre-fix caches are
+  // discarded instead of served.)
+  oss << ";fail=" << failure.mtbf_seconds << ',' << failure.mttr_seconds
+      << ',' << cluster::to_string(failure.distribution) << ','
+      << failure.weibull_shape << ',' << failure.seed << ','
+      << failure.correlated_fraction << ',' << failure.correlated_size
+      << ";rec=" << recovery.retry_limit << ',' << recovery.backoff_seconds
+      << ',' << recovery.backoff_factor << ','
+      << recovery.checkpoint_interval;
   return oss.str();
 }
 

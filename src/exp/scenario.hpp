@@ -28,9 +28,9 @@ struct RunSettings {
   /// Retry/backoff/checkpoint knobs for outage recovery.
   cluster::RecoveryParams recovery{};
 
-  /// Canonical key fragment for the result cache. The failure/recovery
-  /// knobs only appear when injection is enabled, so every pre-existing
-  /// cache entry (and the MTBF sweep's infinite-MTBF cell) keeps its key.
+  /// Canonical key fragment for the result cache: every knob above,
+  /// including the failure/recovery configuration, so runs that differ in
+  /// any determinism-relevant setting never share a cache key.
   [[nodiscard]] std::string key_fragment() const;
 };
 

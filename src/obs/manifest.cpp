@@ -51,6 +51,7 @@ json::Value RunManifest::to_json() const {
   json::Value stats_json{json::Object{}};
   for (const auto& [key, value] : stats) stats_json.set(key, value);
   out.set("stats", std::move(stats_json));
+  if (!digest.empty()) out.set("digest", digest);
   out.set("metrics", metrics.to_json());
   return out;
 }
@@ -77,6 +78,10 @@ RunManifest RunManifest::from_json(const json::Value& value) {
   }
   for (const auto& [key, v] : value.at("stats").as_object()) {
     manifest.stats.emplace_back(key, v.as_number());
+  }
+  // Tolerant: manifests written before the digest field existed parse on.
+  if (const json::Value* digest = value.find("digest")) {
+    manifest.digest = digest->as_string();
   }
   manifest.metrics = MetricSnapshot::from_json(value.at("metrics"));
   return manifest;

@@ -40,6 +40,12 @@ struct RunManifest {
   std::vector<std::uint64_t> seeds;
   /// Free-form numeric result summary (simulations run, events, ...).
   std::vector<std::pair<std::string, double>> stats;
+  /// Canonical result digest of the run (verify/run_digest.hpp for a
+  /// single simulation, sweep/golden digest otherwise), 16 lowercase hex
+  /// chars; empty when the command produced none. Two manifests with the
+  /// same digest attest bit-identical results, whatever the wall times
+  /// and worker counts say.
+  std::string digest;
   MetricSnapshot metrics;
 
   [[nodiscard]] json::Value to_json() const;

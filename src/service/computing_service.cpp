@@ -9,6 +9,8 @@
 #include "economy/penalty.hpp"
 #include "obs/metrics.hpp"
 #include "sim/logger.hpp"
+#include "verify/invariants.hpp"
+#include "verify/run_digest.hpp"
 
 namespace utilrisk::service {
 
@@ -307,6 +309,15 @@ SimulationReport simulate(const std::vector<workload::Job>& jobs,
         svc.active_policy().delivered_proc_seconds() /
         (static_cast<double>(machine.node_count) * report.end_time);
   }
+  report.ledger_entries = svc.metrics().ledger().entries();
+  report.ledger_total_utility = svc.metrics().ledger().total_utility();
+  report.ledger_total_budget = svc.metrics().ledger().total_budget();
+  report.digest = verify::run_digest(report).hex();
+#ifndef NDEBUG
+  // Debug builds audit every run; Release relies on the dedicated verify
+  // ctest and the replay harness so the hot path stays unchanged.
+  verify::enforce_invariants(report, machine.node_count);
+#endif
   return report;
 }
 

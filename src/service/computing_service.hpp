@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/failure.hpp"
+#include "economy/accounting.hpp"
 #include "policy/factory.hpp"
 #include "policy/policy.hpp"
 #include "service/metrics_collector.hpp"
@@ -110,6 +111,16 @@ struct SimulationReport {
   /// machine utilisation (the SDSC SP2 subset the paper simulates ran at
   /// 83.2 %).
   double utilization = 0.0;
+  /// Settlement ledger snapshot: one entry per settled SLA, settlement
+  /// order. Backs the money-conservation invariants and the digest's
+  /// order-independent money-flow component.
+  std::vector<economy::LedgerEntry> ledger_entries;
+  economy::Money ledger_total_utility = 0.0;
+  economy::Money ledger_total_budget = 0.0;
+  /// Canonical run digest (verify::run_digest), 16 lowercase hex chars.
+  /// A pure function of the fields above; bit-stable across platforms,
+  /// build types and worker counts.
+  std::string digest;
 };
 
 /// Convenience one-shot runner: builds a simulator + service, submits all

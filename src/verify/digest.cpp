@@ -1,0 +1,38 @@
+#include "verify/digest.hpp"
+
+#include <stdexcept>
+
+namespace utilrisk::verify {
+
+std::string to_hex(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parse_hex(std::string_view text) {
+  if (text.empty() || text.size() > 16) {
+    throw std::invalid_argument("parse_hex: expected 1..16 hex characters");
+  }
+  std::uint64_t value = 0;
+  for (char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("parse_hex: non-hex character in '" +
+                                  std::string(text) + "'");
+    }
+  }
+  return value;
+}
+
+}  // namespace utilrisk::verify

@@ -1,0 +1,221 @@
+#include "verify/invariants.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "service/computing_service.hpp"
+#include "sim/time.hpp"
+
+namespace utilrisk::verify {
+
+namespace {
+
+bool is_settled(workload::JobOutcome outcome) {
+  return outcome == workload::JobOutcome::FulfilledSLA ||
+         outcome == workload::JobOutcome::ViolatedSLA ||
+         outcome == workload::JobOutcome::TerminatedSLA ||
+         outcome == workload::JobOutcome::FailedOutage;
+}
+
+class Collector {
+ public:
+  explicit Collector(InvariantReport& report) : report_(report) {}
+
+  template <typename... Parts>
+  void fail(Parts&&... parts) {
+    std::ostringstream oss;
+    (oss << ... << parts);
+    report_.violations.push_back(oss.str());
+  }
+
+ private:
+  InvariantReport& report_;
+};
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i != 0) oss << '\n';
+    oss << violations[i];
+  }
+  return oss.str();
+}
+
+InvariantReport check_invariants(const service::SimulationReport& report,
+                                 std::uint32_t node_count) {
+  InvariantReport result;
+  Collector out(result);
+  const double eps = sim::kTimeEpsilon;
+
+  // --- SLA-outcome partition -------------------------------------------
+  std::uint64_t rejected = 0;
+  std::uint64_t fulfilled = 0;
+  std::uint64_t settled = 0;
+  std::uint64_t unfinished = 0;
+  for (const service::SlaRecord& record : report.records) {
+    switch (record.outcome) {
+      case workload::JobOutcome::Rejected:
+        ++rejected;
+        break;
+      case workload::JobOutcome::FulfilledSLA:
+        ++fulfilled;
+        ++settled;
+        break;
+      case workload::JobOutcome::ViolatedSLA:
+      case workload::JobOutcome::TerminatedSLA:
+      case workload::JobOutcome::FailedOutage:
+        ++settled;
+        break;
+      case workload::JobOutcome::Unfinished:
+        ++unfinished;
+        break;
+    }
+  }
+  if (unfinished != 0) {
+    out.fail("outcome partition: ", unfinished,
+             " job(s) left Unfinished after quiescence");
+  }
+  if (rejected + settled + unfinished != report.records.size()) {
+    out.fail("outcome partition: rejected(", rejected, ") + settled(",
+             settled, ") + unfinished(", unfinished, ") != submitted(",
+             report.records.size(), ")");
+  }
+  if (report.inputs.submitted != report.records.size()) {
+    out.fail("objective inputs: submitted=", report.inputs.submitted,
+             " != record count ", report.records.size());
+  }
+  if (report.inputs.accepted != report.records.size() - rejected) {
+    out.fail("objective inputs: accepted=", report.inputs.accepted,
+             " != submitted - rejected = ",
+             report.records.size() - rejected);
+  }
+  if (report.inputs.fulfilled != fulfilled) {
+    out.fail("objective inputs: fulfilled=", report.inputs.fulfilled,
+             " != fulfilled record count ", fulfilled);
+  }
+
+  // --- money conservation (user <-> provider) --------------------------
+  // Every settled SLA must appear exactly once in the ledger with the
+  // record's settled utility; rejected jobs must not appear at all.
+  std::map<workload::JobId, economy::Money> by_job;
+  bool duplicate_entry = false;
+  for (const economy::LedgerEntry& entry : report.ledger_entries) {
+    if (!by_job.emplace(entry.job, entry.utility).second) {
+      duplicate_entry = true;
+      out.fail("money conservation: job ", entry.job,
+               " settled more than once in the ledger");
+    }
+  }
+  if (!duplicate_entry && by_job.size() != settled) {
+    out.fail("money conservation: ", by_job.size(),
+             " ledger entries for ", settled, " settled SLA(s)");
+  }
+  for (const service::SlaRecord& record : report.records) {
+    const auto it = by_job.find(record.job.id);
+    if (is_settled(record.outcome)) {
+      if (it == by_job.end()) {
+        out.fail("money conservation: settled job ", record.job.id,
+                 " missing from the ledger");
+      } else if (it->second != record.utility) {
+        out.fail("money conservation: job ", record.job.id,
+                 " ledger utility ", it->second, " != record utility ",
+                 record.utility);
+      }
+    } else if (it != by_job.end()) {
+      out.fail("money conservation: unsettled job ", record.job.id,
+               " has a ledger entry");
+    }
+  }
+  // The running totals must re-sum from the entries. Utilities re-add in
+  // entry order (the accumulation order), so that sum is exact; budgets
+  // accumulate in submission-event order, which job-id iteration may not
+  // reproduce, so they get a relative tolerance.
+  economy::Money utility_sum = 0.0;
+  for (const economy::LedgerEntry& entry : report.ledger_entries) {
+    utility_sum += entry.utility;
+  }
+  if (utility_sum != report.ledger_total_utility) {
+    out.fail("money conservation: ledger entries sum to ", utility_sum,
+             " but total_utility is ", report.ledger_total_utility);
+  }
+  economy::Money budget_sum = 0.0;
+  for (const service::SlaRecord& record : report.records) {
+    budget_sum += record.job.budget;
+  }
+  const double budget_tol =
+      1e-9 * std::max(1.0, std::abs(report.ledger_total_budget));
+  if (std::abs(budget_sum - report.ledger_total_budget) > budget_tol) {
+    out.fail("money conservation: submitted budgets sum to ", budget_sum,
+             " but total_budget is ", report.ledger_total_budget);
+  }
+  if (report.inputs.total_utility != report.ledger_total_utility ||
+      report.inputs.total_budget != report.ledger_total_budget) {
+    out.fail("money conservation: objective inputs disagree with the "
+             "ledger totals");
+  }
+
+  // --- PE-allocation accounting ----------------------------------------
+  if (!(report.utilization >= 0.0) || report.utilization > 1.0 + 1e-9) {
+    out.fail("PE accounting: utilization ", report.utilization,
+             " outside [0, 1]");
+  }
+  for (const service::SlaRecord& record : report.records) {
+    if (record.job.procs == 0) {
+      out.fail("PE accounting: job ", record.job.id, " requests 0 PEs");
+    } else if (node_count != 0 && record.job.procs > node_count) {
+      out.fail("PE accounting: job ", record.job.id, " requests ",
+               record.job.procs, " PEs on a ", node_count, "-PE machine");
+    }
+  }
+
+  // --- monotone clock ---------------------------------------------------
+  if (!std::isfinite(report.end_time) || report.end_time < 0.0) {
+    out.fail("monotone clock: end_time ", report.end_time,
+             " not finite and non-negative");
+  }
+  for (const service::SlaRecord& record : report.records) {
+    const workload::JobId id = record.job.id;
+    if (!std::isfinite(record.submit_time) || record.submit_time < 0.0) {
+      out.fail("monotone clock: job ", id, " submit time ",
+               record.submit_time, " not finite and non-negative");
+      continue;
+    }
+    if (record.decision_time < record.submit_time - eps) {
+      out.fail("monotone clock: job ", id, " decided at ",
+               record.decision_time, " before submission at ",
+               record.submit_time);
+    }
+    const bool finished =
+        record.outcome == workload::JobOutcome::FulfilledSLA ||
+        record.outcome == workload::JobOutcome::ViolatedSLA;
+    if (finished && (record.start_time < record.submit_time - eps ||
+                     record.finish_time < record.start_time - eps)) {
+      out.fail("monotone clock: job ", id, " submit/start/finish ",
+               record.submit_time, '/', record.start_time, '/',
+               record.finish_time, " not monotone");
+    }
+    if (is_settled(record.outcome) &&
+        record.finish_time > report.end_time + eps) {
+      out.fail("monotone clock: job ", id, " settled at ",
+               record.finish_time, " after the run ended at ",
+               report.end_time);
+    }
+  }
+
+  return result;
+}
+
+void enforce_invariants(const service::SimulationReport& report,
+                        std::uint32_t node_count) {
+  const InvariantReport result = check_invariants(report, node_count);
+  if (!result.ok()) {
+    throw std::logic_error("simulation invariants violated:\n" +
+                           result.to_string());
+  }
+}
+
+}  // namespace utilrisk::verify

@@ -1,0 +1,46 @@
+// Cross-run invariants of a completed simulation.
+//
+// These are properties every correct run must satisfy regardless of
+// policy, economic model or failure injection:
+//   - money conservation: every settled SLA appears exactly once in the
+//     ledger with the record's utility, and the ledger totals re-sum;
+//   - SLA-outcome partition: rejected + fulfilled + violated + terminated
+//     + failed-outage == submitted jobs, none left Unfinished;
+//   - PE-allocation accounting: no job wider than the machine, realised
+//     utilisation within [0, 1];
+//   - monotone clock: submit <= decision/start <= finish <= end of run,
+//     all timestamps finite and non-negative.
+//
+// service::simulate() enforces them after every run in debug builds
+// (NDEBUG off); the verify test suite and the replay harness run them in
+// every build type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace utilrisk::service {
+struct SimulationReport;
+}  // namespace utilrisk::service
+
+namespace utilrisk::verify {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// All violations, one per line (empty string when ok).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks every invariant; `node_count` bounds the PE-allocation checks
+/// (0 skips them when the machine width is unknown to the caller).
+[[nodiscard]] InvariantReport check_invariants(
+    const service::SimulationReport& report, std::uint32_t node_count = 0);
+
+/// Throws std::logic_error listing every violation (no-op when ok).
+void enforce_invariants(const service::SimulationReport& report,
+                        std::uint32_t node_count = 0);
+
+}  // namespace utilrisk::verify

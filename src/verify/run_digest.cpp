@@ -1,0 +1,60 @@
+#include "verify/run_digest.hpp"
+
+#include "service/computing_service.hpp"
+
+namespace utilrisk::verify {
+
+RunDigest run_digest(const service::SimulationReport& report) {
+  // Records arrive in job-id order (the collector's map), which is itself
+  // deterministic, so an order-sensitive stream is exact here.
+  DigestStream events;
+  events.put_u64(report.records.size());
+  for (const service::SlaRecord& record : report.records) {
+    events.put_u64(record.job.id);
+    events.put_byte(static_cast<std::uint8_t>(record.outcome));
+    events.put_double(record.submit_time);
+    events.put_double(record.decision_time);
+    events.put_double(record.start_time);
+    events.put_double(record.finish_time);
+    events.put_double(record.quoted_cost);
+    events.put_double(record.utility);
+    events.put_bool(record.started);
+    events.put_u64(record.outage_count);
+    events.put_u64(record.job.procs);
+    events.put_double(record.job.deadline_duration);
+    events.put_double(record.job.budget);
+    events.put_double(record.job.penalty_rate);
+  }
+  events.put_u64(report.events_dispatched);
+  events.put_double(report.end_time);
+
+  UnorderedDigest settlements;
+  for (const economy::LedgerEntry& entry : report.ledger_entries) {
+    DigestStream element;
+    element.put_u64(entry.job);
+    element.put_double(entry.utility);
+    settlements.add(element.value());
+  }
+  DigestStream money;
+  money.put_u64(settlements.value());
+  money.put_u64(report.ledger_entries.size());
+  money.put_double(report.ledger_total_budget);
+  money.put_double(report.ledger_total_utility);
+
+  RunDigest digest;
+  digest.event_stream = events.value();
+  digest.money_flows = money.value();
+
+  DigestStream combined;
+  combined.put_u64(digest.event_stream);
+  combined.put_u64(digest.money_flows);
+  combined.put_double(report.objectives.wait);
+  combined.put_double(report.objectives.sla);
+  combined.put_double(report.objectives.reliability);
+  combined.put_double(report.objectives.profitability);
+  combined.put_double(report.utilization);
+  digest.combined = combined.value();
+  return digest;
+}
+
+}  // namespace utilrisk::verify

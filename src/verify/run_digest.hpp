@@ -1,0 +1,39 @@
+// Canonical digest of one simulation run.
+//
+// Two components, combined into one 64-bit value:
+//   - event stream: order-sensitive hash over the per-job SLA lifecycle
+//     (outcome, every timestamp, settlement) plus the kernel's event count
+//     and end time — any scheduling divergence lands here;
+//   - money flows: order-independent hash over the settlement ledger plus
+//     the user<->provider totals — settlements are commutative sums, so
+//     their digest must not depend on settlement order.
+//
+// The digest is a pure function of the SimulationReport, computed by
+// service::simulate() for every run and embedded in report.digest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "verify/digest.hpp"
+
+namespace utilrisk::service {
+struct SimulationReport;
+}  // namespace utilrisk::service
+
+namespace utilrisk::verify {
+
+struct RunDigest {
+  std::uint64_t event_stream = 0;
+  std::uint64_t money_flows = 0;
+  std::uint64_t combined = 0;
+
+  /// The combined digest as 16 lowercase hex characters.
+  [[nodiscard]] std::string hex() const { return to_hex(combined); }
+
+  [[nodiscard]] bool operator==(const RunDigest&) const = default;
+};
+
+[[nodiscard]] RunDigest run_digest(const service::SimulationReport& report);
+
+}  // namespace utilrisk::verify

@@ -1,7 +1,9 @@
 #include "workload/qos.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "sim/distributions.hpp"
 
@@ -114,6 +116,31 @@ void assign_qos(std::vector<Job>& jobs, const QosConfig& config) {
     // g(tr) = tr * base_price / 3600 (see qos.hpp header comment).
     job.penalty_rate =
         p_factor * job.actual_runtime * config.base_price / 3600.0;
+  }
+
+  validate_sla_terms(jobs);
+}
+
+void validate_sla_terms(const std::vector<Job>& jobs) {
+  for (const Job& job : jobs) {
+    const std::string prefix =
+        "validate_sla_terms: job " + std::to_string(job.id) + ": ";
+    if (!std::isfinite(job.deadline_duration) ||
+        job.deadline_duration <= 0.0) {
+      throw std::invalid_argument(
+          prefix + "deadline_duration must be finite and > 0 (got " +
+          std::to_string(job.deadline_duration) + ")");
+    }
+    if (!std::isfinite(job.budget) || job.budget < 0.0) {
+      throw std::invalid_argument(prefix +
+                                  "budget must be finite and >= 0 (got " +
+                                  std::to_string(job.budget) + ")");
+    }
+    if (!std::isfinite(job.penalty_rate) || job.penalty_rate < 0.0) {
+      throw std::invalid_argument(
+          prefix + "penalty_rate must be finite and >= 0 (got " +
+          std::to_string(job.penalty_rate) + ")");
+    }
   }
 }
 

@@ -61,7 +61,17 @@ struct QosConfig {
 /// Assigns urgency classes and fills deadline_duration / budget /
 /// penalty_rate on every job, in place. Deterministic in (config, job
 /// order). The mean runtime used by the bias is computed over `jobs`.
+/// Ends by running validate_sla_terms on the result.
 void assign_qos(std::vector<Job>& jobs, const QosConfig& config);
+
+/// Validates synthesised SLA terms: every job needs a finite positive
+/// deadline_duration, finite budget >= 0 and finite penalty_rate >= 0 —
+/// the preconditions of eqns 9-10 (a negative penalty rate would reward
+/// lateness; a negative budget would invert the profitability sign).
+/// Throws std::invalid_argument naming the first offending job. Called by
+/// assign_qos and the QoS sidecar loader so invalid terms are rejected at
+/// synthesis time, not discovered as drifting risk figures.
+void validate_sla_terms(const std::vector<Job>& jobs);
 
 /// Class means actually used for a parameter, given which class holds the
 /// high values. Exposed for tests.

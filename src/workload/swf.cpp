@@ -2,6 +2,7 @@
 
 #include <array>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <istream>
@@ -203,6 +204,16 @@ std::size_t load_qos_sidecar(std::istream& in, std::vector<Job>& jobs) {
       throw std::runtime_error("load_qos_sidecar: line " +
                                std::to_string(line_number) +
                                ": malformed QoS values");
+    }
+    // Same SLA-term preconditions validate_sla_terms enforces for the
+    // synthetic path (eqns 9-10): no negative money terms sneak in via a
+    // hand-edited sidecar.
+    if (!std::isfinite(deadline) || !std::isfinite(budget) || budget < 0.0 ||
+        !std::isfinite(penalty) || penalty < 0.0) {
+      throw std::runtime_error("load_qos_sidecar: line " +
+                               std::to_string(line_number) +
+                               ": budget and penalty_rate must be finite "
+                               "and >= 0, deadline finite");
     }
     const std::string urgency = next("urgency");
     if (urgency != "high" && urgency != "low") {

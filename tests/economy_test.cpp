@@ -8,6 +8,7 @@
 #include "economy/accounting.hpp"
 #include "economy/penalty.hpp"
 #include "economy/pricing.hpp"
+#include "sim/time.hpp"
 
 namespace utilrisk::economy {
 namespace {
@@ -143,6 +144,21 @@ TEST(PenaltyTest, OnTimeJobEarnsFullBudget) {
   EXPECT_DOUBLE_EQ(deadline_delay(job, 400.0), 0.0);
   EXPECT_DOUBLE_EQ(bid_utility(job, 400.0), 1000.0);
   EXPECT_DOUBLE_EQ(bid_utility(job, 500.0), 1000.0) << "exactly on time";
+}
+
+TEST(PenaltyTest, DeadlineBoundaryIsEpsilonPinned) {
+  // Eqn 10 boundary: a finish within kTimeEpsilon of the deadline is the
+  // same event the SLA classifier calls "on time", so the delay must be
+  // exactly zero and the utility exactly the budget — no sliver of penalty
+  // from floating-point event timestamps.
+  const workload::Job job = make_job(100.0, 500.0, 1000.0, 2.0);
+  EXPECT_DOUBLE_EQ(deadline_delay(job, 500.0), 0.0);
+  EXPECT_DOUBLE_EQ(deadline_delay(job, 500.0 + sim::kTimeEpsilon), 0.0);
+  EXPECT_DOUBLE_EQ(bid_utility(job, 500.0 + sim::kTimeEpsilon), 1000.0);
+  // Just past the pin, the linear penalty applies to the true delay.
+  const double late = 500.0 + 2.0 * sim::kTimeEpsilon;
+  EXPECT_GT(deadline_delay(job, late), 0.0);
+  EXPECT_LT(bid_utility(job, late), 1000.0);
 }
 
 TEST(PenaltyTest, UtilityDropsLinearlyPastDeadline) {

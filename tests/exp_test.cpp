@@ -130,16 +130,95 @@ TEST(ResultStoreTest, IgnoresCorruptCacheLines) {
           .string();
   {
     std::ofstream out(path);
-    out << "good\t1.0 2.0 3.0 4.0\n"
+    out << ResultStore::kSchemaHeader << "\n"
+        << "good\t1.0 2.0 3.0 4.0\n"
         << "no separator line\n"
         << "short\t1.0 2.0\n"
         << "also_good\t9.0 8.0 7.0 6.0\n";
   }
   ResultStore store(path);
   EXPECT_EQ(store.size(), 2u) << "malformed rows skipped, not fatal";
+  EXPECT_EQ(store.malformed_lines_skipped(), 2u);
+  EXPECT_EQ(store.conflicting_lines_dropped(), 0u);
   ASSERT_TRUE(store.lookup("good").has_value());
   EXPECT_DOUBLE_EQ(store.lookup("also_good")->wait, 9.0);
   EXPECT_FALSE(store.lookup("short").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ResultStoreTest, DiscardsStaleUnversionedCache) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "utilrisk_stale_test.csv")
+          .string();
+  {
+    // A pre-schema file: its keys predate the failure knobs, so any entry
+    // could silently alias a different run. All of it must go.
+    std::ofstream out(path);
+    out << "old_key\t1.0 2.0 3.0 4.0\n";
+  }
+  ResultStore store(path);
+  EXPECT_TRUE(store.stale_cache_discarded());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.lookup("old_key").has_value());
+  store.insert("fresh", {.wait = 5.0, .sla = 6.0, .reliability = 7.0,
+                         .profitability = 8.0});
+
+  // The rewritten file carries the schema header and reloads cleanly.
+  {
+    std::ifstream in(path);
+    std::string first_line;
+    ASSERT_TRUE(std::getline(in, first_line));
+    EXPECT_EQ(first_line, ResultStore::kSchemaHeader);
+  }
+  ResultStore reloaded(path);
+  EXPECT_FALSE(reloaded.stale_cache_discarded());
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(reloaded.lookup("fresh")->wait, 5.0);
+  std::remove(path.c_str());
+}
+
+TEST(ResultStoreTest, ConflictingDuplicateKeysAreDroppedEntirely) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "utilrisk_conflict_test.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << ResultStore::kSchemaHeader << "\n"
+        << "disputed\t1.0 2.0 3.0 4.0\n"
+        << "clean\t5.0 6.0 7.0 8.0\n"
+        << "disputed\t9.0 9.0 9.0 9.0\n";  // same key, different values
+  }
+  ResultStore store(path);
+  // Neither copy of the disputed key can be trusted: drop both and let the
+  // runner re-simulate.
+  EXPECT_FALSE(store.lookup("disputed").has_value());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.conflicting_lines_dropped(), 2u);
+  EXPECT_GE(store.malformed_lines_skipped(), 2u);
+  EXPECT_DOUBLE_EQ(store.lookup("clean")->sla, 6.0);
+
+  // The compacted file no longer contains the disputed key at all.
+  ResultStore reloaded(path);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_EQ(reloaded.conflicting_lines_dropped(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultStoreTest, IdenticalDuplicateKeysAreBenign) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "utilrisk_dup_test.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << ResultStore::kSchemaHeader << "\n"
+        << "twice\t1.5 2.5 3.5 4.5\n"
+        << "twice\t1.5 2.5 3.5 4.5\n";
+  }
+  ResultStore store(path);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.conflicting_lines_dropped(), 0u);
+  EXPECT_EQ(store.malformed_lines_skipped(), 0u);
+  EXPECT_DOUBLE_EQ(store.lookup("twice")->profitability, 4.5);
   std::remove(path.c_str());
 }
 
@@ -185,6 +264,25 @@ TEST(ExperimentRunnerTest, RunKeyDistinguishesEverything) {
   commodity.model = economy::EconomicModel::CommodityMarket;
   EXPECT_NE(config.run_key(policy::PolicyKind::Libra, defaults),
             commodity.run_key(policy::PolicyKind::Libra, defaults));
+}
+
+TEST(ExperimentRunnerTest, RunKeyCoversFailureAndRecoveryKnobs) {
+  // Regression: the key once omitted the --fail-*/recovery parameters, so
+  // a failure-injected run could collide with (and be served from) the
+  // clean-run cache entry.
+  const ExperimentConfig config =
+      small_config(economy::EconomicModel::BidBased, ExperimentSet::B);
+  const RunSettings defaults = config.default_settings();
+  const std::string base_key =
+      config.run_key(policy::PolicyKind::Libra, defaults);
+
+  RunSettings failing = defaults;
+  failing.failure.mtbf_seconds = 43200.0;
+  EXPECT_NE(config.run_key(policy::PolicyKind::Libra, failing), base_key);
+
+  RunSettings recovering = defaults;
+  recovering.recovery.retry_limit = defaults.recovery.retry_limit + 1;
+  EXPECT_NE(config.run_key(policy::PolicyKind::Libra, recovering), base_key);
 }
 
 TEST(ExperimentRunnerTest, SweepShapeAndDedup) {

@@ -1,0 +1,344 @@
+// Tests for the deterministic-replay verification layer: digest
+// primitives, canonical run digests, cross-run invariants and the
+// golden-digest regression harness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "obs/manifest.hpp"
+#include "service/computing_service.hpp"
+#include "sim/distributions.hpp"
+#include "sim/rng.hpp"
+#include "verify/digest.hpp"
+#include "verify/golden.hpp"
+#include "verify/invariants.hpp"
+#include "verify/run_digest.hpp"
+
+namespace utilrisk::verify {
+namespace {
+
+// ------------------------------------------------------ Digest primitives
+
+TEST(DigestTest, EmptyStreamIsOffsetBasis) {
+  DigestStream stream;
+  EXPECT_EQ(stream.value(), kFnvOffsetBasis);
+}
+
+TEST(DigestTest, StreamIsOrderSensitive) {
+  DigestStream ab;
+  ab.put_u64(1);
+  ab.put_u64(2);
+  DigestStream ba;
+  ba.put_u64(2);
+  ba.put_u64(1);
+  EXPECT_NE(ab.value(), ba.value());
+}
+
+TEST(DigestTest, StringsAreLengthPrefixed) {
+  DigestStream split;
+  split.put_string("ab");
+  split.put_string("c");
+  DigestStream other;
+  other.put_string("a");
+  other.put_string("bc");
+  EXPECT_NE(split.value(), other.value());
+}
+
+TEST(DigestTest, DoublesAreCanonicalised) {
+  EXPECT_EQ(canonical_double_bits(-0.0), canonical_double_bits(0.0));
+  EXPECT_EQ(canonical_double_bits(std::numeric_limits<double>::quiet_NaN()),
+            canonical_double_bits(std::numeric_limits<double>::signaling_NaN()));
+  EXPECT_EQ(canonical_double_bits(std::nan("0x123")),
+            0x7ff8000000000000ULL);
+  EXPECT_NE(canonical_double_bits(1.0), canonical_double_bits(-1.0));
+  // Regular values hash their exact bit pattern: nextafter must differ.
+  EXPECT_NE(canonical_double_bits(1.0),
+            canonical_double_bits(std::nextafter(1.0, 2.0)));
+}
+
+TEST(DigestTest, UnorderedDigestIsPermutationInvariant) {
+  const std::vector<std::uint64_t> hashes = {7, 42, 42, 0x1234567890abcdefULL};
+  UnorderedDigest forward;
+  for (std::uint64_t h : hashes) forward.add(h);
+  UnorderedDigest backward;
+  for (auto it = hashes.rbegin(); it != hashes.rend(); ++it) backward.add(*it);
+  EXPECT_EQ(forward.value(), backward.value());
+  EXPECT_EQ(forward.count(), 4u);
+
+  // Multiset semantics: dropping one copy of a duplicate changes the value.
+  UnorderedDigest fewer;
+  fewer.add(7);
+  fewer.add(42);
+  fewer.add(0x1234567890abcdefULL);
+  EXPECT_NE(forward.value(), fewer.value());
+}
+
+TEST(DigestTest, HexRoundTrips) {
+  EXPECT_EQ(to_hex(0), "0000000000000000");
+  EXPECT_EQ(to_hex(0xdeadbeef12345678ULL), "deadbeef12345678");
+  EXPECT_EQ(parse_hex("deadbeef12345678"), 0xdeadbeef12345678ULL);
+  EXPECT_EQ(parse_hex("ff"), 255u);
+  EXPECT_THROW((void)parse_hex(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW((void)parse_hex("00000000000000000"), std::invalid_argument);
+}
+
+// --------------------------------------------- Distribution golden samples
+//
+// The digest contract rests on the samplers being pure functions of the
+// xoshiro stream. These literals were generated once from the reference
+// implementation; a platform, compiler or refactor that changes any bit
+// of any sample fails here first, long before a golden digest diverges.
+
+TEST(DistributionGoldenTest, Uniform01MatchesGoldenSamples) {
+  sim::Rng rng(12345);
+  EXPECT_DOUBLE_EQ(rng.uniform01(), 0.74380816315658937);
+  EXPECT_DOUBLE_EQ(rng.uniform01(), 0.13004553462783452);
+  EXPECT_DOUBLE_EQ(rng.uniform01(), 0.96333449301285445);
+  EXPECT_DOUBLE_EQ(rng.uniform01(), 0.048340114836345816);
+}
+
+TEST(DistributionGoldenTest, ExponentialMatchesGoldenSamples) {
+  sim::Rng rng(12345);
+  EXPECT_DOUBLE_EQ(sample_exponential(rng, 10.0), 13.61828752465019);
+  EXPECT_DOUBLE_EQ(sample_exponential(rng, 10.0), 1.3931440735590608);
+  EXPECT_DOUBLE_EQ(sample_exponential(rng, 10.0), 33.059188299812973);
+  EXPECT_DOUBLE_EQ(sample_exponential(rng, 10.0), 0.49547571508130717);
+}
+
+TEST(DistributionGoldenTest, LognormalMatchesGoldenSamples) {
+  sim::Rng rng(12345);
+  EXPECT_DOUBLE_EQ(sample_lognormal_mean_cv(rng, 100.0, 1.5),
+                   84.037681033622604);
+  EXPECT_DOUBLE_EQ(sample_lognormal_mean_cv(rng, 100.0, 1.5),
+                   57.163152897343522);
+  EXPECT_DOUBLE_EQ(sample_lognormal_mean_cv(rng, 100.0, 1.5),
+                   22.661925897619124);
+  EXPECT_DOUBLE_EQ(sample_lognormal_mean_cv(rng, 100.0, 1.5),
+                   43.972888301739708);
+}
+
+// ------------------------------------------------------------- Run digest
+
+exp::ExperimentConfig tiny_config(economy::EconomicModel model) {
+  exp::ExperimentConfig config;
+  config.model = model;
+  config.set = exp::ExperimentSet::B;
+  config.trace.job_count = 60;
+  return config;
+}
+
+service::SimulationReport run_tiny(const exp::ExperimentConfig& config,
+                                   policy::PolicyKind policy) {
+  const workload::WorkloadBuilder builder(config.trace);
+  return exp::simulate_run_report(config, builder, policy,
+                                  config.default_settings());
+}
+
+TEST(RunDigestTest, IdenticalRunsDigestIdentically) {
+  const auto config = tiny_config(economy::EconomicModel::BidBased);
+  const auto a = run_tiny(config, policy::PolicyKind::Libra);
+  const auto b = run_tiny(config, policy::PolicyKind::Libra);
+  EXPECT_FALSE(a.digest.empty());
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(run_digest(a), run_digest(b));
+}
+
+TEST(RunDigestTest, SeedPolicyAndModelAllLandInTheDigest) {
+  auto config = tiny_config(economy::EconomicModel::BidBased);
+  const auto base = run_tiny(config, policy::PolicyKind::Libra);
+
+  const auto other_policy = run_tiny(config, policy::PolicyKind::EdfBf);
+  EXPECT_NE(base.digest, other_policy.digest);
+
+  auto reseeded_config = config;
+  reseeded_config.qos_seed = config.qos_seed + 1;
+  const auto reseeded = run_tiny(reseeded_config, policy::PolicyKind::Libra);
+  EXPECT_NE(base.digest, reseeded.digest);
+
+  const auto commodity =
+      run_tiny(tiny_config(economy::EconomicModel::CommodityMarket),
+               policy::PolicyKind::Libra);
+  EXPECT_NE(base.digest, commodity.digest);
+}
+
+TEST(RunDigestTest, MoneyComponentIgnoresSettlementOrder) {
+  const auto config = tiny_config(economy::EconomicModel::BidBased);
+  auto report = run_tiny(config, policy::PolicyKind::Libra);
+  ASSERT_GE(report.ledger_entries.size(), 2u);
+  const RunDigest before = run_digest(report);
+  std::reverse(report.ledger_entries.begin(), report.ledger_entries.end());
+  const RunDigest after = run_digest(report);
+  EXPECT_EQ(before.money_flows, after.money_flows);
+}
+
+// -------------------------------------------------------------- Invariants
+
+TEST(InvariantTest, RealRunsSatisfyEveryInvariant) {
+  for (const auto model : {economy::EconomicModel::CommodityMarket,
+                           economy::EconomicModel::BidBased}) {
+    const auto config = tiny_config(model);
+    const auto report = run_tiny(config, policy::PolicyKind::Libra);
+    const InvariantReport result =
+        check_invariants(report, config.machine.node_count);
+    EXPECT_TRUE(result.ok()) << result.to_string();
+  }
+}
+
+TEST(InvariantTest, DetectsMoneyLeak) {
+  const auto config = tiny_config(economy::EconomicModel::BidBased);
+  auto report = run_tiny(config, policy::PolicyKind::Libra);
+  report.ledger_total_utility += 1.0;  // money out of thin air
+  const InvariantReport result = check_invariants(report);
+  EXPECT_FALSE(result.ok());
+  EXPECT_THROW(enforce_invariants(report), std::logic_error);
+}
+
+TEST(InvariantTest, DetectsBrokenOutcomePartition) {
+  const auto config = tiny_config(economy::EconomicModel::BidBased);
+  auto report = run_tiny(config, policy::PolicyKind::Libra);
+  ASSERT_FALSE(report.records.empty());
+  report.records.front().outcome = workload::JobOutcome::Unfinished;
+  EXPECT_FALSE(check_invariants(report).ok());
+}
+
+TEST(InvariantTest, DetectsClockViolation) {
+  const auto config = tiny_config(economy::EconomicModel::BidBased);
+  auto report = run_tiny(config, policy::PolicyKind::Libra);
+  auto settled = std::find_if(
+      report.records.begin(), report.records.end(),
+      [](const service::SlaRecord& r) { return r.fulfilled(); });
+  ASSERT_NE(settled, report.records.end());
+  settled->finish_time = settled->start_time - 10.0;
+  EXPECT_FALSE(check_invariants(report).ok());
+}
+
+TEST(InvariantTest, DetectsImpossibleUtilization) {
+  const auto config = tiny_config(economy::EconomicModel::BidBased);
+  auto report = run_tiny(config, policy::PolicyKind::Libra);
+  report.utilization = 1.5;
+  EXPECT_FALSE(check_invariants(report, config.machine.node_count).ok());
+}
+
+// ---------------------------------------------------------- Golden harness
+
+class GoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "utilrisk_golden_test")
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static GoldenConfig tiny_golden() {
+    GoldenConfig config;
+    config.model = economy::EconomicModel::BidBased;
+    config.job_count = 25;  // keep the full matrix affordable in a test
+    return config;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(GoldenTest, RecordLoadCheckRoundTrips) {
+  const GoldenConfig config = tiny_golden();
+  const GoldenFile recorded = compute_golden(config);
+  ASSERT_FALSE(recorded.entries.empty());
+  EXPECT_TRUE(std::is_sorted(
+      recorded.entries.begin(), recorded.entries.end(),
+      [](const GoldenEntry& a, const GoldenEntry& b) { return a.key < b.key; }));
+
+  const std::string path = write_golden(recorded, dir_);
+  const GoldenFile loaded = load_golden(path);
+  EXPECT_EQ(loaded.config.job_count, config.job_count);
+  EXPECT_EQ(loaded.config.model, config.model);
+  ASSERT_EQ(loaded.entries.size(), recorded.entries.size());
+  EXPECT_EQ(loaded.combined(), recorded.combined());
+
+  const CheckReport check = check_golden(loaded);
+  EXPECT_TRUE(check.ok()) << check.diagnostics.front();
+  EXPECT_EQ(check.records_checked, recorded.entries.size());
+}
+
+TEST_F(GoldenTest, SerialAndParallelComputeIdenticalDigests) {
+  const GoldenConfig config = tiny_golden();
+  const GoldenFile serial = compute_golden(config, 1);
+  const GoldenFile parallel = compute_golden(config, 3);
+  ASSERT_EQ(serial.entries.size(), parallel.entries.size());
+  for (std::size_t i = 0; i < serial.entries.size(); ++i) {
+    EXPECT_EQ(serial.entries[i].key, parallel.entries[i].key);
+    EXPECT_EQ(serial.entries[i].digest, parallel.entries[i].digest) << "key "
+        << serial.entries[i].key;
+  }
+  EXPECT_EQ(serial.combined(), parallel.combined());
+}
+
+TEST_F(GoldenTest, PerturbedSeedFailsNamingTheFirstDivergingRecord) {
+  GoldenFile golden = compute_golden(tiny_golden());
+  golden.config.qos_seed += 1;  // the deliberate perturbation
+  const CheckReport check = check_golden(golden);
+  EXPECT_FALSE(check.ok());
+  ASSERT_FALSE(check.diagnostics.empty());
+  EXPECT_EQ(check.diagnostics.front().rfind("first diverging record: ", 0),
+            0u)
+      << check.diagnostics.front();
+}
+
+TEST_F(GoldenTest, LoadRejectsTamperedFiles) {
+  const std::string path = write_golden(compute_golden(tiny_golden()), dir_);
+
+  // Flip one digest nibble: the trailer no longer matches the entries.
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  const auto tab = text.find('\t');
+  ASSERT_NE(tab, std::string::npos);
+  text[tab + 1] = text[tab + 1] == '0' ? '1' : '0';
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  EXPECT_THROW((void)load_golden(path), std::runtime_error);
+  EXPECT_THROW((void)load_golden(path + ".does_not_exist"),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------ Sweep digest
+
+TEST(SweepDigestTest, SerialSweepDigestIsDeterministic) {
+  const auto config = tiny_config(economy::EconomicModel::BidBased);
+  exp::ExperimentRunner a(config);
+  exp::ExperimentRunner b(config);
+  const std::vector<policy::PolicyKind> policies = {policy::PolicyKind::Libra};
+  EXPECT_EQ(sweep_digest(a.run_sweep(policies)),
+            sweep_digest(b.run_sweep(policies)));
+}
+
+// -------------------------------------------------------- Manifest wiring
+
+TEST(ManifestDigestTest, DigestFieldRoundTripsThroughJson) {
+  obs::RunManifest manifest;
+  manifest.command = "replay";
+  manifest.digest = "deadbeef12345678";
+  std::ostringstream out;
+  manifest.write(out);
+  const obs::RunManifest parsed = obs::RunManifest::parse(out.str());
+  EXPECT_EQ(parsed.digest, "deadbeef12345678");
+}
+
+}  // namespace
+}  // namespace utilrisk::verify

@@ -2,6 +2,7 @@
 // generator, QoS synthesis and the experiment knobs.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "workload/qos.hpp"
@@ -249,6 +250,44 @@ TEST_F(QosTest, AssignsPositiveTermsToEveryJob) {
     EXPECT_GT(job.penalty_rate, 0.0);
     EXPECT_GE(job.deadline_factor(), 1.05 - 1e-9)
         << "deadline floor keeps jobs feasible";
+  }
+}
+
+TEST_F(QosTest, ValidateSlaTermsRejectsInvalidTerms) {
+  assign_qos(jobs_, QosConfig{});
+  validate_sla_terms(jobs_);  // synthesised terms pass
+
+  std::vector<Job> bad = jobs_;
+  bad[3].penalty_rate = -0.5;  // would reward lateness (eqn 9)
+  EXPECT_THROW(validate_sla_terms(bad), std::invalid_argument);
+
+  bad = jobs_;
+  bad[7].budget = -100.0;  // would invert profitability
+  EXPECT_THROW(validate_sla_terms(bad), std::invalid_argument);
+
+  bad = jobs_;
+  bad[0].deadline_duration = 0.0;
+  EXPECT_THROW(validate_sla_terms(bad), std::invalid_argument);
+
+  bad = jobs_;
+  bad[1].budget = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(validate_sla_terms(bad), std::invalid_argument);
+
+  bad = jobs_;
+  bad[2].penalty_rate = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validate_sla_terms(bad), std::invalid_argument);
+}
+
+TEST_F(QosTest, ValidateSlaTermsNamesTheOffendingJob) {
+  assign_qos(jobs_, QosConfig{});
+  jobs_[5].penalty_rate = -1.0;
+  try {
+    validate_sla_terms(jobs_);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find(std::to_string(jobs_[5].id)),
+              std::string::npos)
+        << error.what();
   }
 }
 
