@@ -1,0 +1,128 @@
+// Serving-path throughput/latency bench for `utilrisk serve`.
+//
+// Boots an in-process admission engine + TCP-loopback server, drives it
+// with the seeded closed-loop load generator (the determinism-friendly
+// mode: one request in flight, so decisions replay bit-identically), and
+// writes <out>/BENCH_serving.json with throughput and p50/p95/p99
+// round-trip latency. A second same-seed pass against a fresh engine must
+// reproduce the decision digest — the bench fails on any divergence, on
+// dropped responses, or on a client/server digest mismatch, so it doubles
+// as an end-to-end regression gate for the serving layer.
+//
+// Honours REPRO_REQUESTS (requests per pass, default 5000) and REPRO_OUT
+// (artefact directory, default ./bench_out).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace utilrisk;
+
+struct Pass {
+  serve::LoadgenReport report;
+  serve::EngineStats engine;
+};
+
+Pass run_pass(std::size_t requests, std::uint64_t seed) {
+  serve::EngineConfig engine_config;
+  serve::AdmissionEngine engine(engine_config);
+  engine.start();
+
+  serve::ServerConfig server_config;
+  server_config.tcp_port = 0;  // ephemeral loopback port
+  serve::Server server(server_config, engine);
+  server.start();
+
+  serve::LoadgenConfig load;
+  load.tcp_port = server.bound_port();
+  load.requests = requests;
+  load.seed = seed;
+
+  Pass pass;
+  pass.report = serve::run_loadgen(load);
+  pass.engine = server.stop_and_drain();
+  return pass;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchEnv env = bench::read_env();
+  std::size_t requests = 5000;
+  if (const char* raw = std::getenv("REPRO_REQUESTS"); raw != nullptr) {
+    requests = static_cast<std::size_t>(std::strtoull(raw, nullptr, 10));
+  }
+  constexpr std::uint64_t kSeed = 42;
+
+  std::cout << "serving bench: " << requests
+            << " closed-loop requests, seed " << kSeed << "\n";
+  run_pass(std::min<std::size_t>(requests, 500), kSeed);  // warm-up
+
+  const Pass first = run_pass(requests, kSeed);
+  const Pass second = run_pass(requests, kSeed);
+
+  const serve::LoadgenReport& r = first.report;
+  std::cout << "  responses:  " << r.responses << " of " << r.sent
+            << " (accepted " << r.accepted << ", rejected " << r.rejected
+            << ")\n"
+            << "  throughput: " << r.throughput_rps << " responses/s\n"
+            << "  latency:    p50 " << r.latency.p50_ms << " ms, p95 "
+            << r.latency.p95_ms << " ms, p99 " << r.latency.p99_ms
+            << " ms\n"
+            << "  digest:     " << r.decision_digest << "\n";
+
+  bool pass = true;
+  if (r.dropped != 0 || second.report.dropped != 0) {
+    std::cerr << "FAIL: dropped responses (" << r.dropped << ", "
+              << second.report.dropped << ")\n";
+    pass = false;
+  }
+  if (r.decision_digest != first.engine.decision_digest) {
+    std::cerr << "FAIL: client digest " << r.decision_digest
+              << " != server digest " << first.engine.decision_digest
+              << "\n";
+    pass = false;
+  }
+  if (r.decision_digest != second.report.decision_digest) {
+    std::cerr << "FAIL: same-seed passes diverged: " << r.decision_digest
+              << " vs " << second.report.decision_digest << "\n";
+    pass = false;
+  }
+
+  const std::string path = env.out_dir + "/BENCH_serving.json";
+  std::ofstream json(path);
+  json.precision(6);
+  json << "{\n"
+       << "  \"bench\": \"serving\",\n"
+       << "  \"mode\": \"closed_loop\",\n"
+       << "  \"requests\": " << requests << ",\n"
+       << "  \"seed\": " << kSeed << ",\n"
+       << "  \"responses\": " << r.responses << ",\n"
+       << "  \"accepted\": " << r.accepted << ",\n"
+       << "  \"rejected\": " << r.rejected << ",\n"
+       << "  \"busy\": " << r.busy << ",\n"
+       << "  \"dropped\": " << r.dropped << ",\n"
+       << "  \"wall_seconds\": " << r.wall_seconds << ",\n"
+       << "  \"throughput_rps\": " << r.throughput_rps << ",\n"
+       << "  \"latency_p50_ms\": " << r.latency.p50_ms << ",\n"
+       << "  \"latency_p95_ms\": " << r.latency.p95_ms << ",\n"
+       << "  \"latency_p99_ms\": " << r.latency.p99_ms << ",\n"
+       << "  \"latency_mean_ms\": " << r.latency.mean_ms << ",\n"
+       << "  \"latency_max_ms\": " << r.latency.max_ms << ",\n"
+       << "  \"decision_digest\": \"" << r.decision_digest << "\",\n"
+       << "  \"digest_reproduced\": "
+       << (r.decision_digest == second.report.decision_digest ? "true"
+                                                              : "false")
+       << ",\n"
+       << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  std::cout << "[wrote " << path << "]\n";
+
+  return pass ? 0 : 1;
+}

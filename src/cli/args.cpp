@@ -68,6 +68,12 @@ void ArgParser::parse(const std::vector<std::string>& args) {
         flags_[name] = true;
         continue;
       }
+      // Repeating a single-valued option is almost always a stale shell
+      // history or a script bug; silently keeping the last value hid it.
+      if (values_.contains(name)) {
+        throw ArgError("option --" + name +
+                       " given more than once (it takes a single value)");
+      }
       if (has_inline) {
         values_[name] = inline_value;
         continue;

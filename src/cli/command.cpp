@@ -104,11 +104,13 @@ int CommandRegistry::run(int argc, char** argv) const {
     std::cout << usage();
     return 2;
   }
-  const std::string name = argv[1];
+  std::string name = argv[1];
   if (name == "--help" || name == "-h" || name == "help") {
     std::cout << usage();
     return 0;
   }
+  // `--version` aliases the `version` subcommand when one is registered.
+  if (name == "--version" || name == "-V") name = "version";
   const Command* command = find(name);
   if (command == nullptr) {
     std::cerr << "unknown subcommand '" << name << "'\n";

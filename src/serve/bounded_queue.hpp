@@ -1,0 +1,116 @@
+// Bounded MPMC queue with explicit backpressure — the admission buffer
+// between the server's IO threads and the single engine thread.
+//
+// The producer side never blocks: `try_push` returns false when the queue
+// is at capacity (the server turns that into a `busy` response with a
+// retry-after hint) or after close(). The consumer side blocks in
+// `pop_wait` until an item arrives or the queue is closed *and* drained,
+// so a graceful shutdown is: close(), then keep popping until nullopt —
+// every request accepted before the close still gets its response.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace utilrisk::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking enqueue. False = full or closed (backpressure).
+  [[nodiscard]] bool try_push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  /// While held (see hold()) items do not satisfy the wait, so consumers
+  /// stay blocked without consuming; close() overrides a hold so a drain
+  /// always proceeds.
+  [[nodiscard]] std::optional<T> pop_wait() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock,
+                    [this] { return closed_ || (!held_ && !items_.empty()); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking drain of up to `max` further items into `out` (appends).
+  /// The engine uses this to coalesce a batch after the first blocking
+  /// pop. Returns the number of items moved.
+  std::size_t try_pop_batch(std::vector<T>& out, std::size_t max) {
+    std::lock_guard lock(mutex_);
+    std::size_t moved = 0;
+    while (moved < max && !items_.empty() && (!held_ || closed_)) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++moved;
+    }
+    return moved;
+  }
+
+  /// While held, pop_wait blocks even when items are available, so the
+  /// queue observably fills to capacity — the deterministic backpressure
+  /// gate behind AdmissionEngine::pause(). Pushes are unaffected.
+  void hold() {
+    std::lock_guard lock(mutex_);
+    held_ = true;
+  }
+
+  /// Lifts a hold(); blocked consumers re-check for items.
+  void release() {
+    {
+      std::lock_guard lock(mutex_);
+      held_ = false;
+    }
+    not_empty_.notify_all();
+  }
+
+  /// No further pushes succeed; blocked consumers wake once drained.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  bool held_ = false;
+};
+
+}  // namespace utilrisk::serve

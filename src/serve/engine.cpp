@@ -1,0 +1,207 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace utilrisk::serve {
+
+namespace {
+
+/// Latency buckets for the request-path histograms: 10 µs .. 10 s.
+const std::vector<double>& request_time_buckets() {
+  static const std::vector<double> buckets = {
+      1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+      1e-1, 3e-1, 1.0,  3.0,  10.0};
+  return buckets;
+}
+
+const std::vector<double>& batch_size_buckets() {
+  static const std::vector<double> buckets = {1,  2,  4,   8,   16,
+                                              32, 64, 128, 256, 512};
+  return buckets;
+}
+
+}  // namespace
+
+AdmissionEngine::AdmissionEngine(const EngineConfig& config)
+    : config_(config), queue_(config.queue_capacity) {
+  config_.machine.validate();
+  simulator_.logger().set_level(config_.log_level);
+  simulator_.set_metrics(config_.metrics);
+
+  policy::PolicyContext context;
+  context.simulator = &simulator_;
+  context.machine = config_.machine;
+  context.model = config_.model;
+  context.pricing = config_.pricing;
+  context.first_reward = config_.first_reward;
+  context.metrics = config_.metrics;
+  context.log_level = config_.log_level;
+  service_ = std::make_unique<service::ComputingService>(
+      simulator_, service::factory_for(config_.policy), context);
+
+  requests_metric_ = obs::counter_or_null(config_.metrics, "serve.requests");
+  accepted_metric_ = obs::counter_or_null(config_.metrics, "serve.accepted");
+  rejected_metric_ = obs::counter_or_null(config_.metrics, "serve.rejected");
+  busy_metric_ = obs::counter_or_null(config_.metrics, "serve.busy");
+  queue_depth_metric_ =
+      obs::gauge_or_null(config_.metrics, "serve.queue_depth");
+  queue_wait_metric_ = obs::histogram_or_null(
+      config_.metrics, "serve.queue_wait_seconds", request_time_buckets());
+  batch_size_metric_ = obs::histogram_or_null(
+      config_.metrics, "serve.batch_size", batch_size_buckets());
+  tick_seconds_metric_ = obs::histogram_or_null(
+      config_.metrics, "serve.tick_seconds", request_time_buckets());
+}
+
+AdmissionEngine::~AdmissionEngine() { drain(); }
+
+void AdmissionEngine::start() {
+  if (started_.exchange(true)) return;
+  thread_ = std::thread([this] { engine_loop(); });
+}
+
+bool AdmissionEngine::submit(const Request& request, Completion completion) {
+  if (requests_metric_ != nullptr) requests_metric_->inc();
+  Pending pending{request, std::move(completion),
+                  std::chrono::steady_clock::now()};
+  const bool queued = queue_.try_push(std::move(pending));
+  if (!queued && busy_metric_ != nullptr) busy_metric_->inc();
+  if (queue_depth_metric_ != nullptr) {
+    queue_depth_metric_->set(static_cast<double>(queue_.size()));
+  }
+  return queued;
+}
+
+Response AdmissionEngine::make_busy_response(const Request& request) const {
+  Response response;
+  response.id = request.id;
+  response.status = Status::Busy;
+  response.retry_after_ms = config_.retry_after_ms;
+  return response;
+}
+
+void AdmissionEngine::pause() { queue_.hold(); }
+
+void AdmissionEngine::resume() { queue_.release(); }
+
+void AdmissionEngine::engine_loop() {
+  std::vector<Pending> batch;
+  batch.reserve(config_.max_batch);
+  for (;;) {
+    // The hold (pause()) gate lives inside pop_wait, so a paused engine
+    // consumes nothing — not even an item it was already waiting on.
+    std::optional<Pending> first = queue_.pop_wait();
+    if (!first.has_value()) break;  // closed and drained
+    batch.clear();
+    batch.push_back(std::move(*first));
+    // Coalesce whatever else is already queued into this tick. Batch
+    // composition only affects grouping — virtual times come from the
+    // requests themselves, so decisions are batch-invariant.
+    queue_.try_pop_batch(batch, config_.max_batch - 1);
+    if (queue_depth_metric_ != nullptr) {
+      queue_depth_metric_->set(static_cast<double>(queue_.size()));
+    }
+    if (batch_size_metric_ != nullptr) {
+      batch_size_metric_->observe(static_cast<double>(batch.size()));
+    }
+    const auto tick_start = std::chrono::steady_clock::now();
+    for (Pending& pending : batch) {
+      process(pending);
+    }
+    ++stats_.batches;
+    if (tick_seconds_metric_ != nullptr) {
+      tick_seconds_metric_->observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        tick_start)
+              .count());
+    }
+  }
+}
+
+void AdmissionEngine::process(Pending& pending) {
+  if (queue_wait_metric_ != nullptr) {
+    queue_wait_metric_->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      pending.enqueued_at)
+            .count());
+  }
+  const Request& request = pending.request;
+  // The virtual clock never rewinds: a request claiming an instant the
+  // engine has already passed is admitted "now" on the virtual axis.
+  virtual_now_ = std::max(virtual_now_, request.submit_time);
+  const workload::Job job = to_job(request, next_job_id_++, virtual_now_);
+
+  // Advance the world to the submission instant (starts/finishes of
+  // earlier jobs fire here), then submit and dispatch the decision event.
+  simulator_.run(virtual_now_);
+  service_->submit_all({job});
+  simulator_.run(virtual_now_);
+
+  const service::SlaRecord& record = service_->metrics().record(job.id);
+  Response response;
+  response.id = request.id;
+  response.virtual_time = virtual_now_;
+  response.risk = risk_index(job);
+  if (record.accepted()) {
+    response.status = Status::Accepted;
+    // The commodity model fixes the charge at acceptance; the bid model
+    // settles from completion time, so the budget is the price cap the
+    // user is quoted.
+    response.price = config_.model == economy::EconomicModel::CommodityMarket
+                         ? record.quoted_cost
+                         : job.budget;
+    accepted_work_ += job.work();
+    ++stats_.accepted;
+    if (accepted_metric_ != nullptr) accepted_metric_->inc();
+  } else {
+    response.status = Status::Rejected;
+    ++stats_.rejected;
+    if (rejected_metric_ != nullptr) rejected_metric_->inc();
+  }
+  ++stats_.processed;
+  decision_digest_.add(decision_hash(response));
+  if (pending.completion) pending.completion(response);
+}
+
+double AdmissionEngine::risk_index(const workload::Job& job) const {
+  // Outstanding backlog (accepted-but-undelivered processor-seconds, this
+  // job included) relative to the capacity the machine can deliver within
+  // this job's deadline window: ~0 on an idle service, ->1 as admission
+  // outpaces delivery. Purely simulation-state-derived, so deterministic.
+  const double backlog = std::max(
+      0.0, accepted_work_ - service_->active_policy().delivered_proc_seconds()
+               + job.work());
+  const double capacity = static_cast<double>(config_.machine.node_count) *
+                          std::max(job.deadline_duration, 1.0);
+  return std::clamp(backlog / capacity, 0.0, 1.0);
+}
+
+EngineStats AdmissionEngine::drain() {
+  std::lock_guard drain_lock(drain_mutex_);
+  if (drained_.load()) return stats_;
+  queue_.close();
+  resume();  // a paused engine must still drain
+  if (started_.load() && thread_.joinable()) thread_.join();
+  // Run the simulation to quiescence so every accepted job settles; the
+  // engine thread is joined, so this thread is now the (only) owner.
+  simulator_.run();
+  virtual_now_ = std::max(virtual_now_, simulator_.now());
+  for (const auto& [id, record] : service_->metrics().records()) {
+    if (record.outcome == workload::JobOutcome::FulfilledSLA) {
+      ++stats_.fulfilled;
+    } else if (record.outcome == workload::JobOutcome::ViolatedSLA) {
+      ++stats_.violated;
+    }
+  }
+  stats_.events_dispatched = simulator_.events_dispatched();
+  stats_.virtual_end_time = virtual_now_;
+  stats_.decision_digest = verify::to_hex(decision_digest_.value());
+  drained_.store(true);
+  return stats_;
+}
+
+}  // namespace utilrisk::serve

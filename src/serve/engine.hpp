@@ -1,0 +1,170 @@
+// Admission engine: the long-lived simulation backend of `utilrisk serve`.
+//
+// Turns the offline ComputingService + policy/economy engine into an
+// online decision maker. One dedicated engine thread owns a live
+// Simulator and ComputingService for the whole server session; IO threads
+// hand it requests through a bounded queue (bounded_queue.hpp) and the
+// engine coalesces whatever is in flight into a batch, advances the
+// virtual clock tick by tick, and answers each request with the policy's
+// admission decision, the quoted price and a load-risk index.
+//
+// Determinism (docs/SERVING.md): each request carries its own virtual
+// submission instant `t`; the engine clamps it monotonically
+// (virtual_now = max(virtual_now, t)) and the policy decides from
+// simulation state alone, so decisions are a pure function of the request
+// sequence — *not* of wall-clock timing, batch boundaries or worker
+// count. A seeded closed-loop client therefore gets bit-identical
+// decisions on every run, digest-checked with verify::UnorderedDigest.
+// Interleaving across concurrent connections is the one nondeterminism
+// the engine cannot remove; single-connection (or replayed) streams are
+// fully reproducible.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "policy/factory.hpp"
+#include "policy/policy.hpp"
+#include "serve/bounded_queue.hpp"
+#include "serve/protocol.hpp"
+#include "service/computing_service.hpp"
+#include "sim/simulator.hpp"
+#include "verify/digest.hpp"
+
+namespace utilrisk::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace utilrisk::obs
+
+namespace utilrisk::serve {
+
+struct EngineConfig {
+  policy::PolicyKind policy = policy::PolicyKind::Libra;
+  economy::EconomicModel model = economy::EconomicModel::CommodityMarket;
+  cluster::MachineConfig machine;  ///< node_count defaults per cluster/node.hpp
+  economy::PricingParams pricing;
+  policy::FirstRewardParams first_reward;
+  /// Bounded admission queue capacity; a full queue is backpressure.
+  std::size_t queue_capacity = 1024;
+  /// Max requests coalesced into one simulation tick.
+  std::size_t max_batch = 64;
+  /// Hint clients receive with a `busy` response.
+  double retry_after_ms = 50.0;
+  /// Optional registry for the serve.* instruments (may be null).
+  obs::MetricsRegistry* metrics = nullptr;
+  sim::LogLevel log_level = sim::LogLevel::Off;
+};
+
+/// Delivered on the engine thread once the decision for a request exists.
+using Completion = std::function<void(const Response&)>;
+
+/// Session totals, snapshotted at drain time.
+struct EngineStats {
+  std::uint64_t processed = 0;  ///< requests that reached the engine
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  /// Jobs whose SLA settled fulfilled/violated by the time of the drain.
+  std::uint64_t fulfilled = 0;
+  std::uint64_t violated = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t events_dispatched = 0;
+  double virtual_end_time = 0.0;
+  /// Order-independent digest over (request id, decision, price) — equal
+  /// across runs iff the admission decisions were identical.
+  std::string decision_digest;
+};
+
+class AdmissionEngine {
+ public:
+  explicit AdmissionEngine(const EngineConfig& config);
+  /// Joins the engine thread; pending completions fire first (drain() is
+  /// the polite path — the destructor is the safety net).
+  ~AdmissionEngine();
+
+  AdmissionEngine(const AdmissionEngine&) = delete;
+  AdmissionEngine& operator=(const AdmissionEngine&) = delete;
+
+  /// Launches the engine thread. Idempotent.
+  void start();
+
+  /// Enqueues a request; `completion` runs on the engine thread with the
+  /// decision. Returns false when the bounded queue is full or the engine
+  /// is draining — the caller answers `busy` itself (make_busy_response
+  /// builds the canonical one). Thread-safe.
+  [[nodiscard]] bool submit(const Request& request, Completion completion);
+
+  /// The canonical backpressure response for `request`.
+  [[nodiscard]] Response make_busy_response(const Request& request) const;
+
+  /// Graceful shutdown: stop accepting, process everything already
+  /// queued (every completion fires), run the simulation to quiescence so
+  /// accepted jobs settle, and return the session totals. Idempotent —
+  /// later calls return the same stats.
+  EngineStats drain();
+
+  /// Test hook: while paused the engine consumes nothing from the queue
+  /// (the hold gate lives inside the queue's pop, so pausing is exact
+  /// regardless of where the engine thread currently blocks) and the
+  /// queue observably fills — the backpressure tests use this to force
+  /// `busy` deterministically. Draining resumes automatically.
+  void pause();
+  void resume();
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const {
+    return queue_.capacity();
+  }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    Request request;
+    Completion completion;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  void engine_loop();
+  void process(Pending& pending);
+  [[nodiscard]] double risk_index(const workload::Job& job) const;
+
+  EngineConfig config_;
+  BoundedQueue<Pending> queue_;
+
+  // --- engine-thread-only state ----------------------------------------
+  sim::Simulator simulator_;
+  std::unique_ptr<service::ComputingService> service_;
+  double virtual_now_ = 0.0;
+  workload::JobId next_job_id_ = 1;
+  /// Processor-seconds of accepted work, totalled at admission; together
+  /// with Policy::delivered_proc_seconds() this yields the outstanding
+  /// backlog behind the risk index in O(1).
+  double accepted_work_ = 0.0;
+  EngineStats stats_;
+  verify::UnorderedDigest decision_digest_;
+
+  // --- cross-thread coordination ----------------------------------------
+  std::atomic<bool> started_{false};
+  std::atomic<bool> drained_{false};
+  std::mutex drain_mutex_;  ///< serialises drain() callers
+  std::thread thread_;
+
+  // serve.* instruments (null when metrics are absent/disabled).
+  obs::Counter* requests_metric_ = nullptr;
+  obs::Counter* accepted_metric_ = nullptr;
+  obs::Counter* rejected_metric_ = nullptr;
+  obs::Counter* busy_metric_ = nullptr;
+  obs::Gauge* queue_depth_metric_ = nullptr;
+  obs::Histogram* queue_wait_metric_ = nullptr;
+  obs::Histogram* batch_size_metric_ = nullptr;
+  obs::Histogram* tick_seconds_metric_ = nullptr;
+};
+
+}  // namespace utilrisk::serve

@@ -1,0 +1,307 @@
+#include "serve/loadgen.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "verify/digest.hpp"
+#include "workload/qos.hpp"
+#include "workload/workload.hpp"
+
+namespace utilrisk::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_between(Clock::time_point from,
+                                     Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Blocking NDJSON client socket: line-framed send/receive with an idle
+/// timeout on reads. Reads and writes may come from different threads
+/// (sockets are full duplex); each side is single-threaded.
+class LineSocket {
+ public:
+  ~LineSocket() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void connect_unix(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("unix socket path too long: " + path);
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0 || ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) != 0) {
+      throw std::runtime_error("loadgen: cannot connect to " + path + ": " +
+                               std::strerror(errno));
+    }
+  }
+
+  void connect_tcp(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (fd_ < 0 || ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) != 0) {
+      throw std::runtime_error("loadgen: cannot connect to port " +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+    }
+  }
+
+  [[nodiscard]] bool send_line(const std::string& line) {
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Next line, or nullopt on EOF / idle timeout / error.
+  [[nodiscard]] std::optional<std::string> read_line(double timeout_seconds) {
+    for (;;) {
+      if (const auto nl = buffer_.find('\n'); nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready =
+          ::poll(&pfd, 1, static_cast<int>(timeout_seconds * 1000.0));
+      if (ready <= 0) return std::nullopt;  // timeout or error
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n == 0) return std::nullopt;  // EOF
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+void connect_per_config(LineSocket& socket, const LoadgenConfig& config) {
+  if (!config.unix_path.empty()) {
+    socket.connect_unix(config.unix_path);
+  } else if (config.tcp_port >= 0) {
+    socket.connect_tcp(config.tcp_port);
+  } else {
+    throw std::runtime_error(
+        "loadgen: configure a unix socket path or a TCP port");
+  }
+}
+
+/// Applies one received response to the running report tally.
+void tally(LoadgenReport& report, verify::UnorderedDigest& digest,
+           const Response& response) {
+  ++report.responses;
+  switch (response.status) {
+    case Status::Accepted:
+      ++report.accepted;
+      digest.add(decision_hash(response));
+      break;
+    case Status::Rejected:
+      ++report.rejected;
+      digest.add(decision_hash(response));
+      break;
+    case Status::Busy:
+      ++report.busy;
+      break;
+    case Status::Error:
+      ++report.errors;
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<Request> make_request_stream(const LoadgenConfig& config) {
+  workload::SyntheticSdscConfig trace;
+  trace.job_count = static_cast<std::uint32_t>(config.requests);
+  trace.seed = config.seed;
+  const workload::WorkloadBuilder builder(trace);
+  workload::QosConfig qos;
+  qos.high_urgency_percent = config.high_urgency_percent;
+  // Decouple the QoS stream from the trace stream the same way the
+  // experiment harness does: related but distinct seeds.
+  qos.seed = config.seed * 9176 + 4242;
+  const std::vector<workload::Job> jobs = builder.build(
+      qos, config.arrival_delay_factor, config.inaccuracy_percent);
+
+  std::vector<Request> requests;
+  requests.reserve(jobs.size());
+  std::uint64_t id = 1;
+  for (const workload::Job& job : jobs) {
+    requests.push_back(from_job(job, id++));
+  }
+  return requests;
+}
+
+LatencySummary summarize_latencies(std::vector<double> ms) {
+  LatencySummary summary;
+  if (ms.empty()) return summary;
+  std::sort(ms.begin(), ms.end());
+  const auto at_quantile = [&ms](double q) {
+    const auto index = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(ms.size())));
+    return ms[std::min(index == 0 ? 0 : index - 1, ms.size() - 1)];
+  };
+  summary.p50_ms = at_quantile(0.50);
+  summary.p95_ms = at_quantile(0.95);
+  summary.p99_ms = at_quantile(0.99);
+  summary.max_ms = ms.back();
+  double total = 0.0;
+  for (double value : ms) total += value;
+  summary.mean_ms = total / static_cast<double>(ms.size());
+  return summary;
+}
+
+LoadgenReport run_loadgen(const LoadgenConfig& config) {
+  const std::vector<Request> requests = make_request_stream(config);
+  LineSocket socket;
+  connect_per_config(socket, config);
+
+  LoadgenReport report;
+  verify::UnorderedDigest digest;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(requests.size());
+  const auto wall_start = Clock::now();
+
+  if (!config.open_loop) {
+    // Closed loop: one in flight. The server answers in submission
+    // order, so each send pairs with the next matching-id line.
+    for (const Request& request : requests) {
+      const auto sent_at = Clock::now();
+      if (!socket.send_line(encode_request(request))) {
+        report.dropped += 1;
+        break;
+      }
+      ++report.sent;
+      bool answered = false;
+      while (!answered) {
+        const auto line = socket.read_line(config.idle_timeout_seconds);
+        if (!line.has_value()) break;  // timeout / EOF: give up on this id
+        const Response response = parse_response(*line);
+        tally(report, digest, response);
+        if (response.id == request.id || response.status == Status::Busy ||
+            response.status == Status::Error) {
+          answered = true;
+          latencies_ms.push_back(seconds_between(sent_at, Clock::now()) *
+                                 1000.0);
+        }
+      }
+      if (!answered) {
+        ++report.dropped;
+        break;  // the connection is wedged; stop instead of piling on
+      }
+    }
+  } else {
+    // Open loop: paced sends regardless of responses. A reader thread
+    // tallies decisions/busy concurrently; `pending` maps in-flight ids
+    // to their send instants for the latency percentiles. Every request
+    // draws exactly one response (decision or busy) with its own id, so
+    // the reader is done when the sender finished and `pending` drained —
+    // or the server has gone silent past the idle timeout.
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, Clock::time_point> pending;
+    std::atomic<bool> sender_done{false};
+
+    std::thread reader([&] {
+      auto last_activity = Clock::now();
+      for (;;) {
+        {
+          std::lock_guard lock(mutex);
+          if (sender_done.load() && pending.empty()) break;
+        }
+        const auto line = socket.read_line(/*timeout_seconds=*/0.1);
+        if (!line.has_value()) {
+          if (seconds_between(last_activity, Clock::now()) >
+              config.idle_timeout_seconds) {
+            break;
+          }
+          continue;
+        }
+        last_activity = Clock::now();
+        const Response response = parse_response(*line);
+        std::lock_guard lock(mutex);
+        tally(report, digest, response);
+        if (const auto it = pending.find(response.id);
+            it != pending.end()) {
+          latencies_ms.push_back(seconds_between(it->second, Clock::now()) *
+                                 1000.0);
+          pending.erase(it);
+        }
+      }
+    });
+
+    const double interval = config.rate > 0.0 ? 1.0 / config.rate : 0.0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const auto due =
+          wall_start + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               interval * static_cast<double>(i)));
+      std::this_thread::sleep_until(due);
+      {
+        std::lock_guard lock(mutex);
+        pending.emplace(requests[i].id, Clock::now());
+      }
+      if (!socket.send_line(encode_request(requests[i]))) {
+        std::lock_guard lock(mutex);
+        pending.erase(requests[i].id);
+        ++report.dropped;
+        continue;
+      }
+      ++report.sent;
+    }
+    sender_done.store(true);
+    reader.join();
+    std::lock_guard lock(mutex);
+    report.dropped += pending.size();  // ids that never drew a response
+  }
+
+  report.wall_seconds = seconds_between(wall_start, Clock::now());
+  report.throughput_rps =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.responses) / report.wall_seconds
+          : 0.0;
+  report.latency = summarize_latencies(std::move(latencies_ms));
+  report.decision_digest = verify::to_hex(digest.value());
+  return report;
+}
+
+}  // namespace utilrisk::serve

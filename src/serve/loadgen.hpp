@@ -1,0 +1,86 @@
+// Load generator for the online admission service (`utilrisk loadgen`).
+//
+// Replays a seeded arrival process from src/workload (the synthetic SDSC
+// SP2 trace + §5.3 QoS synthesis) against a running `utilrisk serve`
+// instance over its NDJSON socket protocol, in one of two modes:
+//
+//  - closed loop (default): one request in flight — send, await the
+//    decision, send the next. Request order is then deterministic, so a
+//    fixed seed yields bit-identical admission decisions on every run;
+//    the report's decision digest must equal the server's.
+//  - open loop: requests go out on a wall-clock schedule (`rate`/s)
+//    regardless of responses — the overload mode that drives the bounded
+//    admission queue into observable `busy` backpressure.
+//
+// The report carries throughput and p50/p95/p99 wall-latency percentiles;
+// bench_serving serialises it into BENCH_serving.json.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace utilrisk::serve {
+
+struct LoadgenConfig {
+  /// Unix-domain socket path of the server (precedence over TCP).
+  std::string unix_path;
+  /// TCP loopback port of the server; -1 = off.
+  int tcp_port = -1;
+  std::size_t requests = 5000;
+  std::uint64_t seed = 42;
+  /// Open loop when true (see header comment); closed loop otherwise.
+  bool open_loop = false;
+  /// Open-loop send rate, requests per wall second.
+  double rate = 2000.0;
+  /// Workload shaping knobs (paper Table VI semantics).
+  double high_urgency_percent = 20.0;
+  double arrival_delay_factor = 1.0;
+  double inaccuracy_percent = 100.0;
+  /// Give up when the server goes silent for this long.
+  double idle_timeout_seconds = 30.0;
+};
+
+struct LatencySummary {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct LoadgenReport {
+  std::uint64_t sent = 0;
+  std::uint64_t responses = 0;  ///< decisions + busy + errors received
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t busy = 0;    ///< backpressure rejections observed
+  std::uint64_t errors = 0;  ///< protocol errors reported by the server
+  /// Requests the run gave up on (idle timeout / connection loss). A
+  /// clean run has zero.
+  std::uint64_t dropped = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;  ///< responses per wall second
+  LatencySummary latency;
+  /// Order-independent digest over the accepted/rejected decisions
+  /// (protocol.hpp decision_hash); comparable with the server's.
+  std::string decision_digest;
+};
+
+/// The seeded request stream the generator replays: synthetic SDSC trace
+/// -> QoS terms -> arrival scaling -> wire requests, ids 1..N in
+/// submission order. Deterministic in `config`. Exposed for tests and the
+/// bench, which drive engines/servers with it directly.
+[[nodiscard]] std::vector<Request> make_request_stream(
+    const LoadgenConfig& config);
+
+/// Runs the full client session against a live server. Throws
+/// std::runtime_error when the connection cannot be established.
+[[nodiscard]] LoadgenReport run_loadgen(const LoadgenConfig& config);
+
+/// Percentile summary of raw wall latencies (milliseconds).
+[[nodiscard]] LatencySummary summarize_latencies(std::vector<double> ms);
+
+}  // namespace utilrisk::serve

@@ -1,0 +1,234 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "verify/digest.hpp"
+
+namespace utilrisk::serve {
+
+namespace {
+
+using obs::json::Value;
+
+[[nodiscard]] double number_field(const Value& object, std::string_view key) {
+  const Value* value = object.find(key);
+  if (value == nullptr) {
+    throw ProtocolError("missing field '" + std::string(key) + "'");
+  }
+  if (!value->is_number()) {
+    throw ProtocolError("field '" + std::string(key) + "' must be a number");
+  }
+  return value->as_number();
+}
+
+[[nodiscard]] double number_field_or(const Value& object,
+                                     std::string_view key,
+                                     double fallback) {
+  const Value* value = object.find(key);
+  if (value == nullptr) return fallback;
+  if (!value->is_number()) {
+    throw ProtocolError("field '" + std::string(key) + "' must be a number");
+  }
+  return value->as_number();
+}
+
+[[nodiscard]] const std::string& string_field(const Value& object,
+                                              std::string_view key) {
+  const Value* value = object.find(key);
+  if (value == nullptr || !value->is_string()) {
+    throw ProtocolError("missing string field '" + std::string(key) + "'");
+  }
+  return value->as_string();
+}
+
+void require_finite(double value, const char* what) {
+  if (!std::isfinite(value)) {
+    throw ProtocolError(std::string(what) + " must be finite");
+  }
+}
+
+}  // namespace
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::Accepted: return "accepted";
+    case Status::Rejected: return "rejected";
+    case Status::Busy: return "busy";
+    case Status::Error: return "error";
+  }
+  return "?";
+}
+
+Request parse_request(std::string_view line) {
+  if (line.size() > kMaxRequestBytes) {
+    throw ProtocolError("request exceeds " +
+                        std::to_string(kMaxRequestBytes) + " bytes");
+  }
+  Value doc;
+  try {
+    doc = obs::json::parse(line);
+  } catch (const obs::json::ParseError& e) {
+    throw ProtocolError(std::string("malformed JSON: ") + e.what());
+  }
+  if (!doc.is_object()) throw ProtocolError("request must be a JSON object");
+  if (string_field(doc, "type") != "submit") {
+    throw ProtocolError("unknown request type '" +
+                        string_field(doc, "type") + "'");
+  }
+
+  Request request;
+  request.id = static_cast<std::uint64_t>(number_field(doc, "id"));
+  request.submit_time = number_field_or(doc, "t", 0.0);
+  const double procs = number_field(doc, "procs");
+  if (procs < 1.0 || procs != std::floor(procs)) {
+    throw ProtocolError("'procs' must be a positive integer");
+  }
+  request.procs = static_cast<std::uint32_t>(procs);
+  request.runtime = number_field(doc, "runtime");
+  request.estimate = number_field_or(doc, "estimate", request.runtime);
+  request.deadline = number_field(doc, "deadline");
+  request.budget = number_field(doc, "budget");
+  request.penalty_rate = number_field_or(doc, "penalty", 0.0);
+  if (const Value* urgency = doc.find("urgency"); urgency != nullptr) {
+    const std::string& name = urgency->as_string();
+    if (name == "high") {
+      request.urgency = workload::Urgency::High;
+    } else if (name == "low") {
+      request.urgency = workload::Urgency::Low;
+    } else {
+      throw ProtocolError("'urgency' must be \"high\" or \"low\"");
+    }
+  }
+
+  require_finite(request.submit_time, "'t'");
+  if (request.submit_time < 0.0) throw ProtocolError("'t' must be >= 0");
+  require_finite(request.runtime, "'runtime'");
+  if (request.runtime <= 0.0) throw ProtocolError("'runtime' must be > 0");
+  require_finite(request.estimate, "'estimate'");
+  if (request.estimate <= 0.0) throw ProtocolError("'estimate' must be > 0");
+  require_finite(request.deadline, "'deadline'");
+  if (request.deadline <= 0.0) throw ProtocolError("'deadline' must be > 0");
+  require_finite(request.budget, "'budget'");
+  if (request.budget < 0.0) throw ProtocolError("'budget' must be >= 0");
+  require_finite(request.penalty_rate, "'penalty'");
+  if (request.penalty_rate < 0.0) {
+    throw ProtocolError("'penalty' must be >= 0");
+  }
+  return request;
+}
+
+std::string encode_request(const Request& request) {
+  // Hand-rolled single line: obs::json::dump pretty-prints across lines,
+  // and the protocol is strictly one document per line.
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"type\":\"submit\",\"id\":" << request.id
+      << ",\"t\":" << request.submit_time << ",\"procs\":" << request.procs
+      << ",\"runtime\":" << request.runtime
+      << ",\"estimate\":" << request.estimate
+      << ",\"deadline\":" << request.deadline
+      << ",\"budget\":" << request.budget
+      << ",\"penalty\":" << request.penalty_rate << ",\"urgency\":\""
+      << workload::to_string(request.urgency) << "\"}";
+  return out.str();
+}
+
+Response parse_response(std::string_view line) {
+  Value doc;
+  try {
+    doc = obs::json::parse(line);
+  } catch (const obs::json::ParseError& e) {
+    throw ProtocolError(std::string("malformed JSON: ") + e.what());
+  }
+  if (!doc.is_object()) throw ProtocolError("response must be a JSON object");
+
+  Response response;
+  response.id = static_cast<std::uint64_t>(number_field(doc, "id"));
+  const std::string& status = string_field(doc, "status");
+  if (status == "accepted") {
+    response.status = Status::Accepted;
+  } else if (status == "rejected") {
+    response.status = Status::Rejected;
+  } else if (status == "busy") {
+    response.status = Status::Busy;
+  } else if (status == "error") {
+    response.status = Status::Error;
+  } else {
+    throw ProtocolError("unknown response status '" + status + "'");
+  }
+  response.price = number_field_or(doc, "price", 0.0);
+  response.risk = number_field_or(doc, "risk", 0.0);
+  response.virtual_time = number_field_or(doc, "t", 0.0);
+  response.retry_after_ms = number_field_or(doc, "retry_after_ms", 0.0);
+  if (const Value* message = doc.find("message"); message != nullptr) {
+    response.message = message->as_string();
+  }
+  return response;
+}
+
+std::string encode_response(const Response& response) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"id\":" << response.id << ",\"status\":\""
+      << to_string(response.status) << '"';
+  switch (response.status) {
+    case Status::Accepted:
+    case Status::Rejected:
+      out << ",\"price\":" << response.price << ",\"risk\":" << response.risk
+          << ",\"t\":" << response.virtual_time;
+      break;
+    case Status::Busy:
+      out << ",\"retry_after_ms\":" << response.retry_after_ms;
+      break;
+    case Status::Error: {
+      out << ",\"message\":";
+      std::ostringstream escaped;
+      obs::json::write_escaped(escaped, response.message);
+      out << escaped.str();
+      break;
+    }
+  }
+  out << '}';
+  return out.str();
+}
+
+workload::Job to_job(const Request& request, workload::JobId job_id,
+                     double submit_time) {
+  workload::Job job;
+  job.id = job_id;
+  job.submit_time = submit_time;
+  job.actual_runtime = request.runtime;
+  job.estimated_runtime = request.estimate;
+  job.procs = request.procs;
+  job.deadline_duration = request.deadline;
+  job.budget = request.budget;
+  job.penalty_rate = request.penalty_rate;
+  job.urgency = request.urgency;
+  return job;
+}
+
+Request from_job(const workload::Job& job, std::uint64_t id) {
+  Request request;
+  request.id = id;
+  request.submit_time = job.submit_time;
+  request.procs = job.procs;
+  request.runtime = job.actual_runtime;
+  request.estimate = job.estimated_runtime;
+  request.deadline = job.deadline_duration;
+  request.budget = job.budget;
+  request.penalty_rate = job.penalty_rate;
+  request.urgency = job.urgency;
+  return request;
+}
+
+std::uint64_t decision_hash(const Response& response) {
+  verify::DigestStream stream;
+  stream.put_u64(response.id);
+  stream.put_byte(static_cast<std::uint8_t>(response.status));
+  stream.put_double(response.price);
+  return stream.value();
+}
+
+}  // namespace utilrisk::serve

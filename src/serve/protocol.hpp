@@ -1,0 +1,129 @@
+// Wire protocol of the online admission service: newline-delimited JSON.
+//
+// One request per line, one response per line, matched by the
+// client-assigned `id`. The protocol carries exactly the information a
+// user hands the commercial computing service when negotiating an SLA
+// (paper §5.3): resource demand, runtime estimate, deadline, budget and
+// penalty rate — plus `runtime`, the ground-truth runtime the simulation
+// backend needs to realise the job (a real deployment would observe it;
+// the protocol makes the simulation's omniscience explicit instead of
+// hiding it).
+//
+// Requests:
+//   {"type":"submit","id":7,"t":123.0,"procs":8,"runtime":600,
+//    "estimate":900,"deadline":3600,"budget":4800,"penalty":1.5,
+//    "urgency":"high"}
+// Responses:
+//   {"id":7,"status":"accepted","price":4800,"risk":0.12,"t":123.0}
+//   {"id":7,"status":"rejected","price":0,"risk":0.87,"t":123.0}
+//   {"id":7,"status":"busy","retry_after_ms":50}      (backpressure)
+//   {"id":0,"status":"error","message":"parse error at offset 12"}
+//
+// Encoding/decoding reuses obs::json; malformed input raises
+// ProtocolError with a user-facing message that the server echoes back in
+// an `error` response instead of dying.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "workload/job.hpp"
+
+namespace utilrisk::serve {
+
+/// Hard cap on one request line (bytes, newline excluded). Lines beyond
+/// this are rejected with an `error` response before JSON parsing — a
+/// mis-framed or hostile client must not balloon server memory.
+inline constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+/// Thrown by the parse functions on malformed or invalid input; the
+/// message is sent back to the client verbatim.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One SLA-annotated job-submission request.
+struct Request {
+  /// Client-assigned correlation id (echoed in the response).
+  std::uint64_t id = 0;
+  /// Virtual submission instant (seconds on the workload's arrival
+  /// clock). The engine clamps it monotonically, so a client replaying a
+  /// seeded arrival process gets bit-identical admission decisions
+  /// (docs/SERVING.md "determinism").
+  double submit_time = 0.0;
+  std::uint32_t procs = 1;
+  /// Ground-truth runtime (seconds) the backend realises the job with.
+  double runtime = 0.0;
+  /// User-visible runtime estimate the policy decides from.
+  double estimate = 0.0;
+  /// SLA terms, as durations/amounts from submission (§5.3).
+  double deadline = 0.0;
+  double budget = 0.0;
+  double penalty_rate = 0.0;
+  workload::Urgency urgency = workload::Urgency::Low;
+};
+
+enum class Status : std::uint8_t {
+  Accepted,  ///< SLA admitted; `price` is the quoted charge
+  Rejected,  ///< admission control refused the SLA
+  Busy,      ///< bounded queue full — backpressure; retry after the hint
+  Error,     ///< malformed/oversized request; `message` says why
+};
+
+[[nodiscard]] const char* to_string(Status status);
+
+/// One response line.
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::Error;
+  /// Quoted admission charge (commodity model quote; the job's budget
+  /// under the bid model). Zero unless accepted.
+  double price = 0.0;
+  /// Load-based risk index in [0, 1]: the service's outstanding work
+  /// backlog (plus this job) relative to what the machine can deliver
+  /// within this job's deadline. 0 = idle service, 1 = saturated.
+  double risk = 0.0;
+  /// Engine virtual time at the decision.
+  double virtual_time = 0.0;
+  /// Backpressure hint (Status::Busy only), milliseconds.
+  double retry_after_ms = 0.0;
+  /// Human-readable diagnostic (Status::Error only).
+  std::string message;
+};
+
+/// Parses one request line. Throws ProtocolError on malformed JSON,
+/// wrong/missing fields, or values that violate SLA preconditions
+/// (non-positive runtime/deadline, negative budget/penalty, zero procs).
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// Serialises a request to one line (no trailing newline).
+[[nodiscard]] std::string encode_request(const Request& request);
+
+/// Parses one response line (used by the load generator). Throws
+/// ProtocolError on malformed input.
+[[nodiscard]] Response parse_response(std::string_view line);
+
+/// Serialises a response to one line (no trailing newline).
+[[nodiscard]] std::string encode_response(const Response& response);
+
+/// Converts a request to the job the simulation backend runs. `job_id` is
+/// the engine-assigned internal id (client ids are 64-bit and may collide
+/// across connections; the engine keeps its own dense sequence).
+[[nodiscard]] workload::Job to_job(const Request& request,
+                                   workload::JobId job_id,
+                                   double submit_time);
+
+/// Converts a workload job to a request (the load generator maps a seeded
+/// trace straight onto the wire).
+[[nodiscard]] Request from_job(const workload::Job& job, std::uint64_t id);
+
+/// Element hash of one admission decision (id, status, price) for the
+/// order-independent session digest (verify::UnorderedDigest). Server and
+/// load generator share this encoding, so their digests are comparable:
+/// equal digests attest identical decisions for the same request ids.
+[[nodiscard]] std::uint64_t decision_hash(const Response& response);
+
+}  // namespace utilrisk::serve

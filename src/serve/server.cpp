@@ -1,0 +1,308 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace utilrisk::serve {
+
+namespace {
+
+/// Poll granularity of the accept/read loops: the latency bound on
+/// noticing a stop request.
+constexpr int kPollMillis = 100;
+
+[[nodiscard]] std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+struct Server::Connection {
+  int fd = -1;
+  std::mutex write_mutex;
+  std::atomic<bool> open{true};
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Writes one line (appending '\n'); loops over partial writes. A
+  /// vanished peer closes the connection instead of raising SIGPIPE.
+  bool write_line(const std::string& line) {
+    std::lock_guard lock(write_mutex);
+    if (!open.load(std::memory_order_relaxed)) return false;
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        open.store(false, std::memory_order_relaxed);
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+};
+
+Server::Server(const ServerConfig& config, AdmissionEngine& engine)
+    : config_(config), engine_(engine), io_pool_(config.io_threads) {}
+
+Server::~Server() { stop_and_drain(); }
+
+void Server::start() {
+  if (!config_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("unix socket path too long: " +
+                               config_.unix_path);
+    }
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(config_.unix_path.c_str());  // stale socket from a crash
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error(errno_message("socket"));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw std::runtime_error(
+          errno_message(("bind " + config_.unix_path).c_str()));
+    }
+  } else if (config_.tcp_port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error(errno_message("socket"));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw std::runtime_error(errno_message("bind"));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      bound_port_ = ntohs(bound.sin_port);
+    }
+  } else {
+    throw std::runtime_error(
+        "Server: configure a unix socket path or a TCP port");
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    throw std::runtime_error(errno_message("listen"));
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+}
+
+void Server::request_stop() { stop_requested_.store(true); }
+
+void Server::acceptor_loop() {
+  pollfd pfd{listen_fd_, POLLIN, 0};
+  while (!stop_requested_.load()) {
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    {
+      std::lock_guard lock(connections_mutex_);
+      connections_.push_back(connection);
+    }
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    // ThreadPool tasks must not throw; the reader reports protocol
+    // problems to the peer, anything else just ends the connection.
+    io_pool_.submit([this, connection] {
+      try {
+        reader_loop(connection);
+      } catch (...) {
+        connection->open.store(false, std::memory_order_relaxed);
+      }
+    });
+  }
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& connection) {
+  std::string buffer;
+  bool discarding = false;  // inside an over-long line, until its newline
+  char chunk[4096];
+  pollfd pfd{connection->fd, POLLIN, 0};
+  for (;;) {
+    if (stop_requested_.load()) return;
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0 && errno != EINTR) return;
+    if (ready <= 0) continue;
+    const ssize_t n = ::read(connection->fd, chunk, sizeof(chunk));
+    if (n == 0) break;  // EOF: peer is done submitting
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (discarding) {
+        discarding = false;  // the tail of the oversized line
+        continue;
+      }
+      if (!line.empty()) handle_line(connection, std::move(line));
+    }
+    buffer.erase(0, start);
+    // A line still has no newline: cap its growth before parsing.
+    if (!discarding && buffer.size() > config_.max_line_bytes) {
+      oversized_.fetch_add(1, std::memory_order_relaxed);
+      lines_.fetch_add(1, std::memory_order_relaxed);
+      Response error;
+      error.status = Status::Error;
+      error.message = "request exceeds " +
+                      std::to_string(config_.max_line_bytes) + " bytes";
+      if (connection->write_line(encode_response(error))) {
+        responses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      buffer.clear();
+      discarding = true;
+    }
+  }
+  if (!discarding && !buffer.empty()) {
+    handle_line(connection, std::move(buffer));  // unterminated last line
+  }
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& connection,
+                         std::string line) {
+  lines_.fetch_add(1, std::memory_order_relaxed);
+  Response error;
+  error.status = Status::Error;
+  if (line.size() > config_.max_line_bytes) {
+    oversized_.fetch_add(1, std::memory_order_relaxed);
+    error.message = "request exceeds " +
+                    std::to_string(config_.max_line_bytes) + " bytes";
+    if (connection->write_line(encode_response(error))) {
+      responses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const ProtocolError& e) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    error.message = e.what();
+    if (connection->write_line(encode_response(error))) {
+      responses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  const bool queued = engine_.submit(
+      request, [this, connection](const Response& response) {
+        if (connection->write_line(encode_response(response))) {
+          responses_.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  if (!queued) {
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    if (connection->write_line(
+            encode_response(engine_.make_busy_response(request)))) {
+      responses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+EngineStats Server::stop_and_drain() {
+  std::lock_guard lock(lifecycle_mutex_);
+  if (drained_.load()) return engine_.drain();
+  stop_requested_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  io_pool_.wait_idle();  // readers exit at the next poll tick
+  // Every request that made it into the bounded queue is answered before
+  // the connections close: zero dropped responses on shutdown.
+  EngineStats stats = engine_.drain();
+  {
+    std::lock_guard connections_lock(connections_mutex_);
+    connections_.clear();  // ~Connection closes the fds
+  }
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+  drained_.store(true);
+  return stats;
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.connections = connections_total_.load(std::memory_order_relaxed);
+  stats.lines = lines_.load(std::memory_order_relaxed);
+  stats.malformed = malformed_.load(std::memory_order_relaxed);
+  stats.oversized = oversized_.load(std::memory_order_relaxed);
+  stats.busy = busy_.load(std::memory_order_relaxed);
+  stats.responses = responses_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+ServerStats Server::run_stdio(AdmissionEngine& engine, std::istream& in,
+                              std::ostream& out,
+                              std::size_t max_line_bytes) {
+  ServerStats stats;
+  std::mutex write_mutex;
+  auto write_line = [&out, &write_mutex, &stats](const Response& response) {
+    std::lock_guard lock(write_mutex);
+    out << encode_response(response) << '\n';
+    ++stats.responses;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++stats.lines;
+    if (line.size() > max_line_bytes) {
+      ++stats.oversized;
+      Response error;
+      error.status = Status::Error;
+      error.message =
+          "request exceeds " + std::to_string(max_line_bytes) + " bytes";
+      write_line(error);
+      continue;
+    }
+    Request request;
+    try {
+      request = parse_request(line);
+    } catch (const ProtocolError& e) {
+      ++stats.malformed;
+      Response error;
+      error.status = Status::Error;
+      error.message = e.what();
+      write_line(error);
+      continue;
+    }
+    if (!engine.submit(request, write_line)) {
+      ++stats.busy;
+      write_line(engine.make_busy_response(request));
+    }
+  }
+  engine.drain();  // EOF on stdin is the drain signal in stdio mode
+  out.flush();
+  return stats;
+}
+
+}  // namespace utilrisk::serve

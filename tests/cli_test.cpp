@@ -77,6 +77,33 @@ TEST(ArgParserTest, ErrorsAreSpecific) {
   }
 }
 
+TEST(ArgParserTest, DuplicateSingleValuedOptionIsAnError) {
+  {
+    ArgParser parser = make_parser();
+    try {
+      parser.parse({"--needed", "v", "--jobs", "10", "--jobs", "20"});
+      FAIL() << "duplicate --jobs must throw";
+    } catch (const ArgError& e) {
+      EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("more than once"),
+                std::string::npos);
+    }
+  }
+  {
+    // Inline (=) and separate forms count as the same occurrence.
+    ArgParser parser = make_parser();
+    EXPECT_THROW(
+        parser.parse({"--needed", "v", "--model=bid", "--model", "commodity"}),
+        ArgError);
+  }
+  {
+    // Repeating a flag stays idempotent, not an error.
+    ArgParser parser = make_parser();
+    parser.parse({"--needed", "v", "--verbose", "--verbose"});
+    EXPECT_TRUE(parser.get_flag("verbose"));
+  }
+}
+
 TEST(ArgParserTest, TypedAccessValidates) {
   ArgParser parser = make_parser();
   parser.parse({"--needed", "v", "--jobs", "12.5"});

@@ -1,0 +1,427 @@
+// Tests for the online admission service: wire protocol, bounded queue
+// backpressure, engine determinism, stdio/socket serving and the
+// drain-on-shutdown zero-dropped-responses guarantee.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/bounded_queue.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace utilrisk::serve {
+namespace {
+
+Request make_request(std::uint64_t id, double t) {
+  Request request;
+  request.id = id;
+  request.submit_time = t;
+  request.procs = 4;
+  request.runtime = 100.0;
+  request.estimate = 120.0;
+  request.deadline = 4000.0;
+  request.budget = 50000.0;
+  return request;
+}
+
+// ----------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, RequestRoundTrips) {
+  Request request = make_request(7, 12.5);
+  request.penalty_rate = 0.25;
+  request.urgency = workload::Urgency::High;
+  const Request parsed = parse_request(encode_request(request));
+  EXPECT_EQ(parsed.id, request.id);
+  EXPECT_DOUBLE_EQ(parsed.submit_time, request.submit_time);
+  EXPECT_EQ(parsed.procs, request.procs);
+  EXPECT_DOUBLE_EQ(parsed.runtime, request.runtime);
+  EXPECT_DOUBLE_EQ(parsed.estimate, request.estimate);
+  EXPECT_DOUBLE_EQ(parsed.deadline, request.deadline);
+  EXPECT_DOUBLE_EQ(parsed.budget, request.budget);
+  EXPECT_DOUBLE_EQ(parsed.penalty_rate, request.penalty_rate);
+  EXPECT_EQ(parsed.urgency, workload::Urgency::High);
+}
+
+TEST(ProtocolTest, ResponseRoundTripsEveryStatus) {
+  for (const Status status : {Status::Accepted, Status::Rejected,
+                              Status::Busy, Status::Error}) {
+    Response response;
+    response.id = 3;
+    response.status = status;
+    response.price = 42.5;
+    response.risk = 0.125;
+    response.virtual_time = 99.0;
+    response.retry_after_ms = 50.0;
+    response.message = "line 1 \"quoted\"";
+    const Response parsed = parse_response(encode_response(response));
+    EXPECT_EQ(parsed.id, response.id);
+    EXPECT_EQ(parsed.status, status);
+    if (status == Status::Accepted || status == Status::Rejected) {
+      EXPECT_DOUBLE_EQ(parsed.price, response.price);
+      EXPECT_DOUBLE_EQ(parsed.risk, response.risk);
+    }
+    if (status == Status::Busy) {
+      EXPECT_DOUBLE_EQ(parsed.retry_after_ms, response.retry_after_ms);
+    }
+    if (status == Status::Error) {
+      EXPECT_EQ(parsed.message, response.message);
+    }
+  }
+}
+
+TEST(ProtocolTest, RejectsMalformedAndInvalidRequests) {
+  EXPECT_THROW((void)parse_request("not json"), ProtocolError);
+  EXPECT_THROW((void)parse_request("[1,2,3]"), ProtocolError);
+  EXPECT_THROW((void)parse_request("{\"id\":1}"), ProtocolError)
+      << "missing type";
+  EXPECT_THROW(
+      (void)parse_request(
+          R"({"type":"cancel","id":1,"procs":1,"runtime":1,"deadline":1,"budget":0})"),
+      ProtocolError)
+      << "unknown type";
+  EXPECT_THROW(
+      (void)parse_request(
+          R"({"type":"submit","id":1,"procs":0,"runtime":1,"deadline":1,"budget":0})"),
+      ProtocolError)
+      << "procs must be a positive integer";
+  EXPECT_THROW(
+      (void)parse_request(
+          R"({"type":"submit","id":1,"procs":2.5,"runtime":1,"deadline":1,"budget":0})"),
+      ProtocolError)
+      << "fractional procs";
+  EXPECT_THROW(
+      (void)parse_request(
+          R"({"type":"submit","id":1,"procs":1,"runtime":-5,"deadline":1,"budget":0})"),
+      ProtocolError)
+      << "negative runtime";
+  EXPECT_THROW(
+      (void)parse_request(
+          R"({"type":"submit","id":1,"procs":1,"runtime":1,"deadline":1,"budget":-1})"),
+      ProtocolError)
+      << "negative budget";
+  EXPECT_THROW(
+      (void)parse_request(
+          R"({"type":"submit","id":1,"procs":1,"runtime":1,"deadline":1,"budget":0,"urgency":"medium"})"),
+      ProtocolError)
+      << "bad urgency";
+}
+
+TEST(ProtocolTest, RejectsOversizedRequestLine) {
+  std::string line = R"({"type":"submit","id":1,"padding":")";
+  line.append(kMaxRequestBytes, 'x');
+  line += "\"}";
+  EXPECT_THROW((void)parse_request(line), ProtocolError);
+}
+
+TEST(ProtocolTest, DecisionHashCoversIdStatusAndPrice) {
+  Response a;
+  a.id = 1;
+  a.status = Status::Accepted;
+  a.price = 10.0;
+  Response b = a;
+  EXPECT_EQ(decision_hash(a), decision_hash(b));
+  b.status = Status::Rejected;
+  EXPECT_NE(decision_hash(a), decision_hash(b));
+  b = a;
+  b.price = 11.0;
+  EXPECT_NE(decision_hash(a), decision_hash(b));
+  b = a;
+  b.id = 2;
+  EXPECT_NE(decision_hash(a), decision_hash(b));
+}
+
+// ------------------------------------------------------------ bounded queue
+
+TEST(BoundedQueueTest, BackpressureAtCapacityAndDrainAfterClose) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3)) << "full queue must refuse";
+  EXPECT_EQ(queue.size(), 2u);
+
+  auto item = queue.pop_wait();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 1);
+  EXPECT_TRUE(queue.try_push(3)) << "pop frees a slot";
+
+  queue.close();
+  EXPECT_FALSE(queue.try_push(4)) << "closed queue refuses pushes";
+  EXPECT_EQ(queue.pop_wait().value(), 2) << "close still drains";
+  EXPECT_EQ(queue.pop_wait().value(), 3);
+  EXPECT_FALSE(queue.pop_wait().has_value())
+      << "closed and empty wakes consumers with nullopt";
+}
+
+TEST(BoundedQueueTest, HoldGatesConsumersUntilReleaseOrClose) {
+  BoundedQueue<int> queue(4);
+  queue.hold();
+  EXPECT_TRUE(queue.try_push(1)) << "a hold only gates the consumer side";
+  std::vector<int> out;
+  EXPECT_EQ(queue.try_pop_batch(out, 4), 0u) << "held queue yields nothing";
+
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    const auto item = queue.pop_wait();
+    popped.store(true);
+    EXPECT_TRUE(item.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(popped.load()) << "pop_wait must block while held";
+  queue.release();
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+
+  // close() overrides a hold so drains always make progress.
+  queue.hold();
+  EXPECT_TRUE(queue.try_push(2));
+  queue.close();
+  EXPECT_EQ(queue.pop_wait().value(), 2);
+  EXPECT_FALSE(queue.pop_wait().has_value());
+}
+
+TEST(BoundedQueueTest, BatchPopCoalesces) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.try_push(i));
+  std::vector<int> out;
+  EXPECT_EQ(queue.try_pop_batch(out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.try_pop_batch(out, 10), 2u) << "stops when empty";
+  EXPECT_EQ(queue.try_pop_batch(out, 10), 0u);
+}
+
+// ----------------------------------------------------------------- engine
+
+EngineStats run_stream(const std::vector<Request>& stream,
+                       std::size_t max_batch) {
+  EngineConfig config;
+  config.queue_capacity = 64;
+  config.max_batch = max_batch;
+  AdmissionEngine engine(config);
+  engine.start();
+  for (const Request& request : stream) {
+    while (!engine.submit(request, [](const Response&) {})) {
+      std::this_thread::yield();
+    }
+  }
+  return engine.drain();
+}
+
+TEST(AdmissionEngineTest, SameSeedStreamsYieldIdenticalDecisions) {
+  LoadgenConfig config;
+  config.requests = 150;
+  config.seed = 42;
+  const std::vector<Request> stream = make_request_stream(config);
+  ASSERT_EQ(stream.size(), 150u);
+
+  const EngineStats first = run_stream(stream, /*max_batch=*/64);
+  const EngineStats second = run_stream(stream, /*max_batch=*/64);
+  EXPECT_EQ(first.processed, 150u);
+  EXPECT_EQ(first.accepted, second.accepted);
+  EXPECT_EQ(first.rejected, second.rejected);
+  EXPECT_EQ(first.decision_digest, second.decision_digest);
+  EXPECT_FALSE(first.decision_digest.empty());
+}
+
+TEST(AdmissionEngineTest, DecisionsAreBatchSizeInvariant) {
+  LoadgenConfig config;
+  config.requests = 120;
+  config.seed = 7;
+  const std::vector<Request> stream = make_request_stream(config);
+  // Batch coalescing is a wall-clock artefact; decisions must not see it.
+  const EngineStats one = run_stream(stream, /*max_batch=*/1);
+  const EngineStats many = run_stream(stream, /*max_batch=*/64);
+  EXPECT_EQ(one.decision_digest, many.decision_digest);
+  EXPECT_EQ(one.accepted, many.accepted);
+}
+
+TEST(AdmissionEngineTest, RequestStreamIsDeterministicAndOrdered) {
+  LoadgenConfig config;
+  config.requests = 80;
+  config.seed = 99;
+  const std::vector<Request> a = make_request_stream(config);
+  const std::vector<Request> b = make_request_stream(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(encode_request(a[i]), encode_request(b[i]));
+    EXPECT_EQ(a[i].id, i + 1) << "ids are 1..N in submission order";
+    if (i > 0) {
+      EXPECT_GE(a[i].submit_time, a[i - 1].submit_time)
+          << "arrivals are non-decreasing";
+    }
+  }
+}
+
+TEST(AdmissionEngineTest, QueueFullYieldsBusyAndDrainAnswersEverything) {
+  EngineConfig config;
+  config.queue_capacity = 8;
+  AdmissionEngine engine(config);
+  engine.start();
+  engine.pause();  // deterministically hold the queue at depth
+
+  std::atomic<int> completions{0};
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    EXPECT_TRUE(engine.submit(make_request(id, 0.0),
+                              [&](const Response&) { ++completions; }));
+  }
+  EXPECT_EQ(engine.queue_depth(), 8u);
+  EXPECT_FALSE(engine.submit(make_request(9, 0.0), [](const Response&) {}))
+      << "a full queue is backpressure, not blocking";
+
+  const Response busy = engine.make_busy_response(make_request(9, 0.0));
+  EXPECT_EQ(busy.id, 9u);
+  EXPECT_EQ(busy.status, Status::Busy);
+  EXPECT_GT(busy.retry_after_ms, 0.0);
+
+  // Drain resumes the paused engine and must answer all eight.
+  const EngineStats stats = engine.drain();
+  EXPECT_EQ(completions.load(), 8);
+  EXPECT_EQ(stats.processed, 8u);
+  EXPECT_FALSE(engine.submit(make_request(10, 0.0), [](const Response&) {}))
+      << "a drained engine refuses new work";
+}
+
+// ------------------------------------------------------------- stdio server
+
+TEST(StdioServerTest, AnswersEveryLineAndCountsFailures) {
+  EngineConfig config;
+  AdmissionEngine engine(config);
+  engine.start();
+
+  std::string oversized(300, 'x');
+  std::istringstream in(encode_request(make_request(1, 0.0)) + "\n" +
+                        "not json\n" + oversized + "\n" +
+                        encode_request(make_request(2, 5.0)) + "\n");
+  std::ostringstream out;
+  const ServerStats stats =
+      Server::run_stdio(engine, in, out, /*max_line_bytes=*/256);
+
+  EXPECT_EQ(stats.lines, 4u);
+  EXPECT_EQ(stats.malformed, 1u);
+  EXPECT_EQ(stats.oversized, 1u);
+  EXPECT_EQ(stats.responses, 4u) << "every line gets a response";
+
+  std::istringstream replies(out.str());
+  std::string line;
+  std::size_t decisions = 0;
+  std::size_t errors = 0;
+  while (std::getline(replies, line)) {
+    const Response response = parse_response(line);
+    if (response.status == Status::Error) {
+      ++errors;
+    } else {
+      ++decisions;
+    }
+  }
+  EXPECT_EQ(decisions, 2u);
+  EXPECT_EQ(errors, 2u);
+}
+
+// ------------------------------------------------------------ socket server
+
+TEST(SocketServerTest, ClosedLoopRunMatchesServerDigest) {
+  EngineConfig engine_config;
+  AdmissionEngine engine(engine_config);
+  engine.start();
+
+  ServerConfig server_config;
+  server_config.tcp_port = 0;  // ephemeral loopback port
+  Server server(server_config, engine);
+  server.start();
+  ASSERT_GT(server.bound_port(), 0);
+
+  LoadgenConfig load;
+  load.tcp_port = server.bound_port();
+  load.requests = 200;
+  load.seed = 42;
+  const LoadgenReport report = run_loadgen(load);
+  EXPECT_EQ(report.sent, 200u);
+  EXPECT_EQ(report.responses, 200u);
+  EXPECT_EQ(report.dropped, 0u) << "zero dropped responses";
+  EXPECT_EQ(report.errors, 0u);
+
+  const EngineStats stats = server.stop_and_drain();
+  EXPECT_EQ(stats.processed, 200u);
+  EXPECT_EQ(report.decision_digest, stats.decision_digest)
+      << "client and server must agree on every decision";
+}
+
+TEST(SocketServerTest, OverloadSeesBusyBackpressureAndStillNoDrops) {
+  EngineConfig engine_config;
+  engine_config.queue_capacity = 4;  // tiny queue: overload is certain
+  AdmissionEngine engine(engine_config);
+  engine.start();
+  engine.pause();  // hold the engine so the queue observably fills
+
+  ServerConfig server_config;
+  server_config.tcp_port = 0;
+  Server server(server_config, engine);
+  server.start();
+
+  std::thread resumer([&engine] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    engine.resume();
+  });
+
+  LoadgenConfig load;
+  load.tcp_port = server.bound_port();
+  load.requests = 50;
+  load.open_loop = true;
+  load.rate = 5000.0;  // all 50 go out while the engine is paused
+  const LoadgenReport report = run_loadgen(load);
+  resumer.join();
+
+  EXPECT_EQ(report.sent, 50u);
+  EXPECT_EQ(report.responses, 50u);
+  EXPECT_EQ(report.dropped, 0u)
+      << "backpressure answers busy, it never drops";
+  EXPECT_GT(report.busy, 0u) << "the bounded queue must push back";
+  EXPECT_LT(report.accepted + report.rejected, 50u);
+
+  const EngineStats stats = server.stop_and_drain();
+  EXPECT_LE(stats.processed, 4u + report.accepted + report.rejected);
+}
+
+TEST(SocketServerTest, StopAndDrainAnswersQueuedRequests) {
+  EngineConfig engine_config;
+  engine_config.queue_capacity = 64;
+  AdmissionEngine engine(engine_config);
+  engine.start();
+  engine.pause();
+
+  ServerConfig server_config;
+  server_config.tcp_port = 0;
+  Server server(server_config, engine);
+  server.start();
+
+  // Park requests in the admission queue, then shut down while they are
+  // still pending: the drain contract says every one gets its decision.
+  LoadgenConfig load;
+  load.tcp_port = server.bound_port();
+  load.requests = 16;
+  load.open_loop = true;
+  load.rate = 10000.0;
+
+  std::thread drainer([&engine, &server] {
+    // Wait for the queue to hold everything the client sent.
+    while (engine.queue_depth() < 16) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    (void)server.stop_and_drain();
+  });
+  const LoadgenReport report = run_loadgen(load);
+  drainer.join();
+
+  EXPECT_EQ(report.sent, 16u);
+  EXPECT_EQ(report.responses, 16u) << "drain answered the queued requests";
+  EXPECT_EQ(report.dropped, 0u);
+}
+
+}  // namespace
+}  // namespace utilrisk::serve
