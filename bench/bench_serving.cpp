@@ -9,12 +9,33 @@
 // dropped responses, or on a client/server digest mismatch, so it doubles
 // as an end-to-end regression gate for the serving layer.
 //
+// Two robustness measurements ride along:
+//  - journal overhead: the same request stream driven straight into the
+//    engine (queue kept full, so ticks batch up to max_batch and the
+//    per-tick fsync amortises — closed-loop traffic with one request in
+//    flight would fsync per request and measure the disk, not the
+//    journal) with the write-ahead journal on (fsync=batch) vs off. The
+//    decision digest must be identical in both modes and equal to the
+//    closed-loop server digest (batch invariance); the throughput cost is
+//    reported as journal.overhead_percent (budget: <= 15%,
+//    docs/SERVING.md).
+//  - shed rate under 2x overload: an open-loop stream at twice the
+//    measured closed-loop throughput with a tight decision budget
+//    (`deadline_ms`); the report records what fraction of requests the
+//    engine shed instead of deciding late.
+//
 // Honours REPRO_REQUESTS (requests per pass, default 5000) and REPRO_OUT
 // (artefact directory, default ./bench_out).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "serve/engine.hpp"
@@ -28,10 +49,22 @@ using namespace utilrisk;
 struct Pass {
   serve::LoadgenReport report;
   serve::EngineStats engine;
+  serve::JournalStats journal;
 };
 
-Pass run_pass(std::size_t requests, std::uint64_t seed) {
+struct PassOptions {
+  std::string journal_dir;  ///< empty = journaling off
+  serve::FsyncPolicy fsync = serve::FsyncPolicy::Batch;
+  bool open_loop = false;
+  double rate = 0.0;         ///< open-loop only
+  double deadline_ms = 0.0;  ///< decision budget stamped on requests
+};
+
+Pass run_pass(std::size_t requests, std::uint64_t seed,
+              const PassOptions& options = {}) {
   serve::EngineConfig engine_config;
+  engine_config.journal_dir = options.journal_dir;
+  engine_config.fsync = options.fsync;
   serve::AdmissionEngine engine(engine_config);
   engine.start();
 
@@ -44,10 +77,51 @@ Pass run_pass(std::size_t requests, std::uint64_t seed) {
   load.tcp_port = server.bound_port();
   load.requests = requests;
   load.seed = seed;
+  load.open_loop = options.open_loop;
+  if (options.rate > 0.0) load.rate = options.rate;
+  load.deadline_ms = options.deadline_ms;
 
   Pass pass;
   pass.report = serve::run_loadgen(load);
   pass.engine = server.stop_and_drain();
+  pass.journal = engine.journal_stats();
+  return pass;
+}
+
+struct EnginePass {
+  serve::EngineStats stats;
+  serve::JournalStats journal;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+};
+
+// Drives the engine directly (no sockets): submissions spin-retry until
+// accepted, so the bounded queue stays full and ticks coalesce batches of
+// up to max_batch — the traffic shape where batch fsync amortises.
+EnginePass run_engine_pass(const std::vector<serve::Request>& stream,
+                           const PassOptions& options) {
+  serve::EngineConfig config;
+  config.journal_dir = options.journal_dir;
+  config.fsync = options.fsync;
+  serve::AdmissionEngine engine(config);
+  engine.start();
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const serve::Request& request : stream) {
+    while (!engine.submit(request, [](const serve::Response&) {})) {
+      std::this_thread::yield();
+    }
+  }
+  EnginePass pass;
+  pass.stats = engine.drain();
+  pass.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  pass.journal = engine.journal_stats();
+  pass.throughput_rps =
+      pass.wall_seconds > 0.0
+          ? static_cast<double>(stream.size()) / pass.wall_seconds
+          : 0.0;
   return pass;
 }
 
@@ -96,6 +170,76 @@ int main() {
     pass = false;
   }
 
+  // --- journal overhead: same stream, batched traffic, journal on/off ----
+  serve::LoadgenConfig stream_config;
+  stream_config.requests = requests;
+  stream_config.seed = kSeed;
+  const std::vector<serve::Request> stream =
+      serve::make_request_stream(stream_config);
+
+  const std::string journal_dir = env.out_dir + "/bench_journal";
+  std::filesystem::remove_all(journal_dir);
+  const EnginePass direct_off = run_engine_pass(stream, PassOptions{});
+  PassOptions journal_options;
+  journal_options.journal_dir = journal_dir;
+  journal_options.fsync = serve::FsyncPolicy::Batch;
+  const EnginePass direct_on = run_engine_pass(stream, journal_options);
+  const double journal_rps = direct_on.throughput_rps;
+  const double overhead_percent =
+      direct_off.throughput_rps > 0.0
+          ? std::max(0.0, (direct_off.throughput_rps - journal_rps) /
+                              direct_off.throughput_rps * 100.0)
+          : 0.0;
+  std::cout << "  journal:    off " << direct_off.throughput_rps
+            << " dec/s, on " << journal_rps << " dec/s ("
+            << overhead_percent << "% overhead, "
+            << direct_on.journal.ticks << " ticks, "
+            << direct_on.journal.fsyncs << " fsyncs, "
+            << direct_on.journal.bytes << " bytes)\n";
+  if (direct_on.stats.decision_digest != direct_off.stats.decision_digest) {
+    std::cerr << "FAIL: journaling changed the decision digest: "
+              << direct_on.stats.decision_digest << " vs "
+              << direct_off.stats.decision_digest << "\n";
+    pass = false;
+  }
+  if (direct_off.stats.decision_digest != r.decision_digest) {
+    std::cerr << "FAIL: batch invariance broke: direct digest "
+              << direct_off.stats.decision_digest << " != closed-loop "
+              << r.decision_digest << "\n";
+    pass = false;
+  }
+  std::filesystem::remove_all(journal_dir);
+
+  // --- shed rate under 2x overload ---------------------------------------
+  // Open loop at twice the engine's measured decision capacity (the
+  // direct-drive pass above — closed-loop throughput is latency-bound and
+  // badly underestimates it) with a 10 ms decision budget: requests the
+  // engine cannot decide in time are shed, not decided late. Wall-clock,
+  // so the digest is not comparable here — this pass measures degradation
+  // behaviour, not determinism.
+  PassOptions overload_options;
+  overload_options.open_loop = true;
+  overload_options.rate = std::max(200.0, 2.0 * direct_off.throughput_rps);
+  overload_options.deadline_ms = 10.0;
+  const Pass overload = run_pass(requests, kSeed, overload_options);
+  const serve::LoadgenReport& o = overload.report;
+  const double answered =
+      static_cast<double>(o.responses) > 0.0
+          ? static_cast<double>(o.responses)
+          : 1.0;
+  const double shed_percent = static_cast<double>(o.shed) / answered * 100.0;
+  const double turned_away_percent =
+      static_cast<double>(o.shed + o.busy) / answered * 100.0;
+  std::cout << "  overload:   " << overload_options.rate
+            << " req/s offered -> shed " << o.shed << ", busy " << o.busy
+            << " of " << o.responses << " answered (" << turned_away_percent
+            << "% turned away)\n";
+  if (o.responses + o.dropped < o.sent) {
+    std::cerr << "FAIL: overload pass lost track of "
+              << (o.sent - o.responses - o.dropped) << " requests\n";
+    pass = false;
+  }
+
   const std::string path = env.out_dir + "/BENCH_serving.json";
   std::ofstream json(path);
   json.precision(6);
@@ -121,6 +265,33 @@ int main() {
        << (r.decision_digest == second.report.decision_digest ? "true"
                                                               : "false")
        << ",\n"
+       << "  \"journal\": {\n"
+       << "    \"fsync\": \"batch\",\n"
+       << "    \"baseline_rps\": " << direct_off.throughput_rps << ",\n"
+       << "    \"throughput_rps\": " << journal_rps << ",\n"
+       << "    \"overhead_percent\": " << overhead_percent << ",\n"
+       << "    \"digest_unchanged\": "
+       << (direct_on.stats.decision_digest == direct_off.stats.decision_digest
+               ? "true"
+               : "false")
+       << ",\n"
+       << "    \"appends\": " << direct_on.journal.requests << ",\n"
+       << "    \"ticks\": " << direct_on.journal.ticks << ",\n"
+       << "    \"fsyncs\": " << direct_on.journal.fsyncs << ",\n"
+       << "    \"rotations\": " << direct_on.journal.rotations << ",\n"
+       << "    \"bytes\": " << direct_on.journal.bytes << "\n"
+       << "  },\n"
+       << "  \"overload\": {\n"
+       << "    \"offered_rps\": " << overload_options.rate << ",\n"
+       << "    \"deadline_ms\": " << overload_options.deadline_ms << ",\n"
+       << "    \"sent\": " << o.sent << ",\n"
+       << "    \"responses\": " << o.responses << ",\n"
+       << "    \"shed\": " << o.shed << ",\n"
+       << "    \"busy\": " << o.busy << ",\n"
+       << "    \"shed_percent\": " << shed_percent << ",\n"
+       << "    \"turned_away_percent\": " << turned_away_percent << ",\n"
+       << "    \"latency_p99_ms\": " << o.latency.p99_ms << "\n"
+       << "  },\n"
        << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
   std::cout << "[wrote " << path << "]\n";
 

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Crash-recovery and chaos smoke for `utilrisk serve` (wired into CI's
+# serving-smoke job; also runnable locally).
+#
+# Phase 1 — graceful determinism: run a seeded closed-loop stream against
+#   a journaled server, shut it down cleanly, then recover the journal in
+#   a fresh process. The recovery banner digest must be byte-identical to
+#   the digest the load generator computed on the client side.
+# Phase 2 — crash: kill -9 a journaled server mid-load, restart it, and
+#   require a non-empty digest-verified recovery (the server refuses to
+#   start on any divergence) that still serves fresh traffic cleanly.
+# Phase 3 — chaos: hostile connections (disconnects, torn writes,
+#   malformed frames, slow-loris) against the recovered journal, then a
+#   clean probe stream; `loadgen --chaos` exits non-zero if the server
+#   crashed, hung, or corrupted its digest.
+#
+# Env: UTILRISK (binary, default ./build/tools/utilrisk),
+#      SMOKE_OUT (artefact dir, default smoke_out).
+set -euo pipefail
+
+UTILRISK="${UTILRISK:-./build/tools/utilrisk}"
+OUT="${SMOKE_OUT:-smoke_out}"
+mkdir -p "$OUT"
+SOCK="$OUT/serve.sock"
+SERVER=""
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+cleanup() {
+  if [ -n "$SERVER" ] && kill -0 "$SERVER" 2>/dev/null; then
+    kill -9 "$SERVER" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+start_server() { # args: journal_dir log_file
+  rm -f "$SOCK"
+  "$UTILRISK" serve --socket "$SOCK" --journal "$1" --fsync batch \
+    --manifest-dir "" > "$2" 2>&1 &
+  SERVER=$!
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    # A recovery refusal (divergent digest) exits before binding.
+    kill -0 "$SERVER" 2>/dev/null || { cat "$2"; fail "server died on startup"; }
+    sleep 0.1
+  done
+  cat "$2"
+  fail "server socket never appeared"
+}
+
+stop_server() {
+  kill -TERM "$SERVER"
+  wait "$SERVER" || fail "server exited non-zero on SIGTERM drain"
+  SERVER=""
+}
+
+banner_digest() { # arg: log_file -> recovery banner digest
+  sed -n 's/.*journalled request(s); digest \([0-9a-f]*\)\].*/\1/p' "$1" | head -1
+}
+
+echo "== phase 1: graceful session, then digest-verified recovery =="
+J1="$OUT/journal_graceful"
+rm -rf "$J1"
+start_server "$J1" "$OUT/serve_graceful.txt"
+"$UTILRISK" loadgen --socket "$SOCK" --requests 3000 --seed 42 \
+  --manifest-dir "" | tee "$OUT/loadgen_graceful.txt"
+client_digest=$(awk '/^digest:/ { print $2 }' "$OUT/loadgen_graceful.txt")
+[ -n "$client_digest" ] || fail "loadgen printed no digest"
+stop_server
+start_server "$J1" "$OUT/serve_recovered.txt"
+stop_server
+cat "$OUT/serve_recovered.txt"
+recovered_digest=$(banner_digest "$OUT/serve_recovered.txt")
+echo "client digest:    $client_digest"
+echo "recovered digest: $recovered_digest"
+[ "$recovered_digest" = "$client_digest" ] \
+  || fail "recovery digest diverged from the client's"
+
+echo "== phase 2: kill -9 mid-load, recover, keep serving =="
+J2="$OUT/journal_crash"
+rm -rf "$J2"
+start_server "$J2" "$OUT/serve_crash.txt"
+"$UTILRISK" loadgen --socket "$SOCK" --requests 200000 --seed 7 \
+  --manifest-dir "" > "$OUT/loadgen_crash.txt" 2>&1 &
+LOADGEN=$!
+sleep 2
+kill -9 "$SERVER"
+wait "$SERVER" 2>/dev/null || true
+SERVER=""
+wait "$LOADGEN" 2>/dev/null || true # severed mid-stream; failure expected
+echo "journal segments after crash:"
+ls -l "$J2"
+start_server "$J2" "$OUT/serve_crash_recovered.txt"
+replayed=$(sed -n 's/.*\[recovered \([0-9]*\) journalled.*/\1/p' \
+  "$OUT/serve_crash_recovered.txt" | head -1)
+echo "replayed after kill -9: ${replayed:-none}"
+[ -n "$replayed" ] && [ "$replayed" -gt 0 ] \
+  || fail "crash recovery replayed nothing"
+# The recovered server must still answer a fresh clean stream in full.
+"$UTILRISK" loadgen --socket "$SOCK" --requests 500 --seed 11 \
+  --manifest-dir "" > "$OUT/loadgen_after_recovery.txt" \
+  || fail "recovered server dropped responses"
+
+echo "== phase 3: chaos against the recovered server =="
+"$UTILRISK" loadgen --socket "$SOCK" --chaos --seed 1234 \
+  --chaos-connections 24 --duration 8 --manifest-dir "" \
+  | tee "$OUT/chaos.txt" \
+  || fail "chaos probe degraded the server"
+stop_server
+grep -q "server survived" "$OUT/chaos.txt" || fail "no chaos verdict printed"
+
+echo "crash-recovery smoke: all phases passed"

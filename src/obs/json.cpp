@@ -178,6 +178,11 @@ namespace {
 
 class Parser {
  public:
+  /// Containers nest recursively; cap the depth so a hostile document of
+  /// thousands of '[' bytes fails with ParseError instead of overflowing
+  /// the stack (the serving layer parses attacker-supplied lines).
+  static constexpr int kMaxDepth = 64;
+
   explicit Parser(std::string_view text) : text_(text) {}
 
   Value parse_document() {
@@ -188,6 +193,16 @@ class Parser {
   }
 
  private:
+  struct DepthGuard {
+    explicit DepthGuard(Parser* parser) : parser_(parser) {
+      if (++parser_->depth_ > kMaxDepth) parser_->fail("nesting too deep");
+    }
+    ~DepthGuard() { --parser_->depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser* parser_;
+  };
+
   [[noreturn]] void fail(const std::string& what) const {
     throw ParseError("json parse error at offset " + std::to_string(pos_) +
                      ": " + what);
@@ -221,8 +236,14 @@ class Parser {
   Value parse_value() {
     const char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': {
+        const DepthGuard guard(this);
+        return parse_object();
+      }
+      case '[': {
+        const DepthGuard guard(this);
+        return parse_array();
+      }
       case '"': return Value(parse_string());
       case 't':
         if (!consume_literal("true")) fail("bad literal");
@@ -350,6 +371,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -103,7 +103,10 @@ class Value {
 };
 
 /// Parses one JSON document (trailing whitespace allowed, anything else
-/// after the value is an error). Throws ParseError.
+/// after the value is an error). Throws ParseError — including on
+/// container nesting deeper than 64 levels, a guard against hostile
+/// documents recursing the parser off the stack (the serve protocol
+/// feeds this parser attacker-controlled bytes).
 [[nodiscard]] Value parse(std::string_view text);
 
 /// Writes `text` as a quoted, escaped JSON string literal.

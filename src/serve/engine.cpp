@@ -47,6 +47,9 @@ AdmissionEngine::AdmissionEngine(const EngineConfig& config)
   accepted_metric_ = obs::counter_or_null(config_.metrics, "serve.accepted");
   rejected_metric_ = obs::counter_or_null(config_.metrics, "serve.rejected");
   busy_metric_ = obs::counter_or_null(config_.metrics, "serve.busy");
+  shed_metric_ = obs::counter_or_null(config_.metrics, "serve.shed_total");
+  brownout_metric_ =
+      obs::counter_or_null(config_.metrics, "serve.brownout_total");
   queue_depth_metric_ =
       obs::gauge_or_null(config_.metrics, "serve.queue_depth");
   queue_wait_metric_ = obs::histogram_or_null(
@@ -55,6 +58,63 @@ AdmissionEngine::AdmissionEngine(const EngineConfig& config)
       config_.metrics, "serve.batch_size", batch_size_buckets());
   tick_seconds_metric_ = obs::histogram_or_null(
       config_.metrics, "serve.tick_seconds", request_time_buckets());
+
+  if (config_.brownout_watermark < 1.0) {
+    brownout_threshold_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config_.brownout_watermark *
+                                    static_cast<double>(queue_.capacity())));
+  }
+
+  if (!config_.journal_dir.empty()) {
+    recover_from_journal();
+    JournalConfig journal_config;
+    journal_config.directory = config_.journal_dir;
+    journal_config.fsync = config_.fsync;
+    journal_config.max_segment_records = config_.journal_segment_records;
+    journal_config.metrics = config_.metrics;
+    journal_ = std::make_unique<JournalWriter>(journal_config);
+  }
+}
+
+void AdmissionEngine::recover_from_journal() {
+  recovery_.attempted = true;
+  const RecoveredJournal recovered = load_journal(config_.journal_dir);
+  recovery_.segments = recovered.segments;
+  recovery_.truncated_records = recovered.truncated_records;
+  recovery_.truncated_bytes = recovered.truncated_bytes;
+  if (auto* counter =
+          obs::counter_or_null(config_.metrics, "serve.recovery_truncated")) {
+    counter->inc(recovered.truncated_records);
+  }
+  if (recovered.empty()) return;
+  // Replay every surviving request through the same pure decision path
+  // live requests take. Decisions are a function of the request sequence
+  // alone, so the replayed state — clock, policy, digest — is exactly the
+  // pre-crash state.
+  for (const Request& request : recovered.requests) {
+    (void)decide(request);
+    ++recovery_.replayed;
+    if (recovery_.replayed == recovered.last_tick_processed) {
+      // This is the instant the pre-crash process recorded its digest;
+      // the replica must agree here, byte for byte.
+      recovery_.journal_digest = recovered.last_tick_digest;
+      recovery_.replayed_digest = verify::to_hex(decision_digest_.value());
+      recovery_.digest_match =
+          recovery_.replayed_digest == recovery_.journal_digest;
+    }
+  }
+  if (auto* counter =
+          obs::counter_or_null(config_.metrics, "serve.recovery_replayed")) {
+    counter->inc(recovery_.replayed);
+  }
+  if (!recovery_.digest_match) {
+    throw JournalError(
+        "recovery digest mismatch: journal recorded " +
+        recovery_.journal_digest + " after " +
+        std::to_string(recovered.last_tick_processed) +
+        " requests but replay produced " + recovery_.replayed_digest +
+        " — refusing to serve on top of a divergent recovery");
+  }
 }
 
 AdmissionEngine::~AdmissionEngine() { drain(); }
@@ -66,6 +126,15 @@ void AdmissionEngine::start() {
 
 bool AdmissionEngine::submit(const Request& request, Completion completion) {
   if (requests_metric_ != nullptr) requests_metric_->inc();
+  // Brownout: above the high watermark the engine is already minutes of
+  // decisions behind — answering busy/retry-after now is kinder (and
+  // cheaper) than queueing work that will only be shed later.
+  if (queue_.size() >= brownout_threshold_) {
+    brownout_count_.fetch_add(1, std::memory_order_relaxed);
+    if (brownout_metric_ != nullptr) brownout_metric_->inc();
+    if (busy_metric_ != nullptr) busy_metric_->inc();
+    return false;
+  }
   Pending pending{request, std::move(completion),
                   std::chrono::steady_clock::now()};
   const bool queued = queue_.try_push(std::move(pending));
@@ -91,12 +160,23 @@ void AdmissionEngine::resume() { queue_.release(); }
 void AdmissionEngine::engine_loop() {
   std::vector<Pending> batch;
   batch.reserve(config_.max_batch);
+  std::vector<std::pair<Completion, Response>> completions;
+  completions.reserve(config_.max_batch);
+  // Group commit (FsyncPolicy::Batch): completions waiting for the fsync
+  // that makes their decisions durable. Only ever non-empty while the
+  // queue has backlog, so the next tick — and with it the next sync
+  // opportunity — is always imminent.
+  std::vector<std::pair<Completion, Response>> deferred;
+  const bool group_commit =
+      journal_ != nullptr && config_.fsync == FsyncPolicy::Batch;
+  auto last_sync = std::chrono::steady_clock::now();
   for (;;) {
     // The hold (pause()) gate lives inside pop_wait, so a paused engine
     // consumes nothing — not even an item it was already waiting on.
     std::optional<Pending> first = queue_.pop_wait();
     if (!first.has_value()) break;  // closed and drained
     batch.clear();
+    completions.clear();
     batch.push_back(std::move(*first));
     // Coalesce whatever else is already queued into this tick. Batch
     // composition only affects grouping — virtual times come from the
@@ -109,8 +189,77 @@ void AdmissionEngine::engine_loop() {
       batch_size_metric_->observe(static_cast<double>(batch.size()));
     }
     const auto tick_start = std::chrono::steady_clock::now();
+    bool decided_any = false;
     for (Pending& pending : batch) {
-      process(pending);
+      const auto now = std::chrono::steady_clock::now();
+      if (queue_wait_metric_ != nullptr) {
+        queue_wait_metric_->observe(
+            std::chrono::duration<double>(now - pending.enqueued_at).count());
+      }
+      const Request& request = pending.request;
+      // Deadline-aware shedding: a request whose wall-clock decision
+      // budget ran out while it queued is answered `shed` and never
+      // simulated. Sheds are a wall-clock artefact, so they stay out of
+      // the journal and the decision digest — replaying the same request
+      // stream without the overload reproduces the same digest.
+      if (request.deadline_ms > 0.0 &&
+          std::chrono::duration<double, std::milli>(now - pending.enqueued_at)
+                  .count() > request.deadline_ms) {
+        Response response;
+        response.id = request.id;
+        response.status = Status::Shed;
+        response.message = "decision deadline expired in queue";
+        ++stats_.shed;
+        if (shed_metric_ != nullptr) shed_metric_->inc();
+        completions.emplace_back(std::move(pending.completion),
+                                 std::move(response));
+        continue;
+      }
+      // Write-ahead: the request hits the journal before the simulator,
+      // so every decision the digest ever covered is re-derivable from
+      // disk. The fsync (under Batch) waits for the tick record below.
+      if (journal_ != nullptr) journal_->append_request(request);
+      decided_any = true;
+      completions.emplace_back(std::move(pending.completion),
+                               decide(request));
+    }
+    bool synced = !group_commit;
+    if (journal_ != nullptr && decided_any) {
+      // The tick record carries the running digest — the recovery oracle.
+      // Under FsyncPolicy::Batch this is also the durability point: one
+      // fsync covers the whole batch — or, while backlog persists, one
+      // fsync per group_commit_ms covers several ticks whose completions
+      // wait in `deferred` until it lands.
+      const auto now = std::chrono::steady_clock::now();
+      const bool sync_now =
+          !group_commit || queue_.size() == 0 ||
+          std::chrono::duration<double, std::milli>(now - last_sync)
+                  .count() >= config_.group_commit_ms;
+      journal_->append_tick(stats_.processed,
+                            verify::to_hex(decision_digest_.value()),
+                            sync_now);
+      if (sync_now) {
+        last_sync = now;
+        synced = true;
+      }
+    }
+    // Completions fire only after the fsync covering their tick record
+    // landed: no client learns a decision the journal could still lose.
+    // (A tick that only shed needs no durability — sheds are never
+    // journalled — so its completions go out even mid-window.)
+    if (synced) {
+      for (auto& [completion, response] : deferred) {
+        if (completion) completion(response);
+      }
+      deferred.clear();
+    }
+    if (synced || !decided_any) {
+      for (auto& [completion, response] : completions) {
+        if (completion) completion(response);
+      }
+    } else {
+      std::move(completions.begin(), completions.end(),
+                std::back_inserter(deferred));
     }
     ++stats_.batches;
     if (tick_seconds_metric_ != nullptr) {
@@ -120,16 +269,17 @@ void AdmissionEngine::engine_loop() {
               .count());
     }
   }
+  // Queue closed: make any group-committed tail durable, then release its
+  // completions — drain() must never win a race against a pending fsync.
+  if (!deferred.empty()) {
+    if (journal_ != nullptr) journal_->sync();
+    for (auto& [completion, response] : deferred) {
+      if (completion) completion(response);
+    }
+  }
 }
 
-void AdmissionEngine::process(Pending& pending) {
-  if (queue_wait_metric_ != nullptr) {
-    queue_wait_metric_->observe(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      pending.enqueued_at)
-            .count());
-  }
-  const Request& request = pending.request;
+Response AdmissionEngine::decide(const Request& request) {
   // The virtual clock never rewinds: a request claiming an instant the
   // engine has already passed is admitted "now" on the virtual axis.
   virtual_now_ = std::max(virtual_now_, request.submit_time);
@@ -164,7 +314,7 @@ void AdmissionEngine::process(Pending& pending) {
   }
   ++stats_.processed;
   decision_digest_.add(decision_hash(response));
-  if (pending.completion) pending.completion(response);
+  return response;
 }
 
 double AdmissionEngine::risk_index(const workload::Job& job) const {
@@ -200,6 +350,12 @@ EngineStats AdmissionEngine::drain() {
   stats_.events_dispatched = simulator_.events_dispatched();
   stats_.virtual_end_time = virtual_now_;
   stats_.decision_digest = verify::to_hex(decision_digest_.value());
+  stats_.brownout = brownout_count_.load(std::memory_order_relaxed);
+  if (journal_ != nullptr) {
+    // Seal the final segment so a later recovery verifies it wholesale
+    // instead of line by line.
+    journal_->close();
+  }
   drained_.store(true);
   return stats_;
 }

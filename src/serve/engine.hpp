@@ -32,6 +32,7 @@
 #include "policy/factory.hpp"
 #include "policy/policy.hpp"
 #include "serve/bounded_queue.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "service/computing_service.hpp"
 #include "sim/simulator.hpp"
@@ -58,6 +59,26 @@ struct EngineConfig {
   std::size_t max_batch = 64;
   /// Hint clients receive with a `busy` response.
   double retry_after_ms = 50.0;
+  /// Write-ahead journal directory. Empty = journaling off. When set, the
+  /// constructor first replays any surviving journal from this directory
+  /// (deterministic crash recovery, digest-verified against the last tick
+  /// record) and then appends the new session to a fresh segment.
+  std::string journal_dir;
+  FsyncPolicy fsync = FsyncPolicy::Batch;
+  std::size_t journal_segment_records = 4096;
+  /// Group-commit window for FsyncPolicy::Batch: under sustained backlog
+  /// the engine fsyncs at most once per this many milliseconds, holding
+  /// the covered ticks' completions until the sync (no client ever learns
+  /// a decision before it is durable). When the queue empties the engine
+  /// syncs immediately, so an idle or closed-loop client never waits out
+  /// the window.
+  double group_commit_ms = 8.0;
+  /// Brownout high watermark as a fraction of queue capacity. When the
+  /// queue is at or above `watermark * capacity`, submit() fast-fails
+  /// (busy / retry-after) instead of queueing — the engine stops building
+  /// a backlog it cannot decide within anyone's patience. 1.0 disables
+  /// brownout (only a completely full queue pushes back).
+  double brownout_watermark = 1.0;
   /// Optional registry for the serve.* instruments (may be null).
   obs::MetricsRegistry* metrics = nullptr;
   sim::LogLevel log_level = sim::LogLevel::Off;
@@ -76,14 +97,41 @@ struct EngineStats {
   std::uint64_t violated = 0;
   std::uint64_t batches = 0;
   std::uint64_t events_dispatched = 0;
+  /// Requests dropped unsimulated because their `deadline_ms` decision
+  /// budget expired in the queue (wall-clock artefact; not digested).
+  std::uint64_t shed = 0;
+  /// Submissions fast-failed by the brownout high watermark.
+  std::uint64_t brownout = 0;
   double virtual_end_time = 0.0;
   /// Order-independent digest over (request id, decision, price) — equal
   /// across runs iff the admission decisions were identical.
   std::string decision_digest;
 };
 
+/// Outcome of the constructor's journal replay (all zeros / empty when no
+/// journal directory was configured or the directory held no records).
+struct RecoveryStats {
+  bool attempted = false;    ///< a journal directory was configured
+  std::uint64_t replayed = 0;  ///< journalled requests re-decided
+  /// True when the replayed decision digest matched the digest recorded
+  /// in the journal's last tick record (vacuously true when the journal
+  /// held no tick). A mismatch throws from the constructor instead — a
+  /// server must never serve on top of a divergent recovery.
+  bool digest_match = true;
+  std::string journal_digest;   ///< digest the pre-crash process recorded
+  std::string replayed_digest;  ///< digest after replay, at the same point
+  std::uint64_t segments = 0;
+  std::uint64_t truncated_records = 0;  ///< torn-tail records dropped
+  std::uint64_t truncated_bytes = 0;
+};
+
 class AdmissionEngine {
  public:
+  /// Constructs the engine; when `config.journal_dir` is set, loads and
+  /// replays the surviving journal first (see RecoveryStats) and opens a
+  /// fresh journal segment for this session. Throws JournalError when the
+  /// journal is unreadable/corrupt or the replayed decision digest
+  /// diverges from the journal's own record of the pre-crash digest.
   explicit AdmissionEngine(const EngineConfig& config);
   /// Joins the engine thread; pending completions fire first (drain() is
   /// the polite path — the destructor is the safety net).
@@ -123,6 +171,12 @@ class AdmissionEngine {
     return queue_.capacity();
   }
   [[nodiscard]] const EngineConfig& config() const { return config_; }
+  /// Crash-recovery outcome (defaults when no journal was configured).
+  [[nodiscard]] const RecoveryStats& recovery() const { return recovery_; }
+  /// Journal write totals for this session (zeros when journaling is off).
+  [[nodiscard]] JournalStats journal_stats() const {
+    return journal_ != nullptr ? journal_->stats() : JournalStats{};
+  }
 
  private:
   struct Pending {
@@ -132,7 +186,12 @@ class AdmissionEngine {
   };
 
   void engine_loop();
-  void process(Pending& pending);
+  /// The pure decision path: clamp the virtual clock, simulate, digest.
+  /// Everything wall-clock (queue-wait metrics, sheds, completions,
+  /// journaling) lives outside so recovery replay and live serving share
+  /// one code path and stay bit-identical.
+  [[nodiscard]] Response decide(const Request& request);
+  void recover_from_journal();
   [[nodiscard]] double risk_index(const workload::Job& job) const;
 
   EngineConfig config_;
@@ -149,18 +208,28 @@ class AdmissionEngine {
   double accepted_work_ = 0.0;
   EngineStats stats_;
   verify::UnorderedDigest decision_digest_;
+  /// Write-ahead journal (null when journaling is off). Engine-thread-only
+  /// after construction.
+  std::unique_ptr<JournalWriter> journal_;
+  RecoveryStats recovery_;
 
   // --- cross-thread coordination ----------------------------------------
   std::atomic<bool> started_{false};
   std::atomic<bool> drained_{false};
   std::mutex drain_mutex_;  ///< serialises drain() callers
   std::thread thread_;
+  /// Brownout fast-fail threshold in queue slots (SIZE_MAX = disabled);
+  /// counted on IO threads, so atomic (stats_ is engine-thread-only).
+  std::size_t brownout_threshold_ = SIZE_MAX;
+  std::atomic<std::uint64_t> brownout_count_{0};
 
   // serve.* instruments (null when metrics are absent/disabled).
   obs::Counter* requests_metric_ = nullptr;
   obs::Counter* accepted_metric_ = nullptr;
   obs::Counter* rejected_metric_ = nullptr;
   obs::Counter* busy_metric_ = nullptr;
+  obs::Counter* shed_metric_ = nullptr;
+  obs::Counter* brownout_metric_ = nullptr;
   obs::Gauge* queue_depth_metric_ = nullptr;
   obs::Histogram* queue_wait_metric_ = nullptr;
   obs::Histogram* batch_size_metric_ = nullptr;

@@ -12,9 +12,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <iterator>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 
@@ -87,27 +89,57 @@ class LineSocket {
     return true;
   }
 
-  /// Next line, or nullopt on EOF / idle timeout / error.
-  [[nodiscard]] std::optional<std::string> read_line(double timeout_seconds) {
+  /// One read attempt's outcome. Timeout, EOF and socket error are
+  /// different failures (idle server vs closed connection vs broken
+  /// transport) and the report counts them separately.
+  struct ReadResult {
+    enum class Kind { Line, Timeout, Eof, Error } kind = Kind::Timeout;
+    std::string line;  // Kind::Line only
+  };
+
+  /// Next line, or the reason there is none.
+  [[nodiscard]] ReadResult read_line(double timeout_seconds) {
     for (;;) {
       if (const auto nl = buffer_.find('\n'); nl != std::string::npos) {
-        std::string line = buffer_.substr(0, nl);
+        ReadResult result;
+        result.kind = ReadResult::Kind::Line;
+        result.line = buffer_.substr(0, nl);
         buffer_.erase(0, nl + 1);
-        return line;
+        return result;
       }
       pollfd pfd{fd_, POLLIN, 0};
       const int ready =
           ::poll(&pfd, 1, static_cast<int>(timeout_seconds * 1000.0));
-      if (ready <= 0) return std::nullopt;  // timeout or error
+      if (ready == 0) return {ReadResult::Kind::Timeout, {}};
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return {ReadResult::Kind::Error, {}};
+      }
       char chunk[4096];
       const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-      if (n == 0) return std::nullopt;  // EOF
+      if (n == 0) return {ReadResult::Kind::Eof, {}};
       if (n < 0) {
         if (errno == EINTR) continue;
-        return std::nullopt;
+        return {ReadResult::Kind::Error, {}};
       }
       buffer_.append(chunk, static_cast<std::size_t>(n));
     }
+  }
+
+  /// Raw byte send without line framing — the chaos harness uses this to
+  /// tear frames mid-byte. Best effort; false when the peer is gone.
+  [[nodiscard]] bool send_raw(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
   }
 
  private:
@@ -142,9 +174,23 @@ void tally(LoadgenReport& report, verify::UnorderedDigest& digest,
     case Status::Busy:
       ++report.busy;
       break;
+    case Status::Shed:
+      ++report.shed;
+      break;
     case Status::Error:
       ++report.errors;
       break;
+  }
+}
+
+/// Books a failed read under its cause.
+void count_read_failure(LoadgenReport& report,
+                        LineSocket::ReadResult::Kind kind) {
+  switch (kind) {
+    case LineSocket::ReadResult::Kind::Timeout: ++report.read_timeouts; break;
+    case LineSocket::ReadResult::Kind::Eof: ++report.read_eofs; break;
+    case LineSocket::ReadResult::Kind::Error: ++report.read_errors; break;
+    case LineSocket::ReadResult::Kind::Line: break;  // not a failure
   }
 }
 
@@ -167,7 +213,11 @@ std::vector<Request> make_request_stream(const LoadgenConfig& config) {
   requests.reserve(jobs.size());
   std::uint64_t id = 1;
   for (const workload::Job& job : jobs) {
-    requests.push_back(from_job(job, id++));
+    Request request = from_job(job, id++);
+    // A wall-clock decision budget, when configured. Sheds never enter
+    // the decision digest, so this does not perturb determinism checks.
+    request.deadline_ms = config.deadline_ms;
+    requests.push_back(std::move(request));
   }
   return requests;
 }
@@ -214,9 +264,12 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
       ++report.sent;
       bool answered = false;
       while (!answered) {
-        const auto line = socket.read_line(config.idle_timeout_seconds);
-        if (!line.has_value()) break;  // timeout / EOF: give up on this id
-        const Response response = parse_response(*line);
+        const auto read = socket.read_line(config.idle_timeout_seconds);
+        if (read.kind != LineSocket::ReadResult::Kind::Line) {
+          count_read_failure(report, read.kind);  // give up on this id
+          break;
+        }
+        const Response response = parse_response(read.line);
         tally(report, digest, response);
         if (response.id == request.id || response.status == Status::Busy ||
             response.status == Status::Error) {
@@ -248,16 +301,26 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
           std::lock_guard lock(mutex);
           if (sender_done.load() && pending.empty()) break;
         }
-        const auto line = socket.read_line(/*timeout_seconds=*/0.1);
-        if (!line.has_value()) {
+        const auto read = socket.read_line(/*timeout_seconds=*/0.1);
+        if (read.kind == LineSocket::ReadResult::Kind::Eof ||
+            read.kind == LineSocket::ReadResult::Kind::Error) {
+          // The connection is gone; nothing more will arrive — no point
+          // spinning out the idle timeout.
+          std::lock_guard lock(mutex);
+          count_read_failure(report, read.kind);
+          break;
+        }
+        if (read.kind == LineSocket::ReadResult::Kind::Timeout) {
           if (seconds_between(last_activity, Clock::now()) >
               config.idle_timeout_seconds) {
+            std::lock_guard lock(mutex);
+            count_read_failure(report, read.kind);
             break;
           }
           continue;
         }
         last_activity = Clock::now();
-        const Response response = parse_response(*line);
+        const Response response = parse_response(read.line);
         std::lock_guard lock(mutex);
         tally(report, digest, response);
         if (const auto it = pending.find(response.id);
@@ -301,6 +364,164 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
           : 0.0;
   report.latency = summarize_latencies(std::move(latencies_ms));
   report.decision_digest = verify::to_hex(digest.value());
+  return report;
+}
+
+namespace {
+
+/// SplitMix64: the chaos schedule must be reproducible from the seed.
+class ChaosRng {
+ public:
+  explicit ChaosRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Drains whatever the server answered with, briefly, counting structured
+/// error responses. Unparseable response lines are ignored — the chaos
+/// client judges survival, not wire perfection, and a killed connection
+/// can tear a response line mid-byte.
+void drain_responses(LineSocket& socket, ChaosReport& report,
+                     double timeout_seconds) {
+  for (;;) {
+    const auto read = socket.read_line(timeout_seconds);
+    if (read.kind != LineSocket::ReadResult::Kind::Line) return;
+    ++report.responses;
+    try {
+      if (parse_response(read.line).status == Status::Error) {
+        ++report.errors_reported;
+      }
+    } catch (const ProtocolError&) {
+    }
+  }
+}
+
+}  // namespace
+
+ChaosReport run_chaos(const LoadgenConfig& config) {
+  ChaosReport report;
+  ChaosRng rng(config.seed * 0x9E3779B9ull + 7);
+  // A small pool of valid requests to tear apart.
+  LoadgenConfig stream_config = config;
+  stream_config.requests = std::min<std::size_t>(config.requests, 64);
+  const std::vector<Request> pool = make_request_stream(stream_config);
+
+  const char* malformed[] = {
+      "{\"type\":\"submit\"",                    // truncated JSON
+      "not json at all",                          // not JSON
+      "{\"type\":\"submit\",\"id\":\"seven\"}",  // wrong types
+      "{\"type\":\"nonsense\",\"id\":1}",        // unknown type
+      "{\"type\":\"submit\",\"id\":1,\"procs\":-3,\"runtime\":1,"
+      "\"deadline\":1,\"budget\":1}",             // invalid values
+      "\xff\xfe{\"type\":\"submit\"}",          // invalid UTF-8
+      "{\"a\":\xc3\x28}",                        // overlong-ish broken UTF-8
+  };
+
+  const auto attack_start = Clock::now();
+  for (std::size_t i = 0; i < config.chaos_connections; ++i) {
+    if (seconds_between(attack_start, Clock::now()) >
+        config.chaos_duration_seconds) {
+      break;
+    }
+    LineSocket socket;
+    try {
+      connect_per_config(socket, config);
+    } catch (const std::runtime_error&) {
+      // Server gone entirely — the probe below will render the verdict.
+      break;
+    }
+    ++report.connections;
+    const Request& victim = pool[rng.below(pool.size())];
+    const std::string frame = encode_request(victim);
+    switch (rng.below(5)) {
+      case 0: {
+        // Mid-request disconnect: half a frame, no newline, vanish.
+        (void)socket.send_raw(
+            std::string_view(frame).substr(0, frame.size() / 2));
+        ++report.disconnects;
+        break;  // ~LineSocket closes abruptly
+      }
+      case 1: {
+        // Torn write: drip a prefix byte by byte, then abandon it.
+        const std::size_t cut = 1 + rng.below(frame.size() - 1);
+        for (std::size_t b = 0; b < cut; ++b) {
+          if (!socket.send_raw(std::string_view(frame).substr(b, 1))) break;
+        }
+        ++report.torn_writes;
+        break;
+      }
+      case 2: {
+        // Malformed frames — the server must answer each with a
+        // structured error, never by dying.
+        const std::size_t count = 1 + rng.below(3);
+        for (std::size_t k = 0; k < count; ++k) {
+          std::string line(malformed[rng.below(std::size(malformed))]);
+          line.push_back('\n');
+          if (!socket.send_raw(line)) break;
+          ++report.malformed_sent;
+        }
+        // Deeply nested JSON (the parser's recursion guard).
+        std::string deep(200, '[');
+        deep += std::string(200, ']');
+        deep.push_back('\n');
+        if (socket.send_raw(deep)) ++report.malformed_sent;
+        drain_responses(socket, report, /*timeout_seconds=*/0.2);
+        break;
+      }
+      case 3: {
+        // Oversized frame: blow past kMaxRequestBytes on one line.
+        std::string huge = "{\"pad\":\"";
+        huge.append(kMaxRequestBytes + 1024, 'x');
+        huge += "\"}\n";
+        if (socket.send_raw(huge)) ++report.oversized_sent;
+        drain_responses(socket, report, /*timeout_seconds=*/0.2);
+        break;
+      }
+      case 4: {
+        // Slow-loris: a few bytes, a pause, a few more — never a full
+        // frame. The server's stall/poll machinery must shrug it off.
+        std::size_t offset = 0;
+        for (int burst = 0; burst < 3 && offset < frame.size(); ++burst) {
+          const std::size_t take = std::min<std::size_t>(
+              1 + rng.below(3), frame.size() - offset);
+          if (!socket.send_raw(
+                  std::string_view(frame).substr(offset, take))) {
+            break;
+          }
+          offset += take;
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        ++report.slow_loris;
+        break;
+      }
+      default: break;
+    }
+  }
+
+  // The verdict: a clean seeded closed-loop stream right through the
+  // wreckage. Every request answered, nothing dropped = the server
+  // neither crashed, hung, nor wedged its connections.
+  LoadgenConfig probe_config = config;
+  probe_config.open_loop = false;
+  probe_config.requests = std::min<std::size_t>(config.requests, 500);
+  probe_config.deadline_ms = 0.0;  // the probe must not shed
+  report.probe = run_loadgen(probe_config);
+  report.probe_clean =
+      report.probe.dropped == 0 &&
+      report.probe.responses >= report.probe.sent &&
+      report.probe.sent == probe_config.requests;
   return report;
 }
 

@@ -41,6 +41,15 @@ struct LoadgenConfig {
   double inaccuracy_percent = 100.0;
   /// Give up when the server goes silent for this long.
   double idle_timeout_seconds = 30.0;
+  /// Wall-clock admission-decision budget (milliseconds) stamped on every
+  /// generated request (`deadline_ms` on the wire); 0 = none. Under
+  /// overload the server sheds requests whose budget expired in its
+  /// queue instead of simulating them.
+  double deadline_ms = 0.0;
+  /// Chaos mode (run_chaos): how many hostile connections to run and a
+  /// wall-clock cap on the whole attack phase.
+  std::size_t chaos_connections = 24;
+  double chaos_duration_seconds = 10.0;
 };
 
 struct LatencySummary {
@@ -57,10 +66,16 @@ struct LoadgenReport {
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t busy = 0;    ///< backpressure rejections observed
+  std::uint64_t shed = 0;    ///< decision-deadline sheds observed
   std::uint64_t errors = 0;  ///< protocol errors reported by the server
   /// Requests the run gave up on (idle timeout / connection loss). A
-  /// clean run has zero.
+  /// clean run has zero. The three cause counters below say *why* reads
+  /// gave up — an idle server, a closed connection and a socket error
+  /// are different failures and get debugged differently.
   std::uint64_t dropped = 0;
+  std::uint64_t read_timeouts = 0;  ///< gave up: server silent past idle timeout
+  std::uint64_t read_eofs = 0;      ///< gave up: server closed the connection
+  std::uint64_t read_errors = 0;    ///< gave up: socket error on read
   double wall_seconds = 0.0;
   double throughput_rps = 0.0;  ///< responses per wall second
   LatencySummary latency;
@@ -79,6 +94,32 @@ struct LoadgenReport {
 /// Runs the full client session against a live server. Throws
 /// std::runtime_error when the connection cannot be established.
 [[nodiscard]] LoadgenReport run_loadgen(const LoadgenConfig& config);
+
+/// What the chaos run did to the server — and whether it survived.
+struct ChaosReport {
+  std::uint64_t connections = 0;     ///< hostile connections opened
+  std::uint64_t disconnects = 0;     ///< mid-request disconnects injected
+  std::uint64_t torn_writes = 0;     ///< frames torn mid-byte then abandoned
+  std::uint64_t malformed_sent = 0;  ///< malformed/hostile frames sent
+  std::uint64_t oversized_sent = 0;  ///< over-limit frames sent
+  std::uint64_t slow_loris = 0;      ///< drip-fed connections
+  std::uint64_t responses = 0;       ///< lines the server still answered with
+  std::uint64_t errors_reported = 0;  ///< structured `error` responses seen
+  /// Post-attack clean probe: a seeded closed-loop stream must still get
+  /// every decision. This is the no-crash/no-hang/no-corruption verdict.
+  bool probe_clean = false;
+  LoadgenReport probe;
+};
+
+/// Chaos mode (`utilrisk loadgen --chaos`): hammers the server with
+/// hostile connections — mid-request disconnects, torn partial frames,
+/// malformed/oversized/non-UTF-8 lines, slow-loris drip feeds — then runs
+/// a clean closed-loop probe stream. The server holds if the probe gets
+/// every decision (`probe_clean`); the attack itself is best-effort and
+/// must never take the client down either. Deterministically seeded from
+/// `config.seed`. Throws std::runtime_error only when the server cannot
+/// be reached at all.
+[[nodiscard]] ChaosReport run_chaos(const LoadgenConfig& config);
 
 /// Percentile summary of raw wall latencies (milliseconds).
 [[nodiscard]] LatencySummary summarize_latencies(std::vector<double> ms);

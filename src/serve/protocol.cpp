@@ -1,5 +1,7 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <sstream>
 
@@ -49,6 +51,65 @@ void require_finite(double value, const char* what) {
   }
 }
 
+/// Input-derived text that gets echoed back in an error message: clamp
+/// to printable ASCII and a short length so a hostile frame cannot smuggle
+/// control bytes or megabytes into the server's response stream.
+[[nodiscard]] std::string sanitize_echo(std::string_view text) {
+  constexpr std::size_t kMaxEcho = 48;
+  std::string out;
+  out.reserve(std::min(text.size(), kMaxEcho) + 3);
+  for (char c : text) {
+    if (out.size() >= kMaxEcho) {
+      out += "...";
+      break;
+    }
+    const auto byte = static_cast<unsigned char>(c);
+    out.push_back(byte >= 0x20 && byte < 0x7f ? c : '?');
+  }
+  return out;
+}
+
+/// Strict UTF-8 well-formedness check (RFC 3629: no overlongs, no
+/// surrogates, nothing above U+10FFFF). The NDJSON protocol is a JSON
+/// protocol, and JSON text is UTF-8 — arbitrary byte salad is rejected
+/// before the parser ever sees it.
+[[nodiscard]] bool is_valid_utf8(std::string_view text) {
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const auto byte = static_cast<unsigned char>(text[i]);
+    std::size_t length = 0;
+    std::uint32_t code = 0;
+    if (byte < 0x80) {
+      ++i;
+      continue;
+    } else if ((byte & 0xE0) == 0xC0) {
+      length = 2;
+      code = byte & 0x1Fu;
+    } else if ((byte & 0xF0) == 0xE0) {
+      length = 3;
+      code = byte & 0x0Fu;
+    } else if ((byte & 0xF8) == 0xF0) {
+      length = 4;
+      code = byte & 0x07u;
+    } else {
+      return false;  // continuation byte or 0xFE/0xFF at sequence start
+    }
+    if (i + length > text.size()) return false;
+    for (std::size_t k = 1; k < length; ++k) {
+      const auto cont = static_cast<unsigned char>(text[i + k]);
+      if ((cont & 0xC0) != 0x80) return false;
+      code = (code << 6) | (cont & 0x3Fu);
+    }
+    static constexpr std::uint32_t kMinForLength[5] = {0, 0, 0x80, 0x800,
+                                                       0x10000};
+    if (code < kMinForLength[length]) return false;          // overlong
+    if (code >= 0xD800 && code <= 0xDFFF) return false;      // surrogate
+    if (code > 0x10FFFF) return false;                       // beyond range
+    i += length;
+  }
+  return true;
+}
+
 }  // namespace
 
 const char* to_string(Status status) {
@@ -57,6 +118,7 @@ const char* to_string(Status status) {
     case Status::Rejected: return "rejected";
     case Status::Busy: return "busy";
     case Status::Error: return "error";
+    case Status::Shed: return "shed";
   }
   return "?";
 }
@@ -65,6 +127,9 @@ Request parse_request(std::string_view line) {
   if (line.size() > kMaxRequestBytes) {
     throw ProtocolError("request exceeds " +
                         std::to_string(kMaxRequestBytes) + " bytes");
+  }
+  if (!is_valid_utf8(line)) {
+    throw ProtocolError("request is not valid UTF-8");
   }
   Value doc;
   try {
@@ -75,7 +140,7 @@ Request parse_request(std::string_view line) {
   if (!doc.is_object()) throw ProtocolError("request must be a JSON object");
   if (string_field(doc, "type") != "submit") {
     throw ProtocolError("unknown request type '" +
-                        string_field(doc, "type") + "'");
+                        sanitize_echo(string_field(doc, "type")) + "'");
   }
 
   Request request;
@@ -91,7 +156,15 @@ Request parse_request(std::string_view line) {
   request.deadline = number_field(doc, "deadline");
   request.budget = number_field(doc, "budget");
   request.penalty_rate = number_field_or(doc, "penalty", 0.0);
+  request.deadline_ms = number_field_or(doc, "deadline_ms", 0.0);
   if (const Value* urgency = doc.find("urgency"); urgency != nullptr) {
+    // is_string first: as_string() on a non-string throws a plain
+    // runtime_error, which would escape the server's ProtocolError
+    // firewall and kill the connection (or the stdio loop) instead of
+    // producing an `error` response.
+    if (!urgency->is_string()) {
+      throw ProtocolError("'urgency' must be \"high\" or \"low\"");
+    }
     const std::string& name = urgency->as_string();
     if (name == "high") {
       request.urgency = workload::Urgency::High;
@@ -116,23 +189,62 @@ Request parse_request(std::string_view line) {
   if (request.penalty_rate < 0.0) {
     throw ProtocolError("'penalty' must be >= 0");
   }
+  require_finite(request.deadline_ms, "'deadline_ms'");
+  if (request.deadline_ms < 0.0) {
+    throw ProtocolError("'deadline_ms' must be >= 0");
+  }
   return request;
 }
 
+namespace {
+
+/// Shortest-round-trip number append (std::to_chars): the encoders sit on
+/// the journal's write-ahead path, where ostringstream's locale machinery
+/// is measurable per-request overhead.
+template <typename T>
+void append_number(std::string& out, T value) {
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, result.ptr);
+}
+
+}  // namespace
+
 std::string encode_request(const Request& request) {
+  std::string out;
+  out.reserve(192);
+  encode_request_to(out, request);
+  return out;
+}
+
+void encode_request_to(std::string& out, const Request& request) {
   // Hand-rolled single line: obs::json::dump pretty-prints across lines,
   // and the protocol is strictly one document per line.
-  std::ostringstream out;
-  out.precision(17);
-  out << "{\"type\":\"submit\",\"id\":" << request.id
-      << ",\"t\":" << request.submit_time << ",\"procs\":" << request.procs
-      << ",\"runtime\":" << request.runtime
-      << ",\"estimate\":" << request.estimate
-      << ",\"deadline\":" << request.deadline
-      << ",\"budget\":" << request.budget
-      << ",\"penalty\":" << request.penalty_rate << ",\"urgency\":\""
-      << workload::to_string(request.urgency) << "\"}";
-  return out.str();
+  out += "{\"type\":\"submit\",\"id\":";
+  append_number(out, request.id);
+  out += ",\"t\":";
+  append_number(out, request.submit_time);
+  out += ",\"procs\":";
+  append_number(out, request.procs);
+  out += ",\"runtime\":";
+  append_number(out, request.runtime);
+  out += ",\"estimate\":";
+  append_number(out, request.estimate);
+  out += ",\"deadline\":";
+  append_number(out, request.deadline);
+  out += ",\"budget\":";
+  append_number(out, request.budget);
+  out += ",\"penalty\":";
+  append_number(out, request.penalty_rate);
+  out += ",\"urgency\":\"";
+  out += workload::to_string(request.urgency);
+  out += '"';
+  // Only when set, so pre-deadline encodings stay byte-identical.
+  if (request.deadline_ms > 0.0) {
+    out += ",\"deadline_ms\":";
+    append_number(out, request.deadline_ms);
+  }
+  out += '}';
 }
 
 Response parse_response(std::string_view line) {
@@ -155,43 +267,56 @@ Response parse_response(std::string_view line) {
     response.status = Status::Busy;
   } else if (status == "error") {
     response.status = Status::Error;
+  } else if (status == "shed") {
+    response.status = Status::Shed;
   } else {
-    throw ProtocolError("unknown response status '" + status + "'");
+    throw ProtocolError("unknown response status '" + sanitize_echo(status) +
+                        "'");
   }
   response.price = number_field_or(doc, "price", 0.0);
   response.risk = number_field_or(doc, "risk", 0.0);
   response.virtual_time = number_field_or(doc, "t", 0.0);
   response.retry_after_ms = number_field_or(doc, "retry_after_ms", 0.0);
-  if (const Value* message = doc.find("message"); message != nullptr) {
+  if (const Value* message = doc.find("message");
+      message != nullptr && message->is_string()) {
     response.message = message->as_string();
   }
   return response;
 }
 
 std::string encode_response(const Response& response) {
-  std::ostringstream out;
-  out.precision(17);
-  out << "{\"id\":" << response.id << ",\"status\":\""
-      << to_string(response.status) << '"';
+  std::string out;
+  out.reserve(128);
+  out += "{\"id\":";
+  append_number(out, response.id);
+  out += ",\"status\":\"";
+  out += to_string(response.status);
+  out += '"';
   switch (response.status) {
     case Status::Accepted:
     case Status::Rejected:
-      out << ",\"price\":" << response.price << ",\"risk\":" << response.risk
-          << ",\"t\":" << response.virtual_time;
+      out += ",\"price\":";
+      append_number(out, response.price);
+      out += ",\"risk\":";
+      append_number(out, response.risk);
+      out += ",\"t\":";
+      append_number(out, response.virtual_time);
       break;
     case Status::Busy:
-      out << ",\"retry_after_ms\":" << response.retry_after_ms;
+      out += ",\"retry_after_ms\":";
+      append_number(out, response.retry_after_ms);
       break;
+    case Status::Shed:
     case Status::Error: {
-      out << ",\"message\":";
+      out += ",\"message\":";
       std::ostringstream escaped;
       obs::json::write_escaped(escaped, response.message);
-      out << escaped.str();
+      out += escaped.str();
       break;
     }
   }
-  out << '}';
-  return out.str();
+  out += '}';
+  return out;
 }
 
 workload::Job to_job(const Request& request, workload::JobId job_id,

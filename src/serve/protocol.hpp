@@ -17,6 +17,7 @@
 //   {"id":7,"status":"accepted","price":4800,"risk":0.12,"t":123.0}
 //   {"id":7,"status":"rejected","price":0,"risk":0.87,"t":123.0}
 //   {"id":7,"status":"busy","retry_after_ms":50}      (backpressure)
+//   {"id":7,"status":"shed","message":"..."}          (deadline expired)
 //   {"id":0,"status":"error","message":"parse error at offset 12"}
 //
 // Encoding/decoding reuses obs::json; malformed input raises
@@ -64,6 +65,13 @@ struct Request {
   double budget = 0.0;
   double penalty_rate = 0.0;
   workload::Urgency urgency = workload::Urgency::Low;
+  /// Optional wall-clock budget (milliseconds) for the *admission
+  /// decision itself* — distinct from `deadline`, which is the job's SLA
+  /// deadline on the virtual clock. A request still queued when this
+  /// budget expires is shed (Status::Shed) instead of simulated: under
+  /// overload the server spends its capacity on requests whose answers
+  /// someone still wants. 0 = no decision deadline.
+  double deadline_ms = 0.0;
 };
 
 enum class Status : std::uint8_t {
@@ -71,6 +79,10 @@ enum class Status : std::uint8_t {
   Rejected,  ///< admission control refused the SLA
   Busy,      ///< bounded queue full — backpressure; retry after the hint
   Error,     ///< malformed/oversized request; `message` says why
+  /// Dropped before simulation: the request's `deadline_ms` decision
+  /// budget expired while it waited in the admission queue. Sheds are a
+  /// wall-clock artefact and never enter the decision digest.
+  Shed,
 };
 
 [[nodiscard]] const char* to_string(Status status);
@@ -94,13 +106,21 @@ struct Response {
   std::string message;
 };
 
-/// Parses one request line. Throws ProtocolError on malformed JSON,
-/// wrong/missing fields, or values that violate SLA preconditions
-/// (non-positive runtime/deadline, negative budget/penalty, zero procs).
+/// Parses one request line. Throws ProtocolError — and only
+/// ProtocolError, whatever the input bytes — on malformed JSON, invalid
+/// UTF-8, over-deep nesting, wrong/missing/mis-typed fields, or values
+/// that violate SLA preconditions (non-positive runtime/deadline,
+/// negative budget/penalty, zero procs). The error message is safe to
+/// echo to a peer: input-derived fragments are sanitised to printable
+/// ASCII and length-clamped.
 [[nodiscard]] Request parse_request(std::string_view line);
 
 /// Serialises a request to one line (no trailing newline).
 [[nodiscard]] std::string encode_request(const Request& request);
+
+/// Appends the one-line encoding to `out` (the allocation-free form the
+/// journal's write-ahead hot path uses).
+void encode_request_to(std::string& out, const Request& request);
 
 /// Parses one response line (used by the load generator). Throws
 /// ProtocolError on malformed input.

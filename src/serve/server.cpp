@@ -28,33 +28,98 @@ constexpr int kPollMillis = 100;
 }  // namespace
 
 struct Server::Connection {
+  /// Write-side state after a flush attempt.
+  enum class WriteState {
+    Idle,     ///< outbox empty — nothing buffered
+    Pending,  ///< bytes buffered, peer socket full, still making progress
+    Stalled,  ///< bytes buffered and no progress for stall_ms — wedged peer
+  };
+
   int fd = -1;
+  std::size_t outbox_cap = 256 * 1024;
+  double stall_ms = 5000.0;
+  /// Server-wide slow-client kill counter (overflow kills happen on the
+  /// engine thread, which has no other path to the server's stats).
+  std::atomic<std::uint64_t>* stalled_counter = nullptr;
   std::mutex write_mutex;
   std::atomic<bool> open{true};
+  /// Buffered-but-unsent response bytes (guarded by write_mutex). Writes
+  /// are non-blocking: the engine thread appends here and moves on; the
+  /// connection's reader task drains it via POLLOUT. Bounded — a peer
+  /// that stops reading overflows the cap and is disconnected instead of
+  /// wedging the engine thread inside send().
+  std::string outbox;
+  /// Last instant a flush moved bytes (guarded by write_mutex); the
+  /// stall clock for the slow-loris timeout.
+  std::chrono::steady_clock::time_point last_progress;
 
   ~Connection() {
     if (fd >= 0) ::close(fd);
   }
 
-  /// Writes one line (appending '\n'); loops over partial writes. A
-  /// vanished peer closes the connection instead of raising SIGPIPE.
+  /// Force-disconnect: wakes the peer (and our reader's poll) with a
+  /// FIN/RST instead of leaving a half-dead socket lingering until
+  /// server shutdown. Safe from any thread; the fd itself stays valid
+  /// until the Connection is destroyed.
+  void kill() {
+    open.store(false, std::memory_order_relaxed);
+    ::shutdown(fd, SHUT_RDWR);
+  }
+
+  /// Queues one line (appending '\n') and flushes what the socket will
+  /// take right now. Never blocks. Returns false when the connection is
+  /// (or just became) dead — including an outbox overflow, which kills
+  /// the connection on the spot.
   bool write_line(const std::string& line) {
     std::lock_guard lock(write_mutex);
     if (!open.load(std::memory_order_relaxed)) return false;
-    std::string framed = line;
-    framed.push_back('\n');
-    std::size_t sent = 0;
-    while (sent < framed.size()) {
-      const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
-                               MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        open.store(false, std::memory_order_relaxed);
-        return false;
-      }
-      sent += static_cast<std::size_t>(n);
+    if (outbox.empty()) {
+      last_progress = std::chrono::steady_clock::now();
     }
-    return true;
+    outbox += line;
+    outbox.push_back('\n');
+    if (outbox.size() > outbox_cap) {
+      kill();
+      if (stalled_counter != nullptr) {
+        stalled_counter->fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;
+    }
+    flush_locked();
+    return open.load(std::memory_order_relaxed);
+  }
+
+  /// Flushes buffered bytes and reports the write-side state; called by
+  /// the reader task each poll tick. The caller kills Stalled peers.
+  WriteState service_writes() {
+    std::lock_guard lock(write_mutex);
+    if (!open.load(std::memory_order_relaxed)) return WriteState::Idle;
+    flush_locked();
+    if (outbox.empty()) return WriteState::Idle;
+    const double stalled_for =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - last_progress)
+            .count();
+    return stalled_for > stall_ms ? WriteState::Stalled : WriteState::Pending;
+  }
+
+ private:
+  /// Non-blocking partial-write loop (caller holds write_mutex). A
+  /// vanished peer closes the connection instead of raising SIGPIPE.
+  void flush_locked() {
+    while (!outbox.empty()) {
+      const ssize_t n = ::send(fd, outbox.data(), outbox.size(),
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        outbox.erase(0, static_cast<std::size_t>(n));
+        last_progress = std::chrono::steady_clock::now();
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      open.store(false, std::memory_order_relaxed);
+      return;
+    }
   }
 };
 
@@ -121,6 +186,9 @@ void Server::acceptor_loop() {
     if (fd < 0) continue;
     auto connection = std::make_shared<Connection>();
     connection->fd = fd;
+    connection->outbox_cap = config_.write_buffer_bytes;
+    connection->stall_ms = config_.write_stall_ms;
+    connection->stalled_counter = &stalled_;
     {
       std::lock_guard lock(connections_mutex_);
       connections_.push_back(connection);
@@ -145,9 +213,26 @@ void Server::reader_loop(const std::shared_ptr<Connection>& connection) {
   pollfd pfd{connection->fd, POLLIN, 0};
   for (;;) {
     if (stop_requested_.load()) return;
+    // Drain buffered responses first; a peer that buffers past the stall
+    // timeout without accepting a byte is wedged — cut it loose so its
+    // responses stop accumulating (slow-loris defense).
+    const Connection::WriteState writes = connection->service_writes();
+    if (writes == Connection::WriteState::Stalled) {
+      stalled_.fetch_add(1, std::memory_order_relaxed);
+      connection->kill();
+      return;
+    }
+    if (!connection->open.load(std::memory_order_relaxed)) return;
+    pfd.events = static_cast<short>(
+        POLLIN |
+        (writes == Connection::WriteState::Pending ? POLLOUT : 0));
     const int ready = ::poll(&pfd, 1, kPollMillis);
     if (ready < 0 && errno != EINTR) return;
     if (ready <= 0) continue;
+    if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) return;
+    // Writable-only wakeup: loop back to service_writes(). POLLHUP falls
+    // through to read(), which reports the EOF/RST properly.
+    if ((pfd.revents & (POLLIN | POLLHUP)) == 0) continue;
     const ssize_t n = ::read(connection->fd, chunk, sizeof(chunk));
     if (n == 0) break;  // EOF: peer is done submitting
     if (n < 0) {
@@ -184,6 +269,22 @@ void Server::reader_loop(const std::shared_ptr<Connection>& connection) {
   }
   if (!discarding && !buffer.empty()) {
     handle_line(connection, std::move(buffer));  // unterminated last line
+  }
+  // Half-close linger: the peer stopped submitting but responses already
+  // queued in the outbox must still reach it. Drain under the same stall
+  // timeout; responses that complete after this task exits are delivered
+  // by write_line's opportunistic flush.
+  for (;;) {
+    if (stop_requested_.load()) return;
+    const Connection::WriteState writes = connection->service_writes();
+    if (writes == Connection::WriteState::Idle) return;
+    if (writes == Connection::WriteState::Stalled) {
+      stalled_.fetch_add(1, std::memory_order_relaxed);
+      connection->kill();
+      return;
+    }
+    pollfd wp{connection->fd, POLLOUT, 0};
+    (void)::poll(&wp, 1, kPollMillis);
   }
 }
 
@@ -257,6 +358,7 @@ ServerStats Server::stats() const {
   stats.oversized = oversized_.load(std::memory_order_relaxed);
   stats.busy = busy_.load(std::memory_order_relaxed);
   stats.responses = responses_.load(std::memory_order_relaxed);
+  stats.stalled = stalled_.load(std::memory_order_relaxed);
   return stats;
 }
 

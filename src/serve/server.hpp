@@ -43,6 +43,14 @@ struct ServerConfig {
   /// the number of concurrently served connections.
   std::size_t io_threads = 4;
   std::size_t max_line_bytes = kMaxRequestBytes;
+  /// Per-connection response buffer cap. Responses queue here when the
+  /// peer's socket is full; a client that lets it overflow (not reading
+  /// its responses) is disconnected — the engine thread never blocks on a
+  /// slow client's socket.
+  std::size_t write_buffer_bytes = 256 * 1024;
+  /// A connection with buffered responses that makes no write progress
+  /// for this long is presumed wedged (slow-loris) and disconnected.
+  double write_stall_ms = 5000.0;
 };
 
 /// Transport-level session counters (the engine owns the decision ones).
@@ -53,6 +61,9 @@ struct ServerStats {
   std::uint64_t oversized = 0;  ///< lines over max_line_bytes
   std::uint64_t busy = 0;       ///< backpressure rejections sent
   std::uint64_t responses = 0;  ///< response lines written
+  /// Connections force-closed by the slow-client defense (write buffer
+  /// overflow or a write stall past write_stall_ms).
+  std::uint64_t stalled = 0;
 };
 
 class Server {
@@ -121,6 +132,7 @@ class Server {
   std::atomic<std::uint64_t> oversized_{0};
   std::atomic<std::uint64_t> busy_{0};
   std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> stalled_{0};
 };
 
 }  // namespace utilrisk::serve

@@ -1,10 +1,20 @@
 // Tests for the online admission service: wire protocol, bounded queue
-// backpressure, engine determinism, stdio/socket serving and the
-// drain-on-shutdown zero-dropped-responses guarantee.
+// backpressure, engine determinism, stdio/socket serving, the
+// drain-on-shutdown zero-dropped-responses guarantee, the write-ahead
+// admission journal with deterministic crash recovery, and the overload
+// (shed/brownout) and slow-client defenses.
 #include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -12,6 +22,7 @@
 
 #include "serve/bounded_queue.hpp"
 #include "serve/engine.hpp"
+#include "serve/journal.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -37,7 +48,9 @@ TEST(ProtocolTest, RequestRoundTrips) {
   Request request = make_request(7, 12.5);
   request.penalty_rate = 0.25;
   request.urgency = workload::Urgency::High;
+  request.deadline_ms = 250.0;
   const Request parsed = parse_request(encode_request(request));
+  EXPECT_DOUBLE_EQ(parsed.deadline_ms, request.deadline_ms);
   EXPECT_EQ(parsed.id, request.id);
   EXPECT_DOUBLE_EQ(parsed.submit_time, request.submit_time);
   EXPECT_EQ(parsed.procs, request.procs);
@@ -51,7 +64,7 @@ TEST(ProtocolTest, RequestRoundTrips) {
 
 TEST(ProtocolTest, ResponseRoundTripsEveryStatus) {
   for (const Status status : {Status::Accepted, Status::Rejected,
-                              Status::Busy, Status::Error}) {
+                              Status::Busy, Status::Error, Status::Shed}) {
     Response response;
     response.id = 3;
     response.status = status;
@@ -70,7 +83,7 @@ TEST(ProtocolTest, ResponseRoundTripsEveryStatus) {
     if (status == Status::Busy) {
       EXPECT_DOUBLE_EQ(parsed.retry_after_ms, response.retry_after_ms);
     }
-    if (status == Status::Error) {
+    if (status == Status::Error || status == Status::Shed) {
       EXPECT_EQ(parsed.message, response.message);
     }
   }
@@ -386,6 +399,501 @@ TEST(SocketServerTest, OverloadSeesBusyBackpressureAndStillNoDrops) {
 
   const EngineStats stats = server.stop_and_drain();
   EXPECT_LE(stats.processed, 4u + report.accepted + report.rejected);
+}
+
+// -------------------------------------------------- protocol hostile corpus
+
+TEST(ProtocolTest, HostileCorpusNeverEscapesProtocolError) {
+  // Every line here is hostile in a different way; parse_request's
+  // contract is "ProtocolError and only ProtocolError, whatever the
+  // bytes". A plain runtime_error escaping here would crash the server's
+  // per-line firewall (this corpus includes the non-string urgency that
+  // used to do exactly that).
+  std::vector<std::string> corpus = {
+      "",
+      " ",
+      "null",
+      "true",
+      "42",
+      "\"just a string\"",
+      "[1,2,3]",
+      "{}",
+      "{\"type\":42}",
+      "{\"type\":\"submit\"}",
+      "{\"type\":\"submit\",\"id\":\"seven\"}",
+      "{\"type\":\"submit\",\"id\":1,\"procs\":1,\"runtime\":1,"
+      "\"deadline\":1,\"budget\":0,\"urgency\":42}",
+      "{\"type\":\"submit\",\"id\":1,\"procs\":1,\"runtime\":1,"
+      "\"deadline\":1,\"budget\":0,\"urgency\":[\"high\"]}",
+      "{\"type\":\"submit\",\"id\":1,\"procs\":1,\"runtime\":1,"
+      "\"deadline\":1,\"budget\":0,\"deadline_ms\":-5}",
+      "{\"type\":\"submit\",\"id\":1,\"procs\":1,\"runtime\":1,"
+      "\"deadline\":1,\"budget\":0,\"deadline_ms\":\"soon\"}",
+      "{\"type\":\"submit\",\"id\":1,\"procs\":1e308,\"runtime\":1,"
+      "\"deadline\":1,\"budget\":0}",
+      "{\"type\":\"submit\",\"id\":1,\"procs\":1,\"runtime\":1e999,"
+      "\"deadline\":1,\"budget\":0}",
+      "{\"type\":\"submit\",\"id\":1,\"procs\":1,\"runtime\":1,"
+      "\"deadline\":1,\"budget\":0",   // truncated
+      "{\"type\":\"submit\",,}",        // bad comma
+      "{\"type\" \"submit\"}",          // missing colon
+      "\xff\xfe\xfd",                    // not UTF-8 at all
+      "{\"type\":\"submit\xc0\xaf\"}",  // overlong UTF-8 encoding
+      "{\"a\":\"\xed\xa0\x80\"}",       // UTF-8-encoded surrogate
+      "{\"a\":\"\xf5\x80\x80\x80\"}",   // beyond U+10FFFF
+      "{\"t\x01ype\":\"submit\"}",      // raw control byte
+      std::string(300, '['),             // deep nesting (parser recursion)
+      std::string(300, '[') + std::string(300, ']'),
+      "{\"type\":\"submit\",\"id\":1,\"id\":2,\"procs\":1,\"runtime\":1,"
+      "\"deadline\":1,\"budget\":0}",   // duplicate keys (first wins)
+  };
+  // And one oversized line just under the parser's own entry check.
+  std::string oversized = "{\"pad\":\"";
+  oversized.append(kMaxRequestBytes + 10, 'x');
+  oversized += "\"}";
+  corpus.push_back(std::move(oversized));
+
+  for (const std::string& line : corpus) {
+    try {
+      const Request request = parse_request(line);
+      // A duplicate-keys document may legitimately parse; anything the
+      // parser accepts must satisfy the SLA preconditions.
+      EXPECT_GT(request.runtime, 0.0);
+    } catch (const ProtocolError&) {
+      // The contract: this is the only exception type allowed out.
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "non-ProtocolError escaped for line of size "
+                    << line.size() << ": " << e.what();
+    }
+  }
+}
+
+TEST(StdioServerTest, HostileLinesGetErrorResponsesAndServerSurvives) {
+  EngineConfig config;
+  AdmissionEngine engine(config);
+  engine.start();
+
+  // The once-fatal non-string urgency, raw bytes, deep nesting — then a
+  // valid request. The server must answer all four and stay up.
+  std::string deep(300, '[');
+  std::istringstream in(
+      std::string("{\"type\":\"submit\",\"id\":1,\"procs\":1,\"runtime\":1,"
+                  "\"deadline\":1,\"budget\":0,\"urgency\":42}\n") +
+      "\xff\xfe not even text\n" + deep + "\n" +
+      encode_request(make_request(5, 1.0)) + "\n");
+  std::ostringstream out;
+  const ServerStats stats = Server::run_stdio(engine, in, out);
+
+  EXPECT_EQ(stats.lines, 4u);
+  EXPECT_EQ(stats.malformed, 3u);
+  EXPECT_EQ(stats.responses, 4u) << "every hostile line gets an answer";
+
+  std::istringstream replies(out.str());
+  std::string line;
+  std::size_t errors = 0;
+  std::size_t decisions = 0;
+  while (std::getline(replies, line)) {
+    const Response response = parse_response(line);
+    (response.status == Status::Error ? errors : decisions) += 1;
+  }
+  EXPECT_EQ(errors, 3u);
+  EXPECT_EQ(decisions, 1u) << "the valid request still got its decision";
+}
+
+// ----------------------------------------------------------------- journal
+
+[[nodiscard]] std::string fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(JournalTest, FsyncPolicyParsesAndRoundTrips) {
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::None, FsyncPolicy::Batch, FsyncPolicy::Always}) {
+    EXPECT_EQ(parse_fsync_policy(to_string(policy)), policy);
+  }
+  EXPECT_THROW((void)parse_fsync_policy("sometimes"), std::invalid_argument);
+}
+
+TEST(JournalTest, RoundTripsRequestsAndTicks) {
+  const std::string dir = fresh_dir("journal_roundtrip");
+  JournalConfig config;
+  config.directory = dir;
+  config.fsync = FsyncPolicy::None;
+  {
+    JournalWriter writer(config);
+    for (std::uint64_t id = 1; id <= 5; ++id) {
+      writer.append_request(make_request(id, static_cast<double>(id)));
+    }
+    writer.append_tick(5, "0123456789abcdef");
+    writer.close();
+    EXPECT_EQ(writer.stats().requests, 5u);
+    EXPECT_EQ(writer.stats().ticks, 1u);
+  }
+
+  const RecoveredJournal recovered = load_journal(dir);
+  ASSERT_EQ(recovered.requests.size(), 5u);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    EXPECT_EQ(encode_request(recovered.requests[id - 1]),
+              encode_request(make_request(id, static_cast<double>(id))));
+  }
+  EXPECT_EQ(recovered.last_tick_processed, 5u);
+  EXPECT_EQ(recovered.last_tick_digest, "0123456789abcdef");
+  EXPECT_EQ(recovered.segments, 1u);
+  EXPECT_EQ(recovered.sealed_segments, 1u);
+  EXPECT_EQ(recovered.truncated_records, 0u);
+}
+
+TEST(JournalTest, RotatesAndPreservesOrderAcrossSegments) {
+  const std::string dir = fresh_dir("journal_rotate");
+  JournalConfig config;
+  config.directory = dir;
+  config.fsync = FsyncPolicy::None;
+  config.max_segment_records = 4;
+  {
+    JournalWriter writer(config);
+    for (std::uint64_t id = 1; id <= 10; ++id) {
+      writer.append_request(make_request(id, static_cast<double>(id)));
+    }
+    writer.append_tick(10, "00000000000000aa");
+    EXPECT_GE(writer.stats().rotations, 2u);
+  }
+  const RecoveredJournal recovered = load_journal(dir);
+  ASSERT_EQ(recovered.requests.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(recovered.requests[i].id, i + 1) << "append order preserved";
+  }
+  EXPECT_GE(recovered.segments, 3u);
+  EXPECT_EQ(recovered.last_tick_processed, 10u);
+}
+
+TEST(JournalTest, TornTailIsDetectedAndPhysicallyTruncated) {
+  const std::string dir = fresh_dir("journal_torn");
+  JournalConfig config;
+  config.directory = dir;
+  config.fsync = FsyncPolicy::None;
+  {
+    JournalWriter writer(config);
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+      writer.append_request(make_request(id, static_cast<double>(id)));
+    }
+    writer.append_tick(3, "00000000000000bb");
+  }
+  // Simulate a crash mid-append: half a record, no newline, bogus chk.
+  const auto segment =
+      std::filesystem::directory_iterator(dir)->path().string();
+  const auto intact_size = std::filesystem::file_size(segment);
+  {
+    std::ofstream out(segment, std::ios::app | std::ios::binary);
+    out << "{\"type\":\"req\",\"seq\":99,\"req\":{\"type\":\"sub";
+  }
+
+  const RecoveredJournal recovered = load_journal(dir);
+  EXPECT_EQ(recovered.requests.size(), 3u) << "intact prefix survives";
+  EXPECT_EQ(recovered.truncated_records, 1u);
+  EXPECT_GT(recovered.truncated_bytes, 0u);
+  EXPECT_EQ(std::filesystem::file_size(segment), intact_size)
+      << "the torn tail is physically removed";
+  // A second load sees a clean journal.
+  EXPECT_EQ(load_journal(dir).truncated_records, 0u);
+}
+
+TEST(JournalTest, TamperedSealedSegmentRefusesToLoad) {
+  const std::string dir = fresh_dir("journal_tamper");
+  JournalConfig config;
+  config.directory = dir;
+  config.fsync = FsyncPolicy::None;
+  config.max_segment_records = 4;  // force segment 1 to seal
+  {
+    JournalWriter writer(config);
+    for (std::uint64_t id = 1; id <= 8; ++id) {
+      writer.append_request(make_request(id, static_cast<double>(id)));
+    }
+  }
+  // Flip one digit inside the *first* (sealed, non-newest) segment: that
+  // is not crash damage, it is lost history — recovery must refuse.
+  std::vector<std::string> segments;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    segments.push_back(entry.path().string());
+  }
+  std::sort(segments.begin(), segments.end());
+  ASSERT_GE(segments.size(), 2u);
+  std::fstream file(segments.front(),
+                    std::ios::in | std::ios::out | std::ios::binary);
+  file.seekp(20);
+  file.put('X');
+  file.close();
+
+  EXPECT_THROW((void)load_journal(dir), JournalError);
+}
+
+// ---------------------------------------------------------------- recovery
+
+TEST(AdmissionEngineTest, JournalRecoveryReproducesDecisionDigest) {
+  const std::string dir = fresh_dir("recovery_digest");
+  LoadgenConfig load;
+  load.requests = 60;
+  load.seed = 42;
+  const std::vector<Request> stream = make_request_stream(load);
+
+  EngineConfig config;
+  config.journal_dir = dir;
+  config.fsync = FsyncPolicy::None;  // durability is not under test here
+  std::string first_digest;
+  {
+    AdmissionEngine engine(config);
+    EXPECT_TRUE(engine.recovery().attempted);
+    EXPECT_EQ(engine.recovery().replayed, 0u) << "nothing to recover yet";
+    engine.start();
+    for (const Request& request : stream) {
+      while (!engine.submit(request, [](const Response&) {})) {
+        std::this_thread::yield();
+      }
+    }
+    const EngineStats stats = engine.drain();
+    first_digest = stats.decision_digest;
+    EXPECT_EQ(engine.journal_stats().requests, 60u);
+    EXPECT_GE(engine.journal_stats().ticks, 1u);
+  }
+
+  // A new engine over the same journal must rebuild the exact state: all
+  // 60 requests replayed, digest byte-identical to the pre-"crash" run.
+  AdmissionEngine recovered(config);
+  EXPECT_TRUE(recovered.recovery().attempted);
+  EXPECT_EQ(recovered.recovery().replayed, 60u);
+  EXPECT_TRUE(recovered.recovery().digest_match);
+  EXPECT_EQ(recovered.recovery().replayed_digest, first_digest);
+  EXPECT_EQ(recovered.recovery().journal_digest, first_digest);
+  const EngineStats stats = recovered.drain();
+  EXPECT_EQ(stats.decision_digest, first_digest);
+  EXPECT_EQ(stats.processed, 60u);
+}
+
+TEST(AdmissionEngineTest, RecoveryRefusesDivergentJournalDigest) {
+  const std::string dir = fresh_dir("recovery_mismatch");
+  JournalConfig journal_config;
+  journal_config.directory = dir;
+  journal_config.fsync = FsyncPolicy::None;
+  {
+    JournalWriter writer(journal_config);
+    writer.append_request(make_request(1, 0.0));
+    // A tick claiming a digest no replay can reproduce.
+    writer.append_tick(1, "deadbeefdeadbeef");
+  }
+  EngineConfig config;
+  config.journal_dir = dir;
+  EXPECT_THROW((void)AdmissionEngine(config), JournalError)
+      << "an engine must never serve on top of a divergent recovery";
+}
+
+TEST(AdmissionEngineTest, RecoveryThenNewTrafficExtendsTheJournal) {
+  const std::string dir = fresh_dir("recovery_extend");
+  LoadgenConfig load;
+  load.requests = 40;
+  load.seed = 7;
+  const std::vector<Request> stream = make_request_stream(load);
+
+  EngineConfig config;
+  config.journal_dir = dir;
+  config.fsync = FsyncPolicy::None;
+  {
+    AdmissionEngine engine(config);
+    engine.start();
+    for (std::size_t i = 0; i < 20; ++i) {
+      while (!engine.submit(stream[i], [](const Response&) {})) {
+        std::this_thread::yield();
+      }
+    }
+    (void)engine.drain();
+  }
+  std::string full_digest;
+  {
+    AdmissionEngine engine(config);  // recovers the first 20
+    EXPECT_EQ(engine.recovery().replayed, 20u);
+    engine.start();
+    for (std::size_t i = 20; i < 40; ++i) {
+      while (!engine.submit(stream[i], [](const Response&) {})) {
+        std::this_thread::yield();
+      }
+    }
+    const EngineStats stats = engine.drain();
+    EXPECT_EQ(stats.processed, 40u) << "lifetime total, replays included";
+    full_digest = stats.decision_digest;
+  }
+  // Reference: the same 40 requests through one uninterrupted engine.
+  EngineConfig plain;
+  AdmissionEngine reference(plain);
+  reference.start();
+  for (const Request& request : stream) {
+    while (!reference.submit(request, [](const Response&) {})) {
+      std::this_thread::yield();
+    }
+  }
+  EXPECT_EQ(reference.drain().decision_digest, full_digest)
+      << "crash + recover + continue == never crashed at all";
+  // And a third engine can recover the full 40-request journal.
+  AdmissionEngine third(config);
+  EXPECT_EQ(third.recovery().replayed, 40u);
+  EXPECT_TRUE(third.recovery().digest_match);
+}
+
+// ---------------------------------------------------------- shed / brownout
+
+TEST(AdmissionEngineTest, ExpiredDeadlineIsShedWithoutDigestPollution) {
+  EngineConfig config;
+  AdmissionEngine engine(config);
+  engine.start();
+  engine.pause();  // hold requests in the queue past their budget
+
+  std::atomic<int> shed_seen{0};
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    Request request = make_request(id, 0.0);
+    request.deadline_ms = 1.0;  // expires while the engine is paused
+    EXPECT_TRUE(engine.submit(request, [&](const Response& response) {
+      if (response.status == Status::Shed) ++shed_seen;
+    }));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const EngineStats stats = engine.drain();  // resumes and processes
+
+  EXPECT_EQ(stats.shed, 5u);
+  EXPECT_EQ(shed_seen.load(), 5) << "every shed request got its answer";
+  EXPECT_EQ(stats.processed, 0u) << "sheds never reach the simulator";
+
+  // Sheds are wall-clock artefacts: the digest must equal an idle run's.
+  EngineConfig idle_config;
+  AdmissionEngine idle(idle_config);
+  idle.start();
+  EXPECT_EQ(stats.decision_digest, idle.drain().decision_digest);
+}
+
+TEST(AdmissionEngineTest, BrownoutFastFailsAboveWatermark) {
+  EngineConfig config;
+  config.queue_capacity = 8;
+  config.brownout_watermark = 0.5;  // fast-fail at queue depth 4
+  AdmissionEngine engine(config);
+  engine.start();
+  engine.pause();
+
+  std::atomic<int> completions{0};
+  std::size_t queued = 0;
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    if (engine.submit(make_request(id, 0.0),
+                      [&](const Response&) { ++completions; })) {
+      ++queued;
+    }
+  }
+  EXPECT_EQ(queued, 4u) << "the watermark, not capacity, is the limit";
+  const EngineStats stats = engine.drain();
+  EXPECT_EQ(stats.brownout, 4u);
+  EXPECT_EQ(stats.processed, 4u);
+  EXPECT_EQ(completions.load(), 4);
+}
+
+// ------------------------------------------------------- slow-client defense
+
+TEST(SocketServerTest, SlowClientIsDisconnectedAndServerStaysHealthy) {
+  EngineConfig engine_config;
+  AdmissionEngine engine(engine_config);
+  engine.start();
+
+  const std::string socket_path = fresh_dir("slow_client") + ".sock";
+  ServerConfig server_config;
+  server_config.unix_path = socket_path;
+  server_config.write_buffer_bytes = 2048;  // tiny outbox: overflow fast
+  server_config.write_stall_ms = 200.0;
+  Server server(server_config, engine);
+  server.start();
+
+  // A client that submits thousands of requests and never reads a byte:
+  // kernel buffers fill, then the 2 KiB outbox, then the server cuts it
+  // loose. The engine thread must never block on this connection.
+  {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    for (std::uint64_t id = 1; id <= 20000; ++id) {
+      std::string line = encode_request(make_request(id, 0.0));
+      line.push_back('\n');
+      if (::send(fd, line.data(), line.size(), MSG_NOSIGNAL) < 0) {
+        break;  // the server already cut us off — that is the point
+      }
+    }
+    // Wait (bounded) for the defense to trip.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.stats().stalled == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ::close(fd);
+  }
+  EXPECT_GE(server.stats().stalled, 1u)
+      << "the wedged client must be disconnected";
+
+  // The server must still serve a well-behaved client flawlessly.
+  LoadgenConfig load;
+  load.unix_path = socket_path;
+  load.requests = 100;
+  const LoadgenReport report = run_loadgen(load);
+  EXPECT_EQ(report.responses, 100u);
+  EXPECT_EQ(report.dropped, 0u);
+  (void)server.stop_and_drain();
+}
+
+// ----------------------------------------------------- queue close race
+
+TEST(BoundedQueueTest, ConcurrentProducersRacingCloseLoseNothing) {
+  // Exercised under TSan in CI: producers hammer try_push while another
+  // thread closes the queue mid-stream. The contract: every accepted
+  // push is delivered exactly once, refused pushes are not.
+  constexpr int kProducers = 4;
+  constexpr int kAttempts = 5000;
+  BoundedQueue<int> queue(64);
+
+  std::vector<std::vector<int>> accepted(kProducers);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &accepted, p] {
+      for (int i = 0; i < kAttempts; ++i) {
+        const int value = p * kAttempts + i;
+        if (queue.try_push(value)) accepted[p].push_back(value);
+      }
+    });
+  }
+  std::vector<int> delivered;
+  std::thread consumer([&queue, &delivered] {
+    for (;;) {
+      auto item = queue.pop_wait();
+      if (!item.has_value()) break;
+      delivered.push_back(*item);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  queue.close();  // races the producers AND the consumer
+  for (std::thread& producer : producers) producer.join();
+  consumer.join();
+
+  std::multiset<int> delivered_set(delivered.begin(), delivered.end());
+  std::size_t accepted_total = 0;
+  for (const auto& values : accepted) {
+    accepted_total += values.size();
+    for (const int value : values) {
+      EXPECT_EQ(delivered_set.count(value), 1u)
+          << "accepted push " << value << " lost or duplicated";
+    }
+  }
+  EXPECT_EQ(delivered.size(), accepted_total)
+      << "nothing delivered that was not accepted";
 }
 
 TEST(SocketServerTest, StopAndDrainAnswersQueuedRequests) {
