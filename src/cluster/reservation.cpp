@@ -150,24 +150,47 @@ const ReservationTimeline& ReservationBook::node(NodeId id) const {
 std::vector<NodeId> ReservationBook::fitting_nodes(sim::SimTime start,
                                                    sim::SimTime end,
                                                    double share,
-                                                   double capacity) const {
-  std::vector<std::pair<double, NodeId>> candidates;
+                                                   double capacity,
+                                                   std::size_t max_needed) const {
+  // Zero-level nodes (empty timelines, plus booked ones whose window max
+  // is exactly 0.0) all tie in the best-fit order and break ties by id —
+  // which is the ascending order this scan visits them in. Keeping them
+  // out of the sort means only nodes with live commitments pay for a
+  // timeline walk and the O(n log n) ordering step.
+  std::vector<std::pair<double, NodeId>> committed;
+  std::vector<NodeId> zero_level;
   for (NodeId id = 0; id < timelines_.size(); ++id) {
     if (down_[id] != 0) continue;
-    const double max_level = timelines_[id].max_committed(start, end);
+    const double max_level = timelines_[id].empty()
+                                 ? 0.0
+                                 : timelines_[id].max_committed(start, end);
     if (max_level + share <= capacity + kShareSlack) {
-      candidates.emplace_back(max_level, id);
+      if (max_level == 0.0) {
+        zero_level.push_back(id);
+      } else {
+        committed.emplace_back(max_level, id);
+      }
     }
   }
   // Best fit: most committed (least residual) first; id tiebreak.
-  std::sort(candidates.begin(), candidates.end(),
+  std::sort(committed.begin(), committed.end(),
             [](const auto& a, const auto& b) {
               if (a.first != b.first) return a.first > b.first;
               return a.second < b.second;
             });
+  const std::size_t cap = max_needed == 0
+                              ? committed.size() + zero_level.size()
+                              : max_needed;
   std::vector<NodeId> out;
-  out.reserve(candidates.size());
-  for (const auto& [level, id] : candidates) out.push_back(id);
+  out.reserve(std::min(cap, committed.size() + zero_level.size()));
+  for (const auto& [level, id] : committed) {
+    if (out.size() >= cap) break;
+    out.push_back(id);
+  }
+  for (NodeId id : zero_level) {
+    if (out.size() >= cap) break;
+    out.push_back(id);
+  }
   return out;
 }
 

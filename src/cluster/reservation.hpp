@@ -63,6 +63,11 @@ class ReservationTimeline {
     return steps_.size();
   }
 
+  /// True when no breakpoints exist: committed share is identically 0, so
+  /// any booking fits immediately (earliest_fit returns `from`) and
+  /// max_committed is 0 over every window. Lets hot paths skip the walk.
+  [[nodiscard]] bool empty() const { return steps_.empty(); }
+
  private:
   // steps_[t] = committed share from t (inclusive) until the next key.
   // A sentinel at -infinity is emulated by treating "before first key" as
@@ -84,11 +89,15 @@ class ReservationBook {
 
   /// Nodes whose max committed share over [start, end) stays <=
   /// capacity - share (i.e. the booking fits), best-fit ordered: highest
-  /// max-committed first. Down nodes never fit.
-  [[nodiscard]] std::vector<NodeId> fitting_nodes(sim::SimTime start,
-                                                  sim::SimTime end,
-                                                  double share,
-                                                  double capacity = 1.0) const;
+  /// max-committed first, id ascending on ties. Down nodes never fit.
+  /// `max_needed` caps the result length (0 = unlimited): callers that
+  /// only consume the first k nodes get the identical prefix without the
+  /// full list being materialised and sorted — untouched (empty) timelines
+  /// all carry level 0.0 and sort by id, so they are appended in id order
+  /// without querying them.
+  [[nodiscard]] std::vector<NodeId> fitting_nodes(
+      sim::SimTime start, sim::SimTime end, double share,
+      double capacity = 1.0, std::size_t max_needed = 0) const;
 
   /// Marks a node out of (or back into) service; fitting_nodes excludes
   /// down nodes so new reservations never book a dead node. Existing

@@ -9,7 +9,9 @@ namespace utilrisk::cluster {
 
 SpaceSharedCluster::SpaceSharedCluster(sim::Simulator& simulator,
                                        MachineConfig machine)
-    : Entity(simulator, "space-shared-cluster"), machine_(machine) {
+    : Entity(simulator, "space-shared-cluster"),
+      machine_(machine),
+      free_nodes_(machine.node_count) {
   machine_.validate();
   free_procs_ = machine_.node_count;
   down_.assign(machine_.node_count, 0);
@@ -33,21 +35,36 @@ void SpaceSharedCluster::start(const workload::Job& job,
   Running entry;
   entry.job = job;
   entry.start_time = now();
+  entry.estimated_finish = entry.start_time + job.estimated_runtime;
   entry.on_complete = std::move(on_complete);
   // Deterministic placement: lowest free node ids first.
   entry.nodes.reserve(job.procs);
   for (std::uint32_t i = 0; i < job.procs; ++i) {
-    const NodeId node = *free_nodes_.begin();
-    free_nodes_.erase(free_nodes_.begin());
+    const NodeId node = free_nodes_.pop_min();
     occupant_[node] = job.id;
     entry.nodes.push_back(node);
   }
   const workload::JobId id = job.id;
+  FinishEntry index_entry;
+  index_entry.estimated_finish = entry.estimated_finish;
+  index_entry.id = id;
+  index_entry.procs = job.procs;
+  index_entry.start_time = entry.start_time;
+  index_entry.actual_finish = entry.start_time + job.actual_runtime;
+  finish_index_.insert(index_entry);
   auto [it, inserted] = running_.emplace(id, std::move(entry));
   UTILRISK_ELOG(sim::LogLevel::Debug, "start job " << id << " procs=" << job.procs
                             << " run=" << job.actual_runtime);
   it->second.completion_event =
       after(job.actual_runtime, [this, id] { complete(id); });
+}
+
+void SpaceSharedCluster::erase_finish_entry(const Running& entry,
+                                            workload::JobId id) {
+  FinishEntry key;
+  key.estimated_finish = entry.estimated_finish;
+  key.id = id;
+  finish_index_.erase(key);
 }
 
 void SpaceSharedCluster::release_nodes(const Running& entry) {
@@ -65,6 +82,7 @@ bool SpaceSharedCluster::cancel(workload::JobId id) {
   if (it == running_.end()) return false;
   it->second.completion_event.cancel();
   release_nodes(it->second);
+  erase_finish_entry(it->second, id);
   delivered_proc_seconds_ +=
       (now() - it->second.start_time) *
       static_cast<double>(it->second.job.procs);
@@ -98,6 +116,7 @@ std::optional<FailureKill> SpaceSharedCluster::node_down(NodeId id) {
   kill.job = it->second.job;
   kill.completed_work = now() - it->second.start_time;
   release_nodes(it->second);
+  erase_finish_entry(it->second, it->first);
   delivered_proc_seconds_ +=
       kill.completed_work * static_cast<double>(kill.job.procs);
   UTILRISK_ELOG(sim::LogLevel::Debug, "node " << id << " down kills job " << kill.job.id);
@@ -133,6 +152,7 @@ void SpaceSharedCluster::complete(workload::JobId id) {
   Running entry = std::move(it->second);
   running_.erase(it);
   release_nodes(entry);
+  erase_finish_entry(entry, id);
   delivered_proc_seconds_ +=
       entry.job.actual_runtime * static_cast<double>(entry.job.procs);
   UTILRISK_ELOG(sim::LogLevel::Debug, "finish job " << id);
@@ -141,23 +161,16 @@ void SpaceSharedCluster::complete(workload::JobId id) {
 
 std::vector<RunningJobInfo> SpaceSharedCluster::running_jobs() const {
   std::vector<RunningJobInfo> out;
-  out.reserve(running_.size());
-  for (const auto& [id, entry] : running_) {
+  out.reserve(finish_index_.size());
+  for (const auto& entry : finish_index_) {  // already (finish, id) ordered
     RunningJobInfo info;
-    info.id = id;
-    info.procs = entry.job.procs;
+    info.id = entry.id;
+    info.procs = entry.procs;
     info.start_time = entry.start_time;
-    info.estimated_finish = entry.start_time + entry.job.estimated_runtime;
-    info.actual_finish = entry.start_time + entry.job.actual_runtime;
+    info.estimated_finish = entry.estimated_finish;
+    info.actual_finish = entry.actual_finish;
     out.push_back(info);
   }
-  std::sort(out.begin(), out.end(),
-            [](const RunningJobInfo& a, const RunningJobInfo& b) {
-              if (a.estimated_finish != b.estimated_finish) {
-                return a.estimated_finish < b.estimated_finish;
-              }
-              return a.id < b.id;
-            });
   return out;
 }
 
@@ -166,15 +179,27 @@ sim::SimTime SpaceSharedCluster::estimated_availability(
   if (procs > up_procs()) return sim::kTimeNever;
   if (procs <= free_procs_) return now();
   std::uint32_t available = free_procs_;
-  for (const auto& info : running_jobs()) {  // sorted by estimated finish
-    available += info.procs;
+  for (const auto& entry : finish_index_) {  // sorted by estimated finish
+    available += entry.procs;
     if (available >= procs) {
       // Overrun jobs have estimated_finish < now; they "should" already
       // have ended, so the scheduler's best guess is "available now".
-      return std::max(info.estimated_finish, now());
+      return std::max(entry.estimated_finish, now());
     }
   }
   return sim::kTimeNever;  // unreachable: all jobs finish eventually
+}
+
+std::uint32_t SpaceSharedCluster::estimated_procs_free_by(
+    sim::SimTime when) const {
+  std::uint32_t available = free_procs_;
+  for (const auto& entry : finish_index_) {
+    // (finish, id) order makes the predicate a prefix: stop at the first
+    // job estimated to outlast `when`.
+    if (entry.estimated_finish > when + sim::kTimeEpsilon) break;
+    available += entry.procs;
+  }
+  return std::min(available, total_procs());
 }
 
 double SpaceSharedCluster::busy_proc_seconds(sim::SimTime at) const {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/failure.hpp"
+#include "cluster/free_index.hpp"
 #include "cluster/node.hpp"
 #include "sim/entity.hpp"
 #include "workload/job.hpp"
@@ -91,7 +92,8 @@ class SpaceSharedCluster : public sim::Entity {
   [[nodiscard]] bool is_up(NodeId id) const;
   [[nodiscard]] std::uint32_t down_count() const { return down_count_; }
 
-  /// Running jobs sorted by estimated finish time (scheduler view).
+  /// Running jobs sorted by (estimated finish time, id) — a walk of the
+  /// incrementally maintained finish index, no per-call sort.
   [[nodiscard]] std::vector<RunningJobInfo> running_jobs() const;
 
   /// Number of currently running jobs.
@@ -106,6 +108,13 @@ class SpaceSharedCluster : public sim::Entity {
   /// processors in service.
   [[nodiscard]] sim::SimTime estimated_availability(std::uint32_t procs) const;
 
+  /// Processors *estimated* to be free at `when` (free now, plus every
+  /// running job whose estimated finish is at or before `when`, within the
+  /// kernel time epsilon), capped at total_procs(). The EASY backfill
+  /// "extra" query, answered from the finish index prefix in O(matching
+  /// jobs) instead of a full running-set rescan.
+  [[nodiscard]] std::uint32_t estimated_procs_free_by(sim::SimTime when) const;
+
   /// Processor-seconds actually delivered so far (utilisation accounting).
   [[nodiscard]] double busy_proc_seconds(sim::SimTime now) const;
 
@@ -113,22 +122,46 @@ class SpaceSharedCluster : public sim::Entity {
   struct Running {
     workload::Job job;
     sim::SimTime start_time = 0.0;
+    sim::SimTime estimated_finish = 0.0;  ///< key into finish_index_
     CompletionCallback on_complete;
     sim::EventHandle completion_event;
     std::vector<NodeId> nodes;  ///< dedicated nodes, ascending
   };
 
+  /// Finish-time index entry; ordered by (estimated_finish, id), the same
+  /// total order running_jobs() used to sort into. The remaining fields
+  /// ride along so index walks need no running_ lookups.
+  struct FinishEntry {
+    sim::SimTime estimated_finish = 0.0;
+    workload::JobId id = 0;
+    std::uint32_t procs = 0;
+    sim::SimTime start_time = 0.0;
+    sim::SimTime actual_finish = 0.0;
+
+    bool operator<(const FinishEntry& other) const {
+      if (estimated_finish != other.estimated_finish) {
+        return estimated_finish < other.estimated_finish;
+      }
+      return id < other.id;
+    }
+  };
+
   void complete(workload::JobId id);
   void release_nodes(const Running& entry);
+  void erase_finish_entry(const Running& entry, workload::JobId id);
 
   MachineConfig machine_;
   std::uint32_t free_procs_ = 0;
   std::uint32_t down_count_ = 0;
-  std::set<NodeId> free_nodes_;  ///< up and unoccupied, ascending
+  FreeNodeIndex free_nodes_;  ///< up and unoccupied, min() = lowest id
   std::vector<char> down_;
   /// occupant_[node] = running job id, or kNoOccupant.
   std::vector<workload::JobId> occupant_;
   std::map<workload::JobId, Running> running_;
+  /// Incremental (estimated_finish, id) order over running_; maintained on
+  /// start/complete/cancel/node_down so earliest-finish queries are a
+  /// prefix walk.
+  std::set<FinishEntry> finish_index_;
   double delivered_proc_seconds_ = 0.0;
 
   static constexpr workload::JobId kNoOccupant =

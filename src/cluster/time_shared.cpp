@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "sim/logger.hpp"
 
@@ -23,6 +22,22 @@ TimeSharedCluster::TimeSharedCluster(sim::Simulator& simulator,
   machine_.validate();
   nodes_.resize(machine_.node_count);
   down_.assign(machine_.node_count, 0);
+  ever_tasked_flag_.assign(machine_.node_count, 0);
+  share_iters_.reserve(machine_.node_count);
+  for (NodeId id = 0; id < machine_.node_count; ++id) {
+    share_iters_.push_back(share_index_.insert(ShareEntry{0.0, id}).first);
+  }
+}
+
+void TimeSharedCluster::share_index_erase(NodeId id) {
+  if (down_[id] != 0) return;
+  share_index_.erase(share_iters_[id]);
+}
+
+void TimeSharedCluster::share_index_insert(NodeId id) {
+  if (down_[id] != 0) return;
+  share_iters_[id] =
+      share_index_.insert(ShareEntry{nodes_[id].total_share, id}).first;
 }
 
 double TimeSharedCluster::committed_share(NodeId node) const {
@@ -70,34 +85,46 @@ void TimeSharedCluster::start(const workload::Job& job,
   if (jobs_.contains(job.id)) {
     throw std::logic_error("TimeSharedCluster::start: job already running");
   }
-  std::unordered_set<NodeId> seen;
+  // One validated pass: every check runs before any node is touched (the
+  // strong exception guarantee the old two-pass version provided), but
+  // each id is bounds-checked and indexed exactly once. Duplicate
+  // detection rides on the sorted copy job teardown needs anyway.
+  std::vector<NodeId> sorted_nodes = nodes;
+  std::sort(sorted_nodes.begin(), sorted_nodes.end());
+  if (std::adjacent_find(sorted_nodes.begin(), sorted_nodes.end()) !=
+      sorted_nodes.end()) {
+    throw std::logic_error("TimeSharedCluster::start: duplicate node");
+  }
+  std::vector<NodeState*> states;
+  states.reserve(nodes.size());
   for (NodeId id : nodes) {
     if (id >= nodes_.size()) {
       throw std::logic_error("TimeSharedCluster::start: bad node id");
     }
-    if (!seen.insert(id).second) {
-      throw std::logic_error("TimeSharedCluster::start: duplicate node");
-    }
     if (down_[id] != 0) {
       throw std::logic_error("TimeSharedCluster::start: node is down");
     }
-    if (nodes_[id].total_share + share > 1.0 + kShareEpsilon) {
+    NodeState& state = nodes_[id];
+    if (state.total_share + share > 1.0 + kShareEpsilon) {
       throw std::logic_error(
           "TimeSharedCluster::start: share capacity exceeded on node");
     }
+    states.push_back(&state);
   }
 
   JobState job_state;
   job_state.job = job;
   job_state.remaining_tasks = job.procs;
   job_state.on_complete = std::move(on_complete);
+  job_state.nodes = std::move(sorted_nodes);
   jobs_.emplace(job.id, std::move(job_state));
 
   UTILRISK_ELOG(sim::LogLevel::Debug, "start job " << job.id << " share=" << share << " on "
                             << nodes.size() << " nodes");
 
-  for (NodeId id : nodes) {
-    NodeState& node = nodes_[id];
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId id = nodes[i];
+    NodeState& node = *states[i];
     integrate(node);
     Task task;
     task.job = job.id;
@@ -106,7 +133,13 @@ void TimeSharedCluster::start(const workload::Job& job,
     task.actual_work = job.actual_runtime;
     task.deadline = job.absolute_deadline();
     node.tasks.push_back(task);
+    share_index_erase(id);
     node.total_share += share;
+    share_index_insert(id);
+    if (ever_tasked_flag_[id] == 0) {
+      ever_tasked_flag_[id] = 1;
+      ever_tasked_.insert(id);
+    }
     reschedule(node, id);
   }
 }
@@ -141,6 +174,7 @@ void TimeSharedCluster::reschedule(NodeState& node, NodeId id) {
 void TimeSharedCluster::handle_node_event(NodeId id) {
   NodeState& node = nodes_[id];
   integrate(node);
+  share_index_erase(id);
   // Complete every task whose work target is met (ties complete together).
   std::vector<workload::JobId> finished;
   for (auto it = node.tasks.begin(); it != node.tasks.end();) {
@@ -155,6 +189,7 @@ void TimeSharedCluster::handle_node_event(NodeId id) {
   if (node.total_share < kShareEpsilon && node.tasks.empty()) {
     node.total_share = 0.0;  // clear accumulated float dust
   }
+  share_index_insert(id);
   reschedule(node, id);
   // Notify after the node is consistent: completion callbacks may admit
   // new jobs onto this node.
@@ -174,9 +209,12 @@ void TimeSharedCluster::task_finished(workload::JobId job) {
   }
 }
 
-double TimeSharedCluster::remove_job_tasks(workload::JobId job) {
+double TimeSharedCluster::remove_job_tasks(
+    workload::JobId job, const std::vector<NodeId>& hosting) {
   double done_min = std::numeric_limits<double>::infinity();
-  for (NodeId node_id = 0; node_id < nodes_.size(); ++node_id) {
+  // `hosting` is ascending, so events reschedule in the same node-id
+  // order the old whole-cluster scan produced.
+  for (NodeId node_id : hosting) {
     NodeState& node = nodes_[node_id];
     bool touched = false;
     // Settle progress at the old rates before removing the task.
@@ -188,6 +226,7 @@ double TimeSharedCluster::remove_job_tasks(workload::JobId job) {
     }
     if (!touched) continue;
     integrate(node);
+    share_index_erase(node_id);
     for (auto task = node.tasks.begin(); task != node.tasks.end();) {
       if (task->job == job) {
         done_min = std::min(done_min, task->done);
@@ -200,6 +239,7 @@ double TimeSharedCluster::remove_job_tasks(workload::JobId job) {
     if (node.total_share < kShareEpsilon && node.tasks.empty()) {
       node.total_share = 0.0;
     }
+    share_index_insert(node_id);
     reschedule(node, node_id);
   }
   return std::isfinite(done_min) ? done_min : 0.0;
@@ -208,8 +248,9 @@ double TimeSharedCluster::remove_job_tasks(workload::JobId job) {
 bool TimeSharedCluster::cancel(workload::JobId id) {
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
+  const std::vector<NodeId> hosting = std::move(it->second.nodes);
   jobs_.erase(it);
-  remove_job_tasks(id);
+  remove_job_tasks(id, hosting);
   UTILRISK_ELOG(sim::LogLevel::Debug, "cancel job " << id);
   return true;
 }
@@ -221,6 +262,7 @@ std::vector<FailureKill> TimeSharedCluster::node_down(NodeId id) {
   if (down_[id] != 0) {
     throw std::logic_error("TimeSharedCluster::node_down: node already down");
   }
+  share_index_.erase(share_iters_[id]);
   down_[id] = 1;
   ++down_count_;
   NodeState& node = nodes_[id];
@@ -238,8 +280,9 @@ std::vector<FailureKill> TimeSharedCluster::node_down(NodeId id) {
     if (it == jobs_.end()) continue;  // defensive
     FailureKill kill;
     kill.job = it->second.job;
+    const std::vector<NodeId> hosting = std::move(it->second.nodes);
     jobs_.erase(it);
-    kill.completed_work = remove_job_tasks(victim);
+    kill.completed_work = remove_job_tasks(victim, hosting);
     UTILRISK_ELOG(sim::LogLevel::Debug, "node " << id << " down kills job " << victim);
     kills.push_back(kill);
   }
@@ -258,6 +301,8 @@ void TimeSharedCluster::node_up(NodeId id) {
   // The node hosted no tasks while down; restart its integration clock so
   // the idle window never counts as progress.
   nodes_[id].last_integrated = now();
+  share_iters_[id] =
+      share_index_.insert(ShareEntry{nodes_[id].total_share, id}).first;
 }
 
 bool TimeSharedCluster::is_up(NodeId id) const {
@@ -270,7 +315,11 @@ bool TimeSharedCluster::is_up(NodeId id) const {
 double TimeSharedCluster::busy_proc_seconds() const {
   double total = 0.0;
   const sim::SimTime t = now();
-  for (const NodeState& node : nodes_) {
+  // Only nodes that ever hosted a task can contribute: the rest add an
+  // exact 0.0, so skipping them leaves the sum bit-identical. Ascending
+  // id order matches the old whole-cluster walk.
+  for (NodeId id : ever_tasked_) {
+    const NodeState& node = nodes_[id];
     total += node.delivered;
     // Include un-integrated progress since the node's last event.
     if (!node.tasks.empty() && node.total_share > 0.0) {

@@ -15,7 +15,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/failure.hpp"
@@ -104,8 +105,33 @@ class TimeSharedCluster : public sim::Entity {
   /// Number of jobs with at least one unfinished task.
   [[nodiscard]] std::size_t running_count() const { return jobs_.size(); }
 
-  /// Processor-seconds delivered so far across all nodes.
+  /// Processor-seconds delivered so far across all nodes. Walks only
+  /// nodes that have ever hosted a task (identical sum: untouched nodes
+  /// contribute exactly 0.0).
   [[nodiscard]] double busy_proc_seconds() const;
+
+  /// Visits up nodes in best-fit order — committed share descending, node
+  /// id ascending, the exact order Libra's node selection sorts into —
+  /// until `visit` returns false. Nodes whose committed share exceeds
+  /// `max_committed_bound` are skipped wholesale; callers pass a
+  /// conservative bound (strictly above their true eligibility cutoff)
+  /// and re-check the exact predicate per node, so the skip can never
+  /// change which nodes are chosen. Template visitor (not std::function):
+  /// this sits on the admission hot path.
+  template <typename Visit>
+  void for_each_up_node_best_fit(double max_committed_bound,
+                                 Visit&& visit) const {
+    // Entries above the bound sort strictly before this probe; entries at
+    // exactly the bound are still visited (callers pass a conservative
+    // bound, so the boundary is never load-bearing).
+    ShareEntry probe;
+    probe.committed = max_committed_bound;
+    probe.id = 0;
+    for (auto it = share_index_.lower_bound(probe);
+         it != share_index_.end(); ++it) {
+      if (!visit(it->id, it->committed)) return;
+    }
+  }
 
   /// Share-capacity headroom tolerance: admission comparisons use this to
   /// absorb floating-point accumulation.
@@ -133,21 +159,58 @@ class TimeSharedCluster : public sim::Entity {
     workload::Job job;  ///< kept so an outage kill can report/resubmit it
     std::uint32_t remaining_tasks = 0;
     CompletionCallback on_complete;
+    /// Hosting nodes, ascending — job teardown visits exactly these
+    /// instead of rescanning the whole cluster.
+    std::vector<NodeId> nodes;
+  };
+
+  /// Share-index entry ordered best-fit first: committed share
+  /// descending, node id ascending (Libra's selection order).
+  struct ShareEntry {
+    double committed = 0.0;
+    NodeId id = 0;
+
+    bool operator<(const ShareEntry& other) const {
+      if (committed != other.committed) return committed > other.committed;
+      return id < other.id;
+    }
   };
 
   void integrate(NodeState& node);
   void reschedule(NodeState& node, NodeId id);
   void handle_node_event(NodeId id);
   void task_finished(workload::JobId job);
-  /// Integrates every node hosting `job`, removes its tasks, and returns
-  /// the minimum done work across them (0 when the job hosts no tasks).
-  double remove_job_tasks(workload::JobId job);
+  /// Integrates every node in `hosting` (ascending), removes `job`'s
+  /// tasks, and returns the minimum done work across them (0 when the job
+  /// hosts no tasks).
+  double remove_job_tasks(workload::JobId job,
+                          const std::vector<NodeId>& hosting);
+  /// Removes/re-adds node `id`'s share-index entry keyed by its *current*
+  /// total_share; call erase before mutating the share, insert after.
+  /// Both no-op for down nodes.
+  void share_index_erase(NodeId id);
+  void share_index_insert(NodeId id);
 
   MachineConfig machine_;
   std::vector<NodeState> nodes_;
   std::vector<char> down_;
   std::uint32_t down_count_ = 0;
-  std::map<workload::JobId, JobState> jobs_;
+  /// Never iterated (find/emplace/erase only), so hashed lookup is safe:
+  /// no observable order depends on this container.
+  std::unordered_map<workload::JobId, JobState> jobs_;
+  /// Up nodes keyed by (committed share desc, id asc); maintained around
+  /// every total_share mutation so best-fit selection needs no full scan.
+  std::set<ShareEntry> share_index_;
+  /// Each up node's entry in share_index_, so the erase half of an update
+  /// skips the O(log n) key search (set iterators stay valid across other
+  /// inserts/erases). Valid iff the node is up.
+  std::vector<std::set<ShareEntry>::iterator> share_iters_;
+  /// Nodes that have ever hosted a task; the only ones that can carry a
+  /// non-zero delivered term in busy_proc_seconds().
+  std::set<NodeId> ever_tasked_;
+  /// Membership mirror of ever_tasked_, so the hot start path pays the
+  /// set insert only on a node's first-ever task.
+  std::vector<char> ever_tasked_flag_;
 };
 
 }  // namespace utilrisk::cluster

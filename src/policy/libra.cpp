@@ -47,23 +47,28 @@ economy::Money LibraPolicy::quote(const workload::Job& job,
 
 std::vector<cluster::NodeId> LibraPolicy::select_nodes(
     const workload::Job& job, double share) const {
-  std::vector<cluster::NodeId> eligible;
-  eligible.reserve(cluster_->node_count());
-  for (cluster::NodeId node = 0; node < cluster_->node_count(); ++node) {
-    if (node_eligible(node, job, share)) eligible.push_back(node);
-  }
-  if (eligible.size() < job.procs) return {};
   // Best fit: least residual share after placement == highest committed
-  // share first.
-  std::sort(eligible.begin(), eligible.end(),
-            [this](cluster::NodeId a, cluster::NodeId b) {
-              const double ca = cluster_->committed_share(a);
-              const double cb = cluster_->committed_share(b);
-              if (ca != cb) return ca > cb;
-              return a < b;
-            });
-  eligible.resize(job.procs);
-  return eligible;
+  // share first. The executor's share index already iterates in that
+  // exact order (committed desc, id asc), so taking the first job.procs
+  // eligible nodes from it equals sorting every eligible node and
+  // truncating — without the whole-cluster scan. The bound skips nodes
+  // that cannot pass the base capacity check; it sits 1e-12 above the
+  // exact cutoff and node_eligible re-checks the exact predicate, so the
+  // skip never changes the outcome.
+  const double bound =
+      1.0 + cluster::TimeSharedCluster::kShareEpsilon - share + 1e-12;
+  std::vector<cluster::NodeId> chosen;
+  chosen.reserve(job.procs);
+  cluster_->for_each_up_node_best_fit(
+      bound, [&](cluster::NodeId node, double /*committed*/) {
+        if (node_eligible(node, job, share)) {
+          chosen.push_back(node);
+          if (chosen.size() == job.procs) return false;
+        }
+        return true;
+      });
+  if (chosen.size() < job.procs) return {};
+  return chosen;
 }
 
 void LibraPolicy::on_submit(const workload::Job& job) {

@@ -45,6 +45,10 @@ std::optional<LibraReservePolicy::Booking> LibraReservePolicy::plan(
   const double min_share = job.estimated_runtime / (deadline - now);
   if (min_share <= 1.0 + cluster::TimeSharedCluster::kShareEpsilon) {
     for (cluster::NodeId id = 0; id < book_.node_count(); ++id) {
+      // An unbooked timeline fits any probe immediately, so earliest_fit
+      // can only return `now` — which is already a candidate — or
+      // kTimeNever (when latest_start < now); skip the walk either way.
+      if (book_.node(id).empty()) continue;
       for (double probe : {min_share, std::min(1.0, min_share * 2.0)}) {
         const sim::SimTime t = book_.node(id).earliest_fit(
             now, latest_start, job.estimated_runtime, probe);
@@ -57,7 +61,8 @@ std::optional<LibraReservePolicy::Booking> LibraReservePolicy::plan(
     if (start > latest_start + sim::kTimeEpsilon) continue;
     const double share = job.estimated_runtime / (deadline - start);
     if (share > 1.0 + cluster::TimeSharedCluster::kShareEpsilon) continue;
-    const auto fitting = book_.fitting_nodes(start, deadline, share);
+    const auto fitting =
+        book_.fitting_nodes(start, deadline, share, 1.0, job.procs);
     if (fitting.size() < job.procs) continue;
     Booking booking;
     booking.job = job;
@@ -103,10 +108,13 @@ void LibraReservePolicy::start_booked(workload::JobId id) {
   const sim::SimTime now = simulator().now();
 
   // The booked window starts now; release the book (execution occupancy is
-  // tracked by the live cluster from here on).
+  // tracked by the live cluster from here on). Trimming settled history
+  // keeps each timeline sized to its active window — every later query
+  // looks at [now, ...), so the trim never changes a result.
   for (cluster::NodeId node : booking.nodes) {
     book_.node(node).release(booking.start, booking.window_end,
                              booking.share);
+    book_.node(node).discard_before(now);
   }
 
   // Honour the planned placement when the live cluster allows it (always,
@@ -208,6 +216,7 @@ void LibraReservePolicy::release_active(workload::JobId id,
     for (cluster::NodeId node : it->second.nodes) {
       book_.node(node).release(at, it->second.window_end,
                                it->second.share);
+      book_.node(node).discard_before(at);
     }
   }
   active_.erase(it);
@@ -238,6 +247,7 @@ bool LibraReservePolicy::terminate(workload::JobId id) {
   for (cluster::NodeId node : it->second.nodes) {
     book_.node(node).release(it->second.start, it->second.window_end,
                              it->second.share);
+    book_.node(node).discard_before(simulator().now());
   }
   deferred_.erase(it);
   return true;

@@ -92,13 +92,9 @@ bool QueueBackfillPolicy::still_viable(const workload::Job& job) const {
 }
 
 std::uint32_t QueueBackfillPolicy::estimated_free_at(sim::SimTime when) const {
-  std::uint32_t available = cluster_->free_procs();
-  for (const auto& info : cluster_->running_jobs()) {
-    if (info.estimated_finish <= when + sim::kTimeEpsilon) {
-      available += info.procs;
-    }
-  }
-  return std::min(available, cluster_->total_procs());
+  // Prefix walk of the cluster's finish index; integer sum, so the result
+  // is exactly the old full-rescan answer.
+  return cluster_->estimated_procs_free_by(when);
 }
 
 void QueueBackfillPolicy::on_submit(const workload::Job& job) {
@@ -114,7 +110,12 @@ void QueueBackfillPolicy::on_submit(const workload::Job& job) {
     host().notify_rejected(job);
     return;
   }
-  queue_.push_back(job);
+  queue_.insert(std::upper_bound(queue_.begin(), queue_.end(), job,
+                                 [this](const workload::Job& a,
+                                        const workload::Job& b) {
+                                   return higher_priority(a, b);
+                                 }),
+                job);
   dispatch();
 }
 
@@ -143,28 +144,28 @@ void QueueBackfillPolicy::dispatch() {
   do {
     dispatch_again_ = false;
 
-    std::sort(queue_.begin(), queue_.end(),
-              [this](const workload::Job& a, const workload::Job& b) {
-                return higher_priority(a, b);
-              });
-
+    // queue_ is maintained in priority order (see the member doc), so no
+    // per-dispatch sort is needed.
+    //
     // Reject queued jobs that can no longer fulfil their SLA (generous
     // admission control, applied at the latest possible moment).
-    std::vector<workload::Job> viable;
-    viable.reserve(queue_.size());
-    for (const auto& job : queue_) {
-      if (still_viable(job)) {
-        viable.push_back(job);
+    // In-place erase: rejections happen in the same (priority) order the
+    // old filter-copy produced, without copying the whole queue per
+    // dispatch.
+    for (std::size_t i = 0; i < queue_.size();) {
+      if (still_viable(queue_[i])) {
+        ++i;
       } else {
-        host().notify_rejected(job);
+        const workload::Job doomed = queue_[i];
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        host().notify_rejected(doomed);
       }
     }
-    queue_ = std::move(viable);
 
     // Start the head while it fits.
     while (!queue_.empty() && cluster_->can_start(queue_.front().procs)) {
       const workload::Job head = queue_.front();
-      queue_.erase(queue_.begin());
+      queue_.pop_front();
       start_job(head);
     }
     if (queue_.empty()) continue;

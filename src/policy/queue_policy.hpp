@@ -14,8 +14,8 @@
 // possible time, trading wait time for acceptance flexibility.
 #pragma once
 
+#include <deque>
 #include <memory>
-#include <vector>
 
 #include "cluster/space_shared.hpp"
 #include "policy/policy.hpp"
@@ -82,7 +82,11 @@ class QueueBackfillPolicy : public Policy {
   QueueOrder order_;
   AdmissionControl admission_;
   std::unique_ptr<cluster::SpaceSharedCluster> cluster_;
-  std::vector<workload::Job> queue_;
+  /// Wait queue, kept sorted by higher_priority at all times (the key is
+  /// immutable per job and the order is total — id tiebreak — so sorted
+  /// insertion produces the exact permutation the old per-dispatch
+  /// std::sort did). Deque: the hot path pops the head.
+  std::deque<workload::Job> queue_;
   bool dispatching_ = false;
   bool dispatch_again_ = false;
 };

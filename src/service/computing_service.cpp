@@ -61,6 +61,7 @@ ComputingService::ComputingService(sim::Simulator& simulator,
     outages_metric_ = obs::counter_or_null(reg, "service.outages");
     failed_outage_metric_ =
         obs::counter_or_null(reg, "service.jobs_failed_outage");
+    decision_ns_metric_ = obs::gauge_or_null(reg, "cluster.decision_ns");
   }
   if (context.failure.enabled()) {
     context.failure.validate();
@@ -85,9 +86,25 @@ void ComputingService::submit_all(const std::vector<workload::Job>& jobs) {
       UTILRISK_ELOG(sim::LogLevel::Debug, "submit job " << job.id << " procs=" << job.procs
                                  << " est=" << job.estimated_runtime
                                  << " deadline=" << job.deadline_duration);
-      policy_->on_submit(job);
+      run_admission(job);
     });
   }
+}
+
+void ComputingService::run_admission(const workload::Job& job) {
+  if (decision_ns_metric_ == nullptr) {
+    policy_->on_submit(job);
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  policy_->on_submit(job);
+  const double ns = std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  decision_ns_total_ += ns;
+  ++decision_count_;
+  decision_ns_metric_->set(decision_ns_total_ /
+                           static_cast<double>(decision_count_));
 }
 
 void ComputingService::notify_accepted(const workload::Job& job,
@@ -195,7 +212,7 @@ void ComputingService::handle_failed_attempt(const workload::Job& attempt,
       if (retries_metric_ != nullptr) retries_metric_->inc();
       UTILRISK_ELOG(sim::LogLevel::Debug, "retry " << attempts << " of job " << attempt.id
                             << " at t=" << resubmit);
-      at(resubmit, [this, retry] { policy_->on_submit(retry); });
+      at(resubmit, [this, retry] { run_admission(retry); });
       return;
     }
   }

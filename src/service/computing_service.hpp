@@ -18,6 +18,7 @@
 
 namespace utilrisk::obs {
 class Counter;
+class Gauge;
 }  // namespace utilrisk::obs
 
 namespace utilrisk::service {
@@ -75,6 +76,10 @@ class ComputingService : public sim::Entity, public policy::PolicyHost {
   /// One job reached a terminal outcome; disarms the injector once all
   /// submitted jobs are settled so the run can drain.
   void note_terminal();
+  /// Runs the policy's admission decision for `job`, timing it when the
+  /// `cluster.decision_ns` gauge is wired up (the gauge carries the
+  /// running mean nanoseconds per decision).
+  void run_admission(const workload::Job& job);
 
   economy::EconomicModel model_;
   MetricsCollector metrics_;
@@ -98,6 +103,12 @@ class ComputingService : public sim::Entity, public policy::PolicyHost {
   obs::Counter* retries_metric_ = nullptr;
   obs::Counter* outages_metric_ = nullptr;
   obs::Counter* failed_outage_metric_ = nullptr;
+  /// Mean wall nanoseconds per admission decision (policy on_submit),
+  /// over submissions and retry resubmissions alike. Null when metrics
+  /// are absent — then decisions are not timed at all.
+  obs::Gauge* decision_ns_metric_ = nullptr;
+  std::uint64_t decision_count_ = 0;
+  double decision_ns_total_ = 0.0;
 };
 
 /// Outcome of a complete simulation run.

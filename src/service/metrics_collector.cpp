@@ -14,6 +14,19 @@ SlaRecord& MetricsCollector::must_find(workload::JobId id, const char* what) {
   return it->second;
 }
 
+void MetricsCollector::set_outcome(SlaRecord& record,
+                                   workload::JobOutcome outcome) {
+  if (record.outcome == workload::JobOutcome::FulfilledSLA) {
+    rolling_wait_sum_ -= record.wait_time();
+  }
+  --outcome_counts_[static_cast<std::size_t>(record.outcome)];
+  record.outcome = outcome;
+  ++outcome_counts_[static_cast<std::size_t>(outcome)];
+  if (outcome == workload::JobOutcome::FulfilledSLA) {
+    rolling_wait_sum_ += record.wait_time();
+  }
+}
+
 void MetricsCollector::record_submitted(const workload::Job& job,
                                         sim::SimTime when) {
   if (records_.contains(job.id)) {
@@ -23,6 +36,7 @@ void MetricsCollector::record_submitted(const workload::Job& job,
   SlaRecord record;
   record.job = job;
   record.submit_time = when;
+  ++outcome_counts_[static_cast<std::size_t>(record.outcome)];
   records_.emplace(job.id, record);
   ledger_.record_submitted(job);
 }
@@ -32,13 +46,13 @@ void MetricsCollector::record_accepted(workload::JobId id, sim::SimTime when,
   SlaRecord& record = must_find(id, "record_accepted");
   record.decision_time = when;
   record.quoted_cost = quoted_cost;
-  record.outcome = workload::JobOutcome::Unfinished;  // running/queued
+  set_outcome(record, workload::JobOutcome::Unfinished);  // running/queued
 }
 
 void MetricsCollector::record_rejected(workload::JobId id, sim::SimTime when) {
   SlaRecord& record = must_find(id, "record_rejected");
   record.decision_time = when;
-  record.outcome = workload::JobOutcome::Rejected;
+  set_outcome(record, workload::JobOutcome::Rejected);
 }
 
 void MetricsCollector::record_started(workload::JobId id, sim::SimTime when) {
@@ -58,8 +72,8 @@ void MetricsCollector::record_finished(workload::JobId id, sim::SimTime when,
   const bool on_time =
       when <= record.submit_time + record.job.deadline_duration +
                   sim::kTimeEpsilon;
-  record.outcome = on_time ? workload::JobOutcome::FulfilledSLA
-                           : workload::JobOutcome::ViolatedSLA;
+  set_outcome(record, on_time ? workload::JobOutcome::FulfilledSLA
+                              : workload::JobOutcome::ViolatedSLA);
   ledger_.record_utility(id, utility);
 }
 
@@ -72,7 +86,7 @@ void MetricsCollector::record_terminated(workload::JobId id,
   }
   record.finish_time = when;
   record.utility = utility;
-  record.outcome = workload::JobOutcome::TerminatedSLA;
+  set_outcome(record, workload::JobOutcome::TerminatedSLA);
   ledger_.record_utility(id, utility);
 }
 
@@ -94,7 +108,7 @@ void MetricsCollector::record_failed(workload::JobId id, sim::SimTime when,
   }
   record.finish_time = when;
   record.utility = utility;
-  record.outcome = workload::JobOutcome::FailedOutage;
+  set_outcome(record, workload::JobOutcome::FailedOutage);
   ledger_.record_utility(id, utility);
 }
 
@@ -122,12 +136,20 @@ core::ObjectiveInputs MetricsCollector::objective_inputs() const {
   return inputs;
 }
 
+core::ObjectiveInputs MetricsCollector::rolling_objective_inputs() const {
+  core::ObjectiveInputs inputs;
+  inputs.total_budget = ledger_.total_budget();
+  inputs.total_utility = ledger_.total_utility();
+  inputs.submitted = records_.size();
+  inputs.accepted =
+      records_.size() - outcome_count(workload::JobOutcome::Rejected);
+  inputs.fulfilled = outcome_count(workload::JobOutcome::FulfilledSLA);
+  inputs.wait_sum_fulfilled = rolling_wait_sum_;
+  return inputs;
+}
+
 std::size_t MetricsCollector::unfinished_count() const {
-  std::size_t count = 0;
-  for (const auto& [id, record] : records_) {
-    if (record.outcome == workload::JobOutcome::Unfinished) ++count;
-  }
-  return count;
+  return outcome_count(workload::JobOutcome::Unfinished);
 }
 
 }  // namespace utilrisk::service

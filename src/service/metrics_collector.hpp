@@ -1,6 +1,8 @@
 // Aggregates SLA records into the paper's objective inputs.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -45,17 +47,47 @@ class MetricsCollector {
   }
   [[nodiscard]] const economy::Ledger& ledger() const { return ledger_; }
 
+  /// Canonical objective inputs: the wait sum is accumulated walking the
+  /// records in ascending job-id order, which is the order the digested
+  /// report has always used. O(records).
   [[nodiscard]] core::ObjectiveInputs objective_inputs() const;
 
+  /// O(1) objective inputs for periodic samplers: counts come from the
+  /// incrementally-maintained outcome counters (exact integers, identical
+  /// to the canonical walk) and the wait sum from a rolling accumulator
+  /// updated at each fulfilment (finish order, so the double may differ
+  /// from the canonical id-order sum in the last ulp). Dashboards only —
+  /// anything digested must use objective_inputs().
+  [[nodiscard]] core::ObjectiveInputs rolling_objective_inputs() const;
+
+  /// Number of records currently carrying `outcome`. O(1), maintained
+  /// incrementally at every outcome transition.
+  [[nodiscard]] std::uint64_t outcome_count(workload::JobOutcome outcome) const {
+    return outcome_counts_[static_cast<std::size_t>(outcome)];
+  }
+
+  /// Total records (== submissions). O(1).
+  [[nodiscard]] std::uint64_t submitted_count() const {
+    return records_.size();
+  }
+
   /// Jobs accepted but not finished (non-zero only if a run was cut off
-  /// before draining; the harness treats this as an error).
+  /// before draining; the harness treats this as an error). O(1).
   [[nodiscard]] std::size_t unfinished_count() const;
 
  private:
   SlaRecord& must_find(workload::JobId id, const char* what);
+  /// Moves `record` to `outcome`, keeping the per-outcome counters and the
+  /// rolling fulfilled-wait sum in step.
+  void set_outcome(SlaRecord& record, workload::JobOutcome outcome);
 
   std::map<workload::JobId, SlaRecord> records_;
   economy::Ledger ledger_;
+  /// One bucket per JobOutcome value; every record is in exactly one.
+  std::array<std::uint64_t, 6> outcome_counts_{};
+  /// Sum of wait_time() over currently-fulfilled records, accumulated in
+  /// fulfilment order (see rolling_objective_inputs()).
+  double rolling_wait_sum_ = 0.0;
 };
 
 }  // namespace utilrisk::service

@@ -86,10 +86,19 @@ class Simulator {
   [[nodiscard]] Logger& logger() { return logger_; }
   [[nodiscard]] const Logger& logger() const { return logger_; }
 
+  /// Pins the event queue to the binary heap regardless of its size.
+  /// Benchmarks use this to measure the pre-calendar kernel baseline;
+  /// tests use it to compare structures. Call before the first event is
+  /// scheduled (see EventQueue::force_heap_mode).
+  void pin_heap_event_queue() { queue_.force_heap_mode(); }
+
   /// Attaches (or detaches, with nullptr) a metrics registry. The kernel
   /// resolves its instruments once here — `sim.events_scheduled`,
-  /// `sim.events_dispatched`, `sim.queue_depth` — so the per-event cost is
-  /// a null check when metrics are absent or disabled.
+  /// `sim.events_dispatched`, `sim.queue_depth`, `sim.events_per_sec` —
+  /// so the per-event cost is a null check when metrics are absent or
+  /// disabled. The throughput gauge is updated once per run() call (events
+  /// dispatched / wall seconds); the wall clock is only read when the
+  /// gauge is resolved, so un-instrumented runs never touch it.
   void set_metrics(obs::MetricsRegistry* registry);
 
  private:
@@ -102,6 +111,7 @@ class Simulator {
   obs::Counter* scheduled_metric_ = nullptr;
   obs::Counter* dispatched_metric_ = nullptr;
   obs::Gauge* queue_depth_metric_ = nullptr;
+  obs::Gauge* events_per_sec_metric_ = nullptr;
 };
 
 }  // namespace utilrisk::sim

@@ -1,0 +1,23 @@
+#include "workload/scaled.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace utilrisk::workload {
+
+SyntheticSdscConfig scaled_sdsc_config(std::uint32_t node_count,
+                                       std::uint32_t job_count,
+                                       std::uint64_t seed) {
+  if (node_count == 0) {
+    throw std::invalid_argument("scaled_sdsc_config: node_count must be > 0");
+  }
+  SyntheticSdscConfig config;
+  config.job_count = job_count;
+  config.max_procs = std::min<std::uint32_t>(config.max_procs, node_count);
+  config.mean_interarrival =
+      config.mean_interarrival * 128.0 / static_cast<double>(node_count);
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace utilrisk::workload

@@ -1,0 +1,29 @@
+// Cluster-scaled variants of the synthetic SDSC SP2 workload.
+//
+// The paper's machine is 128 nodes; the ROADMAP targets 10k-100k-node
+// clusters. Scaling the machine without scaling the arrival process just
+// leaves the extra nodes idle, so this helper densifies arrivals in
+// proportion to the node count — the offered load *per node* stays at the
+// SDSC subset's published level while the absolute job pressure (and the
+// kernel's pending-event population) grows with the cluster.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/synthetic_sdsc.hpp"
+
+namespace utilrisk::workload {
+
+/// Synthetic-SDSC config for a cluster of `node_count` nodes carrying the
+/// same per-node offered load as the 128-node original:
+///   mean_interarrival = 1969 s * 128 / node_count.
+/// Job widths keep the trace's distribution (max_procs stays 128 unless
+/// the cluster itself is narrower), so a 100k-node run models many
+/// concurrent trace-like users rather than implausibly wide jobs.
+/// Deterministic in (node_count, job_count, seed). Throws
+/// std::invalid_argument when node_count is zero.
+[[nodiscard]] SyntheticSdscConfig scaled_sdsc_config(
+    std::uint32_t node_count, std::uint32_t job_count,
+    std::uint64_t seed = 42);
+
+}  // namespace utilrisk::workload
