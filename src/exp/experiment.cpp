@@ -1,11 +1,13 @@
 #include "exp/experiment.hpp"
 
 #include <chrono>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
 #include "exp/parallel.hpp"
 #include "service/computing_service.hpp"
+#include "workload/generator.hpp"
 
 namespace utilrisk::exp {
 
@@ -29,6 +31,26 @@ RunSettings ExperimentConfig::default_settings() const {
   return settings;
 }
 
+namespace {
+
+/// Parses a workload spec and injects the experiment's job count and
+/// trace seed as defaults (seed convention, workload/generator.hpp).
+workload::GeneratorSpec spec_with_defaults(
+    const std::string& text, const workload::SyntheticSdscConfig& trace) {
+  workload::GeneratorSpec spec = workload::GeneratorSpec::parse(text);
+  spec.set_default("jobs", std::to_string(trace.job_count));
+  spec.set_default("seed", std::to_string(trace.seed));
+  return spec;
+}
+
+}  // namespace
+
+workload::WorkloadBuilder ExperimentConfig::make_builder() const {
+  if (workload.empty()) return workload::WorkloadBuilder(trace);
+  return workload::WorkloadBuilder(
+      workload::generate_jobs(spec_with_defaults(workload, trace)));
+}
+
 std::string ExperimentConfig::run_key(policy::PolicyKind policy,
                                       const RunSettings& settings) const {
   std::ostringstream oss;
@@ -40,7 +62,10 @@ std::string ExperimentConfig::run_key(policy::PolicyKind policy,
       << pricing.libra_delta << ',' << pricing.libra_dollar_alpha << ','
       << pricing.libra_dollar_beta << ";fr=" << first_reward.alpha << ','
       << first_reward.discount_rate_per_hour << ','
-      << first_reward.slack_threshold << ';' << settings.key_fragment();
+      << first_reward.slack_threshold;
+  // Only when set (legacy keys must stay byte-identical).
+  if (!workload.empty()) oss << ";wload=" << workload;
+  oss << ';' << settings.key_fragment();
   return oss.str();
 }
 
@@ -119,7 +144,16 @@ service::SimulationReport simulate_run_report(
   qos.base_price = config.pricing.base_price;
   qos.seed = config.qos_seed;
 
-  const std::vector<workload::Job> jobs = builder.build(
+  // A per-run workload spec (scenario sweeps over generator knobs)
+  // replaces the shared base trace for this run only.
+  std::optional<workload::WorkloadBuilder> per_run;
+  if (!settings.workload.empty()) {
+    per_run.emplace(workload::generate_jobs(
+        spec_with_defaults(settings.workload, config.trace)));
+  }
+  const workload::WorkloadBuilder& active = per_run ? *per_run : builder;
+
+  const std::vector<workload::Job> jobs = active.build(
       qos, settings.arrival_delay_factor, settings.inaccuracy_percent);
 
   policy::PolicyContext context;
@@ -153,7 +187,7 @@ void reduce_scenario(SweepResult& result, std::size_t s,
 ExperimentRunner::ExperimentRunner(ExperimentConfig config, ResultStore* store,
                                    std::size_t workers)
     : config_(std::move(config)),
-      builder_(config_.trace),
+      builder_(config_.make_builder()),
       store_(store != nullptr ? store : &local_store_),
       workers_(workers == 0 ? default_worker_count() : workers) {}
 

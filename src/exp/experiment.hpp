@@ -44,6 +44,12 @@ struct ExperimentConfig {
   economy::EconomicModel model = economy::EconomicModel::CommodityMarket;
   ExperimentSet set = ExperimentSet::A;
   workload::SyntheticSdscConfig trace;  ///< base trace (seeded)
+  /// Workload-generator spec ("name:key=value,...") for the base trace;
+  /// empty (default) = the synthetic SDSC config above. `trace.job_count`
+  /// and `trace.seed` are injected as spec defaults so experiment-level
+  /// sizing/seeding applies uniformly across methods (an explicit spec
+  /// key wins).
+  std::string workload;
   cluster::MachineConfig machine;
   economy::PricingParams pricing;
   policy::FirstRewardParams first_reward;
@@ -52,6 +58,13 @@ struct ExperimentConfig {
 
   /// Defaults with the set's inaccuracy applied.
   [[nodiscard]] RunSettings default_settings() const;
+
+  /// The base-trace builder this config describes: the `workload` spec
+  /// when set, else the synthetic SDSC config (routed through the
+  /// generator registry either way). Every consumer of the base trace —
+  /// serial runner, parallel workers, golden-replay harness — goes
+  /// through here so they cannot drift.
+  [[nodiscard]] workload::WorkloadBuilder make_builder() const;
 
   /// Canonical cache key of one run under this config.
   [[nodiscard]] std::string run_key(policy::PolicyKind policy,

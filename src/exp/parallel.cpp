@@ -218,7 +218,7 @@ SweepResult run_scenarios_parallel(
           registry, "exp.worker." + std::to_string(shard) + ".runs");
       pool.submit([&, shard_runs] {
         try {
-          const workload::WorkloadBuilder builder(config.trace);
+          const workload::WorkloadBuilder builder = config.make_builder();
           for (;;) {
             const std::size_t j =
                 next.fetch_add(1, std::memory_order_relaxed);

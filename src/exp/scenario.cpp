@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "workload/generator.hpp"
+
 namespace utilrisk::exp {
 
 namespace {
@@ -43,6 +45,9 @@ std::string RunSettings::key_fragment() const {
       << ";rec=" << recovery.retry_limit << ',' << recovery.backoff_seconds
       << ',' << recovery.backoff_factor << ','
       << recovery.checkpoint_interval;
+  // Only when set, so every legacy cache key is byte-identical to the
+  // pre-generator-registry format.
+  if (!workload.empty()) oss << ";wload=" << workload;
   return oss.str();
 }
 
@@ -135,11 +140,70 @@ const Scenario& mtbf_scenario() {
   return scenario;
 }
 
+const Scenario& zipf_scenario() {
+  static const Scenario scenario = [] {
+    Scenario s;
+    s.name = "zipf";
+    s.values = {0.0, 0.3, 0.5, 0.7, 0.9, 0.99};
+    s.apply = [](RunSettings& settings, double v) {
+      settings.workload = "zipf:theta=" + workload::format_double(v);
+    };
+    if (s.values.size() != kValuesPerScenario) {
+      throw std::logic_error("zipf_scenario: scenario without 6 values");
+    }
+    return s;
+  }();
+  return scenario;
+}
+
+const Scenario& flash_scenario() {
+  static const Scenario scenario = [] {
+    Scenario s;
+    s.name = "flash";
+    s.values = {1, 2, 4, 8, 16, 32};
+    s.apply = [](RunSettings& settings, double v) {
+      settings.workload = "flash:peak=" + workload::format_double(v);
+    };
+    if (s.values.size() != kValuesPerScenario) {
+      throw std::logic_error("flash_scenario: scenario without 6 values");
+    }
+    return s;
+  }();
+  return scenario;
+}
+
+const Scenario& daly_scenario() {
+  static const Scenario scenario = [] {
+    Scenario s;
+    s.name = "daly";
+    // Checkpoint interval tau: 15 min up to 8 h.
+    s.values = {900, 1800, 3600, 7200, 14400, 28800};
+    s.apply = [](RunSettings& settings, double v) {
+      settings.workload = "daly:interval=" + workload::format_double(v);
+      // The sweep only means something under failures: one interrupt per
+      // node-day, bounded retries, and the service-side restart credit
+      // matched to the workload's dump interval.
+      settings.failure.mtbf_seconds = 86400.0;
+      settings.recovery.retry_limit = 3;
+      settings.recovery.checkpoint_interval = v;
+    };
+    if (s.values.size() != kValuesPerScenario) {
+      throw std::logic_error("daly_scenario: scenario without 6 values");
+    }
+    return s;
+  }();
+  return scenario;
+}
+
 const Scenario& scenario_by_name(const std::string& name) {
   for (const Scenario& scenario : all_scenarios()) {
     if (scenario.name == name) return scenario;
   }
-  if (name == mtbf_scenario().name) return mtbf_scenario();
+  for (const Scenario* extension :
+       {&mtbf_scenario(), &zipf_scenario(), &flash_scenario(),
+        &daly_scenario()}) {
+    if (extension->name == name) return *extension;
+  }
   throw std::invalid_argument("scenario_by_name: unknown scenario '" + name +
                               "'");
 }

@@ -27,6 +27,12 @@ struct RunSettings {
   cluster::FailureConfig failure{};
   /// Retry/backoff/checkpoint knobs for outage recovery.
   cluster::RecoveryParams recovery{};
+  /// Per-run workload-generator spec ("name:key=value,...",
+  /// workload/generator.hpp); empty (default) = the experiment's base
+  /// trace. The harness injects the config's job count and trace seed as
+  /// spec defaults, so a scenario spec like "zipf:theta=0.5" inherits
+  /// both unless it pins its own.
+  std::string workload;
 
   /// Canonical key fragment for the result cache: every knob above,
   /// including the failure/recovery configuration, so runs that differ in
@@ -60,8 +66,28 @@ inline constexpr std::size_t kValuesPerScenario = 6;
 /// by bench_robustness_failures and the `sweep` CLI instead.
 [[nodiscard]] const Scenario& mtbf_scenario();
 
-/// Looks a scenario up by name (Table VI plus "mtbf"); throws
-/// std::invalid_argument when unknown.
+// Extension scenarios over the pluggable workload generators
+// (workload/generator.hpp). Like mtbf_scenario() they are deliberately
+// NOT in all_scenarios(), so the Table VI figures are unchanged; the
+// `sweep --scenario` CLI and the workload benches consume them.
+
+/// Zipfian multi-tenant skew sweep: theta 0 (uniform tenants) up to the
+/// classic YCSB 0.99, at otherwise-default knobs.
+[[nodiscard]] const Scenario& zipf_scenario();
+
+/// Flash-crowd sweep: window rate multiplier 1 (no crowd) up to 32x over
+/// the default base trace.
+[[nodiscard]] const Scenario& flash_scenario();
+
+/// Checkpoint-restart sweep: Daly checkpoint interval from 15 min up to
+/// 8 h, with fault injection and bounded retries enabled and the
+/// service-side restart credit (RecoveryParams::checkpoint_interval)
+/// matched to the workload's dump interval.
+[[nodiscard]] const Scenario& daly_scenario();
+
+/// Looks a scenario up by name (Table VI plus the "mtbf", "zipf",
+/// "flash" and "daly" extensions); throws std::invalid_argument when
+/// unknown.
 [[nodiscard]] const Scenario& scenario_by_name(const std::string& name);
 
 }  // namespace utilrisk::exp

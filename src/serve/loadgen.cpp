@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "verify/digest.hpp"
+#include "workload/generator.hpp"
 #include "workload/qos.hpp"
 #include "workload/workload.hpp"
 
@@ -200,7 +201,14 @@ std::vector<Request> make_request_stream(const LoadgenConfig& config) {
   workload::SyntheticSdscConfig trace;
   trace.job_count = static_cast<std::uint32_t>(config.requests);
   trace.seed = config.seed;
-  const workload::WorkloadBuilder builder(trace);
+  const workload::WorkloadBuilder builder = [&config, &trace] {
+    if (config.workload.empty()) return workload::WorkloadBuilder(trace);
+    workload::GeneratorSpec spec =
+        workload::GeneratorSpec::parse(config.workload);
+    spec.set_default("jobs", std::to_string(trace.job_count));
+    spec.set_default("seed", std::to_string(trace.seed));
+    return workload::WorkloadBuilder(workload::generate_jobs(spec));
+  }();
   workload::QosConfig qos;
   qos.high_urgency_percent = config.high_urgency_percent;
   // Decouple the QoS stream from the trace stream the same way the

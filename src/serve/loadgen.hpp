@@ -31,6 +31,12 @@ struct LoadgenConfig {
   int tcp_port = -1;
   std::size_t requests = 5000;
   std::uint64_t seed = 42;
+  /// Workload-generator spec ("name:key=value,...",
+  /// workload/generator.hpp) shaping the request stream; empty (default)
+  /// = the synthetic SDSC trace. `requests` and `seed` are injected as
+  /// the spec's jobs/seed defaults, so "--workload zipf:theta=0.9" keeps
+  /// the configured request count and seed unless the spec pins its own.
+  std::string workload;
   /// Open loop when true (see header comment); closed loop otherwise.
   bool open_loop = false;
   /// Open-loop send rate, requests per wall second.

@@ -114,7 +114,7 @@ GoldenFile compute_golden(const GoldenConfig& golden_config,
   };
 
   if (workers <= 1) {
-    const workload::WorkloadBuilder builder(config.trace);
+    const workload::WorkloadBuilder builder = config.make_builder();
     for (std::size_t i = 0; i < runs.size(); ++i) {
       result.entries[i].digest = digest_one(builder, *runs[i]);
     }
@@ -132,7 +132,7 @@ GoldenFile compute_golden(const GoldenConfig& golden_config,
   for (std::size_t shard = 0; shard < shards; ++shard) {
     pool.submit([&] {
       try {
-        const workload::WorkloadBuilder builder(config.trace);
+        const workload::WorkloadBuilder builder = config.make_builder();
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= runs.size()) return;

@@ -1,0 +1,95 @@
+#include "workload/checkpoint_restart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/distributions.hpp"
+#include "sim/rng.hpp"
+
+namespace utilrisk::workload {
+
+double daly_optimal_interval(double checkpoint_write_seconds,
+                             double mtti_seconds) {
+  if (checkpoint_write_seconds <= 0.0 || mtti_seconds <= 0.0 ||
+      !std::isfinite(checkpoint_write_seconds) ||
+      !std::isfinite(mtti_seconds)) {
+    throw std::invalid_argument(
+        "daly_optimal_interval: delta and MTTI must be positive and finite");
+  }
+  const double delta = checkpoint_write_seconds;
+  const double m = mtti_seconds;
+  if (delta >= 2.0 * m) return m;
+  const double x = delta / (2.0 * m);
+  return std::sqrt(2.0 * delta * m) *
+             (1.0 + std::sqrt(x) / 3.0 + x / 9.0) -
+         delta;
+}
+
+double resolved_checkpoint_interval(const DalyCheckpointConfig& config) {
+  if (config.checkpoint_interval > 0.0) return config.checkpoint_interval;
+  return daly_optimal_interval(config.checkpoint_write_seconds,
+                               config.mtti_seconds);
+}
+
+std::vector<Job> generate_daly_checkpoint(const DalyCheckpointConfig& cfg) {
+  if (cfg.job_count == 0) {
+    throw std::invalid_argument("generate_daly_checkpoint: job_count == 0");
+  }
+  if (cfg.max_procs == 0) {
+    throw std::invalid_argument("generate_daly_checkpoint: max_procs == 0");
+  }
+  if (cfg.mean_interarrival <= 0.0 || cfg.mean_solve <= 0.0) {
+    throw std::invalid_argument(
+        "generate_daly_checkpoint: means must be positive");
+  }
+  if (cfg.min_solve <= 0.0 || cfg.max_solve < cfg.min_solve) {
+    throw std::invalid_argument(
+        "generate_daly_checkpoint: need 0 < min_solve <= max_solve");
+  }
+  if (cfg.checkpoint_write_seconds <= 0.0 || cfg.checkpoint_interval < 0.0) {
+    throw std::invalid_argument(
+        "generate_daly_checkpoint: checkpoint knobs must be positive "
+        "(interval may be 0 = optimal)");
+  }
+  if (cfg.estimate_pad_lo < 1.0 || cfg.estimate_pad_hi < cfg.estimate_pad_lo) {
+    throw std::invalid_argument(
+        "generate_daly_checkpoint: need 1 <= pad_lo <= pad_hi");
+  }
+
+  const double tau = resolved_checkpoint_interval(cfg);
+  const double delta = cfg.checkpoint_write_seconds;
+
+  sim::Rng rng(cfg.seed);
+  // Independent per-attribute streams (seed convention, generator.hpp).
+  sim::Rng arrivals = rng.split();
+  sim::Rng sizes = rng.split();
+  sim::Rng solves = rng.split();
+  sim::Rng estimates = rng.split();
+
+  std::vector<Job> jobs;
+  jobs.reserve(cfg.job_count);
+  double clock = 0.0;
+  for (std::uint32_t i = 0; i < cfg.job_count; ++i) {
+    Job job;
+    job.id = i + 1;
+    job.submit_time = clock;
+    job.procs =
+        sim::sample_job_size(sizes, cfg.max_procs, cfg.power_of_two_bias);
+    const double solve = std::clamp(
+        sim::sample_lognormal_mean_cv(solves, cfg.mean_solve, cfg.solve_cv),
+        cfg.min_solve, cfg.max_solve);
+    // One checkpoint write per *completed* interval: the final partial
+    // interval runs to the finish line without dumping.
+    const double dumps = std::max(0.0, std::ceil(solve / tau) - 1.0);
+    job.actual_runtime = solve + dumps * delta;
+    job.estimated_runtime =
+        job.actual_runtime *
+        estimates.uniform(cfg.estimate_pad_lo, cfg.estimate_pad_hi);
+    jobs.push_back(job);
+    clock += sim::sample_exponential(arrivals, cfg.mean_interarrival);
+  }
+  return jobs;
+}
+
+}  // namespace utilrisk::workload

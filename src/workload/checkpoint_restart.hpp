@@ -1,0 +1,73 @@
+// Daly-style checkpoint-restart workload (registry method "daly").
+//
+// Models long-running applications that periodically write checkpoints
+// so a node failure costs only the work since the last dump — the
+// workload counterpart of the PR-1 fault-injection / bounded-retry
+// resubmission path (cluster/failure.hpp RecoveryParams). Following
+// Daly, "A higher order estimate of the optimum checkpoint interval for
+// restart dumps" (FGCS 2006): for checkpoint write time delta and mean
+// time to interrupt M, the optimum interval is
+//
+//   tau_opt = sqrt(2 delta M) * [1 + (1/3) sqrt(delta / (2M))
+//                                  + (1/9) (delta / (2M))] - delta
+//   (tau_opt = M when delta >= 2M)
+//
+// The generator draws each job's failure-free solve time, then inflates
+// the dispatched runtime with one checkpoint write per completed
+// interval. Pairing the same interval with
+// RecoveryParams::checkpoint_interval (the "daly" scenario does) makes a
+// restart resume from the last dump, so sweeping tau exposes Daly's
+// tradeoff: short intervals pay overhead on every run, long intervals
+// lose more work per failure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace utilrisk::workload {
+
+struct DalyCheckpointConfig {
+  std::uint32_t job_count = 2000;
+  std::uint32_t max_procs = 128;
+  double power_of_two_bias = 0.75;
+  double mean_interarrival = 1969.0;    ///< seconds
+  /// Failure-free solve time: lognormal mean/cv, clamped to
+  /// [min_solve, max_solve] (long-running apps, hours not minutes).
+  double mean_solve = 6.0 * 3600.0;
+  double solve_cv = 1.0;
+  double min_solve = 600.0;
+  double max_solve = 48.0 * 3600.0;
+  /// Checkpoint write time delta, seconds.
+  double checkpoint_write_seconds = 120.0;
+  /// Checkpoint interval tau, seconds; 0 = use
+  /// daly_optimal_interval(delta, mtti).
+  double checkpoint_interval = 0.0;
+  /// Mean time to interrupt M feeding tau_opt, seconds.
+  double mtti_seconds = 24.0 * 3600.0;
+  /// Users estimate the checkpoint-inflated runtime with uniform
+  /// padding in [pad_lo, pad_hi] (>= 1: checkpoint users know their
+  /// solve time well but pad for safety).
+  double estimate_pad_lo = 1.05;
+  double estimate_pad_hi = 1.5;
+  std::uint64_t seed = 42;
+};
+
+/// Daly's higher-order optimum checkpoint interval (header comment), in
+/// seconds. Throws std::invalid_argument on non-positive inputs.
+[[nodiscard]] double daly_optimal_interval(double checkpoint_write_seconds,
+                                           double mtti_seconds);
+
+/// The interval a config resolves to: its explicit checkpoint_interval,
+/// or tau_opt when that is 0.
+[[nodiscard]] double resolved_checkpoint_interval(
+    const DalyCheckpointConfig& config);
+
+/// Deterministic in the config (seed convention of generator.hpp). Jobs
+/// in submission order, ids 1..N, first at t = 0; actual_runtime is the
+/// checkpoint-inflated dispatch time; QoS fields left zero.
+[[nodiscard]] std::vector<Job> generate_daly_checkpoint(
+    const DalyCheckpointConfig& config);
+
+}  // namespace utilrisk::workload

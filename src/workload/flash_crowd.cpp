@@ -1,0 +1,64 @@
+#include "workload/flash_crowd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/time.hpp"
+
+namespace utilrisk::workload {
+
+void FlashCrowdParams::validate() const {
+  if (peak < 1.0 || !std::isfinite(peak)) {
+    throw std::invalid_argument("flash-crowd: peak must be finite and >= 1");
+  }
+  if (start < 0.0 || duration < 0.0) {
+    throw std::invalid_argument(
+        "flash-crowd: start/duration must be >= 0");
+  }
+  if (period != 0.0 && period <= duration) {
+    throw std::invalid_argument(
+        "flash-crowd: period must be 0 (one-shot) or > duration");
+  }
+  if (diurnal_amplitude < 0.0 || diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument(
+        "flash-crowd: diurnal amplitude outside [0, 1)");
+  }
+}
+
+double rate_multiplier(const FlashCrowdParams& params, double t) {
+  double rate = 1.0;
+  if (params.diurnal_amplitude > 0.0) {
+    const double phase = 2.0 * M_PI *
+                         std::fmod(t, sim::duration::kDay) /
+                         sim::duration::kDay;
+    rate *= 1.0 + params.diurnal_amplitude * std::sin(phase);
+  }
+  if (params.peak > 1.0 && params.duration > 0.0) {
+    const double offset =
+        params.period > 0.0
+            ? std::fmod(t - params.start, params.period)
+            : t - params.start;
+    if (offset >= 0.0 && offset < params.duration) rate *= params.peak;
+  }
+  return rate;
+}
+
+void apply_rate_modulation(std::vector<Job>& jobs,
+                           const FlashCrowdParams& params) {
+  params.validate();
+  if (jobs.size() < 2) return;
+  double prev_original = jobs.front().submit_time;
+  double prev_warped = jobs.front().submit_time;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    const double gap = jobs[i].submit_time - prev_original;
+    if (gap < 0.0) {
+      throw std::invalid_argument(
+          "apply_rate_modulation: jobs not in submission order");
+    }
+    prev_original = jobs[i].submit_time;
+    prev_warped += gap / rate_multiplier(params, prev_warped);
+    jobs[i].submit_time = prev_warped;
+  }
+}
+
+}  // namespace utilrisk::workload

@@ -1,0 +1,48 @@
+// Diurnal / flash-crowd arrival-rate modulation (registry method
+// "flash"), composable over any base generator.
+//
+// The modulation is a deterministic time warp of the base arrival
+// process: each inter-arrival gap is divided by the instantaneous rate
+// multiplier at the (already warped) time of the previous arrival, so
+// during a flash-crowd window the local arrival rate is `peak` times
+// the base rate while submission order, job shapes and tenant ids are
+// untouched. Because the warp consumes no randomness, "flash:base=X"
+// with a fixed base seed is exactly as reproducible as X itself.
+#pragma once
+
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace utilrisk::workload {
+
+/// Rate-modulation shape: an optional smooth diurnal swing plus a
+/// rectangular flash-crowd window, one-shot or repeating.
+struct FlashCrowdParams {
+  /// Rate multiplier inside the crowd window (>= 1; 1 disables it).
+  double peak = 8.0;
+  /// Window start on the warped arrival clock, seconds.
+  double start = 6.0 * 3600.0;
+  /// Window length, seconds.
+  double duration = 2.0 * 3600.0;
+  /// Repeat the window every `period` seconds; 0 = one-shot. Must be
+  /// > duration when repeating.
+  double period = 0.0;
+  /// Smooth daily swing in [0, 1): rate *= 1 + a * sin(2*pi*t / day).
+  double diurnal_amplitude = 0.0;
+
+  /// Throws std::invalid_argument on nonsensical knobs.
+  void validate() const;
+};
+
+/// Instantaneous arrival-rate multiplier at warped time `t` (>= some
+/// positive floor; exposed for the statistical tests).
+[[nodiscard]] double rate_multiplier(const FlashCrowdParams& params,
+                                     double t);
+
+/// Warps `jobs`' submit times in place per the header comment. Jobs must
+/// be in submission order; the first submit time is preserved.
+void apply_rate_modulation(std::vector<Job>& jobs,
+                           const FlashCrowdParams& params);
+
+}  // namespace utilrisk::workload

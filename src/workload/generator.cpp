@@ -1,0 +1,570 @@
+#include "workload/generator.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <stdexcept>
+#include <system_error>
+
+#include "workload/checkpoint_restart.hpp"
+#include "workload/flash_crowd.hpp"
+#include "workload/swf.hpp"
+#include "workload/synthetic_lublin.hpp"
+#include "workload/synthetic_sdsc.hpp"
+#include "workload/zipfian.hpp"
+
+namespace utilrisk::workload {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::invalid_argument("workload spec: " + what);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(begin, &end);
+  if (end != begin + value.size() || value.empty() || errno == ERANGE) {
+    bad_spec("parameter '" + key + "' is not a number: '" + value + "'");
+  }
+  return parsed;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  std::uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    bad_spec("parameter '" + key + "' is not an unsigned integer: '" + value +
+             "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+GeneratorSpec GeneratorSpec::parse(const std::string& text) {
+  GeneratorSpec spec;
+  const auto colon = text.find(':');
+  spec.method = text.substr(0, colon);
+  if (spec.method.empty()) bad_spec("empty method name in '" + text + "'");
+  if (colon == std::string::npos) return spec;
+
+  std::size_t pos = colon + 1;
+  while (pos <= text.size()) {
+    const auto comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      bad_spec("parameter '" + item + "' has no '=' in '" + text + "'");
+    }
+    std::string key = item.substr(0, eq);
+    if (key.empty()) bad_spec("empty parameter key in '" + text + "'");
+    if (spec.find(key) != nullptr) {
+      bad_spec("parameter '" + key + "' repeats in '" + text + "'");
+    }
+    spec.params.emplace_back(std::move(key), item.substr(eq + 1));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return spec;
+}
+
+std::string GeneratorSpec::to_string() const {
+  std::string out = method;
+  char sep = ':';
+  for (const auto& [key, value] : params) {
+    out += sep;
+    out += key;
+    out += '=';
+    out += value;
+    sep = ',';
+  }
+  return out;
+}
+
+const std::string* GeneratorSpec::find(const std::string& key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void GeneratorSpec::set_default(const std::string& key,
+                                const std::string& value) {
+  if (find(key) == nullptr) params.emplace_back(key, value);
+}
+
+double GeneratorSpec::get_double(const std::string& key,
+                                 double fallback) const {
+  const std::string* value = find(key);
+  return value ? parse_double(key, *value) : fallback;
+}
+
+std::uint64_t GeneratorSpec::get_u64(const std::string& key,
+                                     std::uint64_t fallback) const {
+  const std::string* value = find(key);
+  return value ? parse_u64(key, *value) : fallback;
+}
+
+std::uint32_t GeneratorSpec::get_u32(const std::string& key,
+                                     std::uint32_t fallback) const {
+  const std::string* value = find(key);
+  if (value == nullptr) return fallback;
+  const std::uint64_t wide = parse_u64(key, *value);
+  if (wide > 0xFFFFFFFFULL) {
+    bad_spec("parameter '" + key + "' exceeds 32 bits: '" + *value + "'");
+  }
+  return static_cast<std::uint32_t>(wide);
+}
+
+std::string GeneratorSpec::get_string(const std::string& key,
+                                      const std::string& fallback) const {
+  const std::string* value = find(key);
+  return value ? *value : fallback;
+}
+
+void GeneratorSpec::require_known(const std::vector<std::string>& known,
+                                  const std::string& allow_dotted_prefix)
+    const {
+  const std::string dotted =
+      allow_dotted_prefix.empty() ? "" : allow_dotted_prefix + ".";
+  for (const auto& [key, value] : params) {
+    bool ok = false;
+    for (const auto& k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok && !dotted.empty() && key.size() > dotted.size() &&
+        key.compare(0, dotted.size(), dotted) == 0) {
+      ok = true;
+    }
+    if (!ok) {
+      bad_spec("unknown parameter '" + key + "' for method '" + method + "'");
+    }
+  }
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) bad_spec("unformattable double");
+  return std::string(buf, ptr);
+}
+
+namespace {
+
+/// Common base for methods that materialise the whole trace in load()
+/// and stream it out of get_next(). Bit-identity with the direct
+/// generator calls falls out for free.
+class MaterializedGenerator : public WorkloadGenerator {
+ public:
+  std::optional<Job> get_next() override {
+    if (next_ >= jobs_.size()) return std::nullopt;
+    return jobs_[next_++];
+  }
+
+ protected:
+  std::vector<Job> jobs_;
+  std::size_t next_ = 0;
+};
+
+class SdscGenerator final : public MaterializedGenerator {
+ public:
+  const char* method() const override { return "sdsc"; }
+
+  void load(const GeneratorSpec& spec) override {
+    spec.require_known(
+        {"jobs", "max_procs", "mean_interarrival", "mean_runtime",
+         "runtime_cv", "max_runtime", "min_runtime", "power_of_two_bias",
+         "mean_procs_target", "overestimate_fraction", "over_factor_lo",
+         "over_factor_hi", "under_factor_lo", "under_factor_hi",
+         "queue_limit_mode_fraction", "diurnal_amplitude", "seed"});
+    SyntheticSdscConfig cfg;
+    cfg.job_count = spec.get_u32("jobs", cfg.job_count);
+    cfg.max_procs = spec.get_u32("max_procs", cfg.max_procs);
+    cfg.mean_interarrival =
+        spec.get_double("mean_interarrival", cfg.mean_interarrival);
+    cfg.mean_runtime = spec.get_double("mean_runtime", cfg.mean_runtime);
+    cfg.runtime_cv = spec.get_double("runtime_cv", cfg.runtime_cv);
+    cfg.max_runtime = spec.get_double("max_runtime", cfg.max_runtime);
+    cfg.min_runtime = spec.get_double("min_runtime", cfg.min_runtime);
+    cfg.power_of_two_bias =
+        spec.get_double("power_of_two_bias", cfg.power_of_two_bias);
+    cfg.mean_procs_target =
+        spec.get_double("mean_procs_target", cfg.mean_procs_target);
+    cfg.overestimate_fraction =
+        spec.get_double("overestimate_fraction", cfg.overestimate_fraction);
+    cfg.over_factor_lo = spec.get_double("over_factor_lo", cfg.over_factor_lo);
+    cfg.over_factor_hi = spec.get_double("over_factor_hi", cfg.over_factor_hi);
+    cfg.under_factor_lo =
+        spec.get_double("under_factor_lo", cfg.under_factor_lo);
+    cfg.under_factor_hi =
+        spec.get_double("under_factor_hi", cfg.under_factor_hi);
+    cfg.queue_limit_mode_fraction = spec.get_double(
+        "queue_limit_mode_fraction", cfg.queue_limit_mode_fraction);
+    cfg.diurnal_amplitude =
+        spec.get_double("diurnal_amplitude", cfg.diurnal_amplitude);
+    cfg.seed = spec.get_u64("seed", cfg.seed);
+    jobs_ = generate_synthetic_sdsc(cfg);
+    next_ = 0;
+  }
+};
+
+class LublinGenerator final : public MaterializedGenerator {
+ public:
+  const char* method() const override { return "lublin"; }
+
+  void load(const GeneratorSpec& spec) override {
+    spec.require_known(
+        {"jobs", "max_procs", "serial_fraction", "power_of_two_fraction",
+         "mean_interarrival", "arrival_shape", "short_shape", "short_scale",
+         "long_shape", "long_scale", "p_short_serial", "p_short_wide",
+         "max_runtime", "min_runtime", "overestimate_fraction",
+         "over_factor_lo", "over_factor_hi", "under_factor_lo",
+         "under_factor_hi", "seed"});
+    SyntheticLublinConfig cfg;
+    cfg.job_count = spec.get_u32("jobs", cfg.job_count);
+    cfg.max_procs = spec.get_u32("max_procs", cfg.max_procs);
+    cfg.serial_fraction =
+        spec.get_double("serial_fraction", cfg.serial_fraction);
+    cfg.power_of_two_fraction =
+        spec.get_double("power_of_two_fraction", cfg.power_of_two_fraction);
+    cfg.mean_interarrival =
+        spec.get_double("mean_interarrival", cfg.mean_interarrival);
+    cfg.arrival_shape = spec.get_double("arrival_shape", cfg.arrival_shape);
+    cfg.short_shape = spec.get_double("short_shape", cfg.short_shape);
+    cfg.short_scale = spec.get_double("short_scale", cfg.short_scale);
+    cfg.long_shape = spec.get_double("long_shape", cfg.long_shape);
+    cfg.long_scale = spec.get_double("long_scale", cfg.long_scale);
+    cfg.p_short_serial = spec.get_double("p_short_serial", cfg.p_short_serial);
+    cfg.p_short_wide = spec.get_double("p_short_wide", cfg.p_short_wide);
+    cfg.max_runtime = spec.get_double("max_runtime", cfg.max_runtime);
+    cfg.min_runtime = spec.get_double("min_runtime", cfg.min_runtime);
+    cfg.overestimate_fraction =
+        spec.get_double("overestimate_fraction", cfg.overestimate_fraction);
+    cfg.over_factor_lo = spec.get_double("over_factor_lo", cfg.over_factor_lo);
+    cfg.over_factor_hi = spec.get_double("over_factor_hi", cfg.over_factor_hi);
+    cfg.under_factor_lo =
+        spec.get_double("under_factor_lo", cfg.under_factor_lo);
+    cfg.under_factor_hi =
+        spec.get_double("under_factor_hi", cfg.under_factor_hi);
+    cfg.seed = spec.get_u64("seed", cfg.seed);
+    jobs_ = generate_synthetic_lublin(cfg);
+    next_ = 0;
+  }
+};
+
+class SwfGenerator final : public MaterializedGenerator {
+ public:
+  const char* method() const override { return "swf"; }
+
+  void load(const GeneratorSpec& spec) override {
+    // `seed` is accepted (the harness injects it uniformly) but a trace
+    // replay has no entropy to seed.
+    spec.require_known({"path", "jobs", "completed_only", "drop_degenerate",
+                        "rebase", "seed"});
+    const std::string path = spec.get_string("path", "");
+    if (path.empty()) bad_spec("method 'swf' requires path=<file.swf>");
+    SwfLoadOptions options;
+    options.completed_only = spec.get_u32("completed_only", 1) != 0;
+    options.drop_degenerate = spec.get_u32("drop_degenerate", 1) != 0;
+    options.keep_last = spec.get_u64("jobs", 0);
+    options.rebase_submit_times = spec.get_u32("rebase", 1) != 0;
+    jobs_ = load_swf(path, options).jobs;
+    next_ = 0;
+  }
+};
+
+class ZipfGenerator final : public MaterializedGenerator {
+ public:
+  const char* method() const override { return "zipf"; }
+
+  void load(const GeneratorSpec& spec) override {
+    spec.require_known(
+        {"jobs", "tenants", "theta", "mean_interarrival", "max_procs",
+         "power_of_two_bias", "mean_runtime", "runtime_cv", "max_runtime",
+         "min_runtime", "overestimate_fraction", "over_factor_lo",
+         "over_factor_hi", "under_factor_lo", "under_factor_hi", "seed"});
+    ZipfianMultiTenantConfig cfg;
+    cfg.job_count = spec.get_u32("jobs", cfg.job_count);
+    cfg.tenant_count = spec.get_u64("tenants", cfg.tenant_count);
+    cfg.theta = spec.get_double("theta", cfg.theta);
+    cfg.mean_interarrival =
+        spec.get_double("mean_interarrival", cfg.mean_interarrival);
+    cfg.max_procs = spec.get_u32("max_procs", cfg.max_procs);
+    cfg.power_of_two_bias =
+        spec.get_double("power_of_two_bias", cfg.power_of_two_bias);
+    cfg.mean_runtime = spec.get_double("mean_runtime", cfg.mean_runtime);
+    cfg.runtime_cv = spec.get_double("runtime_cv", cfg.runtime_cv);
+    cfg.max_runtime = spec.get_double("max_runtime", cfg.max_runtime);
+    cfg.min_runtime = spec.get_double("min_runtime", cfg.min_runtime);
+    cfg.overestimate_fraction =
+        spec.get_double("overestimate_fraction", cfg.overestimate_fraction);
+    cfg.over_factor_lo = spec.get_double("over_factor_lo", cfg.over_factor_lo);
+    cfg.over_factor_hi = spec.get_double("over_factor_hi", cfg.over_factor_hi);
+    cfg.under_factor_lo =
+        spec.get_double("under_factor_lo", cfg.under_factor_lo);
+    cfg.under_factor_hi =
+        spec.get_double("under_factor_hi", cfg.under_factor_hi);
+    cfg.seed = spec.get_u64("seed", cfg.seed);
+    jobs_ = generate_zipfian_multi_tenant(cfg);
+    next_ = 0;
+  }
+};
+
+class DalyGenerator final : public MaterializedGenerator {
+ public:
+  const char* method() const override { return "daly"; }
+
+  void load(const GeneratorSpec& spec) override {
+    spec.require_known({"jobs", "max_procs", "power_of_two_bias",
+                        "mean_interarrival", "mean_solve", "solve_cv",
+                        "min_solve", "max_solve", "checkpoint_write",
+                        "interval", "mtti", "pad_lo", "pad_hi", "seed"});
+    DalyCheckpointConfig cfg;
+    cfg.job_count = spec.get_u32("jobs", cfg.job_count);
+    cfg.max_procs = spec.get_u32("max_procs", cfg.max_procs);
+    cfg.power_of_two_bias =
+        spec.get_double("power_of_two_bias", cfg.power_of_two_bias);
+    cfg.mean_interarrival =
+        spec.get_double("mean_interarrival", cfg.mean_interarrival);
+    cfg.mean_solve = spec.get_double("mean_solve", cfg.mean_solve);
+    cfg.solve_cv = spec.get_double("solve_cv", cfg.solve_cv);
+    cfg.min_solve = spec.get_double("min_solve", cfg.min_solve);
+    cfg.max_solve = spec.get_double("max_solve", cfg.max_solve);
+    cfg.checkpoint_write_seconds =
+        spec.get_double("checkpoint_write", cfg.checkpoint_write_seconds);
+    cfg.checkpoint_interval =
+        spec.get_double("interval", cfg.checkpoint_interval);
+    cfg.mtti_seconds = spec.get_double("mtti", cfg.mtti_seconds);
+    cfg.estimate_pad_lo = spec.get_double("pad_lo", cfg.estimate_pad_lo);
+    cfg.estimate_pad_hi = spec.get_double("pad_hi", cfg.estimate_pad_hi);
+    cfg.seed = spec.get_u64("seed", cfg.seed);
+    jobs_ = generate_daly_checkpoint(cfg);
+    next_ = 0;
+  }
+};
+
+class FlashGenerator final : public MaterializedGenerator {
+ public:
+  const char* method() const override { return "flash"; }
+
+  void load(const GeneratorSpec& spec) override {
+    spec.require_known({"base", "peak", "start", "duration", "period",
+                        "diurnal", "jobs", "seed"},
+                       /*allow_dotted_prefix=*/"base");
+    GeneratorSpec inner;
+    inner.method = spec.get_string("base", "sdsc");
+    for (const auto& [key, value] : spec.params) {
+      if (key.size() > 5 && key.compare(0, 5, "base.") == 0) {
+        inner.params.emplace_back(key.substr(5), value);
+      }
+    }
+    // Harness-level jobs/seed flow through to the base generator; an
+    // explicit base.jobs / base.seed wins.
+    if (const std::string* jobs = spec.find("jobs")) {
+      inner.set_default("jobs", *jobs);
+    }
+    if (const std::string* seed = spec.find("seed")) {
+      inner.set_default("seed", *seed);
+    }
+    jobs_ = generate_jobs(inner);
+
+    FlashCrowdParams params;
+    params.peak = spec.get_double("peak", params.peak);
+    params.start = spec.get_double("start", params.start);
+    params.duration = spec.get_double("duration", params.duration);
+    params.period = spec.get_double("period", params.period);
+    params.diurnal_amplitude =
+        spec.get_double("diurnal", params.diurnal_amplitude);
+    apply_rate_modulation(jobs_, params);
+    next_ = 0;
+  }
+};
+
+std::vector<GeneratorMethod>& registry_storage() {
+  static std::vector<GeneratorMethod> methods;
+  return methods;
+}
+
+void append_method(GeneratorMethod method) {
+  if (method.name.empty()) bad_spec("cannot register an empty method name");
+  if (!method.create) {
+    bad_spec("method '" + method.name + "' registered without a factory");
+  }
+  for (const auto& existing : registry_storage()) {
+    if (existing.name == method.name) {
+      bad_spec("method '" + method.name + "' is already registered");
+    }
+  }
+  registry_storage().push_back(std::move(method));
+}
+
+template <typename G>
+GeneratorMethod builtin(std::string name, std::string summary,
+                        std::vector<GeneratorParamDoc> params) {
+  GeneratorMethod method;
+  method.name = std::move(name);
+  method.summary = std::move(summary);
+  method.params = std::move(params);
+  method.create = [] { return std::make_unique<G>(); };
+  return method;
+}
+
+void register_builtins() {
+  append_method(builtin<SdscGenerator>(
+      "sdsc", "synthetic SDSC SP2 batch trace (paper's primary workload)",
+      {{"jobs", "job count (default 5000)"},
+       {"max_procs", "cluster width (default 128)"},
+       {"mean_interarrival", "mean inter-arrival seconds (default 1969)"},
+       {"mean_runtime", "mean runtime seconds (default 8671)"},
+       {"runtime_cv", "runtime coefficient of variation (default 1.8)"},
+       {"diurnal_amplitude", "daily arrival swing in [0,1) (default 0.5)"},
+       {"seed", "RNG seed (default 42)"}}));
+  append_method(builtin<LublinGenerator>(
+      "lublin", "Lublin-Feitelson hyper-gamma robustness workload",
+      {{"jobs", "job count (default 5000)"},
+       {"max_procs", "cluster width (default 128)"},
+       {"serial_fraction", "fraction of serial jobs (default 0.24)"},
+       {"mean_interarrival", "mean inter-arrival seconds (default 1969)"},
+       {"arrival_shape", "gamma arrival shape, <1 bursty (default 0.6)"},
+       {"seed", "RNG seed (default 1337)"}}));
+  append_method(builtin<SwfGenerator>(
+      "swf", "replay a Standard Workload Format trace file",
+      {{"path", "SWF file path (required)"},
+       {"jobs", "keep only the last N jobs (default 0 = all)"},
+       {"completed_only", "drop non-completed jobs, 0/1 (default 1)"},
+       {"drop_degenerate", "drop zero-runtime/procs jobs, 0/1 (default 1)"},
+       {"rebase", "rebase first submit to t=0, 0/1 (default 1)"},
+       {"seed", "accepted for uniformity; a replay has no entropy"}}));
+  append_method(builtin<ZipfGenerator>(
+      "zipf", "Zipfian-skewed multi-tenant service traffic (stamps tenant id)",
+      {{"jobs", "job count (default 5000)"},
+       {"tenants", "tenant population size (default 1000000)"},
+       {"theta", "Zipfian skew in [0,1); 0 uniform, 0.99 YCSB (default 0.99)"},
+       {"mean_interarrival", "mean inter-arrival seconds (default 300)"},
+       {"mean_runtime", "mean runtime seconds (default 2400)"},
+       {"seed", "RNG seed (default 42)"}}));
+  append_method(builtin<FlashGenerator>(
+      "flash", "diurnal/flash-crowd rate modulation over any base method",
+      {{"base", "inner method name (default sdsc); base.K=V forwards K=V"},
+       {"peak", "rate multiplier inside the crowd window (default 8)"},
+       {"start", "window start seconds (default 21600)"},
+       {"duration", "window length seconds (default 7200)"},
+       {"period", "repeat every N seconds; 0 one-shot (default 0)"},
+       {"diurnal", "smooth daily swing in [0,1) (default 0)"},
+       {"seed", "forwarded to the base generator"}}));
+  append_method(builtin<DalyGenerator>(
+      "daly", "checkpoint-restart jobs with Daly-interval dump overhead",
+      {{"jobs", "job count (default 2000)"},
+       {"mean_solve", "mean failure-free solve seconds (default 21600)"},
+       {"checkpoint_write", "checkpoint write cost delta seconds (default "
+                            "120)"},
+       {"interval", "checkpoint interval tau seconds; 0 = Daly optimum "
+                    "(default 0)"},
+       {"mtti", "mean time to interrupt seconds (default 86400)"},
+       {"seed", "RNG seed (default 42)"}}));
+}
+
+void ensure_builtins() {
+  static const bool once = [] {
+    register_builtins();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+void register_generator(GeneratorMethod method) {
+  ensure_builtins();
+  append_method(std::move(method));
+}
+
+const std::vector<GeneratorMethod>& registered_generators() {
+  ensure_builtins();
+  return registry_storage();
+}
+
+std::unique_ptr<WorkloadGenerator> make_generator(const GeneratorSpec& spec) {
+  for (const auto& method : registered_generators()) {
+    if (method.name == spec.method) {
+      auto generator = method.create();
+      generator->load(spec);
+      return generator;
+    }
+  }
+  bad_spec("unknown method '" + spec.method + "' (see `utilrisk trace --list`)");
+}
+
+std::vector<Job> generate_jobs(const GeneratorSpec& spec) {
+  auto generator = make_generator(spec);
+  std::vector<Job> jobs;
+  while (auto job = generator->get_next()) jobs.push_back(*job);
+  return jobs;
+}
+
+std::vector<Job> generate_jobs(const std::string& spec_text) {
+  return generate_jobs(GeneratorSpec::parse(spec_text));
+}
+
+std::string spec_for(const SyntheticSdscConfig& c) {
+  GeneratorSpec spec;
+  spec.method = "sdsc";
+  spec.params = {
+      {"jobs", std::to_string(c.job_count)},
+      {"max_procs", std::to_string(c.max_procs)},
+      {"mean_interarrival", format_double(c.mean_interarrival)},
+      {"mean_runtime", format_double(c.mean_runtime)},
+      {"runtime_cv", format_double(c.runtime_cv)},
+      {"max_runtime", format_double(c.max_runtime)},
+      {"min_runtime", format_double(c.min_runtime)},
+      {"power_of_two_bias", format_double(c.power_of_two_bias)},
+      {"mean_procs_target", format_double(c.mean_procs_target)},
+      {"overestimate_fraction", format_double(c.overestimate_fraction)},
+      {"over_factor_lo", format_double(c.over_factor_lo)},
+      {"over_factor_hi", format_double(c.over_factor_hi)},
+      {"under_factor_lo", format_double(c.under_factor_lo)},
+      {"under_factor_hi", format_double(c.under_factor_hi)},
+      {"queue_limit_mode_fraction",
+       format_double(c.queue_limit_mode_fraction)},
+      {"diurnal_amplitude", format_double(c.diurnal_amplitude)},
+      {"seed", std::to_string(c.seed)},
+  };
+  return spec.to_string();
+}
+
+std::string spec_for(const SyntheticLublinConfig& c) {
+  GeneratorSpec spec;
+  spec.method = "lublin";
+  spec.params = {
+      {"jobs", std::to_string(c.job_count)},
+      {"max_procs", std::to_string(c.max_procs)},
+      {"serial_fraction", format_double(c.serial_fraction)},
+      {"power_of_two_fraction", format_double(c.power_of_two_fraction)},
+      {"mean_interarrival", format_double(c.mean_interarrival)},
+      {"arrival_shape", format_double(c.arrival_shape)},
+      {"short_shape", format_double(c.short_shape)},
+      {"short_scale", format_double(c.short_scale)},
+      {"long_shape", format_double(c.long_shape)},
+      {"long_scale", format_double(c.long_scale)},
+      {"p_short_serial", format_double(c.p_short_serial)},
+      {"p_short_wide", format_double(c.p_short_wide)},
+      {"max_runtime", format_double(c.max_runtime)},
+      {"min_runtime", format_double(c.min_runtime)},
+      {"overestimate_fraction", format_double(c.overestimate_fraction)},
+      {"over_factor_lo", format_double(c.over_factor_lo)},
+      {"over_factor_hi", format_double(c.over_factor_hi)},
+      {"under_factor_lo", format_double(c.under_factor_lo)},
+      {"under_factor_hi", format_double(c.under_factor_hi)},
+      {"seed", std::to_string(c.seed)},
+  };
+  return spec.to_string();
+}
+
+}  // namespace utilrisk::workload

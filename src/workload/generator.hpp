@@ -1,0 +1,149 @@
+// Pluggable workload-generator API (after the codes-workload method
+// interface): every traffic shape the harness can offer is a *method*
+// behind one interface —
+//
+//   load(spec)   configure the generator from a parsed spec and reset
+//                its job stream;
+//   get_next()   stream the next job in submission order (nullopt ends
+//                the stream).
+//
+// Methods register themselves in a central registry under a short name
+// and are addressed everywhere — experiment matrix, `utilrisk` CLI,
+// loadgen, run manifests — by a spec string:
+//
+//   name                         e.g.  "sdsc"
+//   name:key=value,key=value     e.g.  "zipf:tenants=1000000,theta=0.99"
+//
+// Keys may not repeat; unknown keys are rejected at load() time so a
+// typo fails loudly instead of silently running the default workload.
+// Composing methods forward dotted keys to their inner generator:
+// "flash:base=lublin,base.serial_fraction=0.3,peak=8".
+//
+// Seed convention (uniform across every method): each generator accepts
+//   seed=<u64>
+// as its *sole* entropy source. The seed is expanded with sim::Rng
+// (SplitMix64 -> xoshiro256**) into independent per-attribute child
+// streams via Rng::split(), never std::random_device or wall clock, so
+// one spec string is one bit-exact job stream on every platform, and
+// consuming more draws for one attribute never reshuffles another.
+// Harness layers (experiment config, loadgen) thread their own job-count
+// and seed defaults into a spec with GeneratorSpec::set_default — an
+// explicit key in the spec always wins.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace utilrisk::workload {
+
+/// A parsed "name:key=value,..." spec. Parameters keep their spec order
+/// so to_string() round-trips what the user wrote (plus injected
+/// defaults, which append).
+struct GeneratorSpec {
+  std::string method;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// Parses a spec string; throws std::invalid_argument on an empty
+  /// name, a parameter without '=', an empty key, or a repeated key.
+  [[nodiscard]] static GeneratorSpec parse(const std::string& text);
+
+  /// Canonical spec string ("name" or "name:k=v,...").
+  [[nodiscard]] std::string to_string() const;
+
+  /// Value of `key`, or nullptr when absent.
+  [[nodiscard]] const std::string* find(const std::string& key) const;
+
+  /// Appends key=value only when `key` is absent (harness-level default
+  /// injection; an explicit spec key always wins).
+  void set_default(const std::string& key, const std::string& value);
+
+  // Typed lookups with defaults; throw std::invalid_argument naming the
+  // key on malformed values.
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] std::uint32_t get_u32(const std::string& key,
+                                      std::uint32_t fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+
+  /// Throws std::invalid_argument naming the first key that is neither
+  /// in `known` nor (when `allow_dotted_prefix` is non-empty) prefixed
+  /// "<allow_dotted_prefix>.". Every method calls this in load().
+  void require_known(const std::vector<std::string>& known,
+                     const std::string& allow_dotted_prefix = "") const;
+};
+
+/// Exact round-trip formatting for doubles in spec strings (shortest
+/// form that parses back to the same bits — std::to_chars).
+[[nodiscard]] std::string format_double(double value);
+
+/// The generator-method interface. Implementations must be deterministic
+/// in their spec (seed convention above) and yield jobs in submission
+/// order with ids 1..N, the first submission at t = 0 and QoS fields
+/// left zero (qos.hpp assigns SLA terms downstream).
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  /// The registered method name this instance implements.
+  [[nodiscard]] virtual const char* method() const = 0;
+
+  /// Validates the spec (unknown keys throw), configures the generator
+  /// and (re)sets the stream to its first job.
+  virtual void load(const GeneratorSpec& spec) = 0;
+
+  /// Next job of the stream; nullopt = end of workload.
+  [[nodiscard]] virtual std::optional<Job> get_next() = 0;
+};
+
+/// One parameter's documentation line for `utilrisk trace --list`.
+struct GeneratorParamDoc {
+  std::string key;
+  std::string doc;
+};
+
+/// A registered method: name, summary, parameter docs and factory.
+struct GeneratorMethod {
+  std::string name;
+  std::string summary;
+  std::vector<GeneratorParamDoc> params;
+  std::function<std::unique_ptr<WorkloadGenerator>()> create;
+};
+
+/// Registers a method (extension point for user code); throws
+/// std::invalid_argument on a duplicate or empty name.
+void register_generator(GeneratorMethod method);
+
+/// All registered methods (built-ins are registered on first use), in
+/// registration order: sdsc, lublin, swf, zipf, flash, daly, then any
+/// user registrations.
+[[nodiscard]] const std::vector<GeneratorMethod>& registered_generators();
+
+/// Creates and load()s the spec's method; throws std::invalid_argument
+/// on an unknown method name or a bad spec.
+[[nodiscard]] std::unique_ptr<WorkloadGenerator> make_generator(
+    const GeneratorSpec& spec);
+
+/// Drains a freshly loaded generator into a vector (the harness's batch
+/// entry point; streaming consumers call get_next() themselves).
+[[nodiscard]] std::vector<Job> generate_jobs(const GeneratorSpec& spec);
+[[nodiscard]] std::vector<Job> generate_jobs(const std::string& spec_text);
+
+// Canonical full-fidelity specs for the legacy config structs: every
+// field is emitted, so routing a config through the registry reproduces
+// the direct generator call bit for bit (the golden-digest contract).
+struct SyntheticSdscConfig;
+struct SyntheticLublinConfig;
+[[nodiscard]] std::string spec_for(const SyntheticSdscConfig& config);
+[[nodiscard]] std::string spec_for(const SyntheticLublinConfig& config);
+
+}  // namespace utilrisk::workload

@@ -40,6 +40,11 @@ struct Job {
   /// Required number of processors (rigid allocation).
   std::uint32_t procs = 1;
 
+  /// Owning tenant/user id (stamped by multi-tenant generators such as
+  /// `zipf`; 0 = unattributed single-tenant traffic). Not part of the
+  /// canonical run digest: legacy workloads leave it zero.
+  std::uint32_t tenant = 0;
+
   // --- SLA / QoS terms (paper §5.3) -------------------------------------
 
   /// Deadline as a duration from submission: the job must finish by

@@ -2,6 +2,7 @@
 // runtime-estimate inaccuracy) -> the job stream fed to a simulation run.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "workload/job.hpp"
@@ -31,8 +32,14 @@ void apply_estimate_inaccuracy(std::vector<Job>& jobs,
 /// study).
 class WorkloadBuilder {
  public:
-  /// Builds on a synthetic SDSC SP2 base trace.
+  /// Builds on a synthetic SDSC SP2 base trace. Routed through the
+  /// generator registry (spec_for emits every config field), so the
+  /// trace is bit-identical to calling generate_synthetic_sdsc directly.
   explicit WorkloadBuilder(const SyntheticSdscConfig& trace_config);
+
+  /// Builds on any registered generator method, addressed by a
+  /// "name:key=value,..." spec string (generator.hpp).
+  explicit WorkloadBuilder(const std::string& generator_spec);
 
   /// Builds on an externally loaded trace (e.g. the real SWF file).
   explicit WorkloadBuilder(std::vector<Job> base_trace);

@@ -1,0 +1,124 @@
+#include "workload/zipfian.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/distributions.hpp"
+
+namespace utilrisk::workload {
+
+namespace {
+
+/// Exact zeta(n, theta) up to this many terms; the remainder uses the
+/// integral approximation (error < 1 ulp of the sum at that scale).
+constexpr std::uint64_t kExactZetaTerms = 10'000'000;
+
+double zeta(std::uint64_t n, double theta) {
+  const std::uint64_t exact = std::min(n, kExactZetaTerms);
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= exact; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  if (n > exact) {
+    // Integral tail: sum_{i=k+1..n} i^-theta ~ (n^(1-t) - k^(1-t))/(1-t).
+    const double k = static_cast<double>(exact);
+    const double upper = static_cast<double>(n);
+    sum += (std::pow(upper, 1.0 - theta) - std::pow(k, 1.0 - theta)) /
+           (1.0 - theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianSampler::ZipfianSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  if (n == 0) {
+    throw std::invalid_argument("ZipfianSampler: n == 0");
+  }
+  if (theta < 0.0 || theta >= 1.0) {
+    throw std::invalid_argument(
+        "ZipfianSampler: theta outside [0, 1) (YCSB zipfian constant)");
+  }
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = zeta(n_, theta_);
+  const double zeta2 = zeta(std::min<std::uint64_t>(n_, 2), theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t ZipfianSampler::sample(sim::Rng& rng) const {
+  // Gray et al.'s closed-form inversion as used by YCSB: two explicit
+  // head ranks, then the analytic tail.
+  const double u = rng.uniform01();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (n_ > 1 && uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double rank = static_cast<double>(n_) *
+                      std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  const auto clamped = static_cast<std::uint64_t>(rank);
+  return std::min(clamped, n_ - 1);
+}
+
+std::vector<Job> generate_zipfian_multi_tenant(
+    const ZipfianMultiTenantConfig& cfg) {
+  if (cfg.job_count == 0) {
+    throw std::invalid_argument("generate_zipfian_multi_tenant: job_count == 0");
+  }
+  if (cfg.max_procs == 0) {
+    throw std::invalid_argument("generate_zipfian_multi_tenant: max_procs == 0");
+  }
+  if (cfg.mean_interarrival <= 0.0 || cfg.mean_runtime <= 0.0) {
+    throw std::invalid_argument(
+        "generate_zipfian_multi_tenant: means must be positive");
+  }
+  if (cfg.overestimate_fraction < 0.0 || cfg.overestimate_fraction > 1.0) {
+    throw std::invalid_argument(
+        "generate_zipfian_multi_tenant: overestimate_fraction outside [0,1]");
+  }
+
+  const ZipfianSampler tenants_dist(cfg.tenant_count, cfg.theta);
+
+  sim::Rng rng(cfg.seed);
+  // Independent per-attribute streams (seed convention, generator.hpp).
+  sim::Rng arrivals = rng.split();
+  sim::Rng tenants = rng.split();
+  sim::Rng sizes = rng.split();
+  sim::Rng runtimes = rng.split();
+  sim::Rng estimates = rng.split();
+
+  std::vector<Job> jobs;
+  jobs.reserve(cfg.job_count);
+  double clock = 0.0;
+  for (std::uint32_t i = 0; i < cfg.job_count; ++i) {
+    Job job;
+    job.id = i + 1;
+    job.submit_time = clock;
+    job.tenant =
+        static_cast<std::uint32_t>(tenants_dist.sample(tenants) + 1);
+    job.procs = sim::sample_job_size(sizes, cfg.max_procs,
+                                     cfg.power_of_two_bias);
+    job.actual_runtime = std::clamp(
+        sim::sample_lognormal_mean_cv(runtimes, cfg.mean_runtime,
+                                      cfg.runtime_cv),
+        cfg.min_runtime, cfg.max_runtime);
+    if (estimates.bernoulli(cfg.overestimate_fraction)) {
+      const double factor =
+          estimates.uniform(cfg.over_factor_lo, cfg.over_factor_hi);
+      job.estimated_runtime =
+          std::min(job.actual_runtime * factor, cfg.max_runtime);
+      job.estimated_runtime =
+          std::max(job.estimated_runtime, job.actual_runtime);
+    } else {
+      const double factor =
+          estimates.uniform(cfg.under_factor_lo, cfg.under_factor_hi);
+      job.estimated_runtime = std::max(1.0, job.actual_runtime * factor);
+    }
+    jobs.push_back(job);
+    clock += sim::sample_exponential(arrivals, cfg.mean_interarrival);
+  }
+  return jobs;
+}
+
+}  // namespace utilrisk::workload

@@ -1,0 +1,79 @@
+// Zipfian-skewed multi-tenant workload (registry method "zipf").
+//
+// Models a commercial service shared by a large user population — up to
+// millions of tenants — where per-tenant demand is heavy-tailed: each
+// arrival's owner is drawn from a Zipfian distribution over tenant
+// ranks, so the hottest tenant dominates while the long tail submits
+// once or never (YCSB's ZipfianGenerator after Gray et al., "Quickly
+// generating billion-record synthetic databases"). The tenant id is
+// stamped on every job (Job::tenant, rank order: tenant 1 is the
+// hottest), giving sharding/fairness experiments a real key to split on.
+//
+// Job shapes (runtime, size, estimate) follow the same families as the
+// SDSC generator but default to the short, narrow, frequent jobs of an
+// interactive service rather than batch supercomputing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workload/job.hpp"
+
+namespace utilrisk::workload {
+
+/// Constant-time Zipfian rank sampler over {0, ..., n-1} with exponent
+/// `theta` in [0, 1) (YCSB's zipfian constant; 0 = uniform, 0.99 =
+/// classic YCSB skew). P(rank = r) ~ 1 / (r+1)^theta. The zeta
+/// normaliser is computed once at construction: exactly up to 10^7
+/// ranks, then extended with the integral tail approximation so
+/// hundred-million-tenant populations stay O(10^7) to set up.
+class ZipfianSampler {
+ public:
+  /// Throws std::invalid_argument when n == 0 or theta outside [0, 1).
+  ZipfianSampler(std::uint64_t n, double theta);
+
+  /// Draws a rank in [0, n): rank 0 is the most popular.
+  [[nodiscard]] std::uint64_t sample(sim::Rng& rng) const;
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_ = 1;
+  double theta_ = 0.0;
+  double alpha_ = 1.0;  ///< 1 / (1 - theta)
+  double zetan_ = 1.0;  ///< zeta(n, theta)
+  double eta_ = 1.0;
+};
+
+/// Tunables for the Zipfian multi-tenant generator. Defaults model a
+/// busy shared service: 5000 jobs drawn by a million-tenant population
+/// with YCSB skew, short heavy-tailed runtimes, narrow allocations.
+struct ZipfianMultiTenantConfig {
+  std::uint32_t job_count = 5000;
+  std::uint64_t tenant_count = 1'000'000;
+  double theta = 0.99;                 ///< Zipfian skew, [0, 1)
+  double mean_interarrival = 300.0;    ///< seconds (dense multi-tenant load)
+  std::uint32_t max_procs = 128;
+  double power_of_two_bias = 0.75;
+  double mean_runtime = 2400.0;        ///< seconds, lognormal
+  double runtime_cv = 1.6;
+  double max_runtime = 18.0 * 3600.0;
+  double min_runtime = 10.0;
+  /// Estimate model shared with the SDSC generator.
+  double overestimate_fraction = 0.92;
+  double over_factor_lo = 1.1;
+  double over_factor_hi = 5.0;
+  double under_factor_lo = 0.35;
+  double under_factor_hi = 0.95;
+  std::uint64_t seed = 42;
+};
+
+/// Deterministic in the config (seed convention of generator.hpp). Jobs
+/// in submission order, ids 1..N, first at t = 0, Job::tenant in
+/// [1, tenant_count], QoS fields left zero.
+[[nodiscard]] std::vector<Job> generate_zipfian_multi_tenant(
+    const ZipfianMultiTenantConfig& config);
+
+}  // namespace utilrisk::workload

@@ -1,0 +1,494 @@
+// Tests for the pluggable workload-generator API (workload/generator.hpp):
+// spec grammar, registry round-trips, bit-identity of the legacy methods
+// routed through the registry, per-method determinism, and statistical
+// properties of the zipf/flash/daly generators.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "exp/scenario.hpp"
+#include "service/computing_service.hpp"
+#include "sim/rng.hpp"
+#include "workload/checkpoint_restart.hpp"
+#include "workload/flash_crowd.hpp"
+#include "workload/generator.hpp"
+#include "workload/synthetic_lublin.hpp"
+#include "workload/synthetic_sdsc.hpp"
+#include "workload/workload.hpp"
+#include "workload/zipfian.hpp"
+
+namespace {
+
+using namespace utilrisk;
+using workload::GeneratorSpec;
+using workload::Job;
+
+/// Exact (bitwise doubles) equality over every generated field.
+void expect_identical(const std::vector<Job>& a, const std::vector<Job>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "job " << i;
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time) << "job " << i;
+    EXPECT_EQ(a[i].actual_runtime, b[i].actual_runtime) << "job " << i;
+    EXPECT_EQ(a[i].estimated_runtime, b[i].estimated_runtime) << "job " << i;
+    EXPECT_EQ(a[i].procs, b[i].procs) << "job " << i;
+    EXPECT_EQ(a[i].tenant, b[i].tenant) << "job " << i;
+  }
+}
+
+// ----------------------------------------------------------- spec grammar
+
+TEST(GeneratorSpec, ParsesNameOnly) {
+  const GeneratorSpec spec = GeneratorSpec::parse("sdsc");
+  EXPECT_EQ(spec.method, "sdsc");
+  EXPECT_TRUE(spec.params.empty());
+  EXPECT_EQ(spec.to_string(), "sdsc");
+}
+
+TEST(GeneratorSpec, ParsesParamsInOrderAndRoundTrips) {
+  const std::string text = "zipf:tenants=1000000,theta=0.99,seed=7";
+  const GeneratorSpec spec = GeneratorSpec::parse(text);
+  EXPECT_EQ(spec.method, "zipf");
+  ASSERT_EQ(spec.params.size(), 3u);
+  EXPECT_EQ(spec.params[0].first, "tenants");
+  EXPECT_EQ(spec.params[1].second, "0.99");
+  EXPECT_EQ(spec.to_string(), text);
+}
+
+TEST(GeneratorSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)GeneratorSpec::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)GeneratorSpec::parse(":a=1"), std::invalid_argument);
+  EXPECT_THROW((void)GeneratorSpec::parse("zipf:noequals"),
+               std::invalid_argument);
+  EXPECT_THROW((void)GeneratorSpec::parse("zipf:=3"), std::invalid_argument);
+  EXPECT_THROW((void)GeneratorSpec::parse("zipf:a=1,a=2"),
+               std::invalid_argument);
+}
+
+TEST(GeneratorSpec, TypedLookupsAndDefaults) {
+  GeneratorSpec spec = GeneratorSpec::parse("zipf:theta=0.5,jobs=100");
+  EXPECT_DOUBLE_EQ(spec.get_double("theta", 0.99), 0.5);
+  EXPECT_DOUBLE_EQ(spec.get_double("absent", 1.5), 1.5);
+  EXPECT_EQ(spec.get_u32("jobs", 7), 100u);
+  EXPECT_THROW((void)spec.get_u64("theta", 0), std::invalid_argument);
+
+  // set_default never overrides an explicit key.
+  spec.set_default("jobs", "999");
+  spec.set_default("seed", "31");
+  EXPECT_EQ(spec.get_u32("jobs", 0), 100u);
+  EXPECT_EQ(spec.get_u64("seed", 0), 31u);
+}
+
+TEST(GeneratorSpec, UnknownKeysFailLoudlyAtLoad) {
+  EXPECT_THROW((void)workload::generate_jobs("sdsc:jbos=100"),
+               std::invalid_argument);
+  EXPECT_THROW((void)workload::generate_jobs("zipf:thetta=0.5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)workload::generate_jobs("nosuchmethod:jobs=10"),
+               std::invalid_argument);
+}
+
+TEST(GeneratorSpec, FormatDoubleRoundTrips) {
+  for (const double value : {0.99, 1969.0, 1.0 / 3.0, 8671.125, 0.02}) {
+    const std::string text = workload::format_double(value);
+    EXPECT_EQ(std::stod(text), value) << text;
+  }
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(GeneratorRegistry, BuiltinsRegisteredInOrder) {
+  const auto& methods = workload::registered_generators();
+  ASSERT_GE(methods.size(), 6u);
+  EXPECT_EQ(methods[0].name, "sdsc");
+  EXPECT_EQ(methods[1].name, "lublin");
+  EXPECT_EQ(methods[2].name, "swf");
+  EXPECT_EQ(methods[3].name, "zipf");
+  EXPECT_EQ(methods[4].name, "flash");
+  EXPECT_EQ(methods[5].name, "daly");
+  for (const auto& method : methods) {
+    EXPECT_FALSE(method.summary.empty()) << method.name;
+    EXPECT_TRUE(static_cast<bool>(method.create)) << method.name;
+  }
+}
+
+TEST(GeneratorRegistry, StreamingInterfaceMatchesBatch) {
+  const GeneratorSpec spec = GeneratorSpec::parse("sdsc:jobs=50,seed=9");
+  auto generator = workload::make_generator(spec);
+  EXPECT_STREQ(generator->method(), "sdsc");
+  std::vector<Job> streamed;
+  while (auto job = generator->get_next()) streamed.push_back(*job);
+  EXPECT_EQ(streamed.size(), 50u);
+  expect_identical(streamed, workload::generate_jobs(spec));
+
+  // load() resets the stream.
+  generator->load(spec);
+  auto first_again = generator->get_next();
+  ASSERT_TRUE(first_again.has_value());
+  EXPECT_EQ(first_again->id, streamed.front().id);
+  EXPECT_EQ(first_again->submit_time, streamed.front().submit_time);
+}
+
+// Routing a legacy config through the registry must reproduce the direct
+// generator call bit for bit — the golden-digest contract.
+TEST(GeneratorRegistry, SdscSpecForIsBitIdentical) {
+  workload::SyntheticSdscConfig config;
+  config.job_count = 300;
+  config.seed = 20260808;
+  config.mean_runtime = 7000.5;
+  config.diurnal_amplitude = 0.3;
+  expect_identical(workload::generate_jobs(workload::spec_for(config)),
+                   workload::generate_synthetic_sdsc(config));
+}
+
+TEST(GeneratorRegistry, LublinSpecForIsBitIdentical) {
+  workload::SyntheticLublinConfig config;
+  config.job_count = 300;
+  config.seed = 77;
+  config.serial_fraction = 0.31;
+  expect_identical(workload::generate_jobs(workload::spec_for(config)),
+                   workload::generate_synthetic_lublin(config));
+}
+
+TEST(GeneratorRegistry, WorkloadBuilderRoutesSdscThroughRegistry) {
+  workload::SyntheticSdscConfig config;
+  config.job_count = 200;
+  const workload::WorkloadBuilder builder(config);
+  expect_identical(builder.base_trace(),
+                   workload::generate_synthetic_sdsc(config));
+  const workload::WorkloadBuilder by_spec(workload::spec_for(config));
+  expect_identical(by_spec.base_trace(), builder.base_trace());
+}
+
+// Same spec, two independent runs -> bit-identical stream, for every
+// seeded method (the per-seed determinism acceptance criterion).
+TEST(GeneratorRegistry, EveryMethodIsDeterministicPerSeed) {
+  const std::vector<std::string> specs = {
+      "sdsc:jobs=120,seed=5",
+      "lublin:jobs=120,seed=5",
+      "zipf:jobs=120,seed=5,tenants=10000,theta=0.9",
+      "flash:jobs=120,seed=5,peak=6,start=3600,duration=3600",
+      "flash:base=lublin,jobs=120,seed=5,diurnal=0.4",
+      "daly:jobs=120,seed=5,interval=1800",
+  };
+  for (const std::string& spec : specs) {
+    SCOPED_TRACE(spec);
+    expect_identical(workload::generate_jobs(spec),
+                     workload::generate_jobs(spec));
+  }
+}
+
+TEST(GeneratorRegistry, SeedChangesTheStream) {
+  const auto a = workload::generate_jobs("zipf:jobs=100,seed=1");
+  const auto b = workload::generate_jobs("zipf:jobs=100,seed=2");
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].actual_runtime != b[i].actual_runtime) ++differing;
+  }
+  EXPECT_GT(differing, a.size() / 2);
+}
+
+// ------------------------------------------------------------------- zipf
+
+TEST(Zipfian, SamplerValidatesArguments) {
+  EXPECT_THROW(workload::ZipfianSampler(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(workload::ZipfianSampler(10, 1.0), std::invalid_argument);
+  EXPECT_THROW(workload::ZipfianSampler(10, -0.1), std::invalid_argument);
+}
+
+TEST(Zipfian, RankFrequencySlopeMatchesTheta) {
+  // P(rank r) ~ (r+1)^-theta, so a log-log regression of observed
+  // frequency on rank recovers -theta.
+  const double theta = 0.8;
+  const workload::ZipfianSampler sampler(1000, theta);
+  sim::Rng rng(123);
+  std::map<std::uint64_t, std::uint64_t> counts;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[sampler.sample(rng)];
+
+  // Regress over the well-populated head (ranks 0..49).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (std::uint64_t rank = 0; rank < 50; ++rank) {
+    const auto it = counts.find(rank);
+    ASSERT_NE(it, counts.end()) << "head rank " << rank << " never drawn";
+    const double x = std::log(static_cast<double>(rank + 1));
+    const double y = std::log(static_cast<double>(it->second));
+    sx += x; sy += y; sxx += x * x; sxy += x * y;
+    ++n;
+  }
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  EXPECT_NEAR(slope, -theta, 0.08);
+}
+
+TEST(Zipfian, ThetaZeroIsUniform) {
+  const workload::ZipfianSampler sampler(100, 0.0);
+  sim::Rng rng(7);
+  std::vector<std::uint64_t> counts(100, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[sampler.sample(rng)];
+  // Every rank within 30% of the uniform expectation.
+  for (std::uint64_t rank = 0; rank < 100; ++rank) {
+    EXPECT_NEAR(static_cast<double>(counts[rank]), draws / 100.0,
+                0.3 * draws / 100.0)
+        << "rank " << rank;
+  }
+}
+
+TEST(Zipfian, TenantIdsWithinBoundsAndSkewed) {
+  const auto jobs = workload::generate_jobs(
+      "zipf:jobs=2000,tenants=1000000,theta=0.99,seed=11");
+  ASSERT_EQ(jobs.size(), 2000u);
+  std::map<std::uint32_t, std::size_t> per_tenant;
+  for (const Job& job : jobs) {
+    ASSERT_GE(job.tenant, 1u);
+    ASSERT_LE(job.tenant, 1000000u);
+    ++per_tenant[job.tenant];
+  }
+  // Heavy skew: the hottest tenant (rank 1) dominates, yet the long tail
+  // still surfaces many distinct tenants.
+  EXPECT_GT(per_tenant[1], jobs.size() / 20);
+  EXPECT_GT(per_tenant.size(), 100u);
+  EXPECT_LT(per_tenant.size(), jobs.size());
+}
+
+TEST(Zipfian, LegacyMethodsLeaveTenantZero) {
+  for (const Job& job : workload::generate_jobs("sdsc:jobs=50")) {
+    EXPECT_EQ(job.tenant, 0u);
+  }
+}
+
+// ------------------------------------------------------------------ flash
+
+TEST(FlashCrowd, ValidatesKnobs) {
+  workload::FlashCrowdParams params;
+  params.peak = 0.5;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = {};
+  params.period = params.duration;  // repeating window must fit its period
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = {};
+  params.diurnal_amplitude = 1.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(FlashCrowd, RateRatioInsideWindowWithinTolerance) {
+  // A Poisson base stream warped by peak=8 must land ~8x the arrivals
+  // per unit time inside the window.
+  const double peak = 8.0;
+  workload::FlashCrowdParams params;
+  params.peak = peak;
+  params.start = 20000.0;
+  params.duration = 20000.0;
+
+  std::vector<Job> jobs;
+  sim::Rng rng(99);
+  double clock = 0.0;
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    Job job;
+    job.id = i + 1;
+    job.submit_time = clock;
+    jobs.push_back(job);
+    clock += -std::log(1.0 - rng.uniform01()) * 10.0;  // mean gap 10 s
+  }
+  workload::apply_rate_modulation(jobs, params);
+
+  std::size_t inside = 0, before = 0;
+  for (const Job& job : jobs) {
+    if (job.submit_time < params.start) {
+      ++before;
+    } else if (job.submit_time < params.start + params.duration) {
+      ++inside;
+    }
+  }
+  const double rate_before = static_cast<double>(before) / params.start;
+  const double rate_inside = static_cast<double>(inside) / params.duration;
+  ASSERT_GT(before, 0u);
+  ASSERT_GT(inside, 0u);
+  EXPECT_NEAR(rate_inside / rate_before, peak, 0.15 * peak);
+}
+
+TEST(FlashCrowd, WarpPreservesOrderAndShapes) {
+  const auto base = workload::generate_jobs("sdsc:jobs=400,seed=3");
+  const auto warped = workload::generate_jobs(
+      "flash:jobs=400,seed=3,peak=8,start=6000,duration=6000");
+  ASSERT_EQ(base.size(), warped.size());
+  EXPECT_EQ(base.front().submit_time, warped.front().submit_time);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    // Only submit times move; runtimes/sizes/estimates are untouched.
+    EXPECT_EQ(base[i].actual_runtime, warped[i].actual_runtime);
+    EXPECT_EQ(base[i].estimated_runtime, warped[i].estimated_runtime);
+    EXPECT_EQ(base[i].procs, warped[i].procs);
+    if (i > 0) {
+      EXPECT_GE(warped[i].submit_time, warped[i - 1].submit_time);
+    }
+  }
+}
+
+TEST(FlashCrowd, PeakOneWithoutDiurnalIsIdentity) {
+  expect_identical(
+      workload::generate_jobs("flash:base=lublin,jobs=200,seed=5,peak=1"),
+      workload::generate_jobs("lublin:jobs=200,seed=5"));
+}
+
+TEST(FlashCrowd, ForwardsDottedBaseKeys) {
+  expect_identical(
+      workload::generate_jobs(
+          "flash:base=zipf,base.theta=0.5,base.tenants=500,jobs=150,seed=8,"
+          "peak=1"),
+      workload::generate_jobs("zipf:theta=0.5,tenants=500,jobs=150,seed=8"));
+}
+
+// ------------------------------------------------------------------- daly
+
+TEST(Daly, OptimalIntervalMatchesClosedForm) {
+  const double delta = 120.0, m = 86400.0;
+  const double x = delta / (2.0 * m);
+  const double expected =
+      std::sqrt(2.0 * delta * m) * (1.0 + std::sqrt(x) / 3.0 + x / 9.0) -
+      delta;
+  EXPECT_DOUBLE_EQ(workload::daly_optimal_interval(delta, m), expected);
+  // Degenerate regime: dumps cost more than the work they protect.
+  EXPECT_DOUBLE_EQ(workload::daly_optimal_interval(10000.0, 3600.0), 3600.0);
+  EXPECT_THROW((void)workload::daly_optimal_interval(0.0, 3600.0),
+               std::invalid_argument);
+}
+
+TEST(Daly, RuntimeCarriesCheckpointOverhead) {
+  workload::DalyCheckpointConfig config;
+  config.job_count = 300;
+  config.seed = 12;
+  config.checkpoint_interval = 1800.0;
+  config.checkpoint_write_seconds = 120.0;
+  const auto jobs = workload::generate_daly_checkpoint(config);
+  ASSERT_EQ(jobs.size(), 300u);
+  for (const Job& job : jobs) {
+    // runtime = solve + dumps*delta with one dump per completed interval,
+    // so runtime mod (interval + delta-per-interval structure) implies
+    // runtime >= solve >= min_solve and the overhead is a whole multiple
+    // of delta.
+    EXPECT_GE(job.actual_runtime, config.min_solve);
+    EXPECT_GE(job.estimated_runtime, job.actual_runtime);
+  }
+
+  // More frequent dumps (same seed => same solve draws) => more overhead.
+  workload::DalyCheckpointConfig frequent = config;
+  frequent.checkpoint_interval = 600.0;
+  const auto dumped_more = workload::generate_daly_checkpoint(frequent);
+  double total = 0.0, total_frequent = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    total += jobs[i].actual_runtime;
+    total_frequent += dumped_more[i].actual_runtime;
+  }
+  EXPECT_GT(total_frequent, total);
+}
+
+TEST(Daly, IntervalZeroResolvesToOptimum) {
+  workload::DalyCheckpointConfig config;
+  EXPECT_DOUBLE_EQ(workload::resolved_checkpoint_interval(config),
+                   workload::daly_optimal_interval(
+                       config.checkpoint_write_seconds, config.mtti_seconds));
+  config.checkpoint_interval = 777.0;
+  EXPECT_DOUBLE_EQ(workload::resolved_checkpoint_interval(config), 777.0);
+}
+
+// ------------------------------------------------- experiment integration
+
+TEST(ExperimentWiring, RunKeyUnchangedWithoutWorkloadSpec) {
+  exp::ExperimentConfig config;
+  const std::string key =
+      config.run_key(policy::PolicyKind::Libra, config.default_settings());
+  EXPECT_EQ(key.find("wload="), std::string::npos);
+}
+
+TEST(ExperimentWiring, RunKeyIncludesWorkloadSpecs) {
+  exp::ExperimentConfig config;
+  config.workload = "zipf:theta=0.9";
+  exp::RunSettings settings = config.default_settings();
+  const std::string base_key =
+      config.run_key(policy::PolicyKind::Libra, settings);
+  EXPECT_NE(base_key.find(";wload=zipf:theta=0.9"), std::string::npos);
+
+  settings.workload = "daly:interval=900";
+  const std::string per_run_key =
+      config.run_key(policy::PolicyKind::Libra, settings);
+  EXPECT_NE(per_run_key.find(";wload=daly:interval=900"), std::string::npos);
+  EXPECT_NE(per_run_key, base_key);
+}
+
+TEST(ExperimentWiring, MakeBuilderInjectsJobsAndSeed) {
+  exp::ExperimentConfig config;
+  config.trace.job_count = 123;
+  config.trace.seed = 55;
+  config.workload = "zipf:theta=0.5";
+  const workload::WorkloadBuilder builder = config.make_builder();
+  EXPECT_EQ(builder.base_trace().size(), 123u);
+  expect_identical(
+      builder.base_trace(),
+      workload::generate_jobs("zipf:theta=0.5,jobs=123,seed=55"));
+}
+
+TEST(ExperimentWiring, ExtensionScenariosResolveByName) {
+  EXPECT_EQ(exp::scenario_by_name("zipf").values.size(),
+            exp::kValuesPerScenario);
+  EXPECT_EQ(exp::scenario_by_name("flash").values.size(),
+            exp::kValuesPerScenario);
+  EXPECT_EQ(exp::scenario_by_name("daly").values.size(),
+            exp::kValuesPerScenario);
+  EXPECT_THROW((void)exp::scenario_by_name("bogus"), std::invalid_argument);
+
+  // The extensions must not join the Table VI set.
+  for (const exp::Scenario& scenario : exp::all_scenarios()) {
+    EXPECT_NE(scenario.name, "zipf");
+    EXPECT_NE(scenario.name, "flash");
+    EXPECT_NE(scenario.name, "daly");
+  }
+}
+
+TEST(ExperimentWiring, ZipfScenarioSetsWorkloadSpec) {
+  const exp::Scenario& scenario = exp::scenario_by_name("zipf");
+  exp::RunSettings defaults;
+  const exp::RunSettings settings = scenario.settings_for(defaults, 5);
+  EXPECT_EQ(settings.workload, "zipf:theta=0.99");
+}
+
+TEST(ExperimentWiring, DalyScenarioEnablesRecoveryPath) {
+  const exp::Scenario& scenario = exp::scenario_by_name("daly");
+  exp::RunSettings defaults;
+  const exp::RunSettings settings = scenario.settings_for(defaults, 0);
+  EXPECT_EQ(settings.workload, "daly:interval=900");
+  EXPECT_TRUE(settings.failure.enabled());
+  EXPECT_GT(settings.recovery.retry_limit, 0u);
+  EXPECT_DOUBLE_EQ(settings.recovery.checkpoint_interval, 900.0);
+}
+
+TEST(ExperimentWiring, PerRunWorkloadChangesSimulatedJobs) {
+  exp::ExperimentConfig config;
+  config.trace.job_count = 80;
+  const workload::WorkloadBuilder builder = config.make_builder();
+
+  exp::RunSettings defaults = config.default_settings();
+  const auto base_report = exp::simulate_run_report(
+      config, builder, policy::PolicyKind::Libra, defaults);
+
+  exp::RunSettings zipf = defaults;
+  zipf.workload = "zipf:theta=0.9";
+  const auto zipf_report = exp::simulate_run_report(
+      config, builder, policy::PolicyKind::Libra, zipf);
+  EXPECT_NE(base_report.digest, zipf_report.digest);
+
+  // And deterministically: the same spec twice gives the same digest.
+  const auto zipf_again = exp::simulate_run_report(
+      config, builder, policy::PolicyKind::Libra, zipf);
+  EXPECT_EQ(zipf_report.digest, zipf_again.digest);
+}
+
+}  // namespace
