@@ -41,6 +41,7 @@
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
+#include "serve/shard.hpp"
 
 namespace {
 
@@ -122,6 +123,44 @@ EnginePass run_engine_pass(const std::vector<serve::Request>& stream,
       pass.wall_seconds > 0.0
           ? static_cast<double>(stream.size()) / pass.wall_seconds
           : 0.0;
+  return pass;
+}
+
+struct ShardPass {
+  std::size_t shards = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  std::string digest;
+};
+
+// Drives a sharded engine directly with a multi-tenant stream (same
+// spin-submit shape as run_engine_pass): one submitter, N decision
+// threads, so aggregate throughput scales with shard count when decision
+// work dominates.
+ShardPass run_shard_pass(const std::vector<serve::Request>& stream,
+                         std::size_t shards) {
+  serve::ShardedEngineConfig config;
+  config.shards = shards;
+  serve::ShardedEngine engine(config);
+  engine.start();
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const serve::Request& request : stream) {
+    while (!engine.submit(request, [](const serve::Response&) {})) {
+      std::this_thread::yield();
+    }
+  }
+  const serve::EngineStats stats = engine.drain();
+  ShardPass pass;
+  pass.shards = shards;
+  pass.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  pass.throughput_rps =
+      pass.wall_seconds > 0.0
+          ? static_cast<double>(stream.size()) / pass.wall_seconds
+          : 0.0;
+  pass.digest = stats.decision_digest;
   return pass;
 }
 
@@ -240,6 +279,53 @@ int main() {
     pass = false;
   }
 
+  // --- shard-count sweep --------------------------------------------------
+  // A Zipf multi-tenant stream across --shards 1/2/4. Two gates: the
+  // merged decision digest must be identical at every shard count (the
+  // order-independent merge contract, always asserted), and 4 shards must
+  // deliver >= 1.7x the 1-shard aggregate throughput — asserted only on
+  // machines with >= 4 hardware threads (a 1-core CI runner cannot scale
+  // anything; the JSON records whether the gate was armed).
+  serve::LoadgenConfig shard_stream_config;
+  shard_stream_config.requests = requests;
+  shard_stream_config.seed = kSeed;
+  shard_stream_config.workload = "zipf:tenants=64,theta=0.9";
+  const std::vector<serve::Request> tenant_stream =
+      serve::make_request_stream(shard_stream_config);
+
+  (void)run_shard_pass(tenant_stream, 4);  // warm-up
+  std::vector<ShardPass> sweep;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    sweep.push_back(run_shard_pass(tenant_stream, shards));
+    std::cout << "  shards " << shards << ":   "
+              << sweep.back().throughput_rps << " dec/s (digest "
+              << sweep.back().digest << ")\n";
+  }
+  bool shard_digest_invariant = true;
+  for (const ShardPass& shard_pass : sweep) {
+    if (shard_pass.digest != sweep.front().digest) {
+      shard_digest_invariant = false;
+    }
+  }
+  if (!shard_digest_invariant) {
+    std::cerr << "FAIL: merged digest varies with shard count\n";
+    pass = false;
+  }
+  const double speedup_4x = sweep.front().throughput_rps > 0.0
+                                ? sweep.back().throughput_rps /
+                                      sweep.front().throughput_rps
+                                : 0.0;
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  const bool speedup_gate_armed = hardware_threads >= 4;
+  std::cout << "  scaling:    4 shards = " << speedup_4x << "x of 1 shard ("
+            << hardware_threads << " hardware threads, gate "
+            << (speedup_gate_armed ? "armed" : "skipped") << ")\n";
+  if (speedup_gate_armed && speedup_4x < 1.7) {
+    std::cerr << "FAIL: 4-shard speedup " << speedup_4x
+              << "x below the 1.7x floor\n";
+    pass = false;
+  }
+
   const std::string path = env.out_dir + "/BENCH_serving.json";
   std::ofstream json(path);
   json.precision(6);
@@ -291,6 +377,25 @@ int main() {
        << "    \"shed_percent\": " << shed_percent << ",\n"
        << "    \"turned_away_percent\": " << turned_away_percent << ",\n"
        << "    \"latency_p99_ms\": " << o.latency.p99_ms << "\n"
+       << "  },\n"
+       << "  \"shard_sweep\": {\n"
+       << "    \"workload\": \"zipf:tenants=64,theta=0.9\",\n"
+       << "    \"requests\": " << tenant_stream.size() << ",\n"
+       << "    \"shards\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    json << "      {\"shards\": " << sweep[i].shards
+         << ", \"wall_seconds\": " << sweep[i].wall_seconds
+         << ", \"throughput_rps\": " << sweep[i].throughput_rps
+         << ", \"decision_digest\": \"" << sweep[i].digest << "\"}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n"
+       << "    \"digest_invariant\": "
+       << (shard_digest_invariant ? "true" : "false") << ",\n"
+       << "    \"speedup_4x\": " << speedup_4x << ",\n"
+       << "    \"hardware_threads\": " << hardware_threads << ",\n"
+       << "    \"speedup_gate_armed\": "
+       << (speedup_gate_armed ? "true" : "false") << "\n"
        << "  },\n"
        << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
   std::cout << "[wrote " << path << "]\n";

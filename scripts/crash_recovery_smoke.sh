@@ -13,6 +13,11 @@
 #   malformed frames, slow-loris) against the recovered journal, then a
 #   clean probe stream; `loadgen --chaos` exits non-zero if the server
 #   crashed, hung, or corrupted its digest.
+# Phase 4 — sharded crash: kill -9 a 2-shard journaled server mid-way
+#   through a Zipf multi-tenant stream, recover with the same shard
+#   count (per-shard journals, merged digest banner), verify a mismatched
+#   --shards is refused, and require the recovered server to serve a
+#   fresh stream cleanly.
 #
 # Env: UTILRISK (binary, default ./build/tools/utilrisk),
 #      SMOKE_OUT (artefact dir, default smoke_out).
@@ -36,18 +41,20 @@ cleanup() {
 }
 trap cleanup EXIT
 
-start_server() { # args: journal_dir log_file
+start_server() { # args: journal_dir log_file [extra serve flags...]
+  local journal="$1" log="$2"
+  shift 2
   rm -f "$SOCK"
-  "$UTILRISK" serve --socket "$SOCK" --journal "$1" --fsync batch \
-    --manifest-dir "" > "$2" 2>&1 &
+  "$UTILRISK" serve --socket "$SOCK" --journal "$journal" --fsync batch \
+    --manifest-dir "" "$@" > "$log" 2>&1 &
   SERVER=$!
   for _ in $(seq 1 100); do
     [ -S "$SOCK" ] && return 0
     # A recovery refusal (divergent digest) exits before binding.
-    kill -0 "$SERVER" 2>/dev/null || { cat "$2"; fail "server died on startup"; }
+    kill -0 "$SERVER" 2>/dev/null || { cat "$log"; fail "server died on startup"; }
     sleep 0.1
   done
-  cat "$2"
+  cat "$log"
   fail "server socket never appeared"
 }
 
@@ -111,5 +118,44 @@ echo "== phase 3: chaos against the recovered server =="
   || fail "chaos probe degraded the server"
 stop_server
 grep -q "server survived" "$OUT/chaos.txt" || fail "no chaos verdict printed"
+
+echo "== phase 4: 2-shard server, kill -9, merged-digest recovery =="
+J4="$OUT/journal_sharded"
+rm -rf "$J4"
+start_server "$J4" "$OUT/serve_sharded.txt" --shards 2
+"$UTILRISK" loadgen --socket "$SOCK" --requests 100000 --seed 9 \
+  --workload "zipf:tenants=64,theta=0.9" --connections 2 \
+  --manifest-dir "" > "$OUT/loadgen_sharded.txt" 2>&1 &
+LOADGEN=$!
+sleep 2
+kill -9 "$SERVER"
+wait "$SERVER" 2>/dev/null || true
+SERVER=""
+wait "$LOADGEN" 2>/dev/null || true # severed mid-stream; failure expected
+echo "per-shard journals after crash:"
+ls -l "$J4" "$J4"/shard-* || fail "sharded journal layout missing"
+[ -f "$J4/shards.meta" ] || fail "shards.meta marker missing"
+# Recovering with a different shard count must refuse — re-routing
+# journalled tenants onto other shards would change their state.
+if "$UTILRISK" serve --socket "$SOCK" --journal "$J4" --fsync batch \
+    --shards 3 --manifest-dir "" > "$OUT/serve_shard_mismatch.txt" 2>&1; then
+  fail "server accepted a shard-count mismatch on recovery"
+fi
+grep -q "shards" "$OUT/serve_shard_mismatch.txt" \
+  || fail "mismatch refusal printed no shard diagnostic"
+start_server "$J4" "$OUT/serve_sharded_recovered.txt" --shards 2
+replayed=$(sed -n 's/.*\[recovered \([0-9]*\) journalled.*/\1/p' \
+  "$OUT/serve_sharded_recovered.txt" | head -1)
+sharded_digest=$(banner_digest "$OUT/serve_sharded_recovered.txt")
+echo "replayed after sharded kill -9: ${replayed:-none} (digest ${sharded_digest:-none})"
+[ -n "$replayed" ] && [ "$replayed" -gt 0 ] \
+  || fail "sharded crash recovery replayed nothing"
+[ -n "$sharded_digest" ] || fail "sharded recovery printed no merged digest"
+# The recovered sharded server must still answer a fresh clean stream.
+"$UTILRISK" loadgen --socket "$SOCK" --requests 500 --seed 13 \
+  --workload "zipf:tenants=64,theta=0.9" --connections 2 \
+  --manifest-dir "" > "$OUT/loadgen_sharded_after.txt" \
+  || fail "recovered sharded server dropped responses"
+stop_server
 
 echo "crash-recovery smoke: all phases passed"

@@ -51,6 +51,15 @@ workload::WorkloadBuilder ExperimentConfig::make_builder() const {
       workload::generate_jobs(spec_with_defaults(workload, trace)));
 }
 
+// Cache-key audit note (kept current; last reviewed for `serve --shards`):
+// every knob that changes a run's outcome MUST appear in this key or in
+// settings.key_fragment() — PR 4 fixed exactly that class of collision for
+// the --fail-* recovery knobs. Serve-only knobs (--shards, --queue-capacity,
+// journal options, ...) are deliberately absent: the serving path never
+// reads or writes the sweep ResultStore, and shard count cannot change
+// decisions anyway (engine-level per-tenant isolation; serve/shard.hpp).
+// The shard-count collision guard for *journals* — the store the serve
+// path does persist — is the `shards.meta` check in serve/shard.cpp.
 std::string ExperimentConfig::run_key(policy::PolicyKind policy,
                                       const RunSettings& settings) const {
   std::ostringstream oss;

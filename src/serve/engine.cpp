@@ -29,19 +29,6 @@ const std::vector<double>& batch_size_buckets() {
 AdmissionEngine::AdmissionEngine(const EngineConfig& config)
     : config_(config), queue_(config.queue_capacity) {
   config_.machine.validate();
-  simulator_.logger().set_level(config_.log_level);
-  simulator_.set_metrics(config_.metrics);
-
-  policy::PolicyContext context;
-  context.simulator = &simulator_;
-  context.machine = config_.machine;
-  context.model = config_.model;
-  context.pricing = config_.pricing;
-  context.first_reward = config_.first_reward;
-  context.metrics = config_.metrics;
-  context.log_level = config_.log_level;
-  service_ = std::make_unique<service::ComputingService>(
-      simulator_, service::factory_for(config_.policy), context);
 
   requests_metric_ = obs::counter_or_null(config_.metrics, "serve.requests");
   accepted_metric_ = obs::counter_or_null(config_.metrics, "serve.accepted");
@@ -279,23 +266,50 @@ void AdmissionEngine::engine_loop() {
   }
 }
 
+AdmissionEngine::TenantState& AdmissionEngine::state_for(std::uint64_t key) {
+  const auto [it, inserted] = tenants_.try_emplace(key);
+  TenantState& state = it->second;
+  if (inserted) {
+    state.simulator.logger().set_level(config_.log_level);
+    state.simulator.set_metrics(config_.metrics);
+    policy::PolicyContext context;
+    context.simulator = &state.simulator;
+    context.machine = config_.machine;
+    context.model = config_.model;
+    context.pricing = config_.pricing;
+    context.first_reward = config_.first_reward;
+    context.metrics = config_.metrics;
+    context.log_level = config_.log_level;
+    state.service = std::make_unique<service::ComputingService>(
+        state.simulator, service::factory_for(config_.policy), context);
+  }
+  return state;
+}
+
 Response AdmissionEngine::decide(const Request& request) {
+  // Each routing key decides inside its own isolated world, so a decision
+  // depends only on its own key's prior requests — the invariant behind
+  // shard-count-independent merged digests (see header comment).
+  TenantState& state = state_for(routing_key(request));
   // The virtual clock never rewinds: a request claiming an instant the
   // engine has already passed is admitted "now" on the virtual axis.
-  virtual_now_ = std::max(virtual_now_, request.submit_time);
-  const workload::Job job = to_job(request, next_job_id_++, virtual_now_);
+  state.virtual_now = std::max(state.virtual_now, request.submit_time);
+  const workload::Job job =
+      to_job(request, state.next_job_id++, state.virtual_now);
 
   // Advance the world to the submission instant (starts/finishes of
   // earlier jobs fire here), then submit and dispatch the decision event.
-  simulator_.run(virtual_now_);
-  service_->submit_all({job});
-  simulator_.run(virtual_now_);
+  state.simulator.run(state.virtual_now);
+  state.service->submit_all({job});
+  state.simulator.run(state.virtual_now);
 
-  const service::SlaRecord& record = service_->metrics().record(job.id);
+  const service::SlaRecord& record = state.service->metrics().record(job.id);
   Response response;
   response.id = request.id;
-  response.virtual_time = virtual_now_;
-  response.risk = risk_index(job);
+  response.tenant = request.tenant;
+  response.shard = config_.shard_index;
+  response.virtual_time = state.virtual_now;
+  response.risk = risk_index(state, job);
   if (record.accepted()) {
     response.status = Status::Accepted;
     // The commodity model fixes the charge at acceptance; the bid model
@@ -304,7 +318,7 @@ Response AdmissionEngine::decide(const Request& request) {
     response.price = config_.model == economy::EconomicModel::CommodityMarket
                          ? record.quoted_cost
                          : job.budget;
-    accepted_work_ += job.work();
+    state.accepted_work += job.work();
     ++stats_.accepted;
     if (accepted_metric_ != nullptr) accepted_metric_->inc();
   } else {
@@ -317,14 +331,17 @@ Response AdmissionEngine::decide(const Request& request) {
   return response;
 }
 
-double AdmissionEngine::risk_index(const workload::Job& job) const {
+double AdmissionEngine::risk_index(const TenantState& state,
+                                   const workload::Job& job) const {
   // Outstanding backlog (accepted-but-undelivered processor-seconds, this
   // job included) relative to the capacity the machine can deliver within
   // this job's deadline window: ~0 on an idle service, ->1 as admission
-  // outpaces delivery. Purely simulation-state-derived, so deterministic.
+  // outpaces delivery. Purely simulation-state-derived (and per routing
+  // key, like the rest of the decision), so deterministic.
   const double backlog = std::max(
-      0.0, accepted_work_ - service_->active_policy().delivered_proc_seconds()
-               + job.work());
+      0.0, state.accepted_work -
+               state.service->active_policy().delivered_proc_seconds() +
+               job.work());
   const double capacity = static_cast<double>(config_.machine.node_count) *
                           std::max(job.deadline_duration, 1.0);
   return std::clamp(backlog / capacity, 0.0, 1.0);
@@ -336,20 +353,25 @@ EngineStats AdmissionEngine::drain() {
   queue_.close();
   resume();  // a paused engine must still drain
   if (started_.load() && thread_.joinable()) thread_.join();
-  // Run the simulation to quiescence so every accepted job settles; the
-  // engine thread is joined, so this thread is now the (only) owner.
-  simulator_.run();
-  virtual_now_ = std::max(virtual_now_, simulator_.now());
-  for (const auto& [id, record] : service_->metrics().records()) {
-    if (record.outcome == workload::JobOutcome::FulfilledSLA) {
-      ++stats_.fulfilled;
-    } else if (record.outcome == workload::JobOutcome::ViolatedSLA) {
-      ++stats_.violated;
+  // Run every routing key's simulation to quiescence so accepted jobs
+  // settle; the engine thread is joined, so this thread is now the (only)
+  // owner of the per-key worlds.
+  for (auto& [key, state] : tenants_) {
+    state.simulator.run();
+    state.virtual_now = std::max(state.virtual_now, state.simulator.now());
+    for (const auto& [id, record] : state.service->metrics().records()) {
+      if (record.outcome == workload::JobOutcome::FulfilledSLA) {
+        ++stats_.fulfilled;
+      } else if (record.outcome == workload::JobOutcome::ViolatedSLA) {
+        ++stats_.violated;
+      }
     }
+    stats_.events_dispatched += state.simulator.events_dispatched();
+    stats_.virtual_end_time =
+        std::max(stats_.virtual_end_time, state.virtual_now);
   }
-  stats_.events_dispatched = simulator_.events_dispatched();
-  stats_.virtual_end_time = virtual_now_;
   stats_.decision_digest = verify::to_hex(decision_digest_.value());
+  stats_.digest = decision_digest_;
   stats_.brownout = brownout_count_.load(std::memory_order_relaxed);
   if (journal_ != nullptr) {
     // Seal the final segment so a later recovery verifies it wholesale

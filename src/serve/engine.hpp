@@ -18,12 +18,23 @@
 // Interleaving across concurrent connections is the one nondeterminism
 // the engine cannot remove; single-connection (or replayed) streams are
 // fully reproducible.
+//
+// Tenant isolation: each routing key (serve/protocol.hpp routing_key —
+// the tenant, or the scenario hash, or 0 for legacy traffic) owns its own
+// Simulator/ComputingService/virtual clock, created lazily on first use.
+// A decision therefore depends only on the prior requests of its *own*
+// key, which is what makes the sharded server's merged decision digest
+// invariant under shard count and request routing (serve/shard.hpp):
+// however tenants are partitioned across engines, every tenant's decision
+// stream is bit-identical. Key-0 traffic uses a single state, so legacy
+// single-tenant sessions behave exactly as before.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -82,6 +93,9 @@ struct EngineConfig {
   /// Optional registry for the serve.* instruments (may be null).
   obs::MetricsRegistry* metrics = nullptr;
   sim::LogLevel log_level = sim::LogLevel::Off;
+  /// Which shard this engine is in a sharded deployment (-1 = unsharded).
+  /// Stamped on every response's `shard` hint; never digested.
+  int shard_index = -1;
 };
 
 /// Delivered on the engine thread once the decision for a request exists.
@@ -103,9 +117,12 @@ struct EngineStats {
   /// Submissions fast-failed by the brownout high watermark.
   std::uint64_t brownout = 0;
   double virtual_end_time = 0.0;
-  /// Order-independent digest over (request id, decision, price) — equal
-  /// across runs iff the admission decisions were identical.
+  /// Order-independent digest over (request id, decision, price, tenant)
+  /// — equal across runs iff the admission decisions were identical.
   std::string decision_digest;
+  /// The digest's raw accumulator — mergeable across shards
+  /// (verify::UnorderedDigest::merge) into the combined session digest.
+  verify::UnorderedDigest digest;
 };
 
 /// Outcome of the constructor's journal replay (all zeros / empty when no
@@ -125,7 +142,33 @@ struct RecoveryStats {
   std::uint64_t truncated_bytes = 0;
 };
 
-class AdmissionEngine {
+/// The surface the server front end (server.hpp) needs from a decision
+/// backend. AdmissionEngine is the single-engine implementation; the
+/// sharded router (serve/shard.hpp ShardedEngine) fans the same calls out
+/// across N engines, so the transport code is shard-agnostic.
+class EngineApi {
+ public:
+  virtual ~EngineApi() = default;
+
+  /// Launches the decision thread(s). Idempotent.
+  virtual void start() = 0;
+
+  /// Enqueues a request; `completion` runs on an engine thread with the
+  /// decision. Returns false on backpressure (bounded queue full or
+  /// draining) — the caller answers `busy` itself. Thread-safe.
+  [[nodiscard]] virtual bool submit(const Request& request,
+                                    Completion completion) = 0;
+
+  /// The canonical backpressure response for `request`.
+  [[nodiscard]] virtual Response make_busy_response(
+      const Request& request) const = 0;
+
+  /// Graceful shutdown: stop accepting, answer everything queued, settle
+  /// the simulation(s), return session totals. Idempotent.
+  virtual EngineStats drain() = 0;
+};
+
+class AdmissionEngine : public EngineApi {
  public:
   /// Constructs the engine; when `config.journal_dir` is set, loads and
   /// replays the surviving journal first (see RecoveryStats) and opens a
@@ -141,22 +184,24 @@ class AdmissionEngine {
   AdmissionEngine& operator=(const AdmissionEngine&) = delete;
 
   /// Launches the engine thread. Idempotent.
-  void start();
+  void start() override;
 
   /// Enqueues a request; `completion` runs on the engine thread with the
   /// decision. Returns false when the bounded queue is full or the engine
   /// is draining — the caller answers `busy` itself (make_busy_response
   /// builds the canonical one). Thread-safe.
-  [[nodiscard]] bool submit(const Request& request, Completion completion);
+  [[nodiscard]] bool submit(const Request& request,
+                            Completion completion) override;
 
   /// The canonical backpressure response for `request`.
-  [[nodiscard]] Response make_busy_response(const Request& request) const;
+  [[nodiscard]] Response make_busy_response(
+      const Request& request) const override;
 
   /// Graceful shutdown: stop accepting, process everything already
   /// queued (every completion fires), run the simulation to quiescence so
   /// accepted jobs settle, and return the session totals. Idempotent —
   /// later calls return the same stats.
-  EngineStats drain();
+  EngineStats drain() override;
 
   /// Test hook: while paused the engine consumes nothing from the queue
   /// (the hold gate lives inside the queue's pop, so pausing is exact
@@ -173,6 +218,13 @@ class AdmissionEngine {
   [[nodiscard]] const EngineConfig& config() const { return config_; }
   /// Crash-recovery outcome (defaults when no journal was configured).
   [[nodiscard]] const RecoveryStats& recovery() const { return recovery_; }
+  /// The running decision digest's raw accumulator. Only safe before
+  /// start() (e.g. right after a journal recovery, for the sharded
+  /// recovery banner) or after drain() — it is engine-thread state.
+  [[nodiscard]] const verify::UnorderedDigest& decision_digest_snapshot()
+      const {
+    return decision_digest_;
+  }
   /// Journal write totals for this session (zeros when journaling is off).
   [[nodiscard]] JournalStats journal_stats() const {
     return journal_ != nullptr ? journal_->stats() : JournalStats{};
@@ -185,6 +237,19 @@ class AdmissionEngine {
     std::chrono::steady_clock::time_point enqueued_at;
   };
 
+  /// One routing key's isolated simulation world (see the header comment:
+  /// isolation per key is what makes sharded digests merge-invariant).
+  struct TenantState {
+    sim::Simulator simulator;
+    std::unique_ptr<service::ComputingService> service;
+    double virtual_now = 0.0;
+    workload::JobId next_job_id = 1;
+    /// Processor-seconds of accepted work, totalled at admission;
+    /// together with Policy::delivered_proc_seconds() this yields the
+    /// outstanding backlog behind the risk index in O(1).
+    double accepted_work = 0.0;
+  };
+
   void engine_loop();
   /// The pure decision path: clamp the virtual clock, simulate, digest.
   /// Everything wall-clock (queue-wait metrics, sheds, completions,
@@ -192,20 +257,20 @@ class AdmissionEngine {
   /// one code path and stay bit-identical.
   [[nodiscard]] Response decide(const Request& request);
   void recover_from_journal();
-  [[nodiscard]] double risk_index(const workload::Job& job) const;
+  /// Lazily creates the isolated state for one routing key.
+  [[nodiscard]] TenantState& state_for(std::uint64_t key);
+  [[nodiscard]] double risk_index(const TenantState& state,
+                                  const workload::Job& job) const;
 
   EngineConfig config_;
   BoundedQueue<Pending> queue_;
 
   // --- engine-thread-only state ----------------------------------------
-  sim::Simulator simulator_;
-  std::unique_ptr<service::ComputingService> service_;
-  double virtual_now_ = 0.0;
-  workload::JobId next_job_id_ = 1;
-  /// Processor-seconds of accepted work, totalled at admission; together
-  /// with Policy::delivered_proc_seconds() this yields the outstanding
-  /// backlog behind the risk index in O(1).
-  double accepted_work_ = 0.0;
+  /// Isolated per-routing-key worlds (std::map: node-based, so TenantState
+  /// — whose Simulator is not movable — stays pinned; deterministic
+  /// iteration order for the drain pass). Key 0 is the legacy shared
+  /// state for unattributed traffic.
+  std::map<std::uint64_t, TenantState> tenants_;
   EngineStats stats_;
   verify::UnorderedDigest decision_digest_;
   /// Write-ahead journal (null when journaling is off). Engine-thread-only

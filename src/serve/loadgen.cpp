@@ -20,6 +20,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "serve/shard.hpp"
 #include "verify/digest.hpp"
 #include "workload/generator.hpp"
 #include "workload/qos.hpp"
@@ -249,20 +250,27 @@ LatencySummary summarize_latencies(std::vector<double> ms) {
   return summary;
 }
 
-LoadgenReport run_loadgen(const LoadgenConfig& config) {
-  const std::vector<Request> requests = make_request_stream(config);
+namespace {
+
+/// One connection's client session over `requests`, tallying into the
+/// caller's report/digest/latency accumulators. The fan-out path runs one
+/// of these per connection and merges afterwards.
+void run_session(const LoadgenConfig& config,
+                 const std::vector<Request>& requests, double open_rate,
+                 LoadgenReport& report, verify::UnorderedDigest& digest,
+                 std::vector<double>& latencies_ms) {
   LineSocket socket;
   connect_per_config(socket, config);
-
-  LoadgenReport report;
-  verify::UnorderedDigest digest;
-  std::vector<double> latencies_ms;
-  latencies_ms.reserve(requests.size());
+  latencies_ms.reserve(latencies_ms.size() + requests.size());
   const auto wall_start = Clock::now();
 
   if (!config.open_loop) {
     // Closed loop: one in flight. The server answers in submission
-    // order, so each send pairs with the next matching-id line.
+    // order, so each send pairs with the next matching-id line. A `busy`
+    // answer is retried up to busy_retries times, backing off by the
+    // server's retry_after_ms hint when it sent one (the whole point of
+    // the hint) and by the client-side retry_interval_ms fallback
+    // otherwise; only an exhausted retry budget books the busy as final.
     for (const Request& request : requests) {
       const auto sent_at = Clock::now();
       if (!socket.send_line(encode_request(request))) {
@@ -270,8 +278,10 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
         break;
       }
       ++report.sent;
+      std::size_t retries = 0;
       bool answered = false;
-      while (!answered) {
+      bool wedged = false;
+      while (!answered && !wedged) {
         const auto read = socket.read_line(config.idle_timeout_seconds);
         if (read.kind != LineSocket::ReadResult::Kind::Line) {
           count_read_failure(report, read.kind);  // give up on this id
@@ -279,6 +289,22 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
         }
         const Response response = parse_response(read.line);
         tally(report, digest, response);
+        if (response.status == Status::Busy && response.id == request.id &&
+            retries < config.busy_retries) {
+          ++retries;
+          ++report.busy_retried;
+          double backoff_ms = config.retry_interval_ms;
+          if (response.retry_after_ms > 0.0) {
+            backoff_ms = response.retry_after_ms;
+            ++report.hinted_retries;
+          }
+          if (backoff_ms > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(backoff_ms));
+          }
+          if (!socket.send_line(encode_request(request))) wedged = true;
+          continue;
+        }
         if (response.id == request.id || response.status == Status::Busy ||
             response.status == Status::Error) {
           answered = true;
@@ -340,7 +366,7 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
       }
     });
 
-    const double interval = config.rate > 0.0 ? 1.0 / config.rate : 0.0;
+    const double interval = open_rate > 0.0 ? 1.0 / open_rate : 0.0;
     for (std::size_t i = 0; i < requests.size(); ++i) {
       const auto due =
           wall_start + std::chrono::duration_cast<Clock::duration>(
@@ -363,6 +389,76 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     reader.join();
     std::lock_guard lock(mutex);
     report.dropped += pending.size();  // ids that never drew a response
+  }
+
+  report.wall_seconds = seconds_between(wall_start, Clock::now());
+}
+
+}  // namespace
+
+LoadgenReport run_loadgen(const LoadgenConfig& config) {
+  const std::vector<Request> requests = make_request_stream(config);
+  const std::size_t fanout = std::max<std::size_t>(1, config.connections);
+
+  LoadgenReport report;
+  verify::UnorderedDigest digest;
+  std::vector<double> latencies_ms;
+  const auto wall_start = Clock::now();
+
+  if (fanout == 1) {
+    run_session(config, requests, config.rate, report, digest, latencies_ms);
+  } else {
+    // Partition by routing key with the same consistent hash the sharded
+    // server routes by: each tenant's subsequence stays in order on one
+    // connection, so per-tenant decisions — and with them the merged
+    // order-independent digest — are identical to a single-connection
+    // replay of the same stream.
+    ShardRouter router(fanout);
+    std::vector<std::vector<Request>> partitions(fanout);
+    for (const Request& request : requests) {
+      partitions[router.shard_for(routing_key(request))].push_back(request);
+    }
+    std::vector<LoadgenReport> reports(fanout);
+    std::vector<verify::UnorderedDigest> digests(fanout);
+    std::vector<std::vector<double>> latencies(fanout);
+    std::vector<std::string> failures(fanout);
+    const double per_connection_rate =
+        config.rate / static_cast<double>(fanout);
+    std::vector<std::thread> clients;
+    clients.reserve(fanout);
+    for (std::size_t i = 0; i < fanout; ++i) {
+      clients.emplace_back([&, i] {
+        try {
+          run_session(config, partitions[i], per_connection_rate, reports[i],
+                      digests[i], latencies[i]);
+        } catch (const std::exception& e) {
+          failures[i] = e.what();
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    for (const std::string& failure : failures) {
+      if (!failure.empty()) throw std::runtime_error(failure);
+    }
+    for (std::size_t i = 0; i < fanout; ++i) {
+      const LoadgenReport& part = reports[i];
+      report.sent += part.sent;
+      report.responses += part.responses;
+      report.accepted += part.accepted;
+      report.rejected += part.rejected;
+      report.busy += part.busy;
+      report.busy_retried += part.busy_retried;
+      report.hinted_retries += part.hinted_retries;
+      report.shed += part.shed;
+      report.errors += part.errors;
+      report.dropped += part.dropped;
+      report.read_timeouts += part.read_timeouts;
+      report.read_eofs += part.read_eofs;
+      report.read_errors += part.read_errors;
+      digest.merge(digests[i]);
+      latencies_ms.insert(latencies_ms.end(), latencies[i].begin(),
+                          latencies[i].end());
+    }
   }
 
   report.wall_seconds = seconds_between(wall_start, Clock::now());

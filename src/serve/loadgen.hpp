@@ -52,6 +52,20 @@ struct LoadgenConfig {
   /// overload the server sheds requests whose budget expired in its
   /// queue instead of simulating them.
   double deadline_ms = 0.0;
+  /// Client connections to fan the stream across (`--connections`).
+  /// Requests partition by routing key (protocol.hpp routing_key) with
+  /// the same consistent hash the sharded server uses, so every tenant's
+  /// subsequence stays ordered on one connection and the merged client
+  /// digest stays comparable with the server's merged digest.
+  std::size_t connections = 1;
+  /// Closed-loop busy handling: how many times one request is re-sent
+  /// after a `busy` answer before the client gives up and books the busy
+  /// as final. 0 restores the legacy treat-busy-as-terminal behaviour.
+  std::size_t busy_retries = 8;
+  /// Fallback backoff (milliseconds) between busy retries, used only when
+  /// the server's `retry_after_ms` hint is absent/zero — the hint, when
+  /// present, is the delay (hinted retries are counted separately).
+  double retry_interval_ms = 5.0;
   /// Chaos mode (run_chaos): how many hostile connections to run and a
   /// wall-clock cap on the whole attack phase.
   std::size_t chaos_connections = 24;
@@ -72,6 +86,11 @@ struct LoadgenReport {
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t busy = 0;    ///< backpressure rejections observed
+  /// Closed-loop busy retries performed (re-sends after a busy answer).
+  std::uint64_t busy_retried = 0;
+  /// Busy retries whose backoff came from the server's `retry_after_ms`
+  /// hint (the rest waited the client-side `retry_interval_ms` fallback).
+  std::uint64_t hinted_retries = 0;
   std::uint64_t shed = 0;    ///< decision-deadline sheds observed
   std::uint64_t errors = 0;  ///< protocol errors reported by the server
   /// Requests the run gave up on (idle timeout / connection loss). A

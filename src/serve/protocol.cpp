@@ -157,6 +157,23 @@ Request parse_request(std::string_view line) {
   request.budget = number_field(doc, "budget");
   request.penalty_rate = number_field_or(doc, "penalty", 0.0);
   request.deadline_ms = number_field_or(doc, "deadline_ms", 0.0);
+  const double tenant = number_field_or(doc, "tenant", 0.0);
+  if (tenant < 0.0 || tenant != std::floor(tenant) ||
+      tenant > static_cast<double>(UINT32_MAX)) {
+    throw ProtocolError("'tenant' must be an integer in [0, 2^32)");
+  }
+  request.tenant = static_cast<std::uint32_t>(tenant);
+  if (const Value* scenario = doc.find("scenario"); scenario != nullptr) {
+    if (!scenario->is_string()) {
+      throw ProtocolError("'scenario' must be a string");
+    }
+    constexpr std::size_t kMaxScenarioBytes = 128;
+    if (scenario->as_string().size() > kMaxScenarioBytes) {
+      throw ProtocolError("'scenario' exceeds " +
+                          std::to_string(kMaxScenarioBytes) + " bytes");
+    }
+    request.scenario = scenario->as_string();
+  }
   if (const Value* urgency = doc.find("urgency"); urgency != nullptr) {
     // is_string first: as_string() on a non-string throws a plain
     // runtime_error, which would escape the server's ProtocolError
@@ -244,6 +261,19 @@ void encode_request_to(std::string& out, const Request& request) {
     out += ",\"deadline_ms\":";
     append_number(out, request.deadline_ms);
   }
+  // Same conditional-emission rule for the routing fields: unattributed
+  // single-tenant traffic — including every pre-shard journal — encodes
+  // byte-identically to the legacy wire format.
+  if (request.tenant != 0) {
+    out += ",\"tenant\":";
+    append_number(out, request.tenant);
+  }
+  if (!request.scenario.empty()) {
+    out += ",\"scenario\":";
+    std::ostringstream escaped;
+    obs::json::write_escaped(escaped, request.scenario);
+    out += escaped.str();
+  }
   out += '}';
 }
 
@@ -277,6 +307,9 @@ Response parse_response(std::string_view line) {
   response.risk = number_field_or(doc, "risk", 0.0);
   response.virtual_time = number_field_or(doc, "t", 0.0);
   response.retry_after_ms = number_field_or(doc, "retry_after_ms", 0.0);
+  response.tenant =
+      static_cast<std::uint32_t>(number_field_or(doc, "tenant", 0.0));
+  response.shard = static_cast<int>(number_field_or(doc, "shard", -1.0));
   if (const Value* message = doc.find("message");
       message != nullptr && message->is_string()) {
     response.message = message->as_string();
@@ -301,6 +334,16 @@ std::string encode_response(const Response& response) {
       append_number(out, response.risk);
       out += ",\"t\":";
       append_number(out, response.virtual_time);
+      // Conditional like the request side: unattributed/unsharded
+      // responses stay byte-identical to the legacy encoding.
+      if (response.tenant != 0) {
+        out += ",\"tenant\":";
+        append_number(out, response.tenant);
+      }
+      if (response.shard >= 0) {
+        out += ",\"shard\":";
+        append_number(out, response.shard);
+      }
       break;
     case Status::Busy:
       out += ",\"retry_after_ms\":";
@@ -331,6 +374,7 @@ workload::Job to_job(const Request& request, workload::JobId job_id,
   job.budget = request.budget;
   job.penalty_rate = request.penalty_rate;
   job.urgency = request.urgency;
+  job.tenant = request.tenant;
   return job;
 }
 
@@ -345,6 +389,7 @@ Request from_job(const workload::Job& job, std::uint64_t id) {
   request.budget = job.budget;
   request.penalty_rate = job.penalty_rate;
   request.urgency = job.urgency;
+  request.tenant = job.tenant;
   return request;
 }
 
@@ -353,6 +398,20 @@ std::uint64_t decision_hash(const Response& response) {
   stream.put_u64(response.id);
   stream.put_byte(static_cast<std::uint8_t>(response.status));
   stream.put_double(response.price);
+  // Tenant attribution, only when present: legacy single-tenant sessions
+  // keep their historical digests, while two decision streams differing
+  // only in tenant assignment now digest apart (the PR-8 `zipf` router
+  // bug class). The shard hint is deliberately NOT folded — the merged
+  // digest must be invariant under shard count and routing.
+  if (response.tenant != 0) stream.put_u64(response.tenant);
+  return stream.value();
+}
+
+std::uint64_t routing_key(const Request& request) {
+  if (request.tenant != 0) return request.tenant;
+  if (request.scenario.empty()) return 0;
+  verify::DigestStream stream;
+  stream.put_string(request.scenario);
   return stream.value();
 }
 

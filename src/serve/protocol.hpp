@@ -72,6 +72,14 @@ struct Request {
   /// overload the server spends its capacity on requests whose answers
   /// someone still wants. 0 = no decision deadline.
   double deadline_ms = 0.0;
+  /// Owning tenant (0 = unattributed). The sharded server routes by it
+  /// (serve/shard.hpp) and the engine stamps it on the simulated job, so
+  /// tenant-attributed decisions digest distinctly (decision_hash).
+  std::uint32_t tenant = 0;
+  /// Routing fallback for tenantless traffic: requests sharing a scenario
+  /// key land on the same shard (and the same isolated simulation state).
+  /// Empty = the default shared state.
+  std::string scenario;
 };
 
 enum class Status : std::uint8_t {
@@ -102,6 +110,12 @@ struct Response {
   double virtual_time = 0.0;
   /// Backpressure hint (Status::Busy only), milliseconds.
   double retry_after_ms = 0.0;
+  /// Tenant echo (0 = unattributed); folded into decision_hash when set.
+  std::uint32_t tenant = 0;
+  /// Which engine shard decided (sharded serving only; -1 = unsharded).
+  /// Deliberately *not* part of decision_hash — the merged digest must be
+  /// invariant under shard count and request routing.
+  int shard = -1;
   /// Human-readable diagnostic (Status::Error only).
   std::string message;
 };
@@ -140,10 +154,19 @@ void encode_request_to(std::string& out, const Request& request);
 /// trace straight onto the wire).
 [[nodiscard]] Request from_job(const workload::Job& job, std::uint64_t id);
 
-/// Element hash of one admission decision (id, status, price) for the
-/// order-independent session digest (verify::UnorderedDigest). Server and
-/// load generator share this encoding, so their digests are comparable:
-/// equal digests attest identical decisions for the same request ids.
+/// Element hash of one admission decision (id, status, price — plus the
+/// tenant when attributed) for the order-independent session digest
+/// (verify::UnorderedDigest). Server and load generator share this
+/// encoding, so their digests are comparable: equal digests attest
+/// identical decisions for the same request ids. The shard hint is
+/// deliberately excluded: the merged digest must not depend on how
+/// requests were partitioned across engines.
 [[nodiscard]] std::uint64_t decision_hash(const Response& response);
+
+/// The key the sharded router (and the per-key isolated engine state)
+/// partitions on: the tenant when attributed, else a stable hash of the
+/// scenario string, else 0 (the shared default state). Deterministic
+/// across processes and platforms.
+[[nodiscard]] std::uint64_t routing_key(const Request& request);
 
 }  // namespace utilrisk::serve

@@ -68,9 +68,10 @@ struct ServerStats {
 
 class Server {
  public:
-  /// The engine must outlive the server and must be start()ed by the
+  /// The engine (single AdmissionEngine or a ShardedEngine fan-out —
+  /// any EngineApi) must outlive the server and must be start()ed by the
   /// caller (the server never owns the decision lifecycle).
-  Server(const ServerConfig& config, AdmissionEngine& engine);
+  Server(const ServerConfig& config, EngineApi& engine);
   /// Joins everything; calls stop_and_drain() if the caller did not.
   ~Server();
 
@@ -99,7 +100,7 @@ class Server {
   /// `out`, then drains the engine. Single-threaded reads; completions
   /// still arrive from the engine thread (writes are mutexed). Returns
   /// the transport stats of the session.
-  static ServerStats run_stdio(AdmissionEngine& engine, std::istream& in,
+  static ServerStats run_stdio(EngineApi& engine, std::istream& in,
                                std::ostream& out,
                                std::size_t max_line_bytes = kMaxRequestBytes);
 
@@ -113,7 +114,7 @@ class Server {
                    std::string line);
 
   ServerConfig config_;
-  AdmissionEngine& engine_;
+  EngineApi& engine_;
   exp::ThreadPool io_pool_;
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> drained_{false};

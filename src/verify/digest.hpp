@@ -73,6 +73,16 @@ class UnorderedDigest {
     ++count_;
   }
 
+  /// Folds another accumulator in. Because both sides are wrapping sums
+  /// over mixed element hashes, merging per-partition digests yields
+  /// exactly the digest a single accumulator over the union would — the
+  /// property the sharded serving path's combined decision digest rests
+  /// on (any partitioning of the same decision multiset merges equal).
+  void merge(const UnorderedDigest& other) {
+    sum_ += other.sum_;
+    count_ += other.count_;
+  }
+
   [[nodiscard]] std::uint64_t value() const {
     DigestStream stream;
     stream.put_u64(sum_);

@@ -20,6 +20,9 @@ RunDigest run_digest(const service::SimulationReport& report) {
     events.put_double(record.utility);
     events.put_bool(record.started);
     events.put_u64(record.outage_count);
+    // Tenant attribution (schema v2): folded only when attributed, so the
+    // tenantless golden corpus keeps its v1 digests bit-for-bit.
+    if (record.job.tenant != 0) events.put_u64(record.job.tenant);
     events.put_u64(record.job.procs);
     events.put_double(record.job.deadline_duration);
     events.put_double(record.job.budget);

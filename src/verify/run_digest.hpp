@@ -23,6 +23,14 @@ struct SimulationReport;
 
 namespace utilrisk::verify {
 
+/// Digest schema version. v2 folds `Job.tenant` into the event stream for
+/// multi-tenant runs (tenant != 0 only, so the tenantless Table VI golden
+/// corpus digests are byte-identical to v1 — the goldens did not need
+/// regeneration). Before v2, two runs whose jobs differed only in tenant
+/// assignment digested equally, which would have let a broken
+/// tenant-aware router pass replay.
+inline constexpr int kRunDigestSchemaVersion = 2;
+
 struct RunDigest {
   std::uint64_t event_stream = 0;
   std::uint64_t money_flows = 0;

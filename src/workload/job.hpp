@@ -41,8 +41,10 @@ struct Job {
   std::uint32_t procs = 1;
 
   /// Owning tenant/user id (stamped by multi-tenant generators such as
-  /// `zipf`; 0 = unattributed single-tenant traffic). Not part of the
-  /// canonical run digest: legacy workloads leave it zero.
+  /// `zipf`; 0 = unattributed single-tenant traffic). Folded into the
+  /// canonical run digest when attributed (verify::kRunDigestSchemaVersion
+  /// v2); legacy workloads leave it zero, so their digests are unchanged.
+  /// The sharded serving path also routes by it (serve/shard.hpp).
   std::uint32_t tenant = 0;
 
   // --- SLA / QoS terms (paper §5.3) -------------------------------------

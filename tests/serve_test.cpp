@@ -9,11 +9,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -26,6 +28,7 @@
 #include "serve/loadgen.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "serve/shard.hpp"
 
 namespace utilrisk::serve {
 namespace {
@@ -929,6 +932,345 @@ TEST(SocketServerTest, StopAndDrainAnswersQueuedRequests) {
   EXPECT_EQ(report.sent, 16u);
   EXPECT_EQ(report.responses, 16u) << "drain answered the queued requests";
   EXPECT_EQ(report.dropped, 0u);
+}
+
+// ----------------------------------------------------------------- sharding
+
+TEST(ProtocolTest, TenantAndScenarioRoundTripOnTheWire) {
+  Request request = make_request(11, 3.0);
+  request.tenant = 42;
+  request.scenario = "exp-a";
+  const Request parsed = parse_request(encode_request(request));
+  EXPECT_EQ(parsed.tenant, 42u);
+  EXPECT_EQ(parsed.scenario, "exp-a");
+
+  Response response;
+  response.id = 11;
+  response.status = Status::Accepted;
+  response.price = 100.0;
+  response.tenant = 42;
+  response.shard = 3;
+  const Response back = parse_response(encode_response(response));
+  EXPECT_EQ(back.tenant, 42u);
+  EXPECT_EQ(back.shard, 3);
+}
+
+TEST(ProtocolTest, LegacyEncodingsCarryNoShardFields) {
+  // Unattributed traffic must encode byte-identically to the pre-shard
+  // protocol: the new fields are emitted only when set.
+  const std::string wire = encode_request(make_request(5, 1.0));
+  EXPECT_EQ(wire.find("tenant"), std::string::npos) << wire;
+  EXPECT_EQ(wire.find("scenario"), std::string::npos) << wire;
+
+  Response response;
+  response.id = 5;
+  response.status = Status::Accepted;
+  response.price = 10.0;
+  const std::string line = encode_response(response);
+  EXPECT_EQ(line.find("tenant"), std::string::npos) << line;
+  EXPECT_EQ(line.find("shard"), std::string::npos) << line;
+}
+
+TEST(ProtocolTest, DecisionHashFoldsTenantButNotShard) {
+  Response response;
+  response.id = 9;
+  response.status = Status::Accepted;
+  response.price = 250.0;
+
+  Response routed = response;
+  routed.shard = 7;  // a routing artefact, not a decision
+  EXPECT_EQ(decision_hash(response), decision_hash(routed));
+
+  Response attributed = response;
+  attributed.tenant = 3;
+  EXPECT_NE(decision_hash(response), decision_hash(attributed));
+  Response other_tenant = response;
+  other_tenant.tenant = 4;
+  EXPECT_NE(decision_hash(attributed), decision_hash(other_tenant));
+}
+
+TEST(ProtocolTest, RoutingKeyPrefersTenantThenScenario) {
+  Request request = make_request(1, 0.0);
+  EXPECT_EQ(routing_key(request), 0u) << "unattributed -> shared state";
+
+  request.scenario = "exp-a";
+  const std::uint64_t by_scenario = routing_key(request);
+  EXPECT_NE(by_scenario, 0u);
+  Request same_scenario = make_request(2, 5.0);
+  same_scenario.scenario = "exp-a";
+  EXPECT_EQ(routing_key(same_scenario), by_scenario)
+      << "scenario key is stable across requests";
+
+  request.tenant = 12;
+  EXPECT_EQ(routing_key(request), 12u) << "tenant wins over scenario";
+}
+
+TEST(ShardRouterTest, DeterministicAndCoversEveryShard) {
+  const ShardRouter router(4);
+  const ShardRouter twin(4);
+  std::set<std::size_t> hit;
+  for (std::uint64_t key = 1; key <= 2000; ++key) {
+    const std::size_t shard = router.shard_for(key);
+    ASSERT_LT(shard, 4u);
+    EXPECT_EQ(twin.shard_for(key), shard)
+        << "routing must reproduce across router instances (recovery)";
+    hit.insert(shard);
+  }
+  EXPECT_EQ(hit.size(), 4u) << "every shard takes traffic";
+
+  const ShardRouter single(1);
+  EXPECT_EQ(single.shard_for(12345), 0u);
+}
+
+/// A multi-tenant stream: a small Zipfian tenant population so every
+/// shard sees several tenants and every tenant recurs.
+std::vector<Request> make_tenant_stream(std::size_t requests,
+                                        std::uint64_t seed) {
+  LoadgenConfig config;
+  config.requests = requests;
+  config.seed = seed;
+  config.workload = "zipf:tenants=12,theta=0.9";
+  std::vector<Request> stream = make_request_stream(config);
+  for (const Request& request : stream) {
+    EXPECT_NE(request.tenant, 0u) << "zipf stamps every request's tenant";
+  }
+  return stream;
+}
+
+EngineStats run_sharded(const std::vector<Request>& stream,
+                        std::size_t shards) {
+  ShardedEngineConfig config;
+  config.engine.queue_capacity = 64;
+  config.shards = shards;
+  ShardedEngine engine(config);
+  engine.start();
+  for (const Request& request : stream) {
+    while (!engine.submit(request, [](const Response&) {})) {
+      std::this_thread::yield();
+    }
+  }
+  return engine.drain();
+}
+
+TEST(ShardedEngineTest, MergedDigestInvariantUnderShardCount) {
+  const std::vector<Request> stream = make_tenant_stream(120, 21);
+
+  const EngineStats one = run_sharded(stream, 1);
+  const EngineStats four = run_sharded(stream, 4);
+  EXPECT_EQ(one.processed, 120u);
+  EXPECT_EQ(four.processed, 120u);
+  EXPECT_EQ(one.accepted, four.accepted);
+  EXPECT_EQ(one.rejected, four.rejected);
+  ASSERT_FALSE(one.decision_digest.empty());
+  EXPECT_EQ(one.decision_digest, four.decision_digest)
+      << "the merged digest is the shard-count-invariant session digest";
+
+  // And shards=1 is bit-identical to the plain single engine.
+  const EngineStats plain = run_stream(stream, /*max_batch=*/64);
+  EXPECT_EQ(plain.decision_digest, one.decision_digest);
+}
+
+TEST(ShardedEngineTest, MergedDigestInvariantUnderInterleaving) {
+  const std::vector<Request> stream = make_tenant_stream(96, 33);
+
+  // A different global interleaving that preserves every routing key's
+  // subsequence order — exactly what concurrent client connections
+  // produce. Round-robin across per-key queues.
+  std::map<std::uint64_t, std::vector<Request>> by_key;
+  for (const Request& request : stream) {
+    by_key[routing_key(request)].push_back(request);
+  }
+  std::vector<Request> interleaved;
+  interleaved.reserve(stream.size());
+  bool more = true;
+  for (std::size_t round = 0; more; ++round) {
+    more = false;
+    for (auto& [key, queue] : by_key) {
+      if (round < queue.size()) {
+        interleaved.push_back(queue[round]);
+        more = true;
+      }
+    }
+  }
+  ASSERT_EQ(interleaved.size(), stream.size());
+  ASSERT_FALSE(std::equal(stream.begin(), stream.end(),
+                          interleaved.begin(),
+                          [](const Request& a, const Request& b) {
+                            return a.id == b.id;
+                          }))
+      << "the permutation must actually reorder the stream";
+
+  const EngineStats original = run_sharded(stream, 4);
+  const EngineStats reordered = run_sharded(interleaved, 4);
+  EXPECT_EQ(original.decision_digest, reordered.decision_digest)
+      << "per-key order is the only order that matters";
+  EXPECT_EQ(original.accepted, reordered.accepted);
+}
+
+TEST(ShardedEngineTest, JournalRecoveryWithTwoShardsReproducesDigest) {
+  const std::string dir = fresh_dir("sharded_recovery");
+  const std::vector<Request> stream = make_tenant_stream(60, 5);
+
+  ShardedEngineConfig config;
+  config.engine.journal_dir = dir;
+  config.engine.fsync = FsyncPolicy::None;
+  config.shards = 2;
+
+  std::string first_digest;
+  {
+    ShardedEngine engine(config);
+    EXPECT_EQ(engine.recovery().replayed, 0u) << "nothing to recover yet";
+    engine.start();
+    for (const Request& request : stream) {
+      while (!engine.submit(request, [](const Response&) {})) {
+        std::this_thread::yield();
+      }
+    }
+    const EngineStats stats = engine.drain();
+    first_digest = stats.decision_digest;
+    EXPECT_EQ(engine.journal_stats().requests, 60u);
+    // Both shards actually journal: the layout is real, not one flat dir.
+    EXPECT_TRUE(std::filesystem::exists(
+        std::filesystem::path(dir) / "shard-0000"));
+    EXPECT_TRUE(std::filesystem::exists(
+        std::filesystem::path(dir) / "shard-0001"));
+  }
+
+  // A new sharded engine over the same journal root replays every shard
+  // and reproduces the merged digest — the kill-9 recovery contract.
+  ShardedEngine recovered(config);
+  const RecoveryStats recovery = recovered.recovery();
+  EXPECT_TRUE(recovery.attempted);
+  EXPECT_EQ(recovery.replayed, 60u);
+  EXPECT_TRUE(recovery.digest_match);
+  EXPECT_EQ(recovery.replayed_digest, first_digest);
+  const EngineStats stats = recovered.drain();
+  EXPECT_EQ(stats.decision_digest, first_digest);
+  EXPECT_EQ(stats.processed, 60u);
+}
+
+TEST(ShardedEngineTest, RefusesShardCountMismatchOnRecovery) {
+  const std::string dir = fresh_dir("sharded_mismatch");
+  ShardedEngineConfig config;
+  config.engine.journal_dir = dir;
+  config.engine.fsync = FsyncPolicy::None;
+  config.shards = 2;
+  {
+    ShardedEngine engine(config);
+    engine.start();
+    Request request = make_request(1, 0.0);
+    request.tenant = 3;
+    while (!engine.submit(request, [](const Response&) {})) {
+      std::this_thread::yield();
+    }
+    (void)engine.drain();
+  }
+  // Reopening with a different shard count would re-route journalled
+  // tenants onto different simulation states: refuse, loudly.
+  ShardedEngineConfig wrong = config;
+  wrong.shards = 3;
+  EXPECT_THROW((void)ShardedEngine(wrong), JournalError);
+}
+
+TEST(ShardedEngineTest, RefusesToShardAFlatLegacyJournal) {
+  const std::string dir = fresh_dir("sharded_legacy");
+  EngineConfig flat;
+  flat.journal_dir = dir;
+  flat.fsync = FsyncPolicy::None;
+  {
+    AdmissionEngine engine(flat);
+    engine.start();
+    while (!engine.submit(make_request(1, 0.0), [](const Response&) {})) {
+      std::this_thread::yield();
+    }
+    (void)engine.drain();
+  }
+  ShardedEngineConfig sharded;
+  sharded.engine = flat;
+  sharded.shards = 4;
+  EXPECT_THROW((void)ShardedEngine(sharded), JournalError)
+      << "a flat pre-shard journal cannot be reopened sharded";
+  // But shards=1 keeps the legacy layout and recovers it unchanged.
+  ShardedEngineConfig compatible;
+  compatible.engine = flat;
+  compatible.shards = 1;
+  ShardedEngine engine(compatible);
+  EXPECT_EQ(engine.recovery().replayed, 1u);
+}
+
+TEST(LoadgenTest, BusyRetryHonorsServerHint) {
+  EngineConfig engine_config;
+  engine_config.queue_capacity = 2;
+  engine_config.retry_after_ms = 10.0;
+  AdmissionEngine engine(engine_config);
+  engine.start();
+  engine.pause();
+  // Fill the queue while paused so the client's first request is
+  // guaranteed a `busy` with the retry hint.
+  for (std::uint64_t id = 1000; id < 1002; ++id) {
+    ASSERT_TRUE(engine.submit(make_request(id, 0.0), [](const Response&) {}));
+  }
+
+  ServerConfig server_config;
+  server_config.tcp_port = 0;
+  Server server(server_config, engine);
+  server.start();
+
+  std::thread resumer([&engine] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    engine.resume();
+  });
+
+  LoadgenConfig load;
+  load.tcp_port = server.bound_port();
+  load.requests = 5;
+  load.busy_retries = 200;
+  load.retry_interval_ms = 1.0;
+  const LoadgenReport report = run_loadgen(load);
+  resumer.join();
+  (void)server.stop_and_drain();
+  (void)engine.drain();
+
+  EXPECT_EQ(report.sent, 5u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(report.accepted + report.rejected, 5u)
+      << "every request got a real decision after retrying through busy";
+  // Every busy answer was retried (the budget never ran out), and every
+  // wire response — terminal decisions plus retried busys — is counted.
+  EXPECT_GE(report.busy_retried, 1u);
+  EXPECT_EQ(report.busy, report.busy_retried);
+  EXPECT_EQ(report.responses, 5u + report.busy_retried);
+  EXPECT_GE(report.hinted_retries, 1u)
+      << "the server's retry_after_ms hint drove the backoff";
+  EXPECT_LE(report.hinted_retries, report.busy_retried);
+}
+
+TEST(LoadgenTest, FanOutConnectionsReproduceTheMergedDigest) {
+  ShardedEngineConfig engine_config;
+  engine_config.engine.queue_capacity = 64;
+  engine_config.shards = 2;
+  ShardedEngine engine(engine_config);
+  engine.start();
+
+  ServerConfig server_config;
+  server_config.tcp_port = 0;
+  Server server(server_config, engine);
+  server.start();
+
+  LoadgenConfig load;
+  load.tcp_port = server.bound_port();
+  load.requests = 80;
+  load.seed = 13;
+  load.workload = "zipf:tenants=12,theta=0.9";
+  load.connections = 3;
+  const LoadgenReport report = run_loadgen(load);
+  (void)server.stop_and_drain();
+  const EngineStats stats = engine.drain();
+
+  EXPECT_EQ(report.sent, 80u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(report.decision_digest, stats.decision_digest)
+      << "client-merged digest == server-merged digest across fan-out";
 }
 
 }  // namespace

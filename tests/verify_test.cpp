@@ -82,6 +82,24 @@ TEST(DigestTest, UnorderedDigestIsPermutationInvariant) {
   EXPECT_NE(forward.value(), fewer.value());
 }
 
+TEST(DigestTest, MergedPartitionsDigestLikeTheUnion) {
+  // Any partitioning of the same element multiset must merge to the
+  // digest of a single accumulator over all of it — the property the
+  // sharded serving path's combined decision digest is built on.
+  UnorderedDigest whole;
+  UnorderedDigest left;
+  UnorderedDigest right;
+  for (std::uint64_t element = 1; element <= 20; ++element) {
+    whole.add(element * 0x1234567ULL);
+    (element % 3 == 0 ? left : right).add(element * 0x1234567ULL);
+  }
+  UnorderedDigest merged;
+  merged.merge(right);  // merge order must not matter either
+  merged.merge(left);
+  EXPECT_EQ(merged.value(), whole.value());
+  EXPECT_EQ(merged.count(), whole.count());
+}
+
 TEST(DigestTest, HexRoundTrips) {
   EXPECT_EQ(to_hex(0), "0000000000000000");
   EXPECT_EQ(to_hex(0xdeadbeef12345678ULL), "deadbeef12345678");
@@ -179,6 +197,24 @@ TEST(RunDigestTest, MoneyComponentIgnoresSettlementOrder) {
   std::reverse(report.ledger_entries.begin(), report.ledger_entries.end());
   const RunDigest after = run_digest(report);
   EXPECT_EQ(before.money_flows, after.money_flows);
+}
+
+TEST(RunDigestTest, TenantAttributionLandsInTheDigest) {
+  // Digest schema v2: two runs differing only in tenant assignment must
+  // digest apart (a broken tenant-aware router used to pass replay), but
+  // tenantless records keep their v1 digests — the golden corpus gate.
+  const auto config = tiny_config(economy::EconomicModel::BidBased);
+  auto report = run_tiny(config, policy::PolicyKind::Libra);
+  ASSERT_FALSE(report.records.empty());
+  const RunDigest tenantless = run_digest(report);
+  report.records[0].job.tenant = 7;
+  const RunDigest attributed = run_digest(report);
+  EXPECT_NE(tenantless.event_stream, attributed.event_stream);
+  EXPECT_NE(tenantless.combined, attributed.combined);
+  report.records[0].job.tenant = 9;
+  EXPECT_NE(run_digest(report).combined, attributed.combined);
+  report.records[0].job.tenant = 0;
+  EXPECT_EQ(run_digest(report), tenantless);
 }
 
 // -------------------------------------------------------------- Invariants
