@@ -18,6 +18,10 @@
 #   count (per-shard journals, merged digest banner), verify a mismatched
 #   --shards is refused, and require the recovered server to serve a
 #   fresh stream cleanly.
+# Phase 5 — advise-auto switches: an --advise-auto server under a
+#   mix-shift stream journals its live policy switches ("sw" records).
+#   Graceful recovery must replay them into the byte-identical session
+#   digest, and a kill -9'd server must still recover and keep serving.
 #
 # Env: UTILRISK (binary, default ./build/tools/utilrisk),
 #      SMOKE_OUT (artefact dir, default smoke_out).
@@ -156,6 +160,53 @@ echo "replayed after sharded kill -9: ${replayed:-none} (digest ${sharded_digest
   --workload "zipf:tenants=64,theta=0.9" --connections 2 \
   --manifest-dir "" > "$OUT/loadgen_sharded_after.txt" \
   || fail "recovered sharded server dropped responses"
+stop_server
+
+echo "== phase 5: advise-auto journaled switches, recovery replay =="
+J5="$OUT/journal_advise"
+rm -rf "$J5"
+ADVISE_FLAGS=(--advise-auto --advise-every 16 --advise-window 16)
+MIX_FLAGS=(--workload "zipf:tenants=4,theta=0.6"
+  --mix-shift "40000:zipf:tenants=4,theta=0.6,mean_runtime=14000,mean_interarrival=120")
+start_server "$J5" "$OUT/serve_advise.txt" "${ADVISE_FLAGS[@]}"
+"$UTILRISK" loadgen --socket "$SOCK" --requests 2000 --seed 42 \
+  "${MIX_FLAGS[@]}" --manifest-dir "" | tee "$OUT/loadgen_advise.txt"
+stop_server
+advise_digest=$(awk '$1 == "digest:" { print $2 }' "$OUT/serve_advise.txt")
+[ -n "$advise_digest" ] || fail "advise-auto session printed no digest"
+grep -rh '"type":"sw"' "$J5" > "$OUT/switch_records.txt" || true
+switch_count=$(wc -l < "$OUT/switch_records.txt")
+echo "journalled switch records: $switch_count"
+head -3 "$OUT/switch_records.txt"
+[ "$switch_count" -gt 0 ] || fail "advise-auto journalled no switch records"
+# Graceful recovery: replaying the journal re-fires the switch logic at
+# the same per-key switch points, so the banner digest (switch events
+# folded in) must reproduce the session digest byte-for-byte.
+start_server "$J5" "$OUT/serve_advise_recovered.txt" "${ADVISE_FLAGS[@]}"
+advise_recovered=$(banner_digest "$OUT/serve_advise_recovered.txt")
+echo "session digest:   $advise_digest"
+echo "recovered digest: $advise_recovered"
+[ "$advise_recovered" = "$advise_digest" ] \
+  || fail "advise-auto recovery digest diverged (switch replay broken)"
+# kill -9 mid-load on the recovered server: the next recovery must still
+# replay (switch records included) and serve fresh traffic cleanly.
+"$UTILRISK" loadgen --socket "$SOCK" --requests 200000 --seed 7 \
+  "${MIX_FLAGS[@]}" --manifest-dir "" > "$OUT/loadgen_advise_crash.txt" 2>&1 &
+LOADGEN=$!
+sleep 2
+kill -9 "$SERVER"
+wait "$SERVER" 2>/dev/null || true
+SERVER=""
+wait "$LOADGEN" 2>/dev/null || true # severed mid-stream; failure expected
+start_server "$J5" "$OUT/serve_advise_crash_recovered.txt" "${ADVISE_FLAGS[@]}"
+replayed=$(sed -n 's/.*\[recovered \([0-9]*\) journalled.*/\1/p' \
+  "$OUT/serve_advise_crash_recovered.txt" | head -1)
+echo "replayed after advise-auto kill -9: ${replayed:-none}"
+[ -n "$replayed" ] && [ "$replayed" -gt 0 ] \
+  || fail "advise-auto crash recovery replayed nothing"
+"$UTILRISK" loadgen --socket "$SOCK" --requests 500 --seed 11 \
+  "${MIX_FLAGS[@]}" --manifest-dir "" > "$OUT/loadgen_advise_after.txt" \
+  || fail "recovered advise-auto server dropped responses"
 stop_server
 
 echo "crash-recovery smoke: all phases passed"

@@ -1,0 +1,63 @@
+#include "advise/estimator.hpp"
+
+#include <cmath>
+
+namespace utilrisk::advise {
+
+RollingWelford::RollingWelford(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ > 0) ring_.resize(capacity_);
+}
+
+void RollingWelford::push(double x) {
+  if (capacity_ > 0 && count_ == capacity_) {
+    downdate(ring_[head_]);
+    ring_[head_] = x;
+    head_ = (head_ + 1) % capacity_;
+  } else if (capacity_ > 0) {
+    ring_[(head_ + count_) % capacity_] = x;
+  }
+  ++count_;
+  if (capacity_ > 0 && count_ > capacity_) count_ = capacity_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RollingWelford::downdate(double x) {
+  // Exact inverse of the update: with n samples including x, remove x.
+  const auto n = static_cast<double>(count_);
+  if (count_ <= 1) {
+    mean_ = 0.0;
+    m2_ = 0.0;
+    count_ = 0;
+    return;
+  }
+  const double mean_without = (n * mean_ - x) / (n - 1.0);
+  m2_ -= (x - mean_without) * (x - mean_);
+  // Numerical guard: M2 is a sum of squares and can only go (slightly)
+  // negative through rounding in the downdate chain.
+  if (m2_ < 0.0) m2_ = 0.0;
+  mean_ = mean_without;
+  --count_;
+}
+
+double RollingWelford::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RollingWelford::stddev() const { return std::sqrt(variance()); }
+
+void RollingWelford::reset() {
+  head_ = 0;
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+ObjectiveEstimators make_objective_estimators(std::size_t capacity) {
+  return {RollingWelford(capacity), RollingWelford(capacity),
+          RollingWelford(capacity), RollingWelford(capacity)};
+}
+
+}  // namespace utilrisk::advise

@@ -1,0 +1,76 @@
+// Streaming estimators for the online risk advisor (docs/ADVISOR.md).
+//
+// The serve-path advisor needs mean/variance of the paper's four
+// objectives over a *moving* horizon of recent observations, updated once
+// per admission decision without rescanning history. RollingWelford keeps
+// Welford's online mean/M2 recurrence over a fixed-capacity window by
+// pairing the classic update with its exact inverse (the "downdate"):
+//
+//   update  (n-1 -> n):   mean += (x - mean) / n
+//                         M2   += (x - mean_old) * (x - mean_new)
+//   downdate (n -> n-1):  mean' = (n * mean - x) / (n - 1)
+//                         M2'  = M2 - (x - mean') * (x - mean)
+//
+// Evicting the oldest sample and admitting the newest is therefore O(1),
+// and the estimate is *exactly* the Welford statistic of the samples
+// currently in the window (advise_test.cpp checks it against a batch
+// reference on seeded streams). Everything here is plain arithmetic on
+// the values pushed — no clocks, no entropy — so two identical request
+// sequences produce bit-identical estimates, which the advisor's
+// deterministic switch points rely on (docs/DETERMINISM.md).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace utilrisk::advise {
+
+/// Welford mean/variance over the last `capacity` pushed samples.
+class RollingWelford {
+ public:
+  /// `capacity` = window length; 0 behaves as an unbounded stream.
+  explicit RollingWelford(std::size_t capacity = 0);
+
+  /// Admits `x`, evicting the oldest sample when the window is full.
+  void push(double x);
+
+  /// Samples currently in the window.
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Mean of the windowed samples (0 when empty).
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divide by n — eqn 6 of the paper uses the
+  /// population stddev); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  /// Population standard deviation, sigma of the mean - lambda * sigma
+  /// risk-adjusted score.
+  [[nodiscard]] double stddev() const;
+
+  /// Drops every sample (capacity is kept).
+  void reset();
+
+ private:
+  void downdate(double x);
+
+  std::size_t capacity_;
+  /// Ring buffer of the windowed samples, oldest at `head_`.
+  std::vector<double> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// One estimator per paper objective (core/objectives.hpp order: wait,
+/// SLA, reliability, profitability) — the advisor tracks both the live
+/// observed mix and each candidate policy's shadow evaluations this way.
+using ObjectiveEstimators = std::array<RollingWelford, 4>;
+
+/// Convenience: four equal-capacity estimators.
+[[nodiscard]] ObjectiveEstimators make_objective_estimators(
+    std::size_t capacity);
+
+}  // namespace utilrisk::advise

@@ -1,6 +1,7 @@
 #include "core/advisor.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -20,11 +21,81 @@ void AdvisorInput::validate() const {
   if (scenarios == 0) {
     throw std::invalid_argument("AdvisorInput: no scenarios");
   }
-  for (const auto& per_policy : points) {
-    if (per_policy.size() != scenarios) {
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    if (points[p].size() != scenarios) {
       throw std::invalid_argument("AdvisorInput: ragged scenario matrix");
     }
+    for (const auto& per_objective : points[p]) {
+      for (const RiskPoint& point : per_objective) {
+        if (!std::isfinite(point.performance) ||
+            !std::isfinite(point.volatility)) {
+          throw std::invalid_argument("AdvisorInput: non-finite risk point "
+                                      "for policy '" + policies[p] + "'");
+        }
+        if (point.volatility < 0.0) {
+          throw std::invalid_argument("AdvisorInput: negative volatility "
+                                      "for policy '" + policies[p] + "'");
+        }
+      }
+    }
   }
+}
+
+void AdvisorConfig::validate() const {
+  double weight_sum = 0.0;
+  for (std::size_t o = 0; o < objective_weights.size(); ++o) {
+    const double w = objective_weights[o];
+    // NaN fails the range test (every comparison with NaN is false, so
+    // the negated form catches it); infinities fail it outright.
+    if (!(w >= 0.0 && w <= 1.0)) {
+      throw std::invalid_argument(
+          "advisor config: weight for " +
+          std::string(to_string(kAllObjectives[o])) +
+          " must be a finite number in [0,1]");
+    }
+    weight_sum += w;
+  }
+  if (std::fabs(weight_sum - 1.0) > 1e-9) {
+    throw std::invalid_argument(
+        "advisor config: weights must sum to 1 (got " +
+        std::to_string(weight_sum) + "); not renormalizing");
+  }
+  if (!(risk_aversion >= 0.0) || !std::isfinite(risk_aversion)) {
+    throw std::invalid_argument(
+        "advisor config: risk aversion must be a finite number >= 0");
+  }
+}
+
+std::array<double, 4> AdvisorConfig::parse_weights(std::string_view csv) {
+  std::array<double, 4> weights{};
+  std::size_t index = 0;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string_view token = csv.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos
+                                               : comma - start);
+    if (index >= weights.size()) {
+      throw std::invalid_argument(
+          "advisor config: expected exactly 4 comma-separated weights");
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size() ||
+        token.empty()) {
+      throw std::invalid_argument("advisor config: weight '" +
+                                  std::string(token) + "' is not a number");
+    }
+    weights[index++] = value;
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (index != weights.size()) {
+    throw std::invalid_argument(
+        "advisor config: expected exactly 4 comma-separated weights");
+  }
+  return weights;
 }
 
 namespace {
@@ -60,19 +131,7 @@ PolicySeries objective_series(const AdvisorInput& input, std::size_t p,
 
 AdvisorReport advise(const AdvisorInput& input, const AdvisorConfig& config) {
   input.validate();
-  double weight_sum = 0.0;
-  for (double w : config.objective_weights) {
-    if (w < 0.0 || w > 1.0) {
-      throw std::invalid_argument("advise: weight outside [0,1]");
-    }
-    weight_sum += w;
-  }
-  if (std::fabs(weight_sum - 1.0) > 1e-9) {
-    throw std::invalid_argument("advise: weights must sum to 1");
-  }
-  if (config.risk_aversion < 0.0) {
-    throw std::invalid_argument("advise: negative risk aversion");
-  }
+  config.validate();
 
   AdvisorReport report;
   report.ranked.reserve(input.policies.size());

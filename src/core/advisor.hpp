@@ -12,6 +12,7 @@
 
 #include <array>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/objectives.hpp"
@@ -40,6 +41,19 @@ struct AdvisorConfig {
   /// volatility per unit of risk. The classic mean-minus-lambda-sigma
   /// risk-adjusted score.
   double risk_aversion = 0.5;
+
+  /// Rejects malformed preferences with a structured std::invalid_argument
+  /// (never silently renormalises): every weight must be finite and in
+  /// [0, 1], the weights must sum to 1 within 1e-9, and risk_aversion must
+  /// be finite and >= 0. NaN fails every check by construction.
+  void validate() const;
+
+  /// Parses "w,x,y,z" into objective weights (kAllObjectives order) with
+  /// the same structured errors: exactly four comma-separated finite
+  /// numbers, no trailing garbage. Does NOT check the sum — callers
+  /// compose the result into a config and call validate().
+  [[nodiscard]] static std::array<double, 4> parse_weights(
+      std::string_view csv);
 };
 
 /// Scored policy under the configured preferences.

@@ -24,6 +24,30 @@ const std::vector<double>& batch_size_buckets() {
   return buckets;
 }
 
+/// Element hash of one live policy switch for the order-independent
+/// decision digest: replay and recovery must fold the identical value, so
+/// it is a pure function of the switch record (key, per-key decision
+/// count, from, to) — never of wall-clock or journal position.
+[[nodiscard]] std::uint64_t switch_event_hash(const SwitchRecord& record) {
+  verify::DigestStream stream;
+  stream.put_string("switch");
+  stream.put_u64(record.key);
+  stream.put_u64(record.at);
+  stream.put_string(record.from);
+  stream.put_string(record.to);
+  return stream.value();
+}
+
+void accumulate_inputs(core::ObjectiveInputs& into,
+                       const core::ObjectiveInputs& add) {
+  into.submitted += add.submitted;
+  into.accepted += add.accepted;
+  into.fulfilled += add.fulfilled;
+  into.wait_sum_fulfilled += add.wait_sum_fulfilled;
+  into.total_utility += add.total_utility;
+  into.total_budget += add.total_budget;
+}
+
 }  // namespace
 
 AdmissionEngine::AdmissionEngine(const EngineConfig& config)
@@ -37,6 +61,12 @@ AdmissionEngine::AdmissionEngine(const EngineConfig& config)
   shed_metric_ = obs::counter_or_null(config_.metrics, "serve.shed_total");
   brownout_metric_ =
       obs::counter_or_null(config_.metrics, "serve.brownout_total");
+  advise_metric_ =
+      obs::counter_or_null(config_.metrics, "serve.advise_queries");
+  evaluations_metric_ =
+      obs::counter_or_null(config_.metrics, "serve.advisor_evaluations");
+  switches_metric_ =
+      obs::counter_or_null(config_.metrics, "serve.policy_switches");
   queue_depth_metric_ =
       obs::gauge_or_null(config_.metrics, "serve.queue_depth");
   queue_wait_metric_ = obs::histogram_or_null(
@@ -50,6 +80,19 @@ AdmissionEngine::AdmissionEngine(const EngineConfig& config)
     brownout_threshold_ = std::max<std::size_t>(
         1, static_cast<std::size_t>(config_.brownout_watermark *
                                     static_cast<double>(queue_.capacity())));
+  }
+
+  // The advisor must exist before any journal replay: switch points fire
+  // inside decide(), and recovery re-derives pre-crash switches by
+  // replaying the request sequence through the same path.
+  {
+    advise::ShadowContext shadow;
+    shadow.model = config_.model;
+    shadow.machine = config_.machine;
+    shadow.pricing = config_.pricing;
+    shadow.first_reward = config_.first_reward;
+    advisor_ = std::make_unique<advise::AdvisorEngine>(
+        config_.advisor, shadow, config_.policy);
   }
 
   if (!config_.journal_dir.empty()) {
@@ -101,6 +144,32 @@ void AdmissionEngine::recover_from_journal() {
         std::to_string(recovered.last_tick_processed) +
         " requests but replay produced " + recovery_.replayed_digest +
         " — refusing to serve on top of a divergent recovery");
+  }
+  // The journalled switch records must be a prefix of the replayed ones:
+  // a crash can lose a trailing sw record whose triggering request
+  // survived (replay then *re-derives* that switch), but a journalled
+  // switch replay failed to reproduce means the decision streams
+  // diverged.
+  if (recovered.switches.size() > session_switches_.size()) {
+    throw JournalError(
+        "recovery switch mismatch: journal recorded " +
+        std::to_string(recovered.switches.size()) +
+        " policy switch(es) but replay produced only " +
+        std::to_string(session_switches_.size()));
+  }
+  for (std::size_t i = 0; i < recovered.switches.size(); ++i) {
+    const SwitchRecord& journalled = recovered.switches[i];
+    const SwitchRecord& replayed = session_switches_[i];
+    if (journalled.key != replayed.key || journalled.at != replayed.at ||
+        journalled.from != replayed.from || journalled.to != replayed.to) {
+      throw JournalError(
+          "recovery switch mismatch at record " + std::to_string(i + 1) +
+          ": journal has key " + verify::to_hex(journalled.key) + " " +
+          journalled.from + "->" + journalled.to + " at " +
+          std::to_string(journalled.at) + " but replay produced key " +
+          verify::to_hex(replayed.key) + " " + replayed.from + "->" +
+          replayed.to + " at " + std::to_string(replayed.at));
+    }
   }
 }
 
@@ -202,6 +271,17 @@ void AdmissionEngine::engine_loop() {
                                  std::move(response));
         continue;
       }
+      // Advise queries are read-only: answered from advisor state without
+      // touching the journal, the decision digest or the estimators, so a
+      // session's digest is invariant under however many advise queries
+      // clients interleave (docs/ADVISOR.md).
+      if (request.kind == RequestKind::Advise) {
+        ++stats_.advise_queries;
+        if (advise_metric_ != nullptr) advise_metric_->inc();
+        completions.emplace_back(std::move(pending.completion),
+                                 answer_advise(request));
+        continue;
+      }
       // Write-ahead: the request hits the journal before the simulator,
       // so every decision the digest ever covered is re-derivable from
       // disk. The fsync (under Batch) waits for the tick record below.
@@ -290,7 +370,8 @@ Response AdmissionEngine::decide(const Request& request) {
   // Each routing key decides inside its own isolated world, so a decision
   // depends only on its own key's prior requests — the invariant behind
   // shard-count-independent merged digests (see header comment).
-  TenantState& state = state_for(routing_key(request));
+  const std::uint64_t key = routing_key(request);
+  TenantState& state = state_for(key);
   // The virtual clock never rewinds: a request claiming an instant the
   // engine has already passed is admitted "now" on the virtual axis.
   state.virtual_now = std::max(state.virtual_now, request.submit_time);
@@ -328,7 +409,113 @@ Response AdmissionEngine::decide(const Request& request) {
   }
   ++stats_.processed;
   decision_digest_.add(decision_hash(response));
+
+  // Feed the advisor: the submitted job joins the key's rolling window
+  // (accepted or not — a candidate policy might have decided differently)
+  // and the key's cumulative objective values give the live estimators
+  // their next sample. Pure bookkeeping — no digest impact.
+  core::ObjectiveInputs live_inputs = state.settled_inputs;
+  accumulate_inputs(live_inputs,
+                    state.service->metrics().rolling_objective_inputs());
+  advisor_->observe(key, job, core::compute_objectives(live_inputs));
+
+  // Deterministic switch point: every effective_every() decided requests
+  // of this key's own subsequence. Fires identically under live serving,
+  // recovery replay and any sharding of the other keys.
+  if (advisor_->at_switch_point(key)) {
+    const advise::Evaluation evaluation = advisor_->evaluate(key);
+    ++stats_.advisor_evaluations;
+    if (evaluations_metric_ != nullptr) evaluations_metric_->inc();
+    if (evaluation.switched) {
+      apply_policy_switch(key, state, evaluation);
+    }
+  }
   return response;
+}
+
+Response AdmissionEngine::answer_advise(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.tenant = request.tenant;
+  response.shard = config_.shard_index;
+  try {
+    const advise::Snapshot snapshot = advisor_->query(
+        routing_key(request), request.weights, request.risk_aversion);
+    response.status = Status::Advice;
+    auto body = std::make_shared<AdviceBody>();
+    body->active = snapshot.active;
+    body->recommended = snapshot.recommended;
+    body->decided = snapshot.decided;
+    body->evaluations = snapshot.evaluations;
+    body->switches = snapshot.switches;
+    body->samples = snapshot.samples;
+    body->estimate_mean = snapshot.estimate_mean;
+    body->estimate_stddev = snapshot.estimate_stddev;
+    body->ranked.reserve(snapshot.ranked.size());
+    for (const advise::RankedPolicy& entry : snapshot.ranked) {
+      body->ranked.push_back(RankedPolicyWire{entry.policy, entry.score,
+                                              entry.performance,
+                                              entry.volatility});
+    }
+    body->digest = verify::to_hex(snapshot.digest);
+    response.advice = std::move(body);
+  } catch (const std::exception& e) {
+    response.status = Status::Error;
+    response.message = std::string("advise failed: ") + e.what();
+  }
+  return response;
+}
+
+void AdmissionEngine::apply_policy_switch(
+    std::uint64_t key, TenantState& state,
+    const advise::Evaluation& evaluation) {
+  // Quiesce this key's world first: the serve-path policies are
+  // admission-driven, so run() drains every in-flight start/finish event
+  // (the same contract drain() relies on). The old service then holds
+  // only settled jobs and can be torn down safely.
+  state.simulator.run();
+  state.virtual_now = std::max(state.virtual_now, state.simulator.now());
+
+  // Fold the old service's outcomes into the key's settled accumulators
+  // (all ObjectiveInputs fields are additive), so live estimates and the
+  // drain totals keep covering the whole session across services.
+  const service::MetricsCollector& metrics = state.service->metrics();
+  accumulate_inputs(state.settled_inputs, metrics.objective_inputs());
+  state.settled_fulfilled +=
+      metrics.outcome_count(workload::JobOutcome::FulfilledSLA);
+  state.settled_violated +=
+      metrics.outcome_count(workload::JobOutcome::ViolatedSLA);
+
+  // Rebuild the service under the new policy on the same simulator: the
+  // virtual clock, event counter and job-id sequence continue, the
+  // admission backlog restarts from zero (everything accepted so far has
+  // been delivered at quiescence).
+  policy::PolicyContext context;
+  context.simulator = &state.simulator;
+  context.machine = config_.machine;
+  context.model = config_.model;
+  context.pricing = config_.pricing;
+  context.first_reward = config_.first_reward;
+  context.metrics = config_.metrics;
+  context.log_level = config_.log_level;
+  state.service = std::make_unique<service::ComputingService>(
+      state.simulator, service::factory_for(evaluation.to), context);
+  state.accepted_work = 0.0;
+
+  SwitchRecord record;
+  record.key = key;
+  record.at = evaluation.at;
+  record.from = std::string(policy::to_string(evaluation.from));
+  record.to = std::string(policy::to_string(evaluation.to));
+  // The switch is part of the decision stream: fold it into the digest so
+  // replay/recovery must reproduce it bit-identically, and journal it
+  // (live sessions only — journal_ is null during recovery replay, which
+  // re-derives the same switch from the request sequence).
+  decision_digest_.add(switch_event_hash(record));
+  ++stats_.policy_switches;
+  if (switches_metric_ != nullptr) switches_metric_->inc();
+  if (journal_ != nullptr) journal_->append_switch(record);
+  session_switches_.push_back(std::move(record));
 }
 
 double AdmissionEngine::risk_index(const TenantState& state,
@@ -366,6 +553,10 @@ EngineStats AdmissionEngine::drain() {
         ++stats_.violated;
       }
     }
+    // Jobs settled under this key's previous policies (live switches
+    // rebuild the service; their outcomes live in the accumulators).
+    stats_.fulfilled += state.settled_fulfilled;
+    stats_.violated += state.settled_violated;
     stats_.events_dispatched += state.simulator.events_dispatched();
     stats_.virtual_end_time =
         std::max(stats_.virtual_end_time, state.virtual_now);

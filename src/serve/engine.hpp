@@ -40,6 +40,7 @@
 #include <string>
 #include <thread>
 
+#include "advise/advisor_engine.hpp"
 #include "policy/factory.hpp"
 #include "policy/policy.hpp"
 #include "serve/bounded_queue.hpp"
@@ -96,6 +97,14 @@ struct EngineConfig {
   /// Which shard this engine is in a sharded deployment (-1 = unsharded).
   /// Stamped on every response's `shard` hint; never digested.
   int shard_index = -1;
+  /// Online risk advisor (docs/ADVISOR.md). The observe path (rolling
+  /// window + live estimators) is always on; scheduled evaluations run
+  /// when advisor.scheduled() and live policy switching additionally
+  /// needs advisor.auto_switch. Switch points are per routing key (every
+  /// advisor.effective_every() decided requests of that key's own
+  /// subsequence), so they reproduce identically under replay, shard
+  /// count and interleaving.
+  advise::OnlineAdvisorConfig advisor;
 };
 
 /// Delivered on the engine thread once the decision for a request exists.
@@ -116,6 +125,12 @@ struct EngineStats {
   std::uint64_t shed = 0;
   /// Submissions fast-failed by the brownout high watermark.
   std::uint64_t brownout = 0;
+  /// `advise` protocol queries answered (read-only; never digested).
+  std::uint64_t advise_queries = 0;
+  /// Scheduled advisor evaluations at switch points.
+  std::uint64_t advisor_evaluations = 0;
+  /// Live policy switches performed (advise-auto mode).
+  std::uint64_t policy_switches = 0;
   double virtual_end_time = 0.0;
   /// Order-independent digest over (request id, decision, price, tenant)
   /// — equal across runs iff the admission decisions were identical.
@@ -248,14 +263,32 @@ class AdmissionEngine : public EngineApi {
     /// together with Policy::delivered_proc_seconds() this yields the
     /// outstanding backlog behind the risk index in O(1).
     double accepted_work = 0.0;
+    /// Outcomes settled under *previous* policies of this key: a live
+    /// switch rebuilds the ComputingService, so the pre-switch totals are
+    /// folded in here first (all ObjectiveInputs fields are additive).
+    /// Live estimates and drain totals = settled + the current service's
+    /// collectors.
+    core::ObjectiveInputs settled_inputs;
+    std::uint64_t settled_fulfilled = 0;
+    std::uint64_t settled_violated = 0;
   };
 
   void engine_loop();
-  /// The pure decision path: clamp the virtual clock, simulate, digest.
-  /// Everything wall-clock (queue-wait metrics, sheds, completions,
-  /// journaling) lives outside so recovery replay and live serving share
-  /// one code path and stay bit-identical.
+  /// The pure decision path: clamp the virtual clock, simulate, digest,
+  /// feed the advisor and act on its switch points. Everything wall-clock
+  /// (queue-wait metrics, sheds, completions, journaling) lives outside
+  /// so recovery replay and live serving share one code path and stay
+  /// bit-identical.
   [[nodiscard]] Response decide(const Request& request);
+  /// Answers a read-only `advise` query (never journalled or digested).
+  [[nodiscard]] Response answer_advise(const Request& request);
+  /// Executes a live policy switch for one key: quiesces the key's
+  /// simulator, folds the old service's settled outcomes into the
+  /// TenantState accumulators, rebuilds the service under the new policy,
+  /// folds the switch event into the decision digest and (live sessions
+  /// only — journal_ is null during recovery replay) journals it.
+  void apply_policy_switch(std::uint64_t key, TenantState& state,
+                           const advise::Evaluation& evaluation);
   void recover_from_journal();
   /// Lazily creates the isolated state for one routing key.
   [[nodiscard]] TenantState& state_for(std::uint64_t key);
@@ -277,6 +310,14 @@ class AdmissionEngine : public EngineApi {
   /// after construction.
   std::unique_ptr<JournalWriter> journal_;
   RecoveryStats recovery_;
+  /// Online advisor: always constructed (the observe path is cheap and
+  /// keeps `advise` queries answerable); scheduled evaluations and
+  /// switching are gated by config_.advisor. Engine-thread-only.
+  std::unique_ptr<advise::AdvisorEngine> advisor_;
+  /// Switches performed this process lifetime (replay included), in
+  /// decision order — recovery verifies the journalled switches are a
+  /// prefix of these.
+  std::vector<SwitchRecord> session_switches_;
 
   // --- cross-thread coordination ----------------------------------------
   std::atomic<bool> started_{false};
@@ -295,6 +336,9 @@ class AdmissionEngine : public EngineApi {
   obs::Counter* busy_metric_ = nullptr;
   obs::Counter* shed_metric_ = nullptr;
   obs::Counter* brownout_metric_ = nullptr;
+  obs::Counter* advise_metric_ = nullptr;
+  obs::Counter* evaluations_metric_ = nullptr;
+  obs::Counter* switches_metric_ = nullptr;
   obs::Gauge* queue_depth_metric_ = nullptr;
   obs::Histogram* queue_wait_metric_ = nullptr;
   obs::Histogram* batch_size_metric_ = nullptr;

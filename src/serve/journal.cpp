@@ -94,11 +94,12 @@ constexpr std::size_t kFlushBytes = 256 * 1024;
 
 /// One parsed journal line.
 struct JournalLine {
-  enum class Kind { Request, Tick, Seal } kind = Kind::Request;
+  enum class Kind { Request, Tick, Seal, Switch } kind = Kind::Request;
   Request request;                   // Kind::Request
   std::uint64_t processed = 0;       // Kind::Tick
   std::string digest;                // Kind::Tick / Kind::Seal
   std::uint64_t seal_records = 0;    // Kind::Seal
+  SwitchRecord sw;                   // Kind::Switch
 };
 
 /// Parses one chk-verified record payload. Throws JournalError on an
@@ -147,6 +148,29 @@ struct JournalLine {
     }
     record.processed = static_cast<std::uint64_t>(processed->as_number());
     record.digest = digest->as_string();
+    return record;
+  }
+  if (kind == "sw") {
+    record.kind = JournalLine::Kind::Switch;
+    const obs::json::Value* key = doc.find("key");
+    const obs::json::Value* at = doc.find("at");
+    const obs::json::Value* from = doc.find("from");
+    const obs::json::Value* to = doc.find("to");
+    if (key == nullptr || !key->is_string() || at == nullptr ||
+        !at->is_number() || from == nullptr || !from->is_string() ||
+        to == nullptr || !to->is_string()) {
+      throw JournalError("sw record missing key/at/from/to");
+    }
+    try {
+      // Hex-encoded: routing keys use all 64 bits (scenario hashes), which
+      // a JSON double cannot carry exactly.
+      record.sw.key = verify::parse_hex(key->as_string());
+    } catch (const std::invalid_argument&) {
+      throw JournalError("sw record has an undecodable key");
+    }
+    record.sw.at = static_cast<std::uint64_t>(at->as_number());
+    record.sw.from = from->as_string();
+    record.sw.to = to->as_string();
     return record;
   }
   if (kind == "seal") {
@@ -267,6 +291,8 @@ RecoveredJournal load_journal(const std::string& directory) {
       valid_bytes = offset;
       if (record.kind == JournalLine::Kind::Request) {
         result.requests.push_back(std::move(record.request));
+      } else if (record.kind == JournalLine::Kind::Switch) {
+        result.switches.push_back(std::move(record.sw));
       } else {
         result.last_tick_digest = std::move(record.digest);
         result.last_tick_processed = record.processed;
@@ -413,6 +439,24 @@ void JournalWriter::append_request(const Request& request) {
   encode_request_to(scratch_, request);
   append_line(scratch_);
   ++stats_.requests;
+  if (segment_records_ >= config_.max_segment_records) rotate();
+}
+
+void JournalWriter::append_switch(const SwitchRecord& record) {
+  scratch_.clear();
+  scratch_ += "{\"type\":\"sw\",\"seq\":";
+  scratch_ += std::to_string(next_seq_++);
+  scratch_ += ",\"key\":\"";
+  scratch_ += verify::to_hex(record.key);
+  scratch_ += "\",\"at\":";
+  scratch_ += std::to_string(record.at);
+  scratch_ += ",\"from\":\"";
+  scratch_ += record.from;
+  scratch_ += "\",\"to\":\"";
+  scratch_ += record.to;
+  scratch_ += "\"";
+  append_line(scratch_);
+  ++stats_.switches;
   if (segment_records_ >= config_.max_segment_records) rotate();
 }
 

@@ -14,7 +14,9 @@
 //
 //   journal-00000001.ndjson
 //     {"type":"req","seq":1,"req":{...wire request...},"chk":"<16hex>"}
-//     {"type":"tick","seq":2,"processed":1,"digest":"<16hex>","chk":"..."}
+//     {"type":"sw","seq":2,"key":"<16hex>","at":64,"from":"Libra",
+//      "to":"FCFS-BF","chk":"..."}            (advise-auto policy switch)
+//     {"type":"tick","seq":3,"processed":1,"digest":"<16hex>","chk":"..."}
 //     ...
 //     {"type":"seal","records":4096,"digest":"<16hex>"}   (rotation only)
 //
@@ -77,9 +79,23 @@ struct JournalConfig {
 struct JournalStats {
   std::uint64_t requests = 0;  ///< req records appended
   std::uint64_t ticks = 0;     ///< tick records appended
+  std::uint64_t switches = 0;  ///< sw (policy-switch) records appended
   std::uint64_t fsyncs = 0;
   std::uint64_t rotations = 0;  ///< segments sealed
   std::uint64_t bytes = 0;      ///< bytes appended (all records)
+};
+
+/// One journalled live policy switch ({"type":"sw",...}): routing key
+/// `key` moved from policy `from` to `to` after its `at`-th decided
+/// request. Purely an audit/verification record — replaying the request
+/// sequence re-derives every switch deterministically; recovery checks
+/// the journalled switches are a prefix of the replayed ones
+/// (docs/ADVISOR.md, docs/DETERMINISM.md).
+struct SwitchRecord {
+  std::uint64_t key = 0;
+  std::uint64_t at = 0;
+  std::string from;
+  std::string to;
 };
 
 /// What load_journal() recovered from a directory.
@@ -93,6 +109,11 @@ struct RecoveredJournal {
   /// How many requests that tick covered (the digest is over decisions
   /// for requests[0 .. last_tick_processed)).
   std::uint64_t last_tick_processed = 0;
+  /// Journalled policy switches, in append order. A crash may lose a
+  /// trailing sw record whose triggering request survived, so replay can
+  /// legitimately produce *more* switches than were journalled — never
+  /// different ones.
+  std::vector<SwitchRecord> switches;
   std::size_t segments = 0;
   std::size_t sealed_segments = 0;
   /// Torn/invalid trailing records dropped from the newest segment.
@@ -132,6 +153,10 @@ class JournalWriter {
 
   /// Write-ahead: the engine appends the request *before* simulating it.
   void append_request(const Request& request);
+
+  /// Records a live policy switch (advise-auto mode), after the req
+  /// record that triggered it and before the covering tick record.
+  void append_switch(const SwitchRecord& record);
 
   /// Tick boundary: `processed` requests decided so far (lifetime total,
   /// recovered replays included) and the engine's running decision

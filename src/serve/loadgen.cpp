@@ -182,7 +182,44 @@ void tally(LoadgenReport& report, verify::UnorderedDigest& digest,
     case Status::Error:
       ++report.errors;
       break;
+    case Status::Advice:
+      // Advisor answers are read-only queries, never admission decisions;
+      // they carry no digest contribution (docs/ADVISOR.md).
+      break;
   }
+}
+
+/// Builds the outer `mixshift` registry spec for `--mix-shift T:SPEC`:
+/// the configured --workload (or the default SDSC trace, full fidelity)
+/// becomes phase a, SPEC becomes phase b, T the switch time.
+workload::GeneratorSpec mix_shift_spec(
+    const LoadgenConfig& config,
+    const workload::SyntheticSdscConfig& trace) {
+  const auto colon = config.mix_shift.find(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= config.mix_shift.size()) {
+    throw std::invalid_argument(
+        "--mix-shift expects T:SPEC (e.g. 21600:zipf:theta=0.5), got '" +
+        config.mix_shift + "'");
+  }
+  const workload::GeneratorSpec phase_a =
+      workload::GeneratorSpec::parse(config.workload.empty()
+                                         ? workload::spec_for(trace)
+                                         : config.workload);
+  const workload::GeneratorSpec phase_b =
+      workload::GeneratorSpec::parse(config.mix_shift.substr(colon + 1));
+  workload::GeneratorSpec outer;
+  outer.method = "mixshift";
+  outer.params.emplace_back("t", config.mix_shift.substr(0, colon));
+  outer.params.emplace_back("a", phase_a.method);
+  for (const auto& [key, value] : phase_a.params) {
+    outer.params.emplace_back("a." + key, value);
+  }
+  outer.params.emplace_back("b", phase_b.method);
+  for (const auto& [key, value] : phase_b.params) {
+    outer.params.emplace_back("b." + key, value);
+  }
+  return outer;
 }
 
 /// Books a failed read under its cause.
@@ -203,9 +240,13 @@ std::vector<Request> make_request_stream(const LoadgenConfig& config) {
   trace.job_count = static_cast<std::uint32_t>(config.requests);
   trace.seed = config.seed;
   const workload::WorkloadBuilder builder = [&config, &trace] {
-    if (config.workload.empty()) return workload::WorkloadBuilder(trace);
+    if (config.mix_shift.empty() && config.workload.empty()) {
+      return workload::WorkloadBuilder(trace);
+    }
     workload::GeneratorSpec spec =
-        workload::GeneratorSpec::parse(config.workload);
+        config.mix_shift.empty()
+            ? workload::GeneratorSpec::parse(config.workload)
+            : mix_shift_spec(config, trace);
     spec.set_default("jobs", std::to_string(trace.job_count));
     spec.set_default("seed", std::to_string(trace.seed));
     return workload::WorkloadBuilder(workload::generate_jobs(spec));

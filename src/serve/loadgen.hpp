@@ -37,6 +37,13 @@ struct LoadgenConfig {
   /// the spec's jobs/seed defaults, so "--workload zipf:theta=0.9" keeps
   /// the configured request count and seed unless the spec pins its own.
   std::string workload;
+  /// Mix-shift splice ("T:SPEC", `--mix-shift`): at virtual time T the
+  /// request stream switches from the configured `workload` (or the
+  /// default SDSC trace) to the workload spec SPEC — e.g.
+  /// "21600:zipf:theta=0.5". Implemented by wrapping both into the
+  /// registry's `mixshift` method, so it composes with flash/zipf specs
+  /// on either side. Empty = no shift.
+  std::string mix_shift;
   /// Open loop when true (see header comment); closed loop otherwise.
   bool open_loop = false;
   /// Open-loop send rate, requests per wall second.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/advisor.hpp"
 #include "obs/json.hpp"
 #include "verify/digest.hpp"
 
@@ -119,44 +120,15 @@ const char* to_string(Status status) {
     case Status::Busy: return "busy";
     case Status::Error: return "error";
     case Status::Shed: return "shed";
+    case Status::Advice: return "advice";
   }
   return "?";
 }
 
-Request parse_request(std::string_view line) {
-  if (line.size() > kMaxRequestBytes) {
-    throw ProtocolError("request exceeds " +
-                        std::to_string(kMaxRequestBytes) + " bytes");
-  }
-  if (!is_valid_utf8(line)) {
-    throw ProtocolError("request is not valid UTF-8");
-  }
-  Value doc;
-  try {
-    doc = obs::json::parse(line);
-  } catch (const obs::json::ParseError& e) {
-    throw ProtocolError(std::string("malformed JSON: ") + e.what());
-  }
-  if (!doc.is_object()) throw ProtocolError("request must be a JSON object");
-  if (string_field(doc, "type") != "submit") {
-    throw ProtocolError("unknown request type '" +
-                        sanitize_echo(string_field(doc, "type")) + "'");
-  }
+namespace {
 
-  Request request;
-  request.id = static_cast<std::uint64_t>(number_field(doc, "id"));
-  request.submit_time = number_field_or(doc, "t", 0.0);
-  const double procs = number_field(doc, "procs");
-  if (procs < 1.0 || procs != std::floor(procs)) {
-    throw ProtocolError("'procs' must be a positive integer");
-  }
-  request.procs = static_cast<std::uint32_t>(procs);
-  request.runtime = number_field(doc, "runtime");
-  request.estimate = number_field_or(doc, "estimate", request.runtime);
-  request.deadline = number_field(doc, "deadline");
-  request.budget = number_field(doc, "budget");
-  request.penalty_rate = number_field_or(doc, "penalty", 0.0);
-  request.deadline_ms = number_field_or(doc, "deadline_ms", 0.0);
+/// Shared routing-field parsing (tenant + scenario) for both verbs.
+void parse_routing_fields(const Value& doc, Request& request) {
   const double tenant = number_field_or(doc, "tenant", 0.0);
   if (tenant < 0.0 || tenant != std::floor(tenant) ||
       tenant > static_cast<double>(UINT32_MAX)) {
@@ -174,6 +146,81 @@ Request parse_request(std::string_view line) {
     }
     request.scenario = scenario->as_string();
   }
+}
+
+/// {"type":"advise",...}: correlation id + routing + optional preferences.
+[[nodiscard]] Request parse_advise(const Value& doc) {
+  Request request;
+  request.kind = RequestKind::Advise;
+  request.id = static_cast<std::uint64_t>(number_field(doc, "id"));
+  parse_routing_fields(doc, request);
+  if (const Value* weights = doc.find("weights"); weights != nullptr) {
+    if (!weights->is_array() || weights->as_array().size() != 4) {
+      throw ProtocolError("'weights' must be an array of 4 numbers "
+                          "(wait, SLA, reliability, profitability)");
+    }
+    for (std::size_t o = 0; o < 4; ++o) {
+      const Value& entry = weights->as_array()[o];
+      if (!entry.is_number()) {
+        throw ProtocolError("'weights' must be an array of 4 numbers "
+                            "(wait, SLA, reliability, profitability)");
+      }
+      request.weights[o] = entry.as_number();
+    }
+  }
+  request.risk_aversion = number_field_or(doc, "risk_aversion", 0.5);
+  // The structured advisor-config rules (finite weights in [0,1] summing
+  // to 1, finite non-negative risk aversion) become protocol errors.
+  core::AdvisorConfig scoring;
+  scoring.objective_weights = request.weights;
+  scoring.risk_aversion = request.risk_aversion;
+  try {
+    scoring.validate();
+  } catch (const std::invalid_argument& e) {
+    throw ProtocolError(e.what());
+  }
+  return request;
+}
+
+}  // namespace
+
+Request parse_request(std::string_view line) {
+  if (line.size() > kMaxRequestBytes) {
+    throw ProtocolError("request exceeds " +
+                        std::to_string(kMaxRequestBytes) + " bytes");
+  }
+  if (!is_valid_utf8(line)) {
+    throw ProtocolError("request is not valid UTF-8");
+  }
+  Value doc;
+  try {
+    doc = obs::json::parse(line);
+  } catch (const obs::json::ParseError& e) {
+    throw ProtocolError(std::string("malformed JSON: ") + e.what());
+  }
+  if (!doc.is_object()) throw ProtocolError("request must be a JSON object");
+  const std::string& type = string_field(doc, "type");
+  if (type == "advise") return parse_advise(doc);
+  if (type != "submit") {
+    throw ProtocolError("unknown request type '" + sanitize_echo(type) +
+                        "'");
+  }
+
+  Request request;
+  request.id = static_cast<std::uint64_t>(number_field(doc, "id"));
+  request.submit_time = number_field_or(doc, "t", 0.0);
+  const double procs = number_field(doc, "procs");
+  if (procs < 1.0 || procs != std::floor(procs)) {
+    throw ProtocolError("'procs' must be a positive integer");
+  }
+  request.procs = static_cast<std::uint32_t>(procs);
+  request.runtime = number_field(doc, "runtime");
+  request.estimate = number_field_or(doc, "estimate", request.runtime);
+  request.deadline = number_field(doc, "deadline");
+  request.budget = number_field(doc, "budget");
+  request.penalty_rate = number_field_or(doc, "penalty", 0.0);
+  request.deadline_ms = number_field_or(doc, "deadline_ms", 0.0);
+  parse_routing_fields(doc, request);
   if (const Value* urgency = doc.find("urgency"); urgency != nullptr) {
     // is_string first: as_string() on a non-string throws a plain
     // runtime_error, which would escape the server's ProtocolError
@@ -234,7 +281,40 @@ std::string encode_request(const Request& request) {
   return out;
 }
 
+namespace {
+
+/// Tenant/scenario tail shared by both request encodings; emitted only
+/// when set so legacy encodings stay byte-identical.
+void append_routing_fields(std::string& out, const Request& request) {
+  if (request.tenant != 0) {
+    out += ",\"tenant\":";
+    append_number(out, request.tenant);
+  }
+  if (!request.scenario.empty()) {
+    out += ",\"scenario\":";
+    std::ostringstream escaped;
+    obs::json::write_escaped(escaped, request.scenario);
+    out += escaped.str();
+  }
+}
+
+}  // namespace
+
 void encode_request_to(std::string& out, const Request& request) {
+  if (request.kind == RequestKind::Advise) {
+    out += "{\"type\":\"advise\",\"id\":";
+    append_number(out, request.id);
+    out += ",\"weights\":[";
+    for (std::size_t o = 0; o < request.weights.size(); ++o) {
+      if (o != 0) out += ',';
+      append_number(out, request.weights[o]);
+    }
+    out += "],\"risk_aversion\":";
+    append_number(out, request.risk_aversion);
+    append_routing_fields(out, request);
+    out += '}';
+    return;
+  }
   // Hand-rolled single line: obs::json::dump pretty-prints across lines,
   // and the protocol is strictly one document per line.
   out += "{\"type\":\"submit\",\"id\":";
@@ -264,16 +344,7 @@ void encode_request_to(std::string& out, const Request& request) {
   // Same conditional-emission rule for the routing fields: unattributed
   // single-tenant traffic — including every pre-shard journal — encodes
   // byte-identically to the legacy wire format.
-  if (request.tenant != 0) {
-    out += ",\"tenant\":";
-    append_number(out, request.tenant);
-  }
-  if (!request.scenario.empty()) {
-    out += ",\"scenario\":";
-    std::ostringstream escaped;
-    obs::json::write_escaped(escaped, request.scenario);
-    out += escaped.str();
-  }
+  append_routing_fields(out, request);
   out += '}';
 }
 
@@ -299,6 +370,8 @@ Response parse_response(std::string_view line) {
     response.status = Status::Error;
   } else if (status == "shed") {
     response.status = Status::Shed;
+  } else if (status == "advice") {
+    response.status = Status::Advice;
   } else {
     throw ProtocolError("unknown response status '" + sanitize_echo(status) +
                         "'");
@@ -313,6 +386,59 @@ Response parse_response(std::string_view line) {
   if (const Value* message = doc.find("message");
       message != nullptr && message->is_string()) {
     response.message = message->as_string();
+  }
+  if (response.status == Status::Advice) {
+    auto body = std::make_shared<AdviceBody>();
+    body->active = string_field(doc, "active");
+    body->recommended = string_field(doc, "recommended");
+    body->decided =
+        static_cast<std::uint64_t>(number_field_or(doc, "decided", 0.0));
+    body->evaluations =
+        static_cast<std::uint64_t>(number_field_or(doc, "evaluations", 0.0));
+    body->switches =
+        static_cast<std::uint64_t>(number_field_or(doc, "switches", 0.0));
+    body->samples =
+        static_cast<std::uint64_t>(number_field_or(doc, "samples", 0.0));
+    const auto read_array4 = [&doc](std::string_view key,
+                                    std::array<double, 4>& into) {
+      const Value* value = doc.find(key);
+      if (value == nullptr) return;
+      if (!value->is_array() || value->as_array().size() != 4) {
+        throw ProtocolError("field '" + std::string(key) +
+                            "' must be an array of 4 numbers");
+      }
+      for (std::size_t o = 0; o < 4; ++o) {
+        const Value& entry = value->as_array()[o];
+        if (!entry.is_number()) {
+          throw ProtocolError("field '" + std::string(key) +
+                              "' must be an array of 4 numbers");
+        }
+        into[o] = entry.as_number();
+      }
+    };
+    read_array4("estimate_mean", body->estimate_mean);
+    read_array4("estimate_stddev", body->estimate_stddev);
+    if (const Value* ranked = doc.find("ranked"); ranked != nullptr) {
+      if (!ranked->is_array()) {
+        throw ProtocolError("field 'ranked' must be an array");
+      }
+      for (const Value& entry : ranked->as_array()) {
+        if (!entry.is_object()) {
+          throw ProtocolError("'ranked' entries must be objects");
+        }
+        RankedPolicyWire row;
+        row.policy = string_field(entry, "policy");
+        row.score = number_field(entry, "score");
+        row.performance = number_field(entry, "performance");
+        row.volatility = number_field(entry, "volatility");
+        body->ranked.push_back(std::move(row));
+      }
+    }
+    if (const Value* digest = doc.find("digest");
+        digest != nullptr && digest->is_string()) {
+      body->digest = digest->as_string();
+    }
+    response.advice = std::move(body);
   }
   return response;
 }
@@ -355,6 +481,64 @@ std::string encode_response(const Response& response) {
       std::ostringstream escaped;
       obs::json::write_escaped(escaped, response.message);
       out += escaped.str();
+      break;
+    }
+    case Status::Advice: {
+      const auto append_string = [&out](std::string_view text) {
+        std::ostringstream escaped;
+        obs::json::write_escaped(escaped, text);
+        out += escaped.str();
+      };
+      const auto append_array4 = [&out](const std::array<double, 4>& values) {
+        out += '[';
+        for (std::size_t o = 0; o < values.size(); ++o) {
+          if (o != 0) out += ',';
+          append_number(out, values[o]);
+        }
+        out += ']';
+      };
+      static const AdviceBody kEmptyAdvice;
+      const AdviceBody& body =
+          response.advice != nullptr ? *response.advice : kEmptyAdvice;
+      out += ",\"active\":";
+      append_string(body.active);
+      out += ",\"recommended\":";
+      append_string(body.recommended);
+      out += ",\"decided\":";
+      append_number(out, body.decided);
+      out += ",\"evaluations\":";
+      append_number(out, body.evaluations);
+      out += ",\"switches\":";
+      append_number(out, body.switches);
+      out += ",\"samples\":";
+      append_number(out, body.samples);
+      out += ",\"estimate_mean\":";
+      append_array4(body.estimate_mean);
+      out += ",\"estimate_stddev\":";
+      append_array4(body.estimate_stddev);
+      out += ",\"ranked\":[";
+      for (std::size_t r = 0; r < body.ranked.size(); ++r) {
+        if (r != 0) out += ',';
+        out += "{\"policy\":";
+        append_string(body.ranked[r].policy);
+        out += ",\"score\":";
+        append_number(out, body.ranked[r].score);
+        out += ",\"performance\":";
+        append_number(out, body.ranked[r].performance);
+        out += ",\"volatility\":";
+        append_number(out, body.ranked[r].volatility);
+        out += '}';
+      }
+      out += "],\"digest\":";
+      append_string(body.digest);
+      if (response.tenant != 0) {
+        out += ",\"tenant\":";
+        append_number(out, response.tenant);
+      }
+      if (response.shard >= 0) {
+        out += ",\"shard\":";
+        append_number(out, response.shard);
+      }
       break;
     }
   }

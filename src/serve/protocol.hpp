@@ -13,11 +13,15 @@
 //   {"type":"submit","id":7,"t":123.0,"procs":8,"runtime":600,
 //    "estimate":900,"deadline":3600,"budget":4800,"penalty":1.5,
 //    "urgency":"high"}
+//   {"type":"advise","id":8,"weights":[0.25,0.25,0.25,0.25],
+//    "risk_aversion":0.5}                             (read-only query)
 // Responses:
 //   {"id":7,"status":"accepted","price":4800,"risk":0.12,"t":123.0}
 //   {"id":7,"status":"rejected","price":0,"risk":0.87,"t":123.0}
 //   {"id":7,"status":"busy","retry_after_ms":50}      (backpressure)
 //   {"id":7,"status":"shed","message":"..."}          (deadline expired)
+//   {"id":8,"status":"advice","active":"Libra","recommended":"FCFS-BF",
+//    "ranked":[...],"digest":"..."}                   (docs/ADVISOR.md)
 //   {"id":0,"status":"error","message":"parse error at offset 12"}
 //
 // Encoding/decoding reuses obs::json; malformed input raises
@@ -25,10 +29,13 @@
 // an `error` response instead of dying.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "workload/job.hpp"
 
@@ -44,6 +51,17 @@ inline constexpr std::size_t kMaxRequestBytes = 16 * 1024;
 class ProtocolError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// What a request line asks for.
+enum class RequestKind : std::uint8_t {
+  Submit = 0,  ///< job submission (the SLA negotiation)
+  /// Online advisor query ({"type":"advise",...}): ranked candidate
+  /// policies for the caller's objective weights + risk aversion against
+  /// the routing key's live workload mix. Strictly read-only — advise
+  /// requests never touch the decision digest, the journal or the
+  /// advisor's estimators (docs/ADVISOR.md).
+  Advise = 1,
 };
 
 /// One SLA-annotated job-submission request.
@@ -80,6 +98,14 @@ struct Request {
   /// key land on the same shard (and the same isolated simulation state).
   /// Empty = the default shared state.
   std::string scenario;
+
+  // --- advise-only fields (RequestKind::Advise) -------------------------
+  RequestKind kind = RequestKind::Submit;
+  /// Objective weights (wait, SLA, reliability, profitability); must sum
+  /// to 1. Equal split when the line omits "weights".
+  std::array<double, 4> weights = {0.25, 0.25, 0.25, 0.25};
+  /// mean - lambda * sigma risk aversion; 0.5 when omitted.
+  double risk_aversion = 0.5;
 };
 
 enum class Status : std::uint8_t {
@@ -91,6 +117,8 @@ enum class Status : std::uint8_t {
   /// budget expired while it waited in the admission queue. Sheds are a
   /// wall-clock artefact and never enter the decision digest.
   Shed,
+  /// Answer to an `advise` query; Response::advice carries the body.
+  Advice,
 };
 
 [[nodiscard]] const char* to_string(Status status);
@@ -118,6 +146,38 @@ struct Response {
   int shard = -1;
   /// Human-readable diagnostic (Status::Error only).
   std::string message;
+  /// Advisor answer (Status::Advice only, null otherwise); shared_ptr so
+  /// Response stays cheap to copy through the queue/buffer plumbing.
+  std::shared_ptr<struct AdviceBody> advice;
+};
+
+/// One ranked candidate in an advice response.
+struct RankedPolicyWire {
+  std::string policy;
+  double score = 0.0;
+  double performance = 0.0;
+  double volatility = 0.0;
+};
+
+/// Body of an `advise` response: the routing key's live advisor state
+/// scored under the caller's preferences.
+struct AdviceBody {
+  std::string active;       ///< the key's currently active policy
+  std::string recommended;  ///< best-ranked candidate (== active when the
+                            ///< advisor has no data yet)
+  std::uint64_t decided = 0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t samples = 0;
+  /// Live observed objective estimates, kAllObjectives order (wait, SLA,
+  /// reliability, profitability) — raw objective units.
+  std::array<double, 4> estimate_mean{};
+  std::array<double, 4> estimate_stddev{};
+  std::vector<RankedPolicyWire> ranked;  ///< best first
+  /// Recommendation digest, 16 lowercase hex chars: a pure function of
+  /// the advisor state + preferences, so identical histories answer
+  /// identically (docs/DETERMINISM.md).
+  std::string digest;
 };
 
 /// Parses one request line. Throws ProtocolError — and only

@@ -182,6 +182,9 @@ EngineStats ShardedEngine::drain() {
     merged.events_dispatched += stats.events_dispatched;
     merged.shed += stats.shed;
     merged.brownout += stats.brownout;
+    merged.advise_queries += stats.advise_queries;
+    merged.advisor_evaluations += stats.advisor_evaluations;
+    merged.policy_switches += stats.policy_switches;
     merged.virtual_end_time =
         std::max(merged.virtual_end_time, stats.virtual_end_time);
     merged.digest.merge(stats.digest);
@@ -221,6 +224,7 @@ JournalStats ShardedEngine::journal_stats() const {
     const JournalStats stats = engine->journal_stats();
     merged.requests += stats.requests;
     merged.ticks += stats.ticks;
+    merged.switches += stats.switches;
     merged.fsyncs += stats.fsyncs;
     merged.rotations += stats.rotations;
     merged.bytes += stats.bytes;

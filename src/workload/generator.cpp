@@ -7,6 +7,7 @@
 
 #include "workload/checkpoint_restart.hpp"
 #include "workload/flash_crowd.hpp"
+#include "workload/mix_shift.hpp"
 #include "workload/swf.hpp"
 #include "workload/synthetic_lublin.hpp"
 #include "workload/synthetic_sdsc.hpp"
@@ -387,6 +388,52 @@ class FlashGenerator final : public MaterializedGenerator {
   }
 };
 
+class MixShiftGenerator final : public MaterializedGenerator {
+ public:
+  const char* method() const override { return "mixshift"; }
+
+  void load(const GeneratorSpec& spec) override {
+    // Two dotted forwarding prefixes (a., b.) — require_known() supports
+    // only one, so validate the key set by hand.
+    for (const auto& [key, value] : spec.params) {
+      const bool plain = key == "a" || key == "b" || key == "t" ||
+                         key == "jobs" || key == "seed";
+      const bool dotted =
+          key.size() > 2 && (key.compare(0, 2, "a.") == 0 ||
+                             key.compare(0, 2, "b.") == 0);
+      if (!plain && !dotted) {
+        bad_spec("unknown parameter '" + key + "' for method 'mixshift'");
+      }
+    }
+    GeneratorSpec inner_a;
+    GeneratorSpec inner_b;
+    inner_a.method = spec.get_string("a", "sdsc");
+    inner_b.method = spec.get_string("b", "zipf");
+    for (const auto& [key, value] : spec.params) {
+      if (key.size() > 2 && key.compare(0, 2, "a.") == 0) {
+        inner_a.params.emplace_back(key.substr(2), value);
+      } else if (key.size() > 2 && key.compare(0, 2, "b.") == 0) {
+        inner_b.params.emplace_back(key.substr(2), value);
+      }
+    }
+    // Harness-level jobs/seed flow through to both phases; an explicit
+    // a.jobs / b.seed etc. wins. `jobs` also caps the spliced total so
+    // the harness's job-count default means what it says.
+    if (const std::string* jobs = spec.find("jobs")) {
+      inner_a.set_default("jobs", *jobs);
+      inner_b.set_default("jobs", *jobs);
+    }
+    if (const std::string* seed = spec.find("seed")) {
+      inner_a.set_default("seed", *seed);
+      inner_b.set_default("seed", *seed);
+    }
+    const double at = spec.get_double("t", 6.0 * 3600.0);
+    jobs_ = splice_mix_shift(generate_jobs(inner_a), generate_jobs(inner_b),
+                             at, spec.get_u64("jobs", 0));
+    next_ = 0;
+  }
+};
+
 std::vector<GeneratorMethod>& registry_storage() {
   static std::vector<GeneratorMethod> methods;
   return methods;
@@ -459,6 +506,13 @@ void register_builtins() {
        {"period", "repeat every N seconds; 0 one-shot (default 0)"},
        {"diurnal", "smooth daily swing in [0,1) (default 0)"},
        {"seed", "forwarded to the base generator"}}));
+  append_method(builtin<MixShiftGenerator>(
+      "mixshift", "switch the traffic mix from method a to method b at time t",
+      {{"a", "pre-switch method name (default sdsc); a.K=V forwards K=V"},
+       {"b", "post-switch method name (default zipf); b.K=V forwards K=V"},
+       {"t", "virtual switch time in seconds (default 21600)"},
+       {"jobs", "total job cap after the splice; also each phase's default"},
+       {"seed", "forwarded to both phases (a.seed / b.seed override)"}}));
   append_method(builtin<DalyGenerator>(
       "daly", "checkpoint-restart jobs with Daly-interval dump overhead",
       {{"jobs", "job count (default 2000)"},

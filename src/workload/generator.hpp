@@ -124,8 +124,8 @@ struct GeneratorMethod {
 void register_generator(GeneratorMethod method);
 
 /// All registered methods (built-ins are registered on first use), in
-/// registration order: sdsc, lublin, swf, zipf, flash, daly, then any
-/// user registrations.
+/// registration order: sdsc, lublin, swf, zipf, flash, mixshift, daly,
+/// then any user registrations.
 [[nodiscard]] const std::vector<GeneratorMethod>& registered_generators();
 
 /// Creates and load()s the spec's method; throws std::invalid_argument

@@ -1,0 +1,36 @@
+#include "workload/mix_shift.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace utilrisk::workload {
+
+std::vector<Job> splice_mix_shift(const std::vector<Job>& before,
+                                  const std::vector<Job>& after, double at,
+                                  std::size_t max_jobs) {
+  if (!std::isfinite(at) || !(at > 0.0)) {
+    throw std::invalid_argument(
+        "mix shift: switch time t must be a finite positive number of "
+        "seconds");
+  }
+  std::vector<Job> out;
+  out.reserve(before.size() + after.size());
+  // Generators yield jobs in submission order, so the pre-switch phase
+  // ends at the first job submitted at or past the switch time.
+  for (const Job& job : before) {
+    if (job.submit_time >= at) break;
+    out.push_back(job);
+  }
+  for (const Job& job : after) {
+    Job shifted = job;
+    shifted.submit_time += at;
+    out.push_back(shifted);
+  }
+  if (max_jobs > 0 && out.size() > max_jobs) out.resize(max_jobs);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].id = static_cast<JobId>(i + 1);
+  }
+  return out;
+}
+
+}  // namespace utilrisk::workload

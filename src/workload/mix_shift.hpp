@@ -1,0 +1,33 @@
+// Mix-shift splice (registry method "mixshift"): switch the traffic mix
+// from one generator to another at a fixed virtual time.
+//
+// The spliced stream is every job of the `before` stream submitted
+// strictly before the switch time, followed by the whole `after` stream
+// with its submit times shifted so it starts at the switch time. Ids are
+// renumbered 1..N so the result honours the generator contract. The
+// splice consumes no randomness: "mixshift:a=X,b=Y,t=T" is exactly as
+// reproducible as X and Y themselves.
+//
+// This is the canonical workload for exercising the online risk advisor
+// (docs/ADVISOR.md): the policy that scored best on the pre-switch mix
+// is generally not the best one after it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace utilrisk::workload {
+
+/// Splices `before` (jobs with submit_time < at, in submission order)
+/// with `after` (every job, submit times shifted by +at). When
+/// `max_jobs` > 0 the result is truncated to that many jobs. Ids are
+/// renumbered 1..N. Throws std::invalid_argument when `at` is not a
+/// finite positive time.
+[[nodiscard]] std::vector<Job> splice_mix_shift(const std::vector<Job>& before,
+                                                const std::vector<Job>& after,
+                                                double at,
+                                                std::size_t max_jobs = 0);
+
+}  // namespace utilrisk::workload

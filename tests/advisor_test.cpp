@@ -2,7 +2,9 @@
 // adapter.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+#include <string>
 
 #include "core/advisor.hpp"
 #include "core/report.hpp"
@@ -180,6 +182,79 @@ TEST(WeightSensitivityTest, ScoresAreMonotoneForTheFocusSpecialist) {
   }
   EXPECT_THROW((void)weight_sensitivity(input, Objective::Sla, 1),
                std::invalid_argument);
+}
+
+TEST(AdvisorConfigTest, ValidateRejectsNaNAndNegativeWeights) {
+  AdvisorConfig config;
+  config.objective_weights = {std::nan(""), 0.25, 0.25, 0.5};
+  EXPECT_THROW(config.validate(), std::invalid_argument)
+      << "NaN must not slip through as a weight";
+  config.objective_weights = {-0.25, 0.5, 0.5, 0.25};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.objective_weights = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(AdvisorConfigTest, ValidateRejectsNonUnitSumInsteadOfRenormalizing) {
+  AdvisorConfig config;
+  config.objective_weights = {0.5, 0.5, 0.5, 0.5};
+  try {
+    config.validate();
+    FAIL() << "a sum of 2 must be rejected, not silently renormalized";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("not renormalizing"),
+              std::string::npos)
+        << "the error must say the config refuses to renormalize: "
+        << e.what();
+  }
+  // A benign rounding residue is fine.
+  config.objective_weights = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(AdvisorConfigTest, ValidateRejectsBadRiskAversion) {
+  AdvisorConfig config;
+  config.risk_aversion = -0.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.risk_aversion = std::nan("");
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.risk_aversion = 0.0;
+  EXPECT_NO_THROW(config.validate()) << "risk-neutral is a valid stance";
+}
+
+TEST(AdvisorConfigTest, AdviseValidatesItsConfig) {
+  AdvisorInput input = two_policy_input();
+  AdvisorConfig config;
+  config.objective_weights = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_THROW((void)advise(input, config), std::invalid_argument);
+}
+
+TEST(AdvisorConfigTest, ParseWeightsIsStrict) {
+  const auto weights = AdvisorConfig::parse_weights("0.1,0.2,0.3,0.4");
+  EXPECT_DOUBLE_EQ(weights[0], 0.1);
+  EXPECT_DOUBLE_EQ(weights[3], 0.4);
+  EXPECT_THROW((void)AdvisorConfig::parse_weights("0.5,0.5"),
+               std::invalid_argument)
+      << "exactly four weights";
+  EXPECT_THROW((void)AdvisorConfig::parse_weights("0.25,0.25,0.25,0.25,0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)AdvisorConfig::parse_weights("0.25,x,0.25,0.25"),
+               std::invalid_argument)
+      << "a non-numeric token is a structured error";
+  EXPECT_THROW((void)AdvisorConfig::parse_weights("0.25,,0.25,0.25"),
+               std::invalid_argument);
+  EXPECT_THROW((void)AdvisorConfig::parse_weights(""),
+               std::invalid_argument);
+}
+
+TEST(AdvisorInputTest, ValidateRejectsNonFiniteRiskPoints) {
+  AdvisorInput input = two_policy_input();
+  input.points[0][1][2].performance = std::nan("");
+  EXPECT_THROW(input.validate(), std::invalid_argument);
+  input = two_policy_input();
+  input.points[1][0][0].volatility = -0.1;
+  EXPECT_THROW(input.validate(), std::invalid_argument)
+      << "a negative sigma is a measurement bug, not a preference";
 }
 
 TEST(ReportTest, GnuplotScriptReferencesDataAndPolicies) {

@@ -106,13 +106,14 @@ TEST(GeneratorSpec, FormatDoubleRoundTrips) {
 
 TEST(GeneratorRegistry, BuiltinsRegisteredInOrder) {
   const auto& methods = workload::registered_generators();
-  ASSERT_GE(methods.size(), 6u);
+  ASSERT_GE(methods.size(), 7u);
   EXPECT_EQ(methods[0].name, "sdsc");
   EXPECT_EQ(methods[1].name, "lublin");
   EXPECT_EQ(methods[2].name, "swf");
   EXPECT_EQ(methods[3].name, "zipf");
   EXPECT_EQ(methods[4].name, "flash");
-  EXPECT_EQ(methods[5].name, "daly");
+  EXPECT_EQ(methods[5].name, "mixshift");
+  EXPECT_EQ(methods[6].name, "daly");
   for (const auto& method : methods) {
     EXPECT_FALSE(method.summary.empty()) << method.name;
     EXPECT_TRUE(static_cast<bool>(method.create)) << method.name;
@@ -401,6 +402,91 @@ TEST(Daly, IntervalZeroResolvesToOptimum) {
 }
 
 // ------------------------------------------------- experiment integration
+
+TEST(MixShift, SpliceKeepsPhaseABeforeTAndShiftsPhaseB) {
+  const double t = 40000.0;
+  const std::vector<Job> phase_a =
+      workload::generate_jobs("sdsc:jobs=60,seed=5");
+  const std::vector<Job> phase_b =
+      workload::generate_jobs("zipf:jobs=60,seed=5,tenants=16");
+  const std::vector<Job> spliced = workload::generate_jobs(
+      "mixshift:a=sdsc,b=zipf,b.tenants=16,t=40000,jobs=60,seed=5");
+
+  ASSERT_EQ(spliced.size(), 60u) << "jobs caps the spliced total";
+  std::size_t cut = 0;
+  while (cut < phase_a.size() && phase_a[cut].submit_time < t) ++cut;
+  ASSERT_GT(cut, 0u) << "the switch time must land inside phase a";
+  ASSERT_LT(cut, spliced.size()) << "and leave room for phase b";
+  for (std::size_t i = 0; i < spliced.size(); ++i) {
+    EXPECT_EQ(spliced[i].id, static_cast<workload::JobId>(i + 1))
+        << "ids renumber 1..N across the splice";
+    if (i > 0) {
+      EXPECT_GE(spliced[i].submit_time, spliced[i - 1].submit_time)
+          << "submission order survives the splice";
+    }
+    if (i < cut) {
+      EXPECT_EQ(spliced[i].submit_time, phase_a[i].submit_time);
+      EXPECT_EQ(spliced[i].actual_runtime, phase_a[i].actual_runtime);
+      EXPECT_EQ(spliced[i].tenant, phase_a[i].tenant);
+    } else {
+      const Job& original = phase_b[i - cut];
+      EXPECT_GE(spliced[i].submit_time, t);
+      EXPECT_EQ(spliced[i].submit_time, original.submit_time + t);
+      EXPECT_EQ(spliced[i].actual_runtime, original.actual_runtime);
+      EXPECT_EQ(spliced[i].tenant, original.tenant)
+          << "phase b keeps its tenant attribution";
+    }
+  }
+}
+
+TEST(MixShift, DeterministicAndSeedForwardsToBothPhases) {
+  const std::string spec =
+      "mixshift:a=sdsc,b=lublin,t=30000,jobs=80,seed=21";
+  expect_identical(workload::generate_jobs(spec),
+                   workload::generate_jobs(spec));
+  // An explicit per-phase seed changes only that phase's stream.
+  const std::vector<Job> reseeded = workload::generate_jobs(
+      "mixshift:a=sdsc,b=lublin,b.seed=99,t=30000,jobs=80,seed=21");
+  const std::vector<Job> base = workload::generate_jobs(spec);
+  ASSERT_EQ(base.size(), reseeded.size());
+  bool diverged = false;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i].submit_time < 30000.0) {
+      EXPECT_EQ(base[i].actual_runtime, reseeded[i].actual_runtime)
+          << "phase a is untouched by b.seed";
+    } else if (base[i].actual_runtime != reseeded[i].actual_runtime) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged) << "b.seed must actually reseed phase b";
+}
+
+TEST(MixShift, ComposesWithFlashOnEitherSide) {
+  // A flash-crowd phase a inside the splice...
+  const std::vector<Job> inner = workload::generate_jobs(
+      "mixshift:a=flash,a.peak=4,a.start=3600,a.duration=3600,b=zipf,"
+      "t=30000,jobs=50,seed=3");
+  EXPECT_EQ(inner.size(), 50u);
+  // ...and a mixshift as the base of an outer flash warp.
+  const std::vector<Job> outer = workload::generate_jobs(
+      "flash:base=mixshift,base.a=sdsc,base.b=zipf,base.t=30000,peak=4,"
+      "jobs=50,seed=3");
+  EXPECT_EQ(outer.size(), 50u);
+}
+
+TEST(MixShift, RejectsUnknownKeysAndBadSwitchTimes) {
+  EXPECT_THROW((void)workload::generate_jobs("mixshift:bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)workload::generate_jobs("mixshift:c.jobs=5"),
+               std::invalid_argument)
+      << "only a.* and b.* forward";
+  EXPECT_THROW((void)workload::generate_jobs("mixshift:t=0,jobs=10"),
+               std::invalid_argument);
+  EXPECT_THROW((void)workload::generate_jobs("mixshift:t=-5,jobs=10"),
+               std::invalid_argument);
+  EXPECT_THROW((void)workload::generate_jobs("mixshift:t=nope,jobs=10"),
+               std::invalid_argument);
+}
 
 TEST(ExperimentWiring, RunKeyUnchangedWithoutWorkloadSpec) {
   exp::ExperimentConfig config;

@@ -1273,5 +1273,293 @@ TEST(LoadgenTest, FanOutConnectionsReproduceTheMergedDigest) {
       << "client-merged digest == server-merged digest across fan-out";
 }
 
+// ------------------------------------------------------------ advise verb
+
+TEST(ProtocolTest, AdviseRequestRoundTrips) {
+  Request request;
+  request.kind = RequestKind::Advise;
+  request.id = 31;
+  request.tenant = 9;
+  request.weights = {0.1, 0.2, 0.3, 0.4};
+  request.risk_aversion = 1.25;
+  const Request parsed = parse_request(encode_request(request));
+  EXPECT_EQ(parsed.kind, RequestKind::Advise);
+  EXPECT_EQ(parsed.id, 31u);
+  EXPECT_EQ(parsed.tenant, 9u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(parsed.weights[i], request.weights[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(parsed.risk_aversion, 1.25);
+
+  // Omitted weights/risk_aversion fall back to the documented defaults.
+  const Request defaults = parse_request("{\"type\":\"advise\",\"id\":2}");
+  EXPECT_EQ(defaults.kind, RequestKind::Advise);
+  for (double w : defaults.weights) EXPECT_DOUBLE_EQ(w, 0.25);
+  EXPECT_DOUBLE_EQ(defaults.risk_aversion, 0.5);
+}
+
+TEST(ProtocolTest, AdviseRejectsInvalidPreferences) {
+  // Weights not summing to 1 — rejected, never silently renormalised.
+  EXPECT_THROW(
+      (void)parse_request(
+          "{\"type\":\"advise\",\"id\":1,\"weights\":[0.5,0.5,0.5,0.5]}"),
+      ProtocolError);
+  EXPECT_THROW(
+      (void)parse_request(
+          "{\"type\":\"advise\",\"id\":1,\"weights\":[-0.25,0.5,0.5,0.25]}"),
+      ProtocolError);
+  EXPECT_THROW((void)parse_request(
+                   "{\"type\":\"advise\",\"id\":1,\"weights\":[0.5,0.5]}"),
+               ProtocolError)
+      << "exactly four weights";
+  EXPECT_THROW(
+      (void)parse_request(
+          "{\"type\":\"advise\",\"id\":1,\"risk_aversion\":-1}"),
+      ProtocolError);
+}
+
+TEST(ProtocolTest, AdviceResponseRoundTrips) {
+  Response response;
+  response.id = 12;
+  response.status = Status::Advice;
+  response.tenant = 4;
+  auto advice = std::make_shared<AdviceBody>();
+  advice->active = "Libra";
+  advice->recommended = "FCFS-BF";
+  advice->decided = 96;
+  advice->evaluations = 6;
+  advice->switches = 1;
+  advice->samples = 64;
+  advice->estimate_mean = {10.5, 80.0, 90.0, 55.0};
+  advice->estimate_stddev = {1.5, 2.0, 0.5, 3.0};
+  advice->ranked = {{"FCFS-BF", 0.61, 0.7, 0.18}, {"Libra", 0.58, 0.6, 0.04}};
+  advice->digest = "0123456789abcdef";
+  response.advice = advice;
+
+  const Response parsed = parse_response(encode_response(response));
+  EXPECT_EQ(parsed.status, Status::Advice);
+  EXPECT_EQ(parsed.id, 12u);
+  EXPECT_EQ(parsed.tenant, 4u);
+  ASSERT_NE(parsed.advice, nullptr);
+  EXPECT_EQ(parsed.advice->active, "Libra");
+  EXPECT_EQ(parsed.advice->recommended, "FCFS-BF");
+  EXPECT_EQ(parsed.advice->decided, 96u);
+  EXPECT_EQ(parsed.advice->evaluations, 6u);
+  EXPECT_EQ(parsed.advice->switches, 1u);
+  EXPECT_EQ(parsed.advice->samples, 64u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(parsed.advice->estimate_mean[i],
+                     advice->estimate_mean[i]);
+    EXPECT_DOUBLE_EQ(parsed.advice->estimate_stddev[i],
+                     advice->estimate_stddev[i]);
+  }
+  ASSERT_EQ(parsed.advice->ranked.size(), 2u);
+  EXPECT_EQ(parsed.advice->ranked[0].policy, "FCFS-BF");
+  EXPECT_DOUBLE_EQ(parsed.advice->ranked[0].score, 0.61);
+  EXPECT_DOUBLE_EQ(parsed.advice->ranked[1].volatility, 0.04);
+  EXPECT_EQ(parsed.advice->digest, "0123456789abcdef");
+}
+
+TEST(JournalTest, SwitchRecordsRoundTrip) {
+  const std::string dir = fresh_dir("journal_switches");
+  JournalConfig config;
+  config.directory = dir;
+  config.fsync = FsyncPolicy::None;
+  SwitchRecord first{/*key=*/0xDEADBEEFCAFE0123ull, /*at=*/64, "Libra",
+                     "FCFS-BF"};
+  SwitchRecord second{/*key=*/7, /*at=*/128, "FCFS-BF", "SJF-BF"};
+  {
+    JournalWriter writer(config);
+    writer.append_request(make_request(1, 0.0));
+    writer.append_switch(first);
+    writer.append_request(make_request(2, 10.0));
+    writer.append_switch(second);
+    writer.append_tick(2, "0000000000000000");
+    EXPECT_EQ(writer.stats().switches, 2u);
+  }
+  const RecoveredJournal recovered = load_journal(dir);
+  EXPECT_EQ(recovered.requests.size(), 2u);
+  ASSERT_EQ(recovered.switches.size(), 2u);
+  EXPECT_EQ(recovered.switches[0].key, first.key)
+      << "the hex encoding must carry all 64 key bits";
+  EXPECT_EQ(recovered.switches[0].at, 64u);
+  EXPECT_EQ(recovered.switches[0].from, "Libra");
+  EXPECT_EQ(recovered.switches[0].to, "FCFS-BF");
+  EXPECT_EQ(recovered.switches[1].key, 7u);
+  EXPECT_EQ(recovered.switches[1].to, "SJF-BF");
+}
+
+/// Drives `stream` through an engine built from `config`, counting the
+/// advise answers seen on the completion path.
+EngineStats run_stream_with_config(const std::vector<Request>& stream,
+                                   EngineConfig config,
+                                   std::uint64_t* advice_answers = nullptr) {
+  config.queue_capacity = 64;
+  AdmissionEngine engine(config);
+  engine.start();
+  std::atomic<std::uint64_t> advice{0};
+  for (const Request& request : stream) {
+    while (!engine.submit(request, [&advice](const Response& response) {
+      if (response.status == Status::Advice) advice.fetch_add(1);
+    })) {
+      std::this_thread::yield();
+    }
+  }
+  EngineStats stats = engine.drain();
+  if (advice_answers != nullptr) *advice_answers = advice.load();
+  return stats;
+}
+
+TEST(AdmissionEngineTest, AdviseQueriesAreReadOnlyOnTheDigest) {
+  const std::vector<Request> stream = make_tenant_stream(90, 17);
+
+  // The same stream with an advise query wedged in after every fifth
+  // submission — and a burst up front, before any decision exists.
+  std::vector<Request> with_advise;
+  std::uint64_t next_id = 100000;
+  for (int i = 0; i < 3; ++i) {
+    Request query;
+    query.kind = RequestKind::Advise;
+    query.id = next_id++;
+    query.tenant = 3;
+    with_advise.push_back(query);
+  }
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    with_advise.push_back(stream[i]);
+    if (i % 5 == 4) {
+      Request query;
+      query.kind = RequestKind::Advise;
+      query.id = next_id++;
+      query.tenant = stream[i].tenant;
+      with_advise.push_back(query);
+    }
+  }
+
+  EngineConfig config;
+  const EngineStats plain = run_stream_with_config(stream, config);
+  std::uint64_t advice_answers = 0;
+  const EngineStats queried =
+      run_stream_with_config(with_advise, config, &advice_answers);
+  EXPECT_GT(queried.advise_queries, 0u);
+  EXPECT_EQ(queried.advise_queries, advice_answers)
+      << "every advise query draws exactly one advice answer";
+  EXPECT_EQ(plain.processed, queried.processed)
+      << "advise queries are not admission decisions";
+  EXPECT_EQ(plain.decision_digest, queried.decision_digest)
+      << "read-only queries must not perturb the decision digest";
+}
+
+/// Tenant stream whose mix shifts mid-run — the advisor's home turf.
+std::vector<Request> make_mix_shift_stream(std::size_t requests,
+                                           std::uint64_t seed) {
+  LoadgenConfig config;
+  config.requests = requests;
+  config.seed = seed;
+  config.workload = "zipf:tenants=4,theta=0.6";
+  config.mix_shift = "40000:zipf:tenants=4,theta=0.6,mean_runtime=14000,"
+                     "mean_interarrival=120";
+  return make_request_stream(config);
+}
+
+[[nodiscard]] EngineConfig advise_auto_config() {
+  EngineConfig config;
+  config.advisor.auto_switch = true;
+  config.advisor.advise_every = 16;
+  config.advisor.window = 16;
+  return config;
+}
+
+TEST(AdmissionEngineTest, AdviseAutoIsDeterministicAcrossRuns) {
+  const std::vector<Request> stream = make_mix_shift_stream(160, 29);
+  const EngineStats first =
+      run_stream_with_config(stream, advise_auto_config());
+  const EngineStats second =
+      run_stream_with_config(stream, advise_auto_config());
+  EXPECT_GT(first.advisor_evaluations, 0u);
+  EXPECT_EQ(first.advisor_evaluations, second.advisor_evaluations);
+  EXPECT_EQ(first.policy_switches, second.policy_switches);
+  EXPECT_EQ(first.accepted, second.accepted);
+  EXPECT_EQ(first.decision_digest, second.decision_digest)
+      << "switch points and switches must replay bit-identically";
+}
+
+TEST(ShardedEngineTest, AdviseAutoMergedDigestInvariantUnderShardCount) {
+  const std::vector<Request> stream = make_mix_shift_stream(160, 31);
+  const auto run = [&stream](std::size_t shards) {
+    ShardedEngineConfig config;
+    config.engine = advise_auto_config();
+    config.engine.queue_capacity = 64;
+    config.shards = shards;
+    ShardedEngine engine(config);
+    engine.start();
+    for (const Request& request : stream) {
+      while (!engine.submit(request, [](const Response&) {})) {
+        std::this_thread::yield();
+      }
+    }
+    return engine.drain();
+  };
+  const EngineStats one = run(1);
+  const EngineStats four = run(4);
+  EXPECT_GT(one.advisor_evaluations, 0u);
+  EXPECT_EQ(one.advisor_evaluations, four.advisor_evaluations)
+      << "switch points are per routing key, never engine-global";
+  EXPECT_EQ(one.policy_switches, four.policy_switches);
+  EXPECT_EQ(one.decision_digest, four.decision_digest)
+      << "the merged digest must not see the shard count, advise-auto on";
+}
+
+TEST(AdmissionEngineTest, AdviseAutoJournalRecoveryReplaysSwitches) {
+  const std::string dir = fresh_dir("recovery_switches");
+  const std::vector<Request> stream = make_mix_shift_stream(160, 29);
+
+  EngineConfig config = advise_auto_config();
+  config.journal_dir = dir;
+  config.fsync = FsyncPolicy::None;
+  std::string first_digest;
+  std::uint64_t first_switches = 0;
+  {
+    AdmissionEngine engine(config);
+    engine.start();
+    for (const Request& request : stream) {
+      while (!engine.submit(request, [](const Response&) {})) {
+        std::this_thread::yield();
+      }
+    }
+    const EngineStats stats = engine.drain();
+    first_digest = stats.decision_digest;
+    first_switches = stats.policy_switches;
+    EXPECT_EQ(engine.journal_stats().switches, stats.policy_switches)
+        << "every live switch writes one sw record";
+  }
+
+  // Replay must re-derive every journalled switch (prefix check) and
+  // land on the identical digest — the switches are folded into it.
+  AdmissionEngine recovered(config);
+  EXPECT_TRUE(recovered.recovery().digest_match);
+  EXPECT_EQ(recovered.recovery().replayed_digest, first_digest);
+  const EngineStats stats = recovered.drain();
+  EXPECT_EQ(stats.decision_digest, first_digest);
+  EXPECT_EQ(stats.policy_switches, first_switches);
+}
+
+TEST(AdmissionEngineTest, RecoveryRefusesFabricatedSwitchRecords) {
+  const std::string dir = fresh_dir("recovery_bogus_switch");
+  JournalConfig journal_config;
+  journal_config.directory = dir;
+  journal_config.fsync = FsyncPolicy::None;
+  {
+    JournalWriter writer(journal_config);
+    writer.append_request(make_request(1, 0.0));
+    // A switch no replay of one request can possibly re-derive.
+    writer.append_switch(SwitchRecord{/*key=*/1, /*at=*/1, "Libra",
+                                      "FCFS-BF"});
+  }
+  EngineConfig config = advise_auto_config();
+  config.journal_dir = dir;
+  EXPECT_THROW((void)AdmissionEngine(config), JournalError)
+      << "journalled switches must be a prefix of the replayed ones";
+}
+
 }  // namespace
 }  // namespace utilrisk::serve
